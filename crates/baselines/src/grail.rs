@@ -1,0 +1,547 @@
+//! GRAIL — scalable graph reachability via randomized interval labeling
+//! (Yıldırım, Chaoji & Zaki, PVLDB 2010; the paper's baseline in §6.4).
+//!
+//! Each of `d` rounds performs a random-order depth-first traversal of the
+//! DAG and assigns every vertex the interval `[min-rank of its subtree,
+//! own post-order rank]`. Containment of all `d` intervals is necessary for
+//! reachability; queries run a DFS pruned by label containment
+//! ("exceptions" are resolved by search, so GRAIL degrades toward plain DFS
+//! when source and destination are actually reachable — exactly the paper's
+//! observation).
+//!
+//! Applied to the contact-network DAG `DN`: the query `o_i ~Tp~> o_j` maps
+//! to vertex reachability from the component of `o_i(t1)` to the component
+//! of `o_j(t2)`; every DN path is time-respecting by construction, so no
+//! extra time filter is needed.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use reach_contact::DnGraph;
+use reach_core::{
+    IndexError, ObjectId, Query, QueryOutcome, QueryResult, QueryStats, ReachabilityIndex, Time,
+};
+use reach_storage::{
+    read_record, ByteReader, ByteWriter, DiskSim, Pager, RecordPtr, RecordWriter,
+};
+use std::time::Instant;
+
+/// The randomized interval labels of one DAG.
+#[derive(Clone, Debug)]
+pub struct GrailLabels {
+    /// Number of label dimensions `d`.
+    pub d: usize,
+    /// Flattened `(min, rank)` pairs: entry `v * d + i`.
+    labels: Vec<(u32, u32)>,
+}
+
+impl GrailLabels {
+    /// Builds `d` randomized interval labelings of `dn` (paper's GRAIL uses
+    /// a small constant `d`; we default to 5 in the experiments).
+    pub fn build(dn: &DnGraph, d: usize, seed: u64) -> Self {
+        assert!(d >= 1, "at least one labeling required");
+        let n = dn.num_nodes();
+        let mut labels = vec![(0u32, 0u32); n * d];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        let mut rank = vec![0u32; n];
+        let mut visited = vec![false; n];
+        let mut stack: Vec<(u32, usize)> = Vec::new();
+        let mut children_buf: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for i in 0..d {
+            // Random root order and random child order per round.
+            order.shuffle(&mut rng);
+            visited.iter_mut().for_each(|v| *v = false);
+            let mut next_rank = 1u32;
+            for &root in &order {
+                if visited[root as usize] {
+                    continue;
+                }
+                // Iterative post-order DFS with per-node shuffled children.
+                visited[root as usize] = true;
+                children_buf[root as usize] = dn.fwd(root).to_vec();
+                children_buf[root as usize].shuffle(&mut rng);
+                stack.push((root, 0));
+                while let Some(&mut (v, ref mut ci)) = stack.last_mut() {
+                    let kids = &children_buf[v as usize];
+                    if *ci < kids.len() {
+                        let c = kids[*ci];
+                        *ci += 1;
+                        if !visited[c as usize] {
+                            visited[c as usize] = true;
+                            children_buf[c as usize] = dn.fwd(c).to_vec();
+                            children_buf[c as usize].shuffle(&mut rng);
+                            stack.push((c, 0));
+                        }
+                    } else {
+                        rank[v as usize] = next_rank;
+                        next_rank += 1;
+                        stack.pop();
+                    }
+                }
+            }
+            // min over subtree: children have larger ids (topological ids),
+            // so a reverse-id sweep sees children before parents.
+            for v in (0..n).rev() {
+                let mut lo = rank[v];
+                for &c in dn.fwd(v as u32) {
+                    lo = lo.min(labels[c as usize * d + i].0);
+                }
+                labels[v * d + i] = (lo, rank[v]);
+            }
+        }
+        Self { d, labels }
+    }
+
+    /// The `i`-th interval of vertex `v`.
+    #[inline]
+    pub fn label(&self, v: u32, i: usize) -> (u32, u32) {
+        self.labels[v as usize * self.d + i]
+    }
+
+    /// Whether `u`'s labels contain `v`'s (necessary condition for
+    /// `u ⇝ v`).
+    #[inline]
+    pub fn may_reach(&self, u: u32, v: u32) -> bool {
+        for i in 0..self.d {
+            let (ulo, uhi) = self.label(u, i);
+            let (vlo, vhi) = self.label(v, i);
+            if vlo < ulo || vhi > uhi {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Memory-resident GRAIL over a DN.
+pub struct GrailMem<'a> {
+    dn: &'a DnGraph,
+    labels: GrailLabels,
+}
+
+impl<'a> GrailMem<'a> {
+    /// Builds labels and wraps the graph.
+    pub fn new(dn: &'a DnGraph, d: usize, seed: u64) -> Self {
+        Self {
+            dn,
+            labels: GrailLabels::build(dn, d, seed),
+        }
+    }
+
+    /// The labels (for inspection/tests).
+    pub fn labels(&self) -> &GrailLabels {
+        &self.labels
+    }
+
+    /// Label-pruned DFS from `u` to `v`; returns (reachable, vertices
+    /// visited).
+    pub fn reach(&self, u: u32, v: u32) -> (bool, u64) {
+        let mut visited = std::collections::HashSet::new();
+        let mut stack = vec![u];
+        let mut count = 0u64;
+        while let Some(x) = stack.pop() {
+            if !visited.insert(x) {
+                continue;
+            }
+            count += 1;
+            if x == v {
+                return (true, count);
+            }
+            if !self.labels.may_reach(x, v) {
+                continue; // definite non-reachability: prune the subtree
+            }
+            for &c in self.dn.fwd(x) {
+                if !visited.contains(&c) {
+                    stack.push(c);
+                }
+            }
+        }
+        (false, count)
+    }
+
+    /// Evaluates a contact-network reachability query.
+    pub fn evaluate_query(&mut self, q: &Query) -> Result<QueryResult, IndexError> {
+        let started = Instant::now();
+        let horizon = self.dn.horizon();
+        if q.source.index() >= self.dn.num_objects() {
+            return Err(IndexError::UnknownObject(q.source));
+        }
+        if q.dest.index() >= self.dn.num_objects() {
+            return Err(IndexError::UnknownObject(q.dest));
+        }
+        if q.interval.start >= horizon {
+            return Err(IndexError::IntervalOutOfRange {
+                requested: q.interval,
+                horizon,
+            });
+        }
+        if q.source == q.dest {
+            return Ok(QueryResult {
+                outcome: QueryOutcome::reachable_at(q.interval.start),
+                stats: QueryStats {
+                    cpu: started.elapsed(),
+                    ..Default::default()
+                },
+            });
+        }
+        let t2 = q.interval.end.min(horizon - 1);
+        let u = self.dn.node_of(q.source, q.interval.start).0;
+        let v = self.dn.node_of(q.dest, t2).0;
+        let (reachable, visited) = self.reach(u, v);
+        Ok(QueryResult {
+            outcome: if reachable {
+                QueryOutcome::reachable()
+            } else {
+                QueryOutcome::UNREACHABLE
+            },
+            stats: QueryStats {
+                visited,
+                cpu: started.elapsed(),
+                ..Default::default()
+            },
+        })
+    }
+}
+
+impl ReachabilityIndex for GrailMem<'_> {
+    fn name(&self) -> &'static str {
+        "GRAIL(mem)"
+    }
+
+    fn evaluate(&mut self, query: &Query) -> Result<QueryResult, IndexError> {
+        self.evaluate_query(query)
+    }
+}
+
+/// Decoded disk vertex: DN1 out-edges plus the `d` interval labels.
+type DiskVertex = (Vec<u32>, Vec<(u32, u32)>);
+
+/// Disk-adopted GRAIL (paper §6.4, Table 5b): vertices placed *in generation
+/// order* — no locality-aware partitioning — each carrying its labels and
+/// DN1 out-edges; queries run the same pruned DFS fetching vertices through
+/// a pager.
+pub struct GrailDisk {
+    pager: Pager,
+    node_ptrs: Vec<RecordPtr>,
+    timeline_index: Vec<(u64, u32)>,
+    timeline_first_page: u64,
+    page_size: usize,
+    horizon: Time,
+    num_objects: usize,
+}
+
+impl GrailDisk {
+    /// Serializes `dn` + labels onto a fresh simulated device.
+    pub fn build(
+        dn: &DnGraph,
+        d: usize,
+        seed: u64,
+        page_size: usize,
+        cache_pages: usize,
+    ) -> Result<Self, IndexError> {
+        let labels = GrailLabels::build(dn, d, seed);
+        let mut disk = DiskSim::new(page_size);
+
+        // Timeline region (same role as in ReachGraph).
+        let entries_per_page = page_size / 8;
+        let total_entries: u64 = (0..dn.num_objects() as u32)
+            .map(|o| dn.timeline(ObjectId(o)).len() as u64)
+            .sum();
+        let timeline_pages = total_entries.div_ceil(entries_per_page as u64).max(1);
+        let timeline_first_page = disk.allocate(timeline_pages as usize);
+        let mut timeline_index = Vec::with_capacity(dn.num_objects());
+        {
+            let mut entry_idx = 0u64;
+            let mut buf = vec![0u8; page_size];
+            let mut cur = 0u64;
+            for o in 0..dn.num_objects() as u32 {
+                let tl = dn.timeline(ObjectId(o));
+                timeline_index.push((entry_idx, tl.len() as u32));
+                for &(t, node) in tl {
+                    let page = entry_idx / entries_per_page as u64;
+                    if page != cur {
+                        disk.write_page(timeline_first_page + cur, &buf)?;
+                        buf.fill(0);
+                        cur = page;
+                    }
+                    let off = (entry_idx % entries_per_page as u64) as usize * 8;
+                    buf[off..off + 4].copy_from_slice(&t.to_le_bytes());
+                    buf[off + 4..off + 8].copy_from_slice(&node.to_le_bytes());
+                    entry_idx += 1;
+                }
+            }
+            disk.write_page(timeline_first_page + cur, &buf)?;
+        }
+
+        // Vertices in generation (id) order, packed — GRAIL has no notion of
+        // partitioned placement, which is exactly its disk weakness.
+        let mut writer = RecordWriter::new(&mut disk);
+        let mut node_ptrs = Vec::with_capacity(dn.num_nodes());
+        for v in 0..dn.num_nodes() as u32 {
+            let mut w = ByteWriter::new();
+            w.put_u32_slice(dn.fwd(v));
+            w.put_u8(d as u8);
+            for i in 0..d {
+                let (lo, hi) = labels.label(v, i);
+                w.put_u32(lo);
+                w.put_u32(hi);
+            }
+            node_ptrs.push(writer.append(&mut disk, w.as_bytes())?);
+        }
+        writer.finish(&mut disk)?;
+        disk.reset_stats();
+        Ok(Self {
+            pager: Pager::new(disk, cache_pages),
+            node_ptrs,
+            timeline_index,
+            timeline_first_page,
+            page_size,
+            horizon: dn.horizon(),
+            num_objects: dn.num_objects(),
+        })
+    }
+
+    fn read_vertex(&mut self, v: u32) -> Result<DiskVertex, IndexError> {
+        let bytes = read_record(&mut self.pager, self.node_ptrs[v as usize])?;
+        let mut r = ByteReader::new(&bytes);
+        let fwd = r.get_u32_vec()?;
+        let d = r.get_u8()? as usize;
+        let mut labels = Vec::with_capacity(d);
+        for _ in 0..d {
+            labels.push((r.get_u32()?, r.get_u32()?));
+        }
+        Ok((fwd, labels))
+    }
+
+    fn node_of(&mut self, o: ObjectId, t: Time) -> Result<u32, IndexError> {
+        let &(first, count) = self
+            .timeline_index
+            .get(o.index())
+            .ok_or(IndexError::UnknownObject(o))?;
+        let entries_per_page = self.page_size / 8;
+        let read_entry = |this: &mut Self, idx: u64| -> Result<(Time, u32), IndexError> {
+            let page = this.timeline_first_page + idx / entries_per_page as u64;
+            let off = (idx % entries_per_page as u64) as usize * 8;
+            let bytes = this.pager.read(page)?;
+            Ok((
+                u32::from_le_bytes([bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3]]),
+                u32::from_le_bytes([
+                    bytes[off + 4],
+                    bytes[off + 5],
+                    bytes[off + 6],
+                    bytes[off + 7],
+                ]),
+            ))
+        };
+        let (mut lo, mut hi) = (0u64, u64::from(count));
+        while lo + 1 < hi {
+            let mid = (lo + hi) / 2;
+            let (start, _) = read_entry(self, first + mid)?;
+            if start <= t {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(read_entry(self, first + lo)?.1)
+    }
+
+    /// Evaluates a query, counting IO.
+    pub fn evaluate_query(&mut self, q: &Query) -> Result<QueryResult, IndexError> {
+        let started = Instant::now();
+        self.pager.clear_cache();
+        self.pager.break_sequence();
+        let before = self.pager.stats();
+        let mut stats = QueryStats::default();
+        let outcome = self.run(q, &mut stats)?;
+        let io = self.pager.stats().since(&before);
+        stats.random_ios = io.random_reads;
+        stats.seq_ios = io.seq_reads;
+        stats.cpu = started.elapsed();
+        Ok(QueryResult { outcome, stats })
+    }
+
+    fn run(&mut self, q: &Query, stats: &mut QueryStats) -> Result<QueryOutcome, IndexError> {
+        if q.source.index() >= self.num_objects {
+            return Err(IndexError::UnknownObject(q.source));
+        }
+        if q.dest.index() >= self.num_objects {
+            return Err(IndexError::UnknownObject(q.dest));
+        }
+        if q.interval.start >= self.horizon {
+            return Err(IndexError::IntervalOutOfRange {
+                requested: q.interval,
+                horizon: self.horizon,
+            });
+        }
+        if q.source == q.dest {
+            return Ok(QueryOutcome::reachable_at(q.interval.start));
+        }
+        let t2 = q.interval.end.min(self.horizon - 1);
+        let u = self.node_of(q.source, q.interval.start)?;
+        let v = self.node_of(q.dest, t2)?;
+        let (_, target_labels) = self.read_vertex(v)?;
+        let contained = |labels: &[(u32, u32)]| -> bool {
+            labels
+                .iter()
+                .zip(&target_labels)
+                .all(|(&(ulo, uhi), &(vlo, vhi))| ulo <= vlo && vhi <= uhi)
+        };
+        let mut visited = std::collections::HashSet::new();
+        let mut stack = vec![u];
+        while let Some(x) = stack.pop() {
+            if !visited.insert(x) {
+                continue;
+            }
+            stats.visited += 1;
+            if x == v {
+                return Ok(QueryOutcome::reachable());
+            }
+            let (fwd, labels) = self.read_vertex(x)?;
+            if !contained(&labels) {
+                continue;
+            }
+            for c in fwd {
+                stats.examined += 1;
+                if !visited.contains(&c) {
+                    stack.push(c);
+                }
+            }
+        }
+        Ok(QueryOutcome::UNREACHABLE)
+    }
+}
+
+impl ReachabilityIndex for GrailDisk {
+    fn name(&self) -> &'static str {
+        "GRAIL(disk)"
+    }
+
+    fn evaluate(&mut self, query: &Query) -> Result<QueryResult, IndexError> {
+        self.evaluate_query(query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use reach_contact::Oracle;
+    use reach_core::TimeInterval;
+
+    fn random_world(seed: u64, n: usize, horizon: Time, density: f64) -> (DnGraph, Oracle) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let script: Vec<Vec<(u32, u32)>> = (0..horizon)
+            .map(|_| {
+                let mut pairs = Vec::new();
+                for a in 0..n as u32 {
+                    for b in (a + 1)..n as u32 {
+                        if rng.gen_bool(density) {
+                            pairs.push((a, b));
+                        }
+                    }
+                }
+                pairs
+            })
+            .collect();
+        let dn = DnGraph::build_from_ticks(n, horizon, |t| script[t as usize].as_slice());
+        let oracle = Oracle::from_events(n, script);
+        (dn, oracle)
+    }
+
+    #[test]
+    fn labels_necessary_condition_holds() {
+        let (dn, _) = random_world(4, 6, 60, 0.05);
+        let labels = GrailLabels::build(&dn, 4, 9);
+        // For every true edge u→v, containment must hold (soundness of the
+        // pruning direction).
+        for u in 0..dn.num_nodes() as u32 {
+            for &v in dn.fwd(u) {
+                assert!(
+                    labels.may_reach(u, v),
+                    "edge {u}->{v} violates label containment"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grail_mem_matches_oracle() {
+        for seed in 0..6u64 {
+            let (dn, oracle) = random_world(seed, 6, 60, 0.04);
+            let mut grail = GrailMem::new(&dn, 3, seed ^ 0xF00D);
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..50 {
+                let s = rng.gen_range(0..6u32);
+                let d = rng.gen_range(0..6u32);
+                let a = rng.gen_range(0..60);
+                let b = rng.gen_range(a..60);
+                let q = Query::new(ObjectId(s), ObjectId(d), TimeInterval::new(a, b));
+                assert_eq!(
+                    grail.evaluate_query(&q).unwrap().reachable(),
+                    oracle.evaluate(&q).reachable,
+                    "GRAIL(mem) mismatch on {q} (seed {seed})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grail_disk_matches_memory() {
+        let (dn, oracle) = random_world(8, 6, 50, 0.05);
+        let mut mem = GrailMem::new(&dn, 3, 5);
+        let mut disk = GrailDisk::build(&dn, 3, 5, 256, 16).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..40 {
+            let s = rng.gen_range(0..6u32);
+            let d = rng.gen_range(0..6u32);
+            let a = rng.gen_range(0..50);
+            let b = rng.gen_range(a..50);
+            let q = Query::new(ObjectId(s), ObjectId(d), TimeInterval::new(a, b));
+            let m = mem.evaluate_query(&q).unwrap().reachable();
+            let dk = disk.evaluate_query(&q).unwrap();
+            assert_eq!(m, dk.reachable(), "disk/mem GRAIL disagree on {q}");
+            assert_eq!(m, oracle.evaluate(&q).reachable, "GRAIL wrong on {q}");
+        }
+    }
+
+    #[test]
+    fn pruning_helps_on_unreachable_queries() {
+        // Unreachable queries should be answered with far fewer visits than
+        // the number of vertices, thanks to label containment pruning.
+        let (dn, oracle) = random_world(2, 8, 120, 0.01);
+        let mut grail = GrailMem::new(&dn, 4, 99);
+        let mut pruned_visits = 0u64;
+        let mut unreachable = 0u64;
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..60 {
+            let s = rng.gen_range(0..8u32);
+            let d = rng.gen_range(0..8u32);
+            let q = Query::new(ObjectId(s), ObjectId(d), TimeInterval::new(0, 119));
+            if s != d && !oracle.evaluate(&q).reachable {
+                let r = grail.evaluate_query(&q).unwrap();
+                pruned_visits += r.stats.visited;
+                unreachable += 1;
+            }
+        }
+        if unreachable > 0 {
+            let avg = pruned_visits as f64 / unreachable as f64;
+            assert!(
+                avg < dn.num_nodes() as f64 * 0.8,
+                "pruning ineffective: {avg} avg visits of {} nodes",
+                dn.num_nodes()
+            );
+        }
+    }
+
+    #[test]
+    fn disk_queries_cost_io() {
+        let (dn, _) = random_world(7, 6, 40, 0.06);
+        let mut disk = GrailDisk::build(&dn, 2, 1, 128, 8).unwrap();
+        let q = Query::new(ObjectId(0), ObjectId(5), TimeInterval::new(0, 39));
+        let r = disk.evaluate_query(&q).unwrap();
+        assert!(r.stats.random_ios + r.stats.seq_ios > 0);
+    }
+}

@@ -1,0 +1,14 @@
+//! `cargo bench` entry point that regenerates every table and figure of the
+//! paper at the quick tier. The printed markdown tables are the artifact —
+//! see EXPERIMENTS.md for the paper-vs-measured comparison.
+
+fn main() {
+    // Cargo passes `--bench` (and possibly filter args); the suite ignores
+    // them and runs at the quick tier unless `--full` is present.
+    let tier = reach_bench::Tier::from_args();
+    let started = std::time::Instant::now();
+    for table in reach_bench::experiments::all(tier) {
+        table.print();
+    }
+    eprintln!("experiment suite completed in {:?}", started.elapsed());
+}

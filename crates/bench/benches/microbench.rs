@@ -1,0 +1,125 @@
+//! Criterion micro-benchmarks of the core building blocks: contact
+//! extraction, DN construction, multi-resolution augmentation, and the four
+//! query strategies on both indexes.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use reach_bench::{DatasetSpec, Tier};
+use reach_contact::{DnGraph, MultiRes, DEFAULT_LEVELS};
+use reach_core::ReachabilityIndex;
+use reach_graph::{GraphParams, MemoryHn, ReachGraph, TraversalKind};
+use reach_grid::{GridParams, ReachGrid};
+use reach_mobility::WorkloadConfig;
+use std::hint::black_box;
+
+fn bench_substrates(c: &mut Criterion) {
+    let spec = DatasetSpec::rwp("bench-rwp", 200, 600, 7);
+    let store = spec.generate();
+
+    c.bench_function("contact_extraction/rwp-200x600", |b| {
+        b.iter(|| {
+            black_box(reach_contact::extract_events(
+                &store,
+                store.horizon_interval(),
+                spec.threshold,
+            ))
+        })
+    });
+
+    c.bench_function("dn_build/rwp-200x600", |b| {
+        b.iter(|| black_box(DnGraph::build(&store, spec.threshold)))
+    });
+
+    let dn = DnGraph::build(&store, spec.threshold);
+    c.bench_function("multires_build/rwp-200x600", |b| {
+        b.iter(|| black_box(MultiRes::build(&dn, &DEFAULT_LEVELS)))
+    });
+
+    c.bench_function("grid_build/rwp-200x600", |b| {
+        b.iter(|| {
+            black_box(
+                ReachGrid::build(
+                    &store,
+                    GridParams {
+                        cell_size: spec.env_side() / 8.0,
+                        threshold: spec.threshold,
+                        ..GridParams::default()
+                    },
+                )
+                .expect("grid builds"),
+            )
+        })
+    });
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let spec = DatasetSpec::rwp("bench-rwp", 200, 600, 7);
+    let store = spec.generate();
+    let dn = DnGraph::build(&store, spec.threshold);
+    let mr = MultiRes::build(&dn, &DEFAULT_LEVELS);
+    let queries = WorkloadConfig {
+        num_queries: 64,
+        interval_len_min: 100,
+        interval_len_max: 300,
+    }
+    .generate(spec.num_objects, spec.horizon, 99);
+
+    let mut group = c.benchmark_group("query");
+    for kind in [
+        TraversalKind::EDfs,
+        TraversalKind::BBfs,
+        TraversalKind::BmBfs,
+    ] {
+        group.bench_function(format!("mem/{}", kind.name()), |b| {
+            let mut hn = MemoryHn::new(&dn, &mr);
+            let mut i = 0;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                black_box(hn.evaluate_with(q, kind).expect("query evaluates"))
+            })
+        });
+    }
+    group.bench_function("disk/BM-BFS", |b| {
+        b.iter_batched_ref(
+            || ReachGraph::build(&dn, &mr, GraphParams::default()).expect("builds"),
+            |rg| {
+                for q in queries.iter().take(8) {
+                    black_box(rg.evaluate(q).expect("query evaluates"));
+                }
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("disk/ReachGrid", |b| {
+        b.iter_batched_ref(
+            || {
+                ReachGrid::build(
+                    &store,
+                    GridParams {
+                        cell_size: spec.env_side() / 8.0,
+                        threshold: spec.threshold,
+                        ..GridParams::default()
+                    },
+                )
+                .expect("builds")
+            },
+            |grid| {
+                for q in queries.iter().take(8) {
+                    black_box(grid.evaluate(q).expect("query evaluates"));
+                }
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+
+    // Keep the unused-import lint honest about Tier.
+    let _ = Tier::Quick;
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_substrates, bench_queries
+}
+criterion_main!(benches);

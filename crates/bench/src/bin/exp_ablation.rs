@@ -1,0 +1,8 @@
+//! Runs the ablation experiment(s); pass `--full` for the recorded scales.
+
+fn main() {
+    let tier = reach_bench::Tier::from_args();
+    for table in reach_bench::experiments::exp_ablation(tier) {
+        table.print();
+    }
+}

@@ -1,0 +1,11 @@
+//! Runs the full experiment suite in paper order; pass `--full` for the
+//! recorded scales.
+
+fn main() {
+    let tier = reach_bench::Tier::from_args();
+    let started = std::time::Instant::now();
+    for table in reach_bench::experiments::all(tier) {
+        table.print();
+    }
+    eprintln!("total suite time: {:?}", started.elapsed());
+}

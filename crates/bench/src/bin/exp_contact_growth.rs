@@ -1,0 +1,8 @@
+//! Runs the contact_growth experiment(s); pass `--full` for the recorded scales.
+
+fn main() {
+    let tier = reach_bench::Tier::from_args();
+    for table in reach_bench::experiments::exp_contact_growth(tier) {
+        table.print();
+    }
+}

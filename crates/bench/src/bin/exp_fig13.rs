@@ -1,0 +1,8 @@
+//! Runs the fig13 experiment(s); pass `--full` for the recorded scales.
+
+fn main() {
+    let tier = reach_bench::Tier::from_args();
+    for table in reach_bench::experiments::exp_fig13(tier) {
+        table.print();
+    }
+}

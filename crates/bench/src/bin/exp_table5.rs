@@ -1,0 +1,8 @@
+//! Runs the table5 experiment(s); pass `--full` for the recorded scales.
+
+fn main() {
+    let tier = reach_bench::Tier::from_args();
+    for table in reach_bench::experiments::exp_table5(tier) {
+        table.print();
+    }
+}

@@ -1,0 +1,303 @@
+//! Dataset presets mirroring the paper's three families (§6), scaled to a
+//! single machine.
+//!
+//! The paper evaluates on `RWP10k/20k/40k` (random waypoint individuals,
+//! 100 km², Bluetooth `d_T` = 25 m), `VN1k/2k/4k` (Brinkhoff vehicles over
+//! San Francisco, DSRC `d_T` = 300 m) and a real Beijing taxi day (`VNR`).
+//! We keep three sizes per family and the paper's contact thresholds.
+//!
+//! Scaling note: what makes the paper's guided expansion pay off is
+//! *spatial locality* — an item travels `speed · |Tp|` metres during a query
+//! window, and that reach must stay well below the environment size (in the
+//! paper: ≈3 km of walking in a 10 km world). Shrinking a dataset by
+//! dropping objects at the paper's density shrinks the environment until a
+//! single window covers it and there is nothing left to prune. We therefore
+//! scale RWP by *density* (6·10⁻⁵ obj/m² instead of 2·10⁻⁴) and *speed*
+//! (0.5–1.5 m/s), which keeps the paper's reach-to-environment ratio while
+//! leaving enough contact churn for a realistic reachable fraction in the
+//! query workloads, and scale the simulated page size with the dataset so
+//! grid cells and graph partitions still span several pages
+//! ([`Tier::page_size`]).
+
+use reach_contact::{DnGraph, MultiRes, DEFAULT_LEVELS};
+use reach_core::{Coord, Environment, Time};
+use reach_mobility::{sparsify, RwpConfig, VehicleConfig, BEIJING_KEEP_EVERY};
+use reach_traj::TrajectoryStore;
+
+/// Dataset family, matching the paper's naming.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Family {
+    /// Random waypoint individuals (paper `RWP*`).
+    Rwp,
+    /// Network-constrained vehicles (paper `VN*`).
+    Vn,
+    /// Sparse-GPS interpolated vehicles (paper `VNR`, Beijing substitute).
+    Vnr,
+}
+
+/// A reproducible dataset specification.
+#[derive(Clone, Debug)]
+pub struct DatasetSpec {
+    /// Report name (e.g. `rwp-1k`).
+    pub name: String,
+    /// Family the generator belongs to.
+    pub family: Family,
+    /// Number of objects.
+    pub num_objects: usize,
+    /// Horizon in ticks.
+    pub horizon: Time,
+    /// Contact threshold `d_T` in metres.
+    pub threshold: Coord,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// Random-waypoint spec (6·10⁻⁵ obj/m², see the scaling note above).
+    pub fn rwp(name: &str, num_objects: usize, horizon: Time, seed: u64) -> Self {
+        Self {
+            name: name.into(),
+            family: Family::Rwp,
+            num_objects,
+            horizon,
+            threshold: 25.0,
+            seed,
+        }
+    }
+
+    /// Vehicle-network spec at the paper's density (≈6.7·10⁻⁶ obj/m²).
+    pub fn vn(name: &str, num_objects: usize, horizon: Time, seed: u64) -> Self {
+        Self {
+            name: name.into(),
+            family: Family::Vn,
+            num_objects,
+            horizon,
+            threshold: 300.0,
+            seed,
+        }
+    }
+
+    /// Sparse-GPS spec (Beijing-like).
+    pub fn vnr(name: &str, num_objects: usize, horizon: Time, seed: u64) -> Self {
+        Self {
+            name: name.into(),
+            family: Family::Vnr,
+            num_objects,
+            horizon,
+            threshold: 300.0,
+            seed,
+        }
+    }
+
+    /// Environment side length implied by the family's target density.
+    pub fn env_side(&self) -> Coord {
+        match self.family {
+            Family::Rwp => (self.num_objects as f64 / 6.0e-5).sqrt() as Coord,
+            Family::Vn | Family::Vnr => (self.num_objects as f64 / 6.7e-6).sqrt() as Coord,
+        }
+    }
+
+    /// Generates the trajectory store.
+    pub fn generate(&self) -> TrajectoryStore {
+        let side = self.env_side();
+        match self.family {
+            Family::Rwp => RwpConfig {
+                env: Environment::square(side),
+                num_objects: self.num_objects,
+                horizon: self.horizon,
+                tick_seconds: 6.0,
+                speed_min: 0.5,
+                speed_max: 1.5,
+                pause_ticks_max: 4,
+            }
+            .generate(self.seed),
+            Family::Vn => {
+                let mut cfg = VehicleConfig::default_city(self.num_objects, self.horizon, self.seed);
+                cfg.network = reach_mobility::RoadNetwork::city_grid(
+                    Environment::square(side),
+                    grid_dim(side),
+                    grid_dim(side),
+                    self.seed ^ 0xC17,
+                );
+                cfg.generate(self.seed)
+            }
+            Family::Vnr => {
+                let mut cfg = VehicleConfig::default_city(self.num_objects, self.horizon, self.seed);
+                cfg.network = reach_mobility::RoadNetwork::city_grid(
+                    Environment::square(side),
+                    grid_dim(side),
+                    grid_dim(side),
+                    self.seed ^ 0xBE1,
+                );
+                sparsify(&cfg.generate(self.seed), BEIJING_KEEP_EVERY)
+            }
+        }
+    }
+
+    /// Builds the reduced DAG for this dataset (threshold applied).
+    pub fn build_dn(&self, store: &TrajectoryStore) -> DnGraph {
+        DnGraph::build(store, self.threshold)
+    }
+
+    /// Builds the default multi-resolution bundles for a DN.
+    pub fn build_multires(&self, dn: &DnGraph) -> MultiRes {
+        MultiRes::build(dn, &DEFAULT_LEVELS)
+    }
+}
+
+/// Road-grid dimension for an environment side: ~700 m block spacing.
+fn grid_dim(side: Coord) -> usize {
+    ((side / 700.0).round() as usize).clamp(4, 40)
+}
+
+/// Truncates a store to its first `horizon` ticks (the growing-`|T|` sweeps
+/// of Figures 9–11 share one generated dataset and index its prefixes).
+pub fn prefix_store(store: &TrajectoryStore, horizon: Time) -> TrajectoryStore {
+    assert!(horizon >= 1 && horizon <= store.horizon());
+    let trajs = store
+        .iter()
+        .map(|t| {
+            reach_traj::Trajectory::new(
+                t.object,
+                0,
+                t.positions[..horizon as usize].to_vec(),
+            )
+        })
+        .collect();
+    TrajectoryStore::new(store.environment(), trajs).expect("prefix preserves shape")
+}
+
+/// The benchmark tier: `quick` keeps the full suite under a few minutes,
+/// `full` matches the scales reported in EXPERIMENTS.md.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Tier {
+    /// Small datasets for smoke runs and `cargo bench`.
+    Quick,
+    /// The scales used for the recorded results.
+    Full,
+}
+
+impl Tier {
+    /// Simulated device page size for this tier. The paper uses 4 KB pages
+    /// against hundreds of GB of data; scaling the page with the dataset
+    /// keeps structures (grid cells, graph partitions) spanning several
+    /// pages, which is what the placement optimizations act on.
+    pub fn page_size(self) -> usize {
+        match self {
+            Tier::Quick => 512,
+            Tier::Full => 2048,
+        }
+    }
+
+    /// Parses `--quick` / `--full` from process args (default: quick).
+    pub fn from_args() -> Tier {
+        if std::env::args().any(|a| a == "--full") {
+            Tier::Full
+        } else {
+            Tier::Quick
+        }
+    }
+}
+
+/// The three RWP sizes of the tier (paper: RWP10k/20k/40k).
+pub fn rwp_series(tier: Tier) -> Vec<DatasetSpec> {
+    match tier {
+        Tier::Quick => vec![
+            DatasetSpec::rwp("rwp-500", 500, 2000, 11),
+            DatasetSpec::rwp("rwp-1k", 1000, 2000, 12),
+            DatasetSpec::rwp("rwp-2k", 2000, 2000, 13),
+        ],
+        Tier::Full => vec![
+            DatasetSpec::rwp("rwp-1k", 1000, 6000, 11),
+            DatasetSpec::rwp("rwp-2k", 2000, 6000, 12),
+            DatasetSpec::rwp("rwp-4k", 4000, 6000, 13),
+        ],
+    }
+}
+
+/// The three VN sizes of the tier (paper: VN1k/2k/4k).
+pub fn vn_series(tier: Tier) -> Vec<DatasetSpec> {
+    match tier {
+        Tier::Quick => vec![
+            DatasetSpec::vn("vn-50", 50, 2000, 21),
+            DatasetSpec::vn("vn-100", 100, 2000, 22),
+            DatasetSpec::vn("vn-200", 200, 2000, 23),
+        ],
+        Tier::Full => vec![
+            DatasetSpec::vn("vn-100", 100, 6000, 21),
+            DatasetSpec::vn("vn-200", 200, 6000, 22),
+            DatasetSpec::vn("vn-400", 400, 6000, 23),
+        ],
+    }
+}
+
+/// The middle dataset of a series (the paper's workhorse configuration,
+/// e.g. RWP20k / VN2k).
+pub fn middle(series: &[DatasetSpec]) -> &DatasetSpec {
+    &series[series.len() / 2]
+}
+
+/// The Beijing-like sparse dataset (paper `VNR`).
+pub fn vnr(tier: Tier) -> DatasetSpec {
+    match tier {
+        Tier::Quick => DatasetSpec::vnr("vnr", 120, 2000, 31),
+        Tier::Full => DatasetSpec::vnr("vnr", 250, 6000, 31),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_generate_expected_shapes() {
+        let spec = DatasetSpec::rwp("t", 40, 100, 1);
+        let store = spec.generate();
+        assert_eq!(store.num_objects(), 40);
+        assert_eq!(store.horizon(), 100);
+    }
+
+    #[test]
+    fn density_scaling_keeps_env_reasonable() {
+        let small = DatasetSpec::rwp("a", 250, 10, 1).env_side();
+        let big = DatasetSpec::rwp("b", 1000, 10, 1).env_side();
+        assert!((big / small - 2.0).abs() < 0.01, "4× objects → 2× side");
+        // VN densities are far lower → larger environments.
+        let vn = DatasetSpec::vn("c", 250, 10, 1).env_side();
+        assert!(vn > big);
+    }
+
+    #[test]
+    fn vnr_is_interpolated() {
+        let spec = DatasetSpec::vnr("t", 20, 60, 5);
+        let store = spec.generate();
+        assert_eq!(store.horizon(), 60);
+        // Between anchors the motion is piecewise linear: second differences
+        // within an anchor gap vanish.
+        let tr = store.iter().next().unwrap();
+        let p = &tr.positions;
+        let mut linear_triples = 0;
+        let mut total = 0;
+        for k in (0..48).step_by(12) {
+            for j in k + 1..k + 10 {
+                let ax = p[j].x - p[j - 1].x;
+                let bx = p[j + 1].x - p[j].x;
+                total += 1;
+                if (ax - bx).abs() < 1e-3 {
+                    linear_triples += 1;
+                }
+            }
+        }
+        assert!(linear_triples * 10 >= total * 9, "interpolation not linear");
+    }
+
+    #[test]
+    fn series_are_ordered_and_named() {
+        let r = rwp_series(Tier::Quick);
+        assert_eq!(r.len(), 3);
+        assert!(r[0].num_objects < r[1].num_objects);
+        assert_eq!(middle(&r).name, r[1].name);
+        let v = vn_series(Tier::Quick);
+        assert!(v.iter().all(|s| s.threshold == 300.0));
+    }
+}

@@ -1,0 +1,693 @@
+//! The reduced contact-network DAG `DN` (paper §5.1.2, reduction phase).
+//!
+//! Starting from the TEN model of the contact network, the paper applies two
+//! lossless reductions:
+//!
+//! 1. per-snapshot connected components become single hyper nodes
+//!    (properties 5.1/5.2: members of one component at one instant are
+//!    mutually reachable);
+//! 2. identical components in consecutive snapshots are merged, with
+//!    aggregated edges `e(n)` carrying the skipped span.
+//!
+//! We represent the result directly in merged form: every [`DnNode`] is the
+//! *maximal run* of consecutive ticks during which one exact member set is a
+//! connected component, carrying a validity interval `[start, end]`. A DN1
+//! edge `u → v` exists iff `v.start == u.end + 1` and the nodes share an
+//! object; the aggregated-edge weight of the paper is the interval length.
+//!
+//! Central invariant (used throughout the workspace, from multi-resolution
+//! construction to BM-BFS): **a node's member set is frozen for its whole
+//! interval, so an item inside the node cannot spread beyond its members
+//! until the node dies**. Items disperse only across DN1 edges at
+//! `end + 1`.
+
+use reach_core::{NodeId, ObjectId, Time, TimeInterval, UnionFind};
+use reach_traj::TrajectoryStore;
+use std::collections::HashMap;
+
+/// A hyper node of `DN`: one connected component over a maximal run of
+/// ticks.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DnNode {
+    /// Validity interval of the component.
+    pub interval: TimeInterval,
+    /// Sorted member objects (frozen over the whole interval).
+    pub members: Vec<ObjectId>,
+}
+
+impl DnNode {
+    /// Whether the node is alive at tick `t`.
+    #[inline]
+    pub fn alive_at(&self, t: Time) -> bool {
+        self.interval.contains(t)
+    }
+
+    /// Whether `o` belongs to this component.
+    #[inline]
+    pub fn contains(&self, o: ObjectId) -> bool {
+        self.members.binary_search(&o).is_ok()
+    }
+}
+
+/// Compressed sparse row adjacency.
+#[derive(Clone, Debug, Default)]
+pub struct Csr {
+    offsets: Vec<u64>,
+    targets: Vec<u32>,
+}
+
+impl Csr {
+    /// Builds a CSR from `(src, dst)` pairs over `n` nodes.
+    pub fn from_pairs(n: usize, mut pairs: Vec<(u32, u32)>) -> Self {
+        pairs.sort_unstable();
+        pairs.dedup();
+        let mut offsets = vec![0u64; n + 1];
+        for &(s, _) in &pairs {
+            offsets[s as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let targets = pairs.into_iter().map(|(_, d)| d).collect();
+        Self { offsets, targets }
+    }
+
+    /// Builds a CSR from per-node target lists.
+    pub fn from_lists(lists: &[Vec<u32>]) -> Self {
+        let mut offsets = Vec::with_capacity(lists.len() + 1);
+        offsets.push(0u64);
+        let mut targets = Vec::new();
+        for l in lists {
+            targets.extend_from_slice(l);
+            offsets.push(targets.len() as u64);
+        }
+        Self { offsets, targets }
+    }
+
+    /// Out-neighbors of node `n`.
+    #[inline]
+    pub fn out(&self, n: u32) -> &[u32] {
+        let lo = self.offsets[n as usize] as usize;
+        let hi = self.offsets[n as usize + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Total number of stored edges.
+    pub fn num_edges(&self) -> u64 {
+        self.targets.len() as u64
+    }
+
+    /// Number of source slots.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+}
+
+/// Size statistics of a `DN` (Figure 10) or TEN (§6.2.1.1) graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GraphSize {
+    /// Vertex count.
+    pub vertices: u64,
+    /// Edge count.
+    pub edges: u64,
+}
+
+/// The reduced contact-network DAG.
+#[derive(Clone, Debug)]
+pub struct DnGraph {
+    nodes: Vec<DnNode>,
+    fwd: Csr,
+    rev: Csr,
+    /// Per object: `(start_tick, node)` runs, sorted by start tick.
+    timelines: Vec<Vec<(Time, u32)>>,
+    num_objects: usize,
+    horizon: Time,
+}
+
+impl DnGraph {
+    /// Builds the DN of `store`'s contact network with contact threshold
+    /// `threshold` over the full horizon.
+    pub fn build(store: &TrajectoryStore, threshold: reach_core::Coord) -> Self {
+        let horizon = store.horizon();
+        let per_tick = crate::extract::events_by_tick(store, store.horizon_interval(), threshold);
+        let events = |t: Time| -> &[(u32, u32)] {
+            per_tick
+                .get(t as usize)
+                .map(Vec::as_slice)
+                .unwrap_or(&[])
+        };
+        Self::build_from_ticks(store.num_objects(), horizon, events)
+    }
+
+    /// Builds the DN from per-tick contact pairs: `events(t)` returns the
+    /// normalized pairs in contact at tick `t` (`0 ≤ t < horizon`).
+    pub fn build_from_ticks<'a, F>(num_objects: usize, horizon: Time, events: F) -> Self
+    where
+        F: Fn(Time) -> &'a [(u32, u32)],
+    {
+        Builder::new(num_objects, horizon).run(events)
+    }
+
+    /// Number of hyper nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Node accessor.
+    #[inline]
+    pub fn node(&self, n: u32) -> &DnNode {
+        &self.nodes[n as usize]
+    }
+
+    /// All nodes, id = slot.
+    pub fn nodes(&self) -> &[DnNode] {
+        &self.nodes
+    }
+
+    /// DN1 out-edges of `n` (successor components at `end + 1`).
+    #[inline]
+    pub fn fwd(&self, n: u32) -> &[u32] {
+        self.fwd.out(n)
+    }
+
+    /// DN1 in-edges of `n` (predecessor components at `start - 1`).
+    #[inline]
+    pub fn rev(&self, n: u32) -> &[u32] {
+        self.rev.out(n)
+    }
+
+    /// Number of objects in the dataset.
+    pub fn num_objects(&self) -> usize {
+        self.num_objects
+    }
+
+    /// Horizon in ticks.
+    pub fn horizon(&self) -> Time {
+        self.horizon
+    }
+
+    /// The node containing `o` at tick `t` (the role of the paper's `Ht`
+    /// hash tables). Panics if `o`/`t` are out of range.
+    pub fn node_of(&self, o: ObjectId, t: Time) -> NodeId {
+        let tl = &self.timelines[o.index()];
+        let idx = tl.partition_point(|&(s, _)| s <= t) - 1;
+        NodeId(tl[idx].1)
+    }
+
+    /// Per-object timeline: `(start_tick, node)` runs sorted by tick.
+    pub fn timeline(&self, o: ObjectId) -> &[(Time, u32)] {
+        &self.timelines[o.index()]
+    }
+
+    /// Vertex/edge counts of the reduced DAG (Figure 10).
+    pub fn size(&self) -> GraphSize {
+        GraphSize {
+            vertices: self.nodes.len() as u64,
+            edges: self.fwd.num_edges(),
+        }
+    }
+
+    /// Vertex/edge counts of the unreduced TEN for the same dataset:
+    /// `|O|·|T|` vertices, `|O|·(|T|-1)` hold edges plus one edge per
+    /// instantaneous contact (§5.1.1).
+    pub fn ten_size(num_objects: usize, horizon: Time, total_events: u64) -> GraphSize {
+        let o = num_objects as u64;
+        let t = u64::from(horizon);
+        GraphSize {
+            vertices: o * t,
+            edges: o * t.saturating_sub(1) + total_events,
+        }
+    }
+
+    /// Checks every structural invariant; returns a description of the first
+    /// violation. Used by tests and debug assertions, not on hot paths.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.nodes.len();
+        // Node-local invariants.
+        for (i, node) in self.nodes.iter().enumerate() {
+            if node.members.is_empty() {
+                return Err(format!("node {i} has no members"));
+            }
+            if node.members.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!("node {i} members not strictly sorted"));
+            }
+            if node.interval.end >= self.horizon {
+                return Err(format!("node {i} interval {} beyond horizon", node.interval));
+            }
+        }
+        // Edge invariants: adjacency in time + shared member.
+        for u in 0..n as u32 {
+            for &v in self.fwd.out(u) {
+                let nu = &self.nodes[u as usize];
+                let nv = &self.nodes[v as usize];
+                if !nu.interval.abuts(&nv.interval) {
+                    return Err(format!("edge {u}->{v} not temporally adjacent"));
+                }
+                if !nu.members.iter().any(|m| nv.contains(*m)) {
+                    return Err(format!("edge {u}->{v} shares no member"));
+                }
+            }
+        }
+        // Every non-final node must have successors covering all members;
+        // every tick must partition the object set.
+        let mut membership = vec![0u64; self.num_objects];
+        for t in 0..self.horizon {
+            membership.iter_mut().for_each(|m| *m = 0);
+            for (i, node) in self.nodes.iter().enumerate() {
+                if node.alive_at(t) {
+                    for m in &node.members {
+                        membership[m.index()] += 1;
+                        let _ = i;
+                    }
+                }
+            }
+            if membership.iter().any(|&c| c != 1) {
+                return Err(format!("tick {t}: nodes do not partition the objects"));
+            }
+        }
+        // Timeline consistency.
+        for o in 0..self.num_objects as u32 {
+            let o = ObjectId(o);
+            for t in 0..self.horizon {
+                let nid = self.node_of(o, t);
+                let node = self.node(nid.0);
+                if !node.alive_at(t) || !node.contains(o) {
+                    return Err(format!("timeline of {o} wrong at tick {t}"));
+                }
+            }
+        }
+        // Reverse graph mirrors forward graph.
+        let mut fwd_pairs: Vec<(u32, u32)> = Vec::new();
+        for u in 0..n as u32 {
+            for &v in self.fwd.out(u) {
+                fwd_pairs.push((u, v));
+            }
+        }
+        let mut rev_pairs: Vec<(u32, u32)> = Vec::new();
+        for v in 0..n as u32 {
+            for &u in self.rev.out(v) {
+                rev_pairs.push((u, v));
+            }
+        }
+        fwd_pairs.sort_unstable();
+        rev_pairs.sort_unstable();
+        if fwd_pairs != rev_pairs {
+            return Err("reverse graph is not the mirror of the forward graph".into());
+        }
+        Ok(())
+    }
+}
+
+/// Incremental run-tracking builder.
+struct Builder {
+    num_objects: usize,
+    horizon: Time,
+    nodes: Vec<DnNode>,
+    edges: Vec<(u32, u32)>,
+    timelines: Vec<Vec<(Time, u32)>>,
+    /// Open run (node id) of each object.
+    run_of: Vec<u32>,
+    /// Open runs with ≥ 2 members (they must close on a silent tick).
+    multi_open: HashMap<u32, ()>,
+    uf: UnionFind,
+}
+
+impl Builder {
+    fn new(num_objects: usize, horizon: Time) -> Self {
+        Self {
+            num_objects,
+            horizon,
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            timelines: vec![Vec::new(); num_objects],
+            run_of: vec![u32::MAX; num_objects],
+            multi_open: HashMap::new(),
+            uf: UnionFind::new(num_objects),
+        }
+    }
+
+    fn run<'a, F>(mut self, events: F) -> DnGraph
+    where
+        F: Fn(Time) -> &'a [(u32, u32)],
+    {
+        if self.num_objects == 0 || self.horizon == 0 {
+            return DnGraph {
+                nodes: Vec::new(),
+                fwd: Csr::from_pairs(0, Vec::new()),
+                rev: Csr::from_pairs(0, Vec::new()),
+                timelines: self.timelines,
+                num_objects: self.num_objects,
+                horizon: self.horizon,
+            };
+        }
+        self.initial_tick(events(0));
+        for t in 1..self.horizon {
+            let pairs = events(t);
+            if pairs.is_empty() && self.multi_open.is_empty() {
+                continue; // nothing can change
+            }
+            self.step(t, pairs);
+        }
+        // Close every open run at the horizon.
+        let horizon = self.horizon;
+        let mut open: Vec<u32> = self.run_of.clone();
+        open.sort_unstable();
+        open.dedup();
+        for r in open {
+            self.nodes[r as usize].interval.end = horizon - 1;
+        }
+        let n = self.nodes.len();
+        let fwd = Csr::from_pairs(n, self.edges.clone());
+        let rev = Csr::from_pairs(n, self.edges.iter().map(|&(a, b)| (b, a)).collect());
+        DnGraph {
+            nodes: self.nodes,
+            fwd,
+            rev,
+            timelines: self.timelines,
+            num_objects: self.num_objects,
+            horizon: self.horizon,
+        }
+    }
+
+    /// Opens a node for `members` (sorted) starting at `t`; returns its id.
+    fn open(&mut self, members: Vec<ObjectId>, t: Time) -> u32 {
+        let id = self.nodes.len() as u32;
+        for m in &members {
+            self.run_of[m.index()] = id;
+            self.timelines[m.index()].push((t, id));
+        }
+        if members.len() >= 2 {
+            self.multi_open.insert(id, ());
+        }
+        self.nodes.push(DnNode {
+            // `end` is provisional; fixed when the run closes.
+            interval: TimeInterval::new(t, t),
+            members,
+        });
+        id
+    }
+
+    fn close(&mut self, run: u32, t_end: Time) {
+        self.nodes[run as usize].interval.end = t_end;
+        self.multi_open.remove(&run);
+    }
+
+    fn initial_tick(&mut self, pairs: &[(u32, u32)]) {
+        self.uf.reset();
+        for &(a, b) in pairs {
+            self.uf.union(a, b);
+        }
+        // Group members by root, in ascending object order for determinism.
+        let mut groups: HashMap<u32, Vec<ObjectId>> = HashMap::new();
+        for o in 0..self.num_objects as u32 {
+            groups.entry(self.uf.find(o)).or_default().push(ObjectId(o));
+        }
+        let mut ordered: Vec<Vec<ObjectId>> = groups.into_values().collect();
+        ordered.sort_by_key(|g| g[0]);
+        for g in ordered {
+            self.open(g, 0);
+        }
+    }
+
+    fn step(&mut self, t: Time, pairs: &[(u32, u32)]) {
+        // 1. Components among touched objects.
+        self.uf.reset();
+        let mut touched: Vec<u32> = Vec::with_capacity(pairs.len() * 2);
+        for &(a, b) in pairs {
+            self.uf.union(a, b);
+            touched.push(a);
+            touched.push(b);
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        let mut keyed: Vec<(u32, u32)> = touched
+            .iter()
+            .map(|&o| (self.uf.find(o), o))
+            .collect();
+        keyed.sort_unstable();
+        // 2. Classify groups: continuation vs new.
+        let mut new_groups: Vec<Vec<ObjectId>> = Vec::new();
+        let mut continued: HashMap<u32, ()> = HashMap::new();
+        let mut i = 0;
+        while i < keyed.len() {
+            let root = keyed[i].0;
+            let mut g: Vec<ObjectId> = Vec::new();
+            while i < keyed.len() && keyed[i].0 == root {
+                g.push(ObjectId(keyed[i].1));
+                i += 1;
+            }
+            let r = self.run_of[g[0].index()];
+            let is_continuation = {
+                let node = &self.nodes[r as usize];
+                node.members == g && g.iter().all(|m| self.run_of[m.index()] == r)
+            };
+            if is_continuation {
+                continued.insert(r, ());
+            } else {
+                new_groups.push(g);
+            }
+        }
+        new_groups.sort_by_key(|g| g[0]);
+        // 3. Collect runs that close at t-1: previous runs of new-group
+        //    members, plus multi-member runs that were not continued.
+        let mut closing: Vec<u32> = Vec::new();
+        for g in &new_groups {
+            for m in g {
+                closing.push(self.run_of[m.index()]);
+            }
+        }
+        for (&r, _) in self.multi_open.iter() {
+            if !continued.contains_key(&r) {
+                closing.push(r);
+            }
+        }
+        closing.sort_unstable();
+        closing.dedup();
+        if closing.is_empty() {
+            return; // silent continuation everywhere
+        }
+        for &r in &closing {
+            self.close(r, t - 1);
+        }
+        // 4. Open new group nodes with edges from each member's old run.
+        let mut pred_scratch: Vec<u32> = Vec::new();
+        for g in std::mem::take(&mut new_groups) {
+            pred_scratch.clear();
+            pred_scratch.extend(g.iter().map(|m| self.run_of[m.index()]));
+            pred_scratch.sort_unstable();
+            pred_scratch.dedup();
+            let id = self.open(g, t);
+            for &p in &pred_scratch {
+                self.edges.push((p, id));
+            }
+        }
+        // 5. Members of closed runs that did not join a new group become
+        //    fresh singletons.
+        for &r in &closing {
+            let members = self.nodes[r as usize].members.clone();
+            for m in members {
+                if self.run_of[m.index()] == r {
+                    let id = self.open(vec![m], t);
+                    self.edges.push((r, id));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a DN from a compact event script: `script[t]` lists the pairs
+    /// in contact at tick `t`.
+    fn dn(num_objects: usize, script: Vec<Vec<(u32, u32)>>) -> DnGraph {
+        let horizon = script.len() as Time;
+        let g = DnGraph::build_from_ticks(num_objects, horizon, |t| {
+            script[t as usize].as_slice()
+        });
+        g.validate().expect("valid DN");
+        g
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let g = dn(0, vec![]);
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.size().edges, 0);
+    }
+
+    #[test]
+    fn silent_world_is_one_singleton_run_each() {
+        let g = dn(3, vec![vec![], vec![], vec![], vec![]]);
+        assert_eq!(g.num_nodes(), 3);
+        for n in g.nodes() {
+            assert_eq!(n.interval, TimeInterval::new(0, 3));
+            assert_eq!(n.members.len(), 1);
+        }
+        assert_eq!(g.size().edges, 0);
+    }
+
+    #[test]
+    fn paper_figure_4_and_5() {
+        // Figure 1/4/5 of the paper, objects o1..o4 → ids 0..3.
+        // t=0: {o1,o2}; t=1: {o2,o4},{o3,o4}; t=2: {o1,o2},{o3,o4}; t=3: {o1,o2}.
+        // (Contacts c1={o1,o2}@[0,0], c2={o2,o4}@[1,1], c3={o3,o4}@[1,2],
+        //  c4={o1,o2}@[2,3] — with one extra tick 4 of silence to exercise
+        //  the merge of c5/c7 shown in Figure 5.)
+        let g = dn(
+            4,
+            vec![
+                vec![(0, 1)],         // t=0: o1-o2
+                vec![(1, 3), (2, 3)], // t=1: o2-o4, o3-o4 (one component {o2,o3,o4})
+                vec![(0, 1), (2, 3)], // t=2
+                vec![(0, 1)],         // t=3
+            ],
+        );
+        // Expected components per tick:
+        // t0: {0,1}, {2}, {3}
+        // t1: {0}, {1,2,3}
+        // t2: {0,1}, {2,3}
+        // t3: {0,1}, {2}, {3}
+        // Runs: {0,1}@[0,0], {2}@[0,0], {3}@[0,0], {0}@[1,1], {1,2,3}@[1,1],
+        //       {0,1}@[2,3] (merged across t2,t3 — the paper's c5/c7 merge),
+        //       {2,3}@[2,2], {2}@[3,3], {3}@[3,3].
+        assert_eq!(g.num_nodes(), 9);
+        let find = |members: &[u32], t: Time| -> u32 {
+            (0..g.num_nodes() as u32)
+                .find(|&i| {
+                    let n = g.node(i);
+                    n.alive_at(t)
+                        && n.members == members.iter().map(|&m| ObjectId(m)).collect::<Vec<_>>()
+                })
+                .unwrap_or_else(|| panic!("no node {members:?} at t={t}"))
+        };
+        let merged = find(&[0, 1], 2);
+        assert_eq!(g.node(merged).interval, TimeInterval::new(2, 3));
+        let big = find(&[1, 2, 3], 1);
+        assert_eq!(g.node(big).interval, TimeInterval::new(1, 1));
+        // Edges out of the t=1 component: to {0,1}@[2,3] and {2,3}@[2,2].
+        let mut succs: Vec<Vec<u32>> = g
+            .fwd(big)
+            .iter()
+            .map(|&v| g.node(v).members.iter().map(|m| m.0).collect())
+            .collect();
+        succs.sort();
+        assert_eq!(succs, vec![vec![0, 1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn merge_requires_identical_members() {
+        // {0,1} at t=0, {0,1,2} at t=1: distinct nodes, with edges.
+        let g = dn(3, vec![vec![(0, 1)], vec![(0, 1), (1, 2)]]);
+        // Runs: {0,1}@0, {2}@0, {0,1,2}@1 → 3 nodes.
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.size().edges, 2);
+    }
+
+    #[test]
+    fn breakup_creates_singletons_with_edges() {
+        // {0,1} at t=0 then silence: both become singletons at t=1.
+        let g = dn(2, vec![vec![(0, 1)], vec![]]);
+        assert_eq!(g.num_nodes(), 3);
+        let pair = (0..3u32)
+            .find(|&i| g.node(i).members.len() == 2)
+            .expect("pair node");
+        assert_eq!(g.node(pair).interval, TimeInterval::new(0, 0));
+        let mut succ_members: Vec<u32> = g
+            .fwd(pair)
+            .iter()
+            .map(|&v| g.node(v).members[0].0)
+            .collect();
+        succ_members.sort();
+        assert_eq!(succ_members, vec![0, 1]);
+        for &v in g.fwd(pair) {
+            assert_eq!(g.node(v).interval, TimeInterval::new(1, 1));
+        }
+    }
+
+    #[test]
+    fn long_singleton_runs_are_merged() {
+        // One brief contact in a long horizon: singleton runs span the gaps.
+        let mut script = vec![vec![]; 10];
+        script[5] = vec![(0, 1)];
+        let g = dn(2, script);
+        // Runs: {0}@[0,4], {1}@[0,4], {0,1}@[5,5], {0}@[6,9], {1}@[6,9].
+        assert_eq!(g.num_nodes(), 5);
+        let pair = (0..5u32).find(|&i| g.node(i).members.len() == 2).unwrap();
+        assert_eq!(g.node(pair).interval, TimeInterval::new(5, 5));
+        assert_eq!(g.rev(pair).len(), 2);
+        assert_eq!(g.fwd(pair).len(), 2);
+    }
+
+    #[test]
+    fn node_of_is_consistent_over_time() {
+        let g = dn(
+            3,
+            vec![vec![(0, 1)], vec![(0, 1)], vec![(1, 2)], vec![]],
+        );
+        for t in 0..4 {
+            for o in 0..3u32 {
+                let nid = g.node_of(ObjectId(o), t);
+                assert!(g.node(nid.0).alive_at(t));
+                assert!(g.node(nid.0).contains(ObjectId(o)));
+            }
+        }
+        // o0 and o1 share a node at t=1 but not at t=2.
+        assert_eq!(g.node_of(ObjectId(0), 1), g.node_of(ObjectId(1), 1));
+        assert_ne!(g.node_of(ObjectId(0), 2), g.node_of(ObjectId(1), 2));
+    }
+
+    #[test]
+    fn ten_size_formula() {
+        let s = DnGraph::ten_size(4, 5, 7);
+        assert_eq!(s.vertices, 20);
+        assert_eq!(s.edges, 4 * 4 + 7);
+    }
+
+    #[test]
+    fn reduction_shrinks_lonely_world() {
+        // 5 objects, 100 silent ticks: TEN has 500 vertices, DN has 5.
+        let g = dn(5, vec![vec![]; 100]);
+        assert_eq!(g.size().vertices, 5);
+        let ten = DnGraph::ten_size(5, 100, 0);
+        assert_eq!(ten.vertices, 500);
+        assert!(g.size().vertices < ten.vertices / 10);
+    }
+
+    #[test]
+    fn ids_are_topologically_sorted_by_start() {
+        let g = dn(
+            4,
+            vec![
+                vec![(0, 1)],
+                vec![(2, 3)],
+                vec![(0, 2)],
+                vec![],
+            ],
+        );
+        for u in 0..g.num_nodes() as u32 {
+            for &v in g.fwd(u) {
+                assert!(u < v, "edge {u}->{v} violates id topological order");
+                assert!(g.node(u).interval.end < g.node(v).interval.start);
+            }
+        }
+    }
+
+    #[test]
+    fn csr_from_pairs_dedups() {
+        let csr = Csr::from_pairs(3, vec![(0, 1), (0, 1), (0, 2), (2, 0)]);
+        assert_eq!(csr.out(0), &[1, 2]);
+        assert_eq!(csr.out(1), &[] as &[u32]);
+        assert_eq!(csr.out(2), &[0]);
+        assert_eq!(csr.num_edges(), 3);
+        assert_eq!(csr.num_nodes(), 3);
+    }
+
+    #[test]
+    fn csr_from_lists_preserves_order() {
+        let csr = Csr::from_lists(&[vec![2, 1], vec![], vec![0]]);
+        assert_eq!(csr.out(0), &[2, 1]);
+        assert_eq!(csr.out(2), &[0]);
+    }
+}

@@ -1,0 +1,26 @@
+//! # reach-contact
+//!
+//! Contact-network substrate: everything between raw trajectories and the
+//! two disk indexes.
+//!
+//! * [`extract`] — spatiotemporal join → contact events / contacts;
+//! * [`dag`] — the reduced contact-network DAG `DN` (paper §5.1.2), built in
+//!   run-merged form with per-object timelines;
+//! * [`multires`] — the multi-resolution long edges of `HN` (§5.1.2.2);
+//! * [`oracle`] — brute-force ground truth every index is tested against;
+//! * [`stats`] — TEN-vs-DN reduction statistics (§6.2.1.1).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dag;
+pub mod extract;
+pub mod multires;
+pub mod oracle;
+pub mod stats;
+
+pub use dag::{Csr, DnGraph, DnNode, GraphSize};
+pub use extract::{count_events, events_by_tick, extract_contacts, extract_events, EventCounts};
+pub use multires::{hold_set_dn1, launch_boundary, MultiRes, DEFAULT_LEVELS};
+pub use oracle::Oracle;
+pub use stats::{reduction_stats, reduction_stats_for, ReductionStats};

@@ -1,0 +1,328 @@
+//! Multi-resolution augmentation: the long edges of `HN` (paper §5.1.2.2).
+//!
+//! For every resolution `L`, the paper adds a *long edge* from each component
+//! at window boundary `t_a = kL` to every component at `t_a + L` reachable by
+//! a length-`L` path, yielding `HN = DN_1 ∪ DN_2 ∪ … ∪ DN_32` (the
+//! experimentally optimal six resolutions, §6.2.1.4).
+//!
+//! With run-merged nodes, only one window per node per level needs explicit
+//! edges — the window in which the node *dies* (`t_a = ⌊end/L⌋·L`): in every
+//! earlier window the node is still alive at the window's end and the item
+//! simply stays put (member sets are frozen over a node's interval, see
+//! [`crate::dag`]). This matches the paper's observation that only some
+//! vertices carry edges at a given resolution (Table 4).
+//!
+//! Construction is by exact composition: the bundle at level `2k` is the
+//! level-`k` advance applied twice, because a node dying inside a half-window
+//! launches its stored level-`k` bundle at exactly that half-window boundary.
+
+use crate::dag::{Csr, DnGraph};
+use reach_core::{Time, TimeInterval};
+
+/// The resolutions used by the paper's final configuration
+/// (`DN_2 … DN_32`, six resolutions counting `DN_1`).
+pub const DEFAULT_LEVELS: [Time; 5] = [2, 4, 8, 16, 32];
+
+/// Launch boundary of `interval` at `level`: the unique multiple of `level`
+/// in `(end - level, end]`, provided the node is alive there and the window
+/// target `t_a + level` still exists (`≤ horizon - 1`).
+#[inline]
+pub fn launch_boundary(interval: TimeInterval, level: Time, horizon: Time) -> Option<Time> {
+    let ta = (interval.end / level) * level;
+    (ta >= interval.start && ta + level <= horizon.saturating_sub(1)).then_some(ta)
+}
+
+/// The long-edge bundles of every materialized resolution.
+#[derive(Clone, Debug)]
+pub struct MultiRes {
+    levels: Vec<Time>,
+    bundles: Vec<Csr>,
+}
+
+impl MultiRes {
+    /// Builds bundles for a doubling chain of `levels` (e.g. `[2,4,8,16,32]`;
+    /// must start at 2 and double). An empty slice yields a `DN_1`-only
+    /// index.
+    pub fn build(dn: &DnGraph, levels: &[Time]) -> Self {
+        for (i, &l) in levels.iter().enumerate() {
+            if i == 0 {
+                assert_eq!(l, 2, "first long-edge level must be 2");
+            } else {
+                assert_eq!(
+                    l,
+                    levels[i - 1] * 2,
+                    "levels must form a doubling chain (got {l} after {})",
+                    levels[i - 1]
+                );
+            }
+        }
+        let horizon = dn.horizon();
+        let n = dn.num_nodes();
+        let mut bundles: Vec<Csr> = Vec::with_capacity(levels.len());
+        let mut scratch: Vec<u32> = Vec::new();
+        for (idx, &level) in levels.iter().enumerate() {
+            let mut lists: Vec<Vec<u32>> = vec![Vec::new(); n];
+            for v in 0..n as u32 {
+                let Some(ta) = launch_boundary(dn.node(v).interval, level, horizon) else {
+                    continue;
+                };
+                let bundle = if idx == 0 {
+                    level2_bundle(dn, v, ta, &mut scratch)
+                } else {
+                    compose(dn, &bundles[idx - 1], levels[idx - 1], v, ta, &mut scratch)
+                };
+                lists[v as usize] = bundle;
+            }
+            bundles.push(Csr::from_lists(&lists));
+        }
+        Self {
+            levels: levels.to_vec(),
+            bundles,
+        }
+    }
+
+    /// Materialized levels, ascending.
+    pub fn levels(&self) -> &[Time] {
+        &self.levels
+    }
+
+    /// The stored long-edge targets of `node` at `levels()[level_idx]`
+    /// (empty when the node has no explicit bundle at that level).
+    #[inline]
+    pub fn bundle(&self, level_idx: usize, node: u32) -> &[u32] {
+        self.bundles[level_idx].out(node)
+    }
+
+    /// Total long edges at one level.
+    pub fn num_edges(&self, level_idx: usize) -> u64 {
+        self.bundles[level_idx].num_edges()
+    }
+
+    /// Average out-degree at a level, counted over nodes that carry at least
+    /// one edge at that level — the statistic of the paper's Table 4.
+    pub fn avg_degree(&self, level_idx: usize) -> f64 {
+        let csr = &self.bundles[level_idx];
+        let mut edges = 0u64;
+        let mut nodes = 0u64;
+        for v in 0..csr.num_nodes() as u32 {
+            let d = csr.out(v).len();
+            if d > 0 {
+                edges += d as u64;
+                nodes += 1;
+            }
+        }
+        if nodes == 0 {
+            0.0
+        } else {
+            edges as f64 / nodes as f64
+        }
+    }
+}
+
+/// Level-2 base case: the hold set two ticks after `ta`, starting from `v`
+/// alive at `ta` (with `v.end ∈ {ta, ta+1}` by launch-boundary construction).
+fn level2_bundle(dn: &DnGraph, v: u32, ta: Time, scratch: &mut Vec<u32>) -> Vec<u32> {
+    scratch.clear();
+    let end = dn.node(v).interval.end;
+    debug_assert!(end == ta || end == ta + 1, "launch window must contain end");
+    if end == ta + 1 {
+        // Alive through ta+1; one DN1 dispersal lands exactly at ta+2.
+        scratch.extend_from_slice(dn.fwd(v));
+    } else {
+        // Dies at ta: successors live at ta+1; advance each one more tick.
+        for &w in dn.fwd(v) {
+            if dn.node(w).interval.end >= ta + 2 {
+                scratch.push(w);
+            } else {
+                scratch.extend_from_slice(dn.fwd(w));
+            }
+        }
+    }
+    scratch.sort_unstable();
+    scratch.dedup();
+    scratch.clone()
+}
+
+/// Doubling composition: the level-`2k` bundle of `v` at `ta` is the
+/// level-`k` advance applied at `ta` and again at `ta + k`.
+fn compose(
+    dn: &DnGraph,
+    lower: &Csr,
+    k: Time,
+    v: u32,
+    ta: Time,
+    scratch: &mut Vec<u32>,
+) -> Vec<u32> {
+    // Hold set at ta + k.
+    let mid: Vec<u32> = advance_one(dn, lower, k, v, ta);
+    // Hold set at ta + 2k.
+    scratch.clear();
+    for m in mid {
+        if dn.node(m).interval.end >= ta + 2 * k {
+            scratch.push(m);
+        } else {
+            // m dies inside [ta+k, ta+2k) ⇒ its stored level-k launch is
+            // exactly ta+k, so its bundle is the advance we need.
+            debug_assert_eq!((dn.node(m).interval.end / k) * k, ta + k);
+            scratch.extend_from_slice(lower.out(m));
+        }
+    }
+    scratch.sort_unstable();
+    scratch.dedup();
+    scratch.clone()
+}
+
+fn advance_one(dn: &DnGraph, lower: &Csr, k: Time, v: u32, ta: Time) -> Vec<u32> {
+    if dn.node(v).interval.end >= ta + k {
+        vec![v]
+    } else {
+        debug_assert_eq!((dn.node(v).interval.end / k) * k, ta);
+        lower.out(v).to_vec()
+    }
+}
+
+/// Reference hold-set computation on `DN_1` alone: every node alive at
+/// `to_t` that can hold an item that sits in `v` now. Exponential-ish, used
+/// only to validate bundles in tests.
+pub fn hold_set_dn1(dn: &DnGraph, v: u32, to_t: Time) -> Vec<u32> {
+    fn rec(dn: &DnGraph, v: u32, to_t: Time, out: &mut Vec<u32>) {
+        if dn.node(v).interval.end >= to_t {
+            out.push(v);
+            return;
+        }
+        for &w in dn.fwd(v) {
+            rec(dn, w, to_t, out);
+        }
+    }
+    let mut out = Vec::new();
+    debug_assert!(dn.node(v).interval.start <= to_t);
+    rec(dn, v, to_t, &mut out);
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_world(seed: u64, n: usize, horizon: Time, density: f64) -> DnGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let script: Vec<Vec<(u32, u32)>> = (0..horizon)
+            .map(|_| {
+                let mut pairs = Vec::new();
+                for a in 0..n as u32 {
+                    for b in (a + 1)..n as u32 {
+                        if rng.gen_bool(density) {
+                            pairs.push((a, b));
+                        }
+                    }
+                }
+                pairs
+            })
+            .collect();
+        let g = DnGraph::build_from_ticks(n, horizon, |t| script[t as usize].as_slice());
+        g.validate().expect("random world is structurally valid");
+        g
+    }
+
+    #[test]
+    fn launch_boundary_rules() {
+        // Node alive [3, 9], level 4, horizon 20: ta = 8.
+        assert_eq!(
+            launch_boundary(TimeInterval::new(3, 9), 4, 20),
+            Some(8)
+        );
+        // Node dies before ever being alive at its launch: [5, 6], level 4
+        // → ta = 4 < start ⇒ none.
+        assert_eq!(launch_boundary(TimeInterval::new(5, 6), 4, 20), None);
+        // Window target beyond horizon: [3, 9], level 4, horizon 12 ⇒
+        // ta + 4 = 12 > 11 ⇒ none.
+        assert_eq!(launch_boundary(TimeInterval::new(3, 9), 4, 12), None);
+        // Exactly at the horizon boundary is allowed.
+        assert_eq!(launch_boundary(TimeInterval::new(3, 9), 4, 13), Some(8));
+    }
+
+    #[test]
+    fn bundles_match_dn1_hold_sets_on_random_worlds() {
+        for seed in 0..6u64 {
+            let dn = random_world(seed, 6, 40, 0.08);
+            let mr = MultiRes::build(&dn, &DEFAULT_LEVELS);
+            for (idx, &level) in mr.levels().iter().enumerate() {
+                for v in 0..dn.num_nodes() as u32 {
+                    let expected = match launch_boundary(dn.node(v).interval, level, dn.horizon())
+                    {
+                        Some(ta) => hold_set_dn1(&dn, v, ta + level),
+                        None => Vec::new(),
+                    };
+                    assert_eq!(
+                        mr.bundle(idx, v),
+                        expected.as_slice(),
+                        "seed {seed} level {level} node {v} ({:?})",
+                        dn.node(v).interval
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bundles_are_sorted_and_deduped() {
+        let dn = random_world(9, 8, 64, 0.10);
+        let mr = MultiRes::build(&dn, &DEFAULT_LEVELS);
+        for idx in 0..mr.levels().len() {
+            for v in 0..dn.num_nodes() as u32 {
+                let b = mr.bundle(idx, v);
+                assert!(b.windows(2).all(|w| w[0] < w[1]), "unsorted bundle");
+            }
+        }
+    }
+
+    #[test]
+    fn single_level_index() {
+        let dn = random_world(3, 5, 20, 0.1);
+        let mr = MultiRes::build(&dn, &[2]);
+        assert_eq!(mr.levels(), &[2]);
+        // Degenerate empty chain is also allowed.
+        let none = MultiRes::build(&dn, &[]);
+        assert!(none.levels().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "doubling chain")]
+    fn non_doubling_levels_rejected() {
+        let dn = random_world(1, 3, 10, 0.1);
+        let _ = MultiRes::build(&dn, &[2, 6]);
+    }
+
+    #[test]
+    fn avg_degree_counts_only_nodes_with_edges() {
+        let dn = random_world(5, 6, 48, 0.12);
+        let mr = MultiRes::build(&dn, &DEFAULT_LEVELS);
+        for idx in 0..mr.levels().len() {
+            let avg = mr.avg_degree(idx);
+            if mr.num_edges(idx) > 0 {
+                assert!(avg >= 1.0, "level {idx}: avg degree {avg} < 1");
+            } else {
+                assert_eq!(avg, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn higher_levels_have_no_smaller_reach() {
+        // Sanity on the paper's Table-4 trend: bundles at higher resolutions
+        // cover windows twice as long, so their average degree should not
+        // collapse (weak monotonicity check on a dense-ish world).
+        let dn = random_world(7, 8, 96, 0.15);
+        let mr = MultiRes::build(&dn, &DEFAULT_LEVELS);
+        let d2 = mr.avg_degree(0);
+        let d32 = mr.avg_degree(mr.levels().len() - 1);
+        assert!(
+            d32 >= d2 * 0.5,
+            "expected long windows to keep spreading: d2={d2}, d32={d32}"
+        );
+    }
+}

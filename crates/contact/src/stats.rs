@@ -1,0 +1,118 @@
+//! Size statistics: TEN vs DN reduction (paper §6.2.1.1, Figure 10).
+
+use crate::dag::{DnGraph, GraphSize};
+use crate::extract::count_events;
+use reach_core::{Coord, TimeInterval};
+use reach_traj::TrajectoryStore;
+
+/// Side-by-side sizes of the unreduced TEN and the reduced DN of one
+/// dataset, with the reduction percentages the paper reports (≈81 %/80 %
+/// fewer vertices/edges for RWP, ≈64 %/61 % for VN).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReductionStats {
+    /// Unreduced TEN size.
+    pub ten: GraphSize,
+    /// Reduced DN size.
+    pub dn: GraphSize,
+}
+
+impl ReductionStats {
+    /// Percentage of vertices removed by the reduction phase.
+    pub fn vertex_reduction_pct(&self) -> f64 {
+        reduction_pct(self.ten.vertices, self.dn.vertices)
+    }
+
+    /// Percentage of edges removed by the reduction phase.
+    pub fn edge_reduction_pct(&self) -> f64 {
+        reduction_pct(self.ten.edges, self.dn.edges)
+    }
+}
+
+fn reduction_pct(before: u64, after: u64) -> f64 {
+    if before == 0 {
+        0.0
+    } else {
+        100.0 * (1.0 - after as f64 / before as f64)
+    }
+}
+
+/// Computes the reduction statistics of a dataset (builds the DN).
+pub fn reduction_stats(store: &TrajectoryStore, threshold: Coord) -> ReductionStats {
+    let dn = DnGraph::build(store, threshold);
+    reduction_stats_for(store, threshold, &dn)
+}
+
+/// Computes the reduction statistics given an already-built DN.
+pub fn reduction_stats_for(
+    store: &TrajectoryStore,
+    threshold: Coord,
+    dn: &DnGraph,
+) -> ReductionStats {
+    let window = TimeInterval::new(0, store.horizon().saturating_sub(1));
+    let counts = count_events(store, window, threshold);
+    ReductionStats {
+        ten: DnGraph::ten_size(store.num_objects(), store.horizon(), counts.events),
+        dn: dn.size(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reach_core::{Environment, ObjectId, Point};
+    use reach_traj::Trajectory;
+
+    #[test]
+    fn reduction_pct_math() {
+        let s = ReductionStats {
+            ten: GraphSize {
+                vertices: 100,
+                edges: 200,
+            },
+            dn: GraphSize {
+                vertices: 19,
+                edges: 40,
+            },
+        };
+        assert!((s.vertex_reduction_pct() - 81.0).abs() < 1e-9);
+        assert!((s.edge_reduction_pct() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_before_is_zero_pct() {
+        let s = ReductionStats {
+            ten: GraphSize {
+                vertices: 0,
+                edges: 0,
+            },
+            dn: GraphSize {
+                vertices: 0,
+                edges: 0,
+            },
+        };
+        assert_eq!(s.vertex_reduction_pct(), 0.0);
+    }
+
+    #[test]
+    fn end_to_end_reduction_on_tiny_store() {
+        // Two objects side by side for 10 ticks: TEN has 20 vertices,
+        // DN has a single 2-member node.
+        let env = Environment::square(100.0);
+        let trajs = (0..2)
+            .map(|i| {
+                Trajectory::new(
+                    ObjectId(i),
+                    0,
+                    (0..10).map(|_| Point::new(i as f32 * 0.5, 0.0)).collect(),
+                )
+            })
+            .collect();
+        let store = TrajectoryStore::new(env, trajs).unwrap();
+        let s = reduction_stats(&store, 1.0);
+        assert_eq!(s.ten.vertices, 20);
+        assert_eq!(s.ten.edges, 2 * 9 + 10);
+        assert_eq!(s.dn.vertices, 1);
+        assert_eq!(s.dn.edges, 0);
+        assert!(s.vertex_reduction_pct() > 90.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Cross-representation equivalence: the reduced DAG `DN` must preserve
+//! reachability exactly (the paper's reductions are lossless), and the DN's
+//! hold sets must agree with brute-force per-tick propagation.
+
+use proptest::prelude::*;
+use reach_contact::{hold_set_dn1, DnGraph, Oracle};
+use reach_core::{ObjectId, Query, TimeInterval};
+
+/// Random event script: `script[t]` = pairs in contact at tick `t`.
+fn script_strategy(
+    max_objects: usize,
+    max_horizon: usize,
+) -> impl Strategy<Value = (usize, Vec<Vec<(u32, u32)>>)> {
+    (2..=max_objects, 1..=max_horizon).prop_flat_map(move |(n, h)| {
+        let pair = (0..n as u32, 0..n as u32)
+            .prop_filter_map("distinct", |(a, b)| {
+                (a != b).then(|| (a.min(b), a.max(b)))
+            });
+        let tick = prop::collection::vec(pair, 0..4);
+        prop::collection::vec(tick, h).prop_map(move |script| (n, script))
+    })
+}
+
+/// Reachability on DN alone: recursive hold-set chase from the source's node.
+fn dn_reachable(dn: &DnGraph, q: &Query) -> bool {
+    if q.source == q.dest {
+        return true;
+    }
+    // The item starts in the source's component at t1 and spreads along DN1
+    // edges; dest is reachable iff some visited node (arrival ≤ t2) contains
+    // it. Nodes visited = hold sets at every death boundary; equivalently a
+    // DFS over DN1 edges bounded by t2.
+    let mut stack = vec![dn.node_of(q.source, q.interval.start).0];
+    let mut seen = std::collections::HashSet::new();
+    while let Some(v) = stack.pop() {
+        if !seen.insert(v) {
+            continue;
+        }
+        let node = dn.node(v);
+        if node.interval.start > q.interval.end {
+            continue;
+        }
+        if node.contains(q.dest) {
+            return true;
+        }
+        if node.interval.end < q.interval.end {
+            for &w in dn.fwd(v) {
+                stack.push(w);
+            }
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// DN reachability ≡ oracle reachability, for every source/dest pair and
+    /// a sample of intervals.
+    #[test]
+    fn dn_preserves_reachability((n, script) in script_strategy(6, 16)) {
+        let h = script.len() as u32;
+        let dn = DnGraph::build_from_ticks(n, h, |t| script[t as usize].as_slice());
+        dn.validate().map_err(TestCaseError::fail)?;
+        let oracle = Oracle::from_events(n, script.clone());
+        for s in 0..n as u32 {
+            for d in 0..n as u32 {
+                for (t1, t2) in [(0, h - 1), (0, h / 2), (h / 2, h - 1), (h / 3, (2 * h / 3).max(h / 3))] {
+                    let q = Query::new(ObjectId(s), ObjectId(d), TimeInterval::new(t1, t2));
+                    let expected = oracle.evaluate(&q).reachable;
+                    let got = dn_reachable(&dn, &q);
+                    prop_assert_eq!(
+                        got, expected,
+                        "disagreement on {} (n={}, h={})", q, n, h
+                    );
+                }
+            }
+        }
+    }
+
+    /// The hold set computed on DN at any boundary equals the oracle's
+    /// infected-membership partition: the union of members over the hold set
+    /// is exactly the infected object set at that tick.
+    #[test]
+    fn hold_sets_match_oracle_infection((n, script) in script_strategy(6, 12)) {
+        let h = script.len() as u32;
+        let dn = DnGraph::build_from_ticks(n, h, |t| script[t as usize].as_slice());
+        let oracle = Oracle::from_events(n, script.clone());
+        for s in 0..n as u32 {
+            let src = ObjectId(s);
+            let start = dn.node_of(src, 0).0;
+            for to_t in 0..h {
+                let holders = hold_set_dn1(&dn, start, to_t);
+                let mut objs: Vec<u32> = holders
+                    .iter()
+                    .flat_map(|&v| dn.node(v).members.iter().map(|m| m.0))
+                    .collect();
+                objs.sort_unstable();
+                objs.dedup();
+                let (infected, _) = oracle.spread(src, TimeInterval::new(0, to_t), None);
+                let expected: Vec<u32> = (0..n as u32)
+                    .filter(|&o| infected[o as usize])
+                    .collect();
+                prop_assert_eq!(
+                    objs, expected,
+                    "hold set mismatch from {} at t={} (h={})", src, to_t, h
+                );
+            }
+        }
+    }
+
+    /// Oracle earliest-arrival is monotone in the interval: extending the
+    /// query interval can only add reachable destinations.
+    #[test]
+    fn oracle_monotone_in_interval((n, script) in script_strategy(6, 12)) {
+        let h = script.len() as u32;
+        let oracle = Oracle::from_events(n, script);
+        for s in 0..n as u32 {
+            for d in 0..n as u32 {
+                let mut was_reachable = false;
+                for t2 in 0..h {
+                    let q = Query::new(ObjectId(s), ObjectId(d), TimeInterval::new(0, t2));
+                    let now = oracle.evaluate(&q).reachable;
+                    prop_assert!(now || !was_reachable, "reachability lost when extending interval");
+                    was_reachable = now;
+                }
+            }
+        }
+    }
+}

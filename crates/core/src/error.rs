@@ -1,0 +1,76 @@
+//! Shared error type for index construction and query evaluation.
+
+use crate::ids::ObjectId;
+use crate::time::{Time, TimeInterval};
+use std::fmt;
+
+/// Errors surfaced by index construction or query evaluation anywhere in the
+/// workspace.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum IndexError {
+    /// The query referenced an object id outside the dataset universe.
+    UnknownObject(ObjectId),
+    /// The query interval is not fully contained in the indexed horizon.
+    IntervalOutOfRange {
+        /// The offending query interval.
+        requested: TimeInterval,
+        /// The indexed horizon `[0, horizon)`.
+        horizon: Time,
+    },
+    /// A page id was requested that the simulated device never allocated.
+    PageOutOfBounds {
+        /// Requested page id.
+        page: u64,
+        /// Device size in pages.
+        pages: u64,
+    },
+    /// Serialized index data failed to decode (corruption or version skew).
+    Corrupt(String),
+    /// The index was built with parameters incompatible with the request
+    /// (e.g. asking for a resolution level that was never materialized).
+    Unsupported(String),
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::UnknownObject(o) => write!(f, "unknown object {o}"),
+            IndexError::IntervalOutOfRange { requested, horizon } => write!(
+                f,
+                "query interval {requested} outside indexed horizon [0, {horizon})"
+            ),
+            IndexError::PageOutOfBounds { page, pages } => {
+                write!(f, "page {page} out of bounds (device has {pages} pages)")
+            }
+            IndexError::Corrupt(msg) => write!(f, "corrupt index data: {msg}"),
+            IndexError::Unsupported(msg) => write!(f, "unsupported request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = IndexError::UnknownObject(ObjectId(9));
+        assert_eq!(e.to_string(), "unknown object o9");
+        let e = IndexError::IntervalOutOfRange {
+            requested: TimeInterval::new(5, 9),
+            horizon: 8,
+        };
+        assert!(e.to_string().contains("[5, 9]"));
+        assert!(e.to_string().contains("[0, 8)"));
+        let e = IndexError::PageOutOfBounds { page: 10, pages: 4 };
+        assert!(e.to_string().contains("page 10"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&IndexError::Corrupt("x".into()));
+    }
+}

@@ -1,0 +1,94 @@
+//! Strongly typed identifiers for the entities of a contact dataset.
+
+use std::fmt;
+
+/// Identifier of a moving object (an individual, vehicle or device).
+///
+/// Objects are numbered densely `0..n`, which lets every crate use them as
+/// direct vector indices on hot paths.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId(pub u32);
+
+impl ObjectId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for ObjectId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        ObjectId(v)
+    }
+}
+
+impl fmt::Debug for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+/// Identifier of a DN / HN hyper node (a run-merged connected component).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for NodeId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_id_roundtrip_and_format() {
+        let o = ObjectId::from(17u32);
+        assert_eq!(o.index(), 17);
+        assert_eq!(format!("{o}"), "o17");
+        assert_eq!(format!("{o:?}"), "o17");
+    }
+
+    #[test]
+    fn node_id_roundtrip_and_format() {
+        let n = NodeId::from(3u32);
+        assert_eq!(n.index(), 3);
+        assert_eq!(format!("{n}"), "n3");
+    }
+
+    #[test]
+    fn ids_order_by_value() {
+        assert!(ObjectId(1) < ObjectId(2));
+        assert!(NodeId(9) > NodeId(8));
+    }
+}

@@ -1,0 +1,88 @@
+//! # reach-core
+//!
+//! Core domain types for evaluating reachability queries over large
+//! spatiotemporal contact datasets, as defined by Shirani-Mehr et al.,
+//! *Efficient Reachability Query Evaluation in Large Spatiotemporal Contact
+//! Datasets*, VLDB 2012.
+//!
+//! This crate is dependency-free and holds the vocabulary shared by every
+//! other crate in the workspace:
+//!
+//! * [`Time`] / [`TimeInterval`] — discrete ticks and closed intervals;
+//! * [`ObjectId`] / [`NodeId`] — dense identifiers;
+//! * [`Point`] / [`Mbr`] / [`Environment`] — planar geometry in metres;
+//! * [`Contact`] / [`ContactEvent`] — the atoms of a contact network;
+//! * [`Query`] / [`QueryResult`] — reachability queries and their outcomes;
+//! * [`UnionFind`] — per-snapshot connected components;
+//! * [`ReachabilityIndex`] — the trait every index and baseline implements.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod contact;
+pub mod error;
+pub mod geom;
+pub mod ids;
+pub mod query;
+pub mod time;
+pub mod unionfind;
+
+pub use contact::{Contact, ContactAccumulator, ContactEvent};
+pub use error::IndexError;
+pub use geom::{Coord, Environment, Mbr, Point};
+pub use ids::{NodeId, ObjectId};
+pub use query::{Query, QueryOutcome, QueryResult, QueryStats};
+pub use time::{Time, TimeInterval};
+pub use unionfind::UnionFind;
+
+/// The paper's IO normalization constant: one random access costs as much as
+/// 20 sequential accesses (§6, citing Corral et al.).
+pub const SEQ_PER_RANDOM: u64 = 20;
+
+/// Common interface implemented by every reachability evaluation strategy in
+/// the workspace (ReachGrid, ReachGraph traversals, SPJ, GRAIL, …).
+///
+/// Evaluation takes `&mut self` because disk-backed implementations mutate
+/// their buffer pool and IO counters.
+pub trait ReachabilityIndex {
+    /// Short name used in experiment reports (e.g. `"ReachGrid"`,
+    /// `"BM-BFS"`).
+    fn name(&self) -> &'static str;
+
+    /// Evaluates one reachability query.
+    fn evaluate(&mut self, query: &Query) -> Result<QueryResult, IndexError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Always(bool);
+    impl ReachabilityIndex for Always {
+        fn name(&self) -> &'static str {
+            "Always"
+        }
+        fn evaluate(&mut self, _q: &Query) -> Result<QueryResult, IndexError> {
+            Ok(QueryResult {
+                outcome: if self.0 {
+                    QueryOutcome::reachable()
+                } else {
+                    QueryOutcome::UNREACHABLE
+                },
+                stats: QueryStats::default(),
+            })
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let mut indexes: Vec<Box<dyn ReachabilityIndex>> =
+            vec![Box::new(Always(true)), Box::new(Always(false))];
+        let q = Query::new(ObjectId(0), ObjectId(1), TimeInterval::new(0, 1));
+        let r0 = indexes[0].evaluate(&q).expect("evaluation succeeds");
+        let r1 = indexes[1].evaluate(&q).expect("evaluation succeeds");
+        assert!(r0.reachable());
+        assert!(!r1.reachable());
+        assert_eq!(indexes[0].name(), "Always");
+    }
+}

@@ -1,0 +1,234 @@
+//! Discrete time: ticks and closed time intervals.
+//!
+//! The paper models a contact dataset over a time horizon `T` sampled at a
+//! fixed rate (5–6 s per sample for the evaluation datasets). Everything in
+//! this workspace therefore uses a discrete tick counter; the mapping from
+//! ticks to wall-clock seconds is a property of the dataset, not of the
+//! algorithms.
+
+use std::fmt;
+
+/// A discrete time instance (tick). Tick `0` is the start of the horizon.
+pub type Time = u32;
+
+/// A closed (inclusive on both ends) interval of ticks `[start, end]`.
+///
+/// The paper's query interval `Tp = [t1, t2]` and contact validity interval
+/// `Tc` are both closed intervals; a single-instance interval is `[t, t]`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TimeInterval {
+    /// First tick of the interval.
+    pub start: Time,
+    /// Last tick of the interval (inclusive).
+    pub end: Time,
+}
+
+impl TimeInterval {
+    /// Creates `[start, end]`. Panics if `start > end`; use
+    /// [`TimeInterval::try_new`] for fallible construction.
+    #[inline]
+    pub fn new(start: Time, end: Time) -> Self {
+        assert!(
+            start <= end,
+            "invalid time interval [{start}, {end}]: start must not exceed end"
+        );
+        Self { start, end }
+    }
+
+    /// Fallible constructor: returns `None` when `start > end`.
+    #[inline]
+    pub fn try_new(start: Time, end: Time) -> Option<Self> {
+        (start <= end).then_some(Self { start, end })
+    }
+
+    /// The single-tick interval `[t, t]`.
+    #[inline]
+    pub fn instant(t: Time) -> Self {
+        Self { start: t, end: t }
+    }
+
+    /// Number of ticks covered (`end - start + 1`). Always ≥ 1.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        u64::from(self.end - self.start) + 1
+    }
+
+    /// Closed intervals are never empty; provided for clippy-idiomatic pairing
+    /// with [`TimeInterval::len`].
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether tick `t` lies inside the interval.
+    #[inline]
+    pub fn contains(&self, t: Time) -> bool {
+        self.start <= t && t <= self.end
+    }
+
+    /// Whether `other` is fully contained in `self`.
+    #[inline]
+    pub fn contains_interval(&self, other: &TimeInterval) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// Whether the two closed intervals share at least one tick.
+    #[inline]
+    pub fn overlaps(&self, other: &TimeInterval) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// Intersection of two intervals, or `None` when they are disjoint.
+    #[inline]
+    pub fn intersect(&self, other: &TimeInterval) -> Option<TimeInterval> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        TimeInterval::try_new(start, end)
+    }
+
+    /// Smallest interval covering both inputs (the gap between them, if any,
+    /// is included).
+    #[inline]
+    pub fn hull(&self, other: &TimeInterval) -> TimeInterval {
+        TimeInterval {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Whether `other` begins exactly one tick after `self` ends
+    /// (`other.start == self.end + 1`), i.e. the two are temporally adjacent
+    /// in the DN sense.
+    #[inline]
+    pub fn abuts(&self, other: &TimeInterval) -> bool {
+        self.end.checked_add(1) == Some(other.start)
+    }
+
+    /// Midpoint tick `⌊(start + end) / 2⌋`, used by bidirectional traversal
+    /// to split the query interval.
+    #[inline]
+    pub fn midpoint(&self) -> Time {
+        // Average without overflow.
+        self.start + (self.end - self.start) / 2
+    }
+
+    /// Iterator over every tick in the interval.
+    #[inline]
+    pub fn ticks(&self) -> impl DoubleEndedIterator<Item = Time> {
+        self.start..=self.end
+    }
+}
+
+impl fmt::Debug for TimeInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.start, self.end)
+    }
+}
+
+impl fmt::Display for TimeInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_len_counts_inclusive_ticks() {
+        assert_eq!(TimeInterval::new(0, 0).len(), 1);
+        assert_eq!(TimeInterval::new(3, 7).len(), 5);
+        assert_eq!(TimeInterval::instant(9).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid time interval")]
+    fn new_rejects_reversed_bounds() {
+        let _ = TimeInterval::new(5, 4);
+    }
+
+    #[test]
+    fn try_new_rejects_reversed_bounds() {
+        assert!(TimeInterval::try_new(5, 4).is_none());
+        assert_eq!(TimeInterval::try_new(4, 5), Some(TimeInterval::new(4, 5)));
+    }
+
+    #[test]
+    fn contains_is_inclusive_on_both_ends() {
+        let iv = TimeInterval::new(2, 5);
+        assert!(!iv.contains(1));
+        assert!(iv.contains(2));
+        assert!(iv.contains(5));
+        assert!(!iv.contains(6));
+    }
+
+    #[test]
+    fn overlap_cases() {
+        let a = TimeInterval::new(2, 5);
+        assert!(a.overlaps(&TimeInterval::new(5, 9))); // touching endpoint
+        assert!(a.overlaps(&TimeInterval::new(0, 2)));
+        assert!(a.overlaps(&TimeInterval::new(3, 4))); // nested
+        assert!(!a.overlaps(&TimeInterval::new(6, 9)));
+        assert!(!a.overlaps(&TimeInterval::new(0, 1)));
+    }
+
+    #[test]
+    fn intersect_matches_overlap() {
+        let a = TimeInterval::new(2, 5);
+        assert_eq!(
+            a.intersect(&TimeInterval::new(4, 9)),
+            Some(TimeInterval::new(4, 5))
+        );
+        assert_eq!(a.intersect(&TimeInterval::new(6, 9)), None);
+        assert_eq!(a.intersect(&a), Some(a));
+    }
+
+    #[test]
+    fn hull_covers_gap() {
+        let a = TimeInterval::new(1, 2);
+        let b = TimeInterval::new(7, 9);
+        assert_eq!(a.hull(&b), TimeInterval::new(1, 9));
+        assert_eq!(b.hull(&a), TimeInterval::new(1, 9));
+    }
+
+    #[test]
+    fn abuts_requires_exact_adjacency() {
+        let a = TimeInterval::new(1, 4);
+        assert!(a.abuts(&TimeInterval::new(5, 8)));
+        assert!(!a.abuts(&TimeInterval::new(6, 8)));
+        assert!(!a.abuts(&TimeInterval::new(4, 8)));
+        // end == Time::MAX must not overflow.
+        let top = TimeInterval::new(0, Time::MAX);
+        assert!(!top.abuts(&TimeInterval::new(0, 1)));
+    }
+
+    #[test]
+    fn midpoint_is_floor_average() {
+        assert_eq!(TimeInterval::new(0, 10).midpoint(), 5);
+        assert_eq!(TimeInterval::new(0, 11).midpoint(), 5);
+        assert_eq!(TimeInterval::new(7, 7).midpoint(), 7);
+        // No overflow near Time::MAX.
+        assert_eq!(
+            TimeInterval::new(Time::MAX - 2, Time::MAX).midpoint(),
+            Time::MAX - 1
+        );
+    }
+
+    #[test]
+    fn ticks_iterates_every_instant() {
+        let iv = TimeInterval::new(3, 6);
+        let v: Vec<Time> = iv.ticks().collect();
+        assert_eq!(v, vec![3, 4, 5, 6]);
+        assert_eq!(iv.ticks().count(), 4);
+    }
+
+    #[test]
+    fn contains_interval_nested_and_equal() {
+        let a = TimeInterval::new(2, 8);
+        assert!(a.contains_interval(&TimeInterval::new(2, 8)));
+        assert!(a.contains_interval(&TimeInterval::new(3, 7)));
+        assert!(!a.contains_interval(&TimeInterval::new(1, 8)));
+        assert!(!a.contains_interval(&TimeInterval::new(2, 9)));
+    }
+}

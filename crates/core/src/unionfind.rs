@@ -1,0 +1,160 @@
+//! Disjoint-set forest with epoch-based O(1) reset.
+//!
+//! DN construction (paper §5.1.2) computes the connected components of every
+//! snapshot `G_t`. Clearing an array of |O| parents at every tick would cost
+//! `O(|O| · |T|)`; instead each slot is stamped with the epoch in which it was
+//! last initialized, so `reset()` is a counter increment and stale slots
+//! lazily reinitialize on first touch.
+
+/// Union–find over `0..n` with union by rank, path halving and epoch reset.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    epoch_mark: Vec<u32>,
+    epoch: u32,
+}
+
+impl UnionFind {
+    /// Creates a forest over the universe `0..n`, all singletons.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "universe too large for u32 ids");
+        Self {
+            parent: vec![0; n],
+            rank: vec![0; n],
+            epoch_mark: vec![0; n],
+            epoch: 1,
+        }
+    }
+
+    /// Universe size.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Resets every element back to a singleton in O(1).
+    pub fn reset(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Extremely rare wrap: do one eager clear so stale marks cannot
+            // collide with the restarted epoch counter.
+            self.epoch_mark.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    #[inline]
+    fn touch(&mut self, x: u32) {
+        let i = x as usize;
+        if self.epoch_mark[i] != self.epoch {
+            self.epoch_mark[i] = self.epoch;
+            self.parent[i] = x;
+            self.rank[i] = 0;
+        }
+    }
+
+    /// Representative of `x`'s set.
+    #[inline]
+    pub fn find(&mut self, x: u32) -> u32 {
+        self.touch(x);
+        let mut x = x;
+        // Path halving keeps the loop allocation-free and nearly flat.
+        while self.parent[x as usize] != x {
+            let p = self.parent[x as usize];
+            self.touch(p);
+            let gp = self.parent[p as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` when they were
+    /// previously disjoint.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo as usize] = hi;
+        if self.rank[hi as usize] == self.rank[lo as usize] {
+            self.rank[hi as usize] += 1;
+        }
+        true
+    }
+
+    /// Whether `a` and `b` are currently in the same set.
+    pub fn same(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_until_union() {
+        let mut uf = UnionFind::new(4);
+        assert!(!uf.same(0, 1));
+        assert!(uf.union(0, 1));
+        assert!(uf.same(0, 1));
+        assert!(!uf.union(1, 0)); // already joined
+        assert!(!uf.same(2, 3));
+    }
+
+    #[test]
+    fn transitive_union() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        uf.union(3, 4);
+        assert!(uf.same(0, 2));
+        assert!(uf.same(4, 3));
+        assert!(!uf.same(2, 3));
+        uf.union(2, 3);
+        assert!(uf.same(0, 4));
+    }
+
+    #[test]
+    fn reset_restores_singletons_cheaply() {
+        let mut uf = UnionFind::new(3);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        uf.reset();
+        assert!(!uf.same(0, 1));
+        assert!(!uf.same(1, 2));
+        // and the structure still works after reset
+        uf.union(0, 2);
+        assert!(uf.same(2, 0));
+        assert!(!uf.same(0, 1));
+    }
+
+    #[test]
+    fn many_resets_do_not_confuse_epochs() {
+        let mut uf = UnionFind::new(2);
+        for _ in 0..1000 {
+            uf.union(0, 1);
+            assert!(uf.same(0, 1));
+            uf.reset();
+            assert!(!uf.same(0, 1));
+        }
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert_eq!(UnionFind::new(7).len(), 7);
+        assert!(UnionFind::new(0).is_empty());
+    }
+}

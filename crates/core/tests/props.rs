@@ -1,0 +1,126 @@
+//! Property-based tests for the core primitives.
+
+use proptest::prelude::*;
+use reach_core::{ContactAccumulator, ContactEvent, Mbr, ObjectId, Point, TimeInterval, UnionFind};
+
+fn interval_strategy() -> impl Strategy<Value = TimeInterval> {
+    (0u32..1000, 0u32..1000).prop_map(|(a, b)| TimeInterval::new(a.min(b), a.max(b)))
+}
+
+proptest! {
+    #[test]
+    fn interval_intersection_is_commutative(a in interval_strategy(), b in interval_strategy()) {
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+    }
+
+    #[test]
+    fn interval_intersection_subset_of_both(a in interval_strategy(), b in interval_strategy()) {
+        if let Some(i) = a.intersect(&b) {
+            prop_assert!(a.contains_interval(&i));
+            prop_assert!(b.contains_interval(&i));
+            prop_assert!(a.overlaps(&b));
+        } else {
+            prop_assert!(!a.overlaps(&b));
+        }
+    }
+
+    #[test]
+    fn interval_hull_contains_both(a in interval_strategy(), b in interval_strategy()) {
+        let h = a.hull(&b);
+        prop_assert!(h.contains_interval(&a));
+        prop_assert!(h.contains_interval(&b));
+        prop_assert!(h.len() <= a.len() + b.len() + u64::from(a.start.abs_diff(b.end)) + u64::from(b.start.abs_diff(a.end)));
+    }
+
+    #[test]
+    fn midpoint_lies_inside(a in interval_strategy()) {
+        let m = a.midpoint();
+        prop_assert!(a.contains(m));
+        // Left half never shorter than right half by more than one tick.
+        let left = u64::from(m - a.start) + 1;
+        let right = u64::from(a.end - m);
+        prop_assert!(left >= right && left <= right + 1);
+    }
+
+    #[test]
+    fn mbr_of_points_contains_all(points in prop::collection::vec((0.0f32..1000.0, 0.0f32..1000.0), 1..50)) {
+        let pts: Vec<Point> = points.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let mbr = Mbr::of_points(pts.iter().copied());
+        for p in &pts {
+            prop_assert!(mbr.contains(*p));
+        }
+        prop_assert!(!mbr.is_empty());
+    }
+
+    #[test]
+    fn mbr_inflate_monotone(points in prop::collection::vec((0.0f32..1000.0, 0.0f32..1000.0), 1..20), margin in 0.0f32..100.0) {
+        let pts: Vec<Point> = points.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let mbr = Mbr::of_points(pts.iter().copied());
+        let big = mbr.inflate(margin);
+        for p in &pts {
+            prop_assert!(big.contains(*p));
+        }
+        prop_assert!(big.intersects(&mbr));
+    }
+
+    #[test]
+    fn union_find_matches_naive_partition(
+        n in 2usize..40,
+        unions in prop::collection::vec((0u32..40, 0u32..40), 0..80),
+    ) {
+        let mut uf = UnionFind::new(n);
+        // Naive quadratic partition as the model.
+        let mut label: Vec<usize> = (0..n).collect();
+        for &(a, b) in &unions {
+            let (a, b) = (a % n as u32, b % n as u32);
+            if a == b { continue; }
+            uf.union(a, b);
+            let (la, lb) = (label[a as usize], label[b as usize]);
+            if la != lb {
+                for l in label.iter_mut() {
+                    if *l == lb { *l = la; }
+                }
+            }
+        }
+        for i in 0..n as u32 {
+            for j in 0..n as u32 {
+                prop_assert_eq!(
+                    uf.same(i, j),
+                    label[i as usize] == label[j as usize],
+                    "disagreement at pair ({}, {})", i, j
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn accumulator_intervals_are_maximal_and_disjoint_per_pair(
+        ticks in prop::collection::vec(prop::bool::ANY, 1..60)
+    ) {
+        // One pair (0,1); `ticks[t]` says whether they touch at tick t.
+        let mut acc = ContactAccumulator::new();
+        for (t, &on) in ticks.iter().enumerate() {
+            if on {
+                acc.push(ContactEvent::new(t as u32, ObjectId(0), ObjectId(1)));
+            }
+        }
+        let contacts = acc.finish();
+        // Round-trip: union of intervals == the `on` set, intervals maximal.
+        let mut derived = vec![false; ticks.len()];
+        for c in &contacts {
+            for t in c.interval.ticks() {
+                prop_assert!(!derived[t as usize], "overlapping contact intervals");
+                derived[t as usize] = true;
+            }
+            // Maximality: the tick before the start and after the end are off.
+            if c.interval.start > 0 {
+                prop_assert!(!ticks[c.interval.start as usize - 1]);
+            }
+            if (c.interval.end as usize) + 1 < ticks.len() {
+                prop_assert!(!ticks[c.interval.end as usize + 1]);
+            }
+        }
+        prop_assert_eq!(&derived, &ticks);
+    }
+}

@@ -1,0 +1,20 @@
+//! # reach-ext
+//!
+//! The paper's §7 extensions, implemented in full:
+//!
+//! * [`uncertain`] — uncertain contact networks and **U-ReachGraph**:
+//!   probabilistic contacts, max-probability (shortest-path style) query
+//!   processing against a threshold `p_T`;
+//! * [`nonimmediate`] — non-immediate contacts with item lifetime `T_t`,
+//!   built on the replicated-trajectory join.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod nonimmediate;
+pub mod uncertain;
+
+pub use nonimmediate::{replicated_join, DirectedEvent, NonImmediateIndex};
+pub use uncertain::{
+    events_from_store, randomize_probabilities, UReachGraph, UncertainEvent, UncertainOracle,
+};

@@ -1,0 +1,159 @@
+//! Property tests for the §7 extensions.
+
+use proptest::prelude::*;
+use reach_contact::Oracle;
+use reach_core::{ObjectId, Query, TimeInterval};
+use reach_ext::{NonImmediateIndex, UReachGraph, UncertainEvent, UncertainOracle};
+
+fn uncertain_events(
+    max_objects: usize,
+    max_horizon: usize,
+) -> impl Strategy<Value = (usize, u32, Vec<UncertainEvent>)> {
+    (3..=max_objects, 4..=max_horizon).prop_flat_map(move |(n, h)| {
+        let ev = (
+            0..h as u32,
+            0..n as u32,
+            0..n as u32,
+            0.05f64..=1.0,
+        )
+            .prop_filter_map("distinct pair", |(t, a, b, p)| {
+                (a != b).then(|| UncertainEvent {
+                    t,
+                    a: ObjectId(a.min(b)),
+                    b: ObjectId(a.max(b)),
+                    p,
+                })
+            });
+        prop::collection::vec(ev, 0..30).prop_map(move |evs| (n, h as u32, evs))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// U-ReachGraph's max-probability search ≡ the fixpoint oracle on every
+    /// pair, for the unbounded threshold (exact maxima).
+    #[test]
+    fn ureachgraph_matches_fixpoint_oracle((n, h, events) in uncertain_events(6, 24)) {
+        let oracle = UncertainOracle::new(n, h, &events);
+        let index = UReachGraph::build(n, h, &events);
+        let iv = TimeInterval::new(0, h - 1);
+        for s in 0..n as u32 {
+            let best = oracle.best_probabilities(ObjectId(s), iv);
+            for d in 0..n as u32 {
+                if s == d {
+                    continue;
+                }
+                let got = index.best_probability(ObjectId(s), ObjectId(d), iv, f64::INFINITY);
+                prop_assert!(
+                    (got - best[d as usize]).abs() < 1e-9,
+                    "max path probability {}→{}: index {} vs oracle {}",
+                    s, d, got, best[d as usize]
+                );
+            }
+        }
+    }
+
+    /// Probabilistic reachability is monotone in the threshold, and a
+    /// threshold of 0⁺ with all-certain contacts degenerates to plain
+    /// reachability.
+    #[test]
+    fn threshold_monotone_and_certain_degenerates((n, h, mut events) in uncertain_events(6, 20)) {
+        let iv = TimeInterval::new(0, h - 1);
+        let index = UReachGraph::build(n, h, &events);
+        for s in 0..n as u32 {
+            for d in 0..n as u32 {
+                if s == d { continue; }
+                let hi = index.reachable(ObjectId(s), ObjectId(d), iv, 0.8);
+                let lo = index.reachable(ObjectId(s), ObjectId(d), iv, 0.2);
+                prop_assert!(!hi || lo, "reachable at 0.8 but not at 0.2 ({s}→{d})");
+            }
+        }
+        // Force all probabilities to 1 and compare with the certain oracle.
+        for e in &mut events {
+            e.p = 1.0;
+        }
+        let certain = UReachGraph::build(n, h, &events);
+        let script: Vec<Vec<(u32, u32)>> = {
+            let mut per = vec![Vec::new(); h as usize];
+            for e in &events {
+                per[e.t as usize].push((e.a.0, e.b.0));
+            }
+            per
+        };
+        let oracle = Oracle::from_events(n, script);
+        for s in 0..n as u32 {
+            for d in 0..n as u32 {
+                if s == d { continue; }
+                let q = Query::new(ObjectId(s), ObjectId(d), iv);
+                prop_assert_eq!(
+                    certain.reachable(ObjectId(s), ObjectId(d), iv, 1.0),
+                    oracle.evaluate(&q).reachable,
+                    "certain U-ReachGraph must equal plain reachability on {}", q
+                );
+            }
+        }
+    }
+}
+
+fn event_script(
+    max_objects: usize,
+    max_horizon: usize,
+) -> impl Strategy<Value = (usize, Vec<Vec<(u32, u32)>>)> {
+    (3..=max_objects, 4..=max_horizon).prop_flat_map(move |(n, h)| {
+        let pair = (0..n as u32, 0..n as u32)
+            .prop_filter_map("distinct", |(a, b)| (a != b).then(|| (a.min(b), a.max(b))));
+        let tick = prop::collection::vec(pair, 0..3);
+        prop::collection::vec(tick, h).prop_map(move |script| (n, script))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Non-immediate contacts with zero lifetime over *symmetric* directed
+    /// events ≡ the ordinary immediate-contact oracle.
+    #[test]
+    fn zero_lifetime_equals_immediate((n, script) in event_script(6, 20)) {
+        let h = script.len() as u32;
+        // Symmetric directed events with emit == receive.
+        let events: Vec<reach_ext::DirectedEvent> = script
+            .iter()
+            .enumerate()
+            .flat_map(|(t, pairs)| {
+                pairs.iter().flat_map(move |&(a, b)| {
+                    [
+                        reach_ext::DirectedEvent {
+                            receive: t as u32,
+                            emit: t as u32,
+                            from: ObjectId(a),
+                            to: ObjectId(b),
+                        },
+                        reach_ext::DirectedEvent {
+                            receive: t as u32,
+                            emit: t as u32,
+                            from: ObjectId(b),
+                            to: ObjectId(a),
+                        },
+                    ]
+                })
+            })
+            .collect();
+        let ni = NonImmediateIndex::new(n, h, &events);
+        let oracle = Oracle::from_events(n, script.clone());
+        for s in 0..n as u32 {
+            for d in 0..n as u32 {
+                for (t1, t2) in [(0, h - 1), (h / 2, h - 1)] {
+                    let iv = TimeInterval::new(t1, t2);
+                    let q = Query::new(ObjectId(s), ObjectId(d), iv);
+                    let (got, when) = ni.reachable(ObjectId(s), ObjectId(d), iv);
+                    let expected = oracle.evaluate(&q);
+                    prop_assert_eq!(got, expected.reachable, "verdict mismatch on {}", q);
+                    if expected.reachable {
+                        prop_assert_eq!(when, expected.earliest, "arrival mismatch on {}", q);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # reach-mobility
+//!
+//! From-scratch mobility data generators reproducing the paper's dataset
+//! families (§6):
+//!
+//! * [`rwp`] — random-waypoint individuals (the paper's GMSF-generated
+//!   `RWP10k/20k/40k`);
+//! * [`roadnet`] — network-constrained vehicles on a synthetic city road
+//!   network (the paper's Brinkhoff-generated `VN1k/2k/4k`);
+//! * [`sparse`] — sparse GPS fixes with linear interpolation (substitute for
+//!   the paper's proprietary Beijing taxi trace `VNR`);
+//! * [`workload`] — the random query batches of §6.
+//!
+//! All generators are deterministic in their seed.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod roadnet;
+pub mod rwp;
+pub mod sparse;
+pub mod workload;
+
+pub use roadnet::{RoadNetwork, VehicleConfig};
+pub use rwp::RwpConfig;
+pub use sparse::{sparsify, BEIJING_KEEP_EVERY};
+pub use workload::WorkloadConfig;

@@ -1,0 +1,441 @@
+//! Network-constrained vehicle mobility (the paper's VN datasets).
+//!
+//! The paper's `VN*` datasets come from the Brinkhoff generator \[4\] over the
+//! San Francisco road network: vehicles move only along roads, sampled every
+//! 5 s. We build the same model family from scratch: a synthetic city road
+//! network (perturbed grid with avenues and diagonal connectors) and
+//! shortest-path-routed vehicle trips along it.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reach_core::{Environment, ObjectId, Point, Time};
+use reach_traj::{Trajectory, TrajectoryStore};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A road segment endpoint reference plus its length.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RoadEdge {
+    /// Destination intersection.
+    pub to: u32,
+    /// Length in metres.
+    pub len: f32,
+}
+
+/// An undirected road network of intersections and segments.
+#[derive(Clone, Debug)]
+pub struct RoadNetwork {
+    nodes: Vec<Point>,
+    adj: Vec<Vec<RoadEdge>>,
+    env: Environment,
+}
+
+impl RoadNetwork {
+    /// Generates a city-like network: a `rows × cols` grid of intersections
+    /// spanning `env`, with jittered intersection positions, a fraction of
+    /// missing segments (dead ends, rivers) and a few diagonal connectors.
+    /// The network is guaranteed connected (missing segments are rejected
+    /// when they would disconnect it).
+    pub fn city_grid(env: Environment, rows: usize, cols: usize, seed: u64) -> Self {
+        assert!(rows >= 2 && cols >= 2, "need at least a 2×2 grid");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dx = env.width / (cols as f32 - 1.0);
+        let dy = env.height / (rows as f32 - 1.0);
+        let jitter = 0.15f32;
+        let mut nodes = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let jx = rng.gen_range(-jitter..=jitter) * dx;
+                let jy = rng.gen_range(-jitter..=jitter) * dy;
+                nodes.push(env.clamp(Point::new(c as f32 * dx + jx, r as f32 * dy + jy)));
+            }
+        }
+        let id = |r: usize, c: usize| (r * cols + c) as u32;
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    edges.push((id(r, c), id(r, c + 1)));
+                }
+                if r + 1 < rows {
+                    edges.push((id(r, c), id(r + 1, c)));
+                }
+                // Occasional diagonal connector (freeway ramp flavor).
+                if r + 1 < rows && c + 1 < cols && rng.gen_bool(0.08) {
+                    edges.push((id(r, c), id(r + 1, c + 1)));
+                }
+            }
+        }
+        // Drop ~12% of the grid segments without disconnecting the network.
+        let mut net = Self::from_edges(env, nodes, &edges);
+        let target_drop = (edges.len() as f64 * 0.12) as usize;
+        let mut dropped = 0;
+        let mut attempts = 0;
+        while dropped < target_drop && attempts < edges.len() * 4 {
+            attempts += 1;
+            let k = rng.gen_range(0..edges.len());
+            let (a, b) = edges[k];
+            if net.remove_edge(a, b) {
+                if net.is_connected() {
+                    dropped += 1;
+                } else {
+                    net.add_edge(a, b);
+                }
+            }
+        }
+        net
+    }
+
+    fn from_edges(env: Environment, nodes: Vec<Point>, edges: &[(u32, u32)]) -> Self {
+        let mut net = Self {
+            adj: vec![Vec::new(); nodes.len()],
+            nodes,
+            env,
+        };
+        for &(a, b) in edges {
+            net.add_edge(a, b);
+        }
+        net
+    }
+
+    fn add_edge(&mut self, a: u32, b: u32) {
+        let len = self.nodes[a as usize].distance(&self.nodes[b as usize]) as f32;
+        if self.adj[a as usize].iter().any(|e| e.to == b) {
+            return;
+        }
+        self.adj[a as usize].push(RoadEdge { to: b, len });
+        self.adj[b as usize].push(RoadEdge { to: a, len });
+    }
+
+    fn remove_edge(&mut self, a: u32, b: u32) -> bool {
+        let before = self.adj[a as usize].len();
+        self.adj[a as usize].retain(|e| e.to != b);
+        self.adj[b as usize].retain(|e| e.to != a);
+        self.adj[a as usize].len() != before
+    }
+
+    /// Number of intersections.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of undirected road segments.
+    pub fn num_edges(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Position of an intersection.
+    pub fn node_position(&self, n: u32) -> Point {
+        self.nodes[n as usize]
+    }
+
+    /// The environment the network spans.
+    pub fn environment(&self) -> Environment {
+        self.env
+    }
+
+    /// Whether every intersection can reach every other.
+    pub fn is_connected(&self) -> bool {
+        if self.nodes.is_empty() {
+            return true;
+        }
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![0u32];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(n) = stack.pop() {
+            for e in &self.adj[n as usize] {
+                if !seen[e.to as usize] {
+                    seen[e.to as usize] = true;
+                    count += 1;
+                    stack.push(e.to);
+                }
+            }
+        }
+        count == self.nodes.len()
+    }
+
+    /// Shortest path between intersections (Dijkstra), as the sequence of
+    /// intersections including both endpoints. `None` if disconnected.
+    pub fn shortest_path(&self, from: u32, to: u32) -> Option<Vec<u32>> {
+        if from == to {
+            return Some(vec![from]);
+        }
+        let n = self.nodes.len();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev = vec![u32::MAX; n];
+        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+        dist[from as usize] = 0.0;
+        heap.push(Reverse((0, from)));
+        while let Some(Reverse((d_milli, u))) = heap.pop() {
+            let d = d_milli as f64 / 1000.0;
+            if d > dist[u as usize] {
+                continue;
+            }
+            if u == to {
+                break;
+            }
+            for e in &self.adj[u as usize] {
+                let nd = d + f64::from(e.len);
+                if nd < dist[e.to as usize] {
+                    dist[e.to as usize] = nd;
+                    prev[e.to as usize] = u;
+                    heap.push(Reverse(((nd * 1000.0) as u64, e.to)));
+                }
+            }
+        }
+        if dist[to as usize].is_infinite() {
+            return None;
+        }
+        let mut path = vec![to];
+        let mut cur = to;
+        while cur != from {
+            cur = prev[cur as usize];
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// Configuration of a network-constrained vehicle dataset.
+#[derive(Clone, Debug)]
+pub struct VehicleConfig {
+    /// Road network vehicles drive on.
+    pub network: RoadNetwork,
+    /// Number of vehicles.
+    pub num_objects: usize,
+    /// Horizon in ticks.
+    pub horizon: Time,
+    /// Seconds per tick (paper: 5 s for VN).
+    pub tick_seconds: f32,
+    /// Minimum cruising speed (m/s).
+    pub speed_min: f32,
+    /// Maximum cruising speed (m/s).
+    pub speed_max: f32,
+}
+
+impl VehicleConfig {
+    /// A default city comparable (after scaling) to the paper's VN setting:
+    /// ~17×17 km environment, 5 s ticks, urban speeds.
+    pub fn default_city(num_objects: usize, horizon: Time, seed: u64) -> Self {
+        let env = Environment::square(17_000.0);
+        Self {
+            network: RoadNetwork::city_grid(env, 24, 24, seed ^ 0xC17),
+            num_objects,
+            horizon,
+            tick_seconds: 5.0,
+            speed_min: 6.0,
+            speed_max: 16.0,
+        }
+    }
+
+    /// Generates the dataset deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> TrajectoryStore {
+        assert!(self.horizon > 0, "horizon must be positive");
+        let trajectories = (0..self.num_objects)
+            .map(|i| {
+                let mut rng = StdRng::seed_from_u64(
+                    seed ^ (0xD1B5_4A32_D192_ED03u64.wrapping_mul(i as u64 + 1)),
+                );
+                Trajectory::new(ObjectId(i as u32), 0, self.drive(&mut rng))
+            })
+            .collect();
+        TrajectoryStore::new(self.network.environment(), trajectories)
+            .expect("generator produces a dense store")
+    }
+
+    fn drive(&self, rng: &mut StdRng) -> Vec<Point> {
+        let n = self.network.num_nodes() as u32;
+        let mut positions = Vec::with_capacity(self.horizon as usize);
+        let mut at: u32 = rng.gen_range(0..n);
+        // Current route: list of node ids, index of the segment being driven,
+        // and metres already covered on it.
+        let mut route: Vec<u32> = Vec::new();
+        let mut leg = 0usize;
+        let mut covered = 0f64;
+        let mut speed = f64::from(rng.gen_range(self.speed_min..=self.speed_max));
+        let mut pos = self.network.node_position(at);
+        for _ in 0..self.horizon {
+            positions.push(pos);
+            let mut step = speed * f64::from(self.tick_seconds);
+            while step > 1e-9 {
+                if leg + 1 >= route.len() {
+                    // Need a new trip.
+                    let dest = loop {
+                        let d = rng.gen_range(0..n);
+                        if d != at {
+                            break d;
+                        }
+                    };
+                    match self.network.shortest_path(at, dest) {
+                        Some(p) if p.len() >= 2 => {
+                            route = p;
+                            leg = 0;
+                            covered = 0.0;
+                            speed = f64::from(rng.gen_range(self.speed_min..=self.speed_max));
+                        }
+                        _ => break, // isolated node: stay parked this tick
+                    }
+                }
+                let a = self.network.node_position(route[leg]);
+                let b = self.network.node_position(route[leg + 1]);
+                let seg_len = a.distance(&b);
+                let remaining = seg_len - covered;
+                if step < remaining {
+                    covered += step;
+                    step = 0.0;
+                    pos = a.lerp(&b, (covered / seg_len.max(1e-9)) as f32);
+                } else {
+                    step -= remaining;
+                    leg += 1;
+                    covered = 0.0;
+                    pos = b;
+                    at = route[leg];
+                    if leg + 1 >= route.len() {
+                        // Trip finished; next loop iteration plans a new one.
+                        route.clear();
+                        leg = 0;
+                    }
+                }
+            }
+        }
+        positions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> RoadNetwork {
+        RoadNetwork::city_grid(Environment::square(1000.0), 5, 5, 99)
+    }
+
+    #[test]
+    fn grid_is_connected_with_expected_size() {
+        let n = net();
+        assert_eq!(n.num_nodes(), 25);
+        assert!(n.is_connected());
+        assert!(n.num_edges() >= 24, "spanning connectivity requires ≥ n-1 edges");
+    }
+
+    #[test]
+    fn nodes_inside_environment() {
+        let n = net();
+        for i in 0..n.num_nodes() as u32 {
+            assert!(n.environment().contains(n.node_position(i)));
+        }
+    }
+
+    #[test]
+    fn shortest_path_endpoints_and_adjacency() {
+        let n = net();
+        let p = n.shortest_path(0, 24).expect("connected");
+        assert_eq!(*p.first().unwrap(), 0);
+        assert_eq!(*p.last().unwrap(), 24);
+        // Consecutive path nodes must share a road segment.
+        for w in p.windows(2) {
+            assert!(
+                n.adj[w[0] as usize].iter().any(|e| e.to == w[1]),
+                "path uses a nonexistent segment {}->{}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn shortest_path_trivial() {
+        let n = net();
+        assert_eq!(n.shortest_path(3, 3), Some(vec![3]));
+    }
+
+    #[test]
+    fn deterministic_network_generation() {
+        let a = RoadNetwork::city_grid(Environment::square(1000.0), 6, 6, 5);
+        let b = RoadNetwork::city_grid(Environment::square(1000.0), 6, 6, 5);
+        assert_eq!(a.num_edges(), b.num_edges());
+        for i in 0..a.num_nodes() as u32 {
+            assert_eq!(a.node_position(i), b.node_position(i));
+        }
+    }
+
+    fn small_vehicles() -> VehicleConfig {
+        VehicleConfig {
+            network: net(),
+            num_objects: 10,
+            horizon: 120,
+            tick_seconds: 5.0,
+            speed_min: 6.0,
+            speed_max: 16.0,
+        }
+    }
+
+    #[test]
+    fn vehicles_deterministic_and_shaped() {
+        let c = small_vehicles();
+        let a = c.generate(1);
+        let b = c.generate(1);
+        assert_eq!(a.num_objects(), 10);
+        assert_eq!(a.horizon(), 120);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.positions, y.positions);
+        }
+    }
+
+    #[test]
+    fn vehicle_displacement_bounded() {
+        let c = small_vehicles();
+        let s = c.generate(2);
+        let max_step = f64::from(c.speed_max) * f64::from(c.tick_seconds) + 1e-3;
+        for t in s.iter() {
+            for w in t.positions.windows(2) {
+                assert!(w[0].distance(&w[1]) <= max_step);
+            }
+        }
+    }
+
+    #[test]
+    fn vehicles_stay_on_roads() {
+        // Every sampled position must lie on (within ε of) some road segment.
+        let c = small_vehicles();
+        let s = c.generate(3);
+        let n = &c.network;
+        let on_some_road = |p: Point| -> bool {
+            for a in 0..n.num_nodes() as u32 {
+                let pa = n.node_position(a);
+                for e in &n.adj[a as usize] {
+                    let pb = n.node_position(e.to);
+                    // Distance from p to segment (pa, pb).
+                    let vx = f64::from(pb.x - pa.x);
+                    let vy = f64::from(pb.y - pa.y);
+                    let wx = f64::from(p.x - pa.x);
+                    let wy = f64::from(p.y - pa.y);
+                    let len2 = vx * vx + vy * vy;
+                    let t = if len2 <= 0.0 { 0.0 } else { ((wx * vx + wy * vy) / len2).clamp(0.0, 1.0) };
+                    let dx = wx - t * vx;
+                    let dy = wy - t * vy;
+                    if (dx * dx + dy * dy).sqrt() < 1.0 {
+                        return true;
+                    }
+                }
+            }
+            false
+        };
+        for t in s.iter().take(3) {
+            for (i, &p) in t.positions.iter().enumerate().step_by(17) {
+                assert!(on_some_road(p), "{:?} off-road at sample {i}", t.object);
+            }
+        }
+    }
+
+    #[test]
+    fn default_city_is_connected() {
+        let c = VehicleConfig::default_city(5, 10, 7);
+        assert!(c.network.is_connected());
+        assert!(c.network.num_nodes() == 24 * 24);
+        let s = c.generate(7);
+        assert_eq!(s.num_objects(), 5);
+    }
+}

@@ -1,0 +1,209 @@
+//! Random-waypoint mobility (the paper's RWP datasets).
+//!
+//! The paper generates its `RWP*` datasets with GMSF \[3\] under the random
+//! waypoint model: *"every individual selects a random destination and speed
+//! and then moves toward that destination; afterward, she selects another
+//! random destination"* (§6), in a 100 km² environment at ~2 m/s average
+//! speed with 6-second samples. This module is a from-scratch implementation
+//! of that model (GMSF itself is a Java tool we do not ship): seeded,
+//! deterministic, and scaled by configuration.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reach_core::{Environment, ObjectId, Point, Time};
+use reach_traj::{Trajectory, TrajectoryStore};
+
+/// Configuration of a random-waypoint dataset.
+#[derive(Clone, Debug)]
+pub struct RwpConfig {
+    /// Environment the individuals roam in.
+    pub env: Environment,
+    /// Number of objects `|O|`.
+    pub num_objects: usize,
+    /// Horizon `|T|` in ticks.
+    pub horizon: Time,
+    /// Seconds represented by one tick (paper: 6 s for RWP).
+    pub tick_seconds: f32,
+    /// Minimum waypoint speed (m/s).
+    pub speed_min: f32,
+    /// Maximum waypoint speed (m/s). The paper's average is 2 m/s.
+    pub speed_max: f32,
+    /// Maximum pause at a waypoint, in ticks (0 disables pausing).
+    pub pause_ticks_max: u32,
+}
+
+impl Default for RwpConfig {
+    fn default() -> Self {
+        Self {
+            env: Environment::square(10_000.0), // 100 km² like the paper
+            num_objects: 1000,
+            horizon: 5_000,
+            tick_seconds: 6.0,
+            speed_min: 1.0,
+            speed_max: 3.0, // mean 2 m/s as in the paper
+            pause_ticks_max: 4,
+        }
+    }
+}
+
+impl RwpConfig {
+    /// Generates the dataset deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> TrajectoryStore {
+        assert!(self.horizon > 0, "horizon must be positive");
+        assert!(
+            self.speed_min > 0.0 && self.speed_min <= self.speed_max,
+            "speed range [{}, {}] invalid",
+            self.speed_min,
+            self.speed_max
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trajectories = (0..self.num_objects)
+            .map(|i| {
+                // Derive one rng per object so per-object streams are stable
+                // under changes to the object count.
+                let mut orng = StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64
+                    .wrapping_mul(i as u64 + 1)));
+                // Mix a little state from the master rng too, so `seed` fully
+                // determines the whole dataset.
+                let _: u64 = rng.gen();
+                Trajectory::new(
+                    ObjectId(i as u32),
+                    0,
+                    self.walk(&mut orng),
+                )
+            })
+            .collect();
+        TrajectoryStore::new(self.env, trajectories).expect("generator produces a dense store")
+    }
+
+    fn walk(&self, rng: &mut StdRng) -> Vec<Point> {
+        let mut positions = Vec::with_capacity(self.horizon as usize);
+        let mut pos = self.random_point(rng);
+        let mut target = self.random_point(rng);
+        let mut speed = rng.gen_range(self.speed_min..=self.speed_max);
+        let mut pause_left: u32 = 0;
+        for _ in 0..self.horizon {
+            positions.push(pos);
+            if pause_left > 0 {
+                pause_left -= 1;
+                continue;
+            }
+            let mut step = f64::from(speed) * f64::from(self.tick_seconds);
+            // Move toward the target, possibly reaching it (and the next
+            // target) within a single tick.
+            loop {
+                let dist = pos.distance(&target);
+                if dist > step {
+                    let f = (step / dist) as f32;
+                    pos = pos.lerp(&target, f);
+                    break;
+                }
+                // Arrive, consume the residual step at the new heading.
+                step -= dist;
+                pos = target;
+                target = self.random_point(rng);
+                speed = rng.gen_range(self.speed_min..=self.speed_max);
+                if self.pause_ticks_max > 0 {
+                    pause_left = rng.gen_range(0..=self.pause_ticks_max);
+                    break;
+                }
+                if step <= f64::EPSILON {
+                    break;
+                }
+            }
+        }
+        positions
+    }
+
+    fn random_point(&self, rng: &mut StdRng) -> Point {
+        Point::new(
+            rng.gen_range(0.0..=self.env.width),
+            rng.gen_range(0.0..=self.env.height),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> RwpConfig {
+        RwpConfig {
+            env: Environment::square(500.0),
+            num_objects: 20,
+            horizon: 200,
+            tick_seconds: 6.0,
+            speed_min: 1.0,
+            speed_max: 3.0,
+            pause_ticks_max: 2,
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let c = small();
+        let a = c.generate(42);
+        let b = c.generate(42);
+        for (ta, tb) in a.iter().zip(b.iter()) {
+            assert_eq!(ta.positions, tb.positions);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let c = small();
+        let a = c.generate(1);
+        let b = c.generate(2);
+        let same = a
+            .iter()
+            .zip(b.iter())
+            .all(|(x, y)| x.positions == y.positions);
+        assert!(!same, "distinct seeds should yield distinct datasets");
+    }
+
+    #[test]
+    fn positions_stay_in_environment() {
+        let c = small();
+        let s = c.generate(7);
+        for t in s.iter() {
+            for p in &t.positions {
+                assert!(c.env.contains(*p), "{p:?} escaped the environment");
+            }
+        }
+    }
+
+    #[test]
+    fn per_tick_displacement_bounded_by_max_speed() {
+        let c = small();
+        let s = c.generate(3);
+        let max_step = f64::from(c.speed_max) * f64::from(c.tick_seconds) + 1e-3;
+        for t in s.iter() {
+            for w in t.positions.windows(2) {
+                assert!(
+                    w[0].distance(&w[1]) <= max_step,
+                    "object jumped {} > {max_step}",
+                    w[0].distance(&w[1])
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn objects_actually_move() {
+        let c = small();
+        let s = c.generate(11);
+        let moved = s
+            .iter()
+            .filter(|t| t.positions[0].distance(&t.positions[t.positions.len() - 1]) > 10.0)
+            .count();
+        assert!(moved > 10, "random waypoint walkers should roam");
+    }
+
+    #[test]
+    fn shape_matches_config() {
+        let c = small();
+        let s = c.generate(5);
+        assert_eq!(s.num_objects(), 20);
+        assert_eq!(s.horizon(), 200);
+    }
+}

@@ -1,0 +1,132 @@
+//! Query workload generation.
+//!
+//! The paper's experiments run 400 queries per setting with *"query sources,
+//! destinations selected randomly and query interval selected as a random
+//! interval where the length of the interval is a random number between 150
+//! and 350 unless otherwise stated"* (§6).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reach_core::{ObjectId, Query, Time, TimeInterval};
+
+/// Configuration of a random query batch.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadConfig {
+    /// Number of queries (paper: 400).
+    pub num_queries: usize,
+    /// Minimum query-interval length in ticks (paper: 150).
+    pub interval_len_min: Time,
+    /// Maximum query-interval length in ticks (paper: 350).
+    pub interval_len_max: Time,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            num_queries: 400,
+            interval_len_min: 150,
+            interval_len_max: 350,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// A workload whose intervals all have exactly `len` ticks (used by the
+    /// paper's Figure 14/15 sweeps over interval lengths 100/300/500).
+    pub fn fixed_length(num_queries: usize, len: Time) -> Self {
+        Self {
+            num_queries,
+            interval_len_min: len,
+            interval_len_max: len,
+        }
+    }
+
+    /// Generates the query batch for a dataset of `num_objects` objects over
+    /// `[0, horizon)` ticks. Interval lengths are clamped to the horizon.
+    ///
+    /// Panics when the dataset has fewer than two objects (source and
+    /// destination must differ, as in the paper's workloads).
+    pub fn generate(&self, num_objects: usize, horizon: Time, seed: u64) -> Vec<Query> {
+        assert!(num_objects >= 2, "need at least two objects for queries");
+        assert!(horizon >= 2, "need at least two ticks");
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..self.num_queries)
+            .map(|_| {
+                let source = ObjectId(rng.gen_range(0..num_objects as u32));
+                let dest = loop {
+                    let d = ObjectId(rng.gen_range(0..num_objects as u32));
+                    if d != source {
+                        break d;
+                    }
+                };
+                // Interval length in ticks (number of ticks spanned), clamped
+                // so the interval fits in the horizon.
+                let max_len = self.interval_len_max.min(horizon);
+                let min_len = self.interval_len_min.clamp(1, max_len);
+                let len = rng.gen_range(min_len..=max_len);
+                let start = rng.gen_range(0..=horizon - len);
+                Query::new(source, dest, TimeInterval::new(start, start + len - 1))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_parameters() {
+        let c = WorkloadConfig::default();
+        assert_eq!(c.num_queries, 400);
+        assert_eq!(c.interval_len_min, 150);
+        assert_eq!(c.interval_len_max, 350);
+    }
+
+    #[test]
+    fn queries_respect_bounds() {
+        let c = WorkloadConfig::default();
+        let qs = c.generate(50, 2000, 11);
+        assert_eq!(qs.len(), 400);
+        for q in &qs {
+            assert_ne!(q.source, q.dest);
+            assert!(q.source.0 < 50 && q.dest.0 < 50);
+            assert!(q.interval.end < 2000);
+            let len = q.interval.len();
+            assert!((150..=350).contains(&len), "length {len} out of range");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = WorkloadConfig::default();
+        assert_eq!(c.generate(10, 1000, 3), c.generate(10, 1000, 3));
+        assert_ne!(c.generate(10, 1000, 3), c.generate(10, 1000, 4));
+    }
+
+    #[test]
+    fn fixed_length_workload() {
+        let c = WorkloadConfig::fixed_length(100, 300);
+        let qs = c.generate(10, 1000, 5);
+        assert_eq!(qs.len(), 100);
+        for q in &qs {
+            assert_eq!(q.interval.len(), 300);
+        }
+    }
+
+    #[test]
+    fn lengths_clamped_to_short_horizon() {
+        let c = WorkloadConfig::default();
+        let qs = c.generate(5, 100, 1);
+        for q in &qs {
+            assert!(q.interval.end < 100);
+            assert!(q.interval.len() <= 100);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two objects")]
+    fn rejects_single_object() {
+        WorkloadConfig::default().generate(1, 100, 0);
+    }
+}

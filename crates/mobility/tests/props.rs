@@ -1,0 +1,126 @@
+//! Property tests for the mobility generators: physical plausibility and
+//! determinism hold for *every* configuration, not just the presets.
+
+use proptest::prelude::*;
+use reach_core::Environment;
+use reach_mobility::{sparsify, RoadNetwork, RwpConfig, VehicleConfig, WorkloadConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random-waypoint walkers never leave the environment, never exceed
+    /// their speed limit, and are bit-identical per seed.
+    #[test]
+    fn rwp_physics_and_determinism(
+        seed in 0u64..500,
+        n in 1usize..20,
+        horizon in 2u32..120,
+        side in 100.0f32..2000.0,
+        smin in 0.5f32..3.0,
+        spread in 0.1f32..4.0,
+    ) {
+        let cfg = RwpConfig {
+            env: Environment::square(side),
+            num_objects: n,
+            horizon,
+            tick_seconds: 6.0,
+            speed_min: smin,
+            speed_max: smin + spread,
+            pause_ticks_max: 3,
+        };
+        let a = cfg.generate(seed);
+        let b = cfg.generate(seed);
+        let max_step = f64::from(cfg.speed_max) * f64::from(cfg.tick_seconds) + 1e-3;
+        for (ta, tb) in a.iter().zip(b.iter()) {
+            prop_assert_eq!(&ta.positions, &tb.positions, "nondeterministic generation");
+            for p in &ta.positions {
+                prop_assert!(cfg.env.contains(*p), "walker escaped: {:?}", p);
+            }
+            for w in ta.positions.windows(2) {
+                prop_assert!(
+                    w[0].distance(&w[1]) <= max_step,
+                    "jump {} exceeds {}",
+                    w[0].distance(&w[1]),
+                    max_step
+                );
+            }
+        }
+    }
+
+    /// City road networks are always connected and shortest paths always
+    /// walk real segments.
+    #[test]
+    fn road_networks_connected(
+        seed in 0u64..200,
+        rows in 2usize..10,
+        cols in 2usize..10,
+        side in 500.0f32..5000.0,
+    ) {
+        let net = RoadNetwork::city_grid(Environment::square(side), rows, cols, seed);
+        prop_assert!(net.is_connected());
+        prop_assert_eq!(net.num_nodes(), rows * cols);
+        let p = net
+            .shortest_path(0, (rows * cols - 1) as u32)
+            .expect("connected network has a path");
+        prop_assert_eq!(p[0], 0);
+        prop_assert_eq!(*p.last().expect("non-empty"), (rows * cols - 1) as u32);
+    }
+
+    /// Vehicles respect the speed limit; sparsified fleets keep anchors.
+    #[test]
+    fn vehicles_and_sparsify(
+        seed in 0u64..200,
+        n in 1usize..8,
+        horizon in 2u32..80,
+        keep in 1u32..15,
+    ) {
+        let cfg = VehicleConfig {
+            network: RoadNetwork::city_grid(Environment::square(1500.0), 4, 4, seed ^ 7),
+            num_objects: n,
+            horizon,
+            tick_seconds: 5.0,
+            speed_min: 6.0,
+            speed_max: 16.0,
+        };
+        let dense = cfg.generate(seed);
+        let max_step = f64::from(cfg.speed_max) * f64::from(cfg.tick_seconds) + 1e-3;
+        for t in dense.iter() {
+            for w in t.positions.windows(2) {
+                prop_assert!(w[0].distance(&w[1]) <= max_step);
+            }
+        }
+        let sparse = sparsify(&dense, keep);
+        prop_assert_eq!(sparse.num_objects(), dense.num_objects());
+        prop_assert_eq!(sparse.horizon(), dense.horizon());
+        for (d, s) in dense.iter().zip(sparse.iter()) {
+            for tick in (0..horizon).step_by(keep as usize) {
+                prop_assert_eq!(
+                    d.positions[tick as usize], s.positions[tick as usize],
+                    "anchor at {} lost", tick
+                );
+            }
+        }
+    }
+
+    /// Workloads always fit the dataset and honor the length bounds.
+    #[test]
+    fn workloads_always_valid(
+        seed in 0u64..500,
+        n in 2usize..50,
+        horizon in 2u32..3000,
+        lo in 1u32..400,
+        spread in 0u32..200,
+    ) {
+        let cfg = WorkloadConfig {
+            num_queries: 50,
+            interval_len_min: lo,
+            interval_len_max: lo + spread,
+        };
+        for q in cfg.generate(n, horizon, seed) {
+            prop_assert!(q.source != q.dest);
+            prop_assert!(q.source.index() < n && q.dest.index() < n);
+            prop_assert!(q.interval.end < horizon);
+            prop_assert!(q.interval.len() <= u64::from(lo + spread));
+        }
+    }
+}

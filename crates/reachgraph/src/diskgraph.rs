@@ -1,0 +1,478 @@
+//! The disk-resident ReachGraph index (paper §5.1.3).
+//!
+//! Layout on the simulated device, in page order:
+//!
+//! 1. the *timeline region* — per object, its `(start_tick, node)` runs as
+//!    fixed 8-byte entries (our substitute for the paper's per-tick `Ht`
+//!    hash tables; same role: locating the vertex of `o_i(t)`);
+//! 2. the *partition region* — one page-aligned record per partition, in
+//!    creation (topological) order; a partition record holds its vertices
+//!    (interval, members, DN1 edges both directions, long-edge bundles).
+//!
+//! Traversal fetches whole partitions and buffers a bounded number of
+//! decoded partitions, discarding the oldest (§5.2).
+
+use crate::params::{GraphParams, TraversalKind};
+use crate::placement::{partition, Partitioning};
+use crate::traverse::evaluate;
+use crate::vertex::{HnSource, VertexData};
+use reach_contact::{DnGraph, MultiRes};
+use reach_core::{
+    IndexError, ObjectId, Query, QueryResult, QueryStats, ReachabilityIndex, Time,
+};
+use reach_storage::{
+    read_record, ByteReader, ByteWriter, DiskSim, IoStats, Pager, RecordPtr, RecordWriter,
+};
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+use std::time::Instant;
+
+/// A decoded partition, shared by the partition buffer.
+#[derive(Debug)]
+struct DecodedPartition {
+    vertices: HashMap<u32, VertexData>,
+}
+
+/// Disk-resident ReachGraph.
+pub struct ReachGraph {
+    params: GraphParams,
+    pager: Pager,
+    horizon: Time,
+    num_objects: usize,
+    num_nodes: usize,
+    /// Partition id per vertex (in-memory page table, tiny next to data).
+    partition_of: Vec<u32>,
+    /// Record address per partition.
+    partition_ptrs: Vec<RecordPtr>,
+    /// Timeline region geometry: per object `(first entry index, count)`.
+    timeline_index: Vec<(u64, u32)>,
+    timeline_first_page: u64,
+    /// Decoded-partition buffer (bounded, FIFO eviction).
+    buffer: HashMap<u32, Rc<DecodedPartition>>,
+    buffer_order: VecDeque<u32>,
+}
+
+impl ReachGraph {
+    /// Builds the disk layout from a DN and its long-edge bundles.
+    pub fn build(dn: &DnGraph, mr: &MultiRes, params: GraphParams) -> Result<Self, IndexError> {
+        params.validate();
+        assert_eq!(
+            mr.levels(),
+            params.levels.as_slice(),
+            "MultiRes levels must match GraphParams levels"
+        );
+        let mut disk = DiskSim::new(params.page_size);
+
+        // --- Timeline region ---------------------------------------------
+        let entries_per_page = params.page_size / 8;
+        let total_entries: u64 = (0..dn.num_objects() as u32)
+            .map(|o| dn.timeline(ObjectId(o)).len() as u64)
+            .sum();
+        let timeline_pages = total_entries.div_ceil(entries_per_page as u64).max(1);
+        let timeline_first_page = disk.allocate(timeline_pages as usize);
+        let mut timeline_index = Vec::with_capacity(dn.num_objects());
+        {
+            let mut entry_idx: u64 = 0;
+            let mut page_buf = vec![0u8; params.page_size];
+            let mut cur_page = 0u64;
+            let flush = |disk: &mut DiskSim, page: u64, buf: &mut Vec<u8>| {
+                disk.write_page(timeline_first_page + page, buf)
+                    .expect("timeline pages preallocated");
+                buf.fill(0);
+            };
+            for o in 0..dn.num_objects() as u32 {
+                let tl = dn.timeline(ObjectId(o));
+                timeline_index.push((entry_idx, tl.len() as u32));
+                for &(t, node) in tl {
+                    let page = entry_idx / entries_per_page as u64;
+                    if page != cur_page {
+                        flush(&mut disk, cur_page, &mut page_buf);
+                        cur_page = page;
+                    }
+                    let off = (entry_idx % entries_per_page as u64) as usize * 8;
+                    page_buf[off..off + 4].copy_from_slice(&t.to_le_bytes());
+                    page_buf[off + 4..off + 8].copy_from_slice(&node.to_le_bytes());
+                    entry_idx += 1;
+                }
+            }
+            flush(&mut disk, cur_page, &mut page_buf);
+        }
+
+        // --- Partition region ----------------------------------------------
+        let parts: Partitioning = partition(dn, params.partition_depth);
+        let mut writer = RecordWriter::new(&mut disk);
+        let mut partition_ptrs = Vec::with_capacity(parts.num_partitions as usize);
+        for mine in &parts.members {
+            let mut w = ByteWriter::with_capacity(64 * mine.len());
+            w.put_u32(mine.len() as u32);
+            for &v in mine {
+                let node = dn.node(v);
+                let vd = VertexData {
+                    interval: node.interval,
+                    members: node.members.iter().map(|m| m.0).collect(),
+                    fwd: dn.fwd(v).to_vec(),
+                    rev: dn.rev(v).to_vec(),
+                    bundles: (0..mr.levels().len())
+                        .map(|idx| mr.bundle(idx, v).to_vec())
+                        .collect(),
+                };
+                w.put_u32(v);
+                vd.encode(&mut w);
+            }
+            writer.align_to_page(&mut disk)?;
+            partition_ptrs.push(writer.append(&mut disk, w.as_bytes())?);
+        }
+        writer.finish(&mut disk)?;
+        disk.reset_stats();
+
+        Ok(Self {
+            pager: Pager::new(disk, 0), // partition buffer is the cache
+            params,
+            horizon: dn.horizon(),
+            num_objects: dn.num_objects(),
+            num_nodes: dn.num_nodes(),
+            partition_of: parts.partition_of,
+            partition_ptrs,
+            timeline_index,
+            timeline_first_page,
+            buffer: HashMap::new(),
+            buffer_order: VecDeque::new(),
+        })
+    }
+
+    /// Number of partitions on disk.
+    pub fn num_partitions(&self) -> u32 {
+        self.partition_ptrs.len() as u32
+    }
+
+    /// Number of `HN` vertices.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Index size on the device, bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.pager.disk().size_bytes()
+    }
+
+    /// Device counters.
+    pub fn io_stats(&self) -> IoStats {
+        self.pager.stats()
+    }
+
+    /// Clears counters and all buffers (cold-cache boundary).
+    pub fn reset_io(&mut self) {
+        self.pager.reset_stats();
+        self.pager.clear_cache();
+        self.buffer.clear();
+        self.buffer_order.clear();
+    }
+
+    fn fetch_partition(&mut self, pid: u32) -> Result<Rc<DecodedPartition>, IndexError> {
+        if let Some(p) = self.buffer.get(&pid) {
+            return Ok(Rc::clone(p));
+        }
+        let bytes = read_record(&mut self.pager, self.partition_ptrs[pid as usize])?;
+        let mut r = ByteReader::new(&bytes);
+        let count = r.get_u32()? as usize;
+        let mut vertices = HashMap::with_capacity(count * 2);
+        for _ in 0..count {
+            let id = r.get_u32()?;
+            vertices.insert(id, VertexData::decode(&mut r)?);
+        }
+        let decoded = Rc::new(DecodedPartition { vertices });
+        if self.buffer.len() >= self.params.partition_cache.max(1) {
+            if let Some(old) = self.buffer_order.pop_front() {
+                self.buffer.remove(&old);
+            }
+        }
+        self.buffer.insert(pid, Rc::clone(&decoded));
+        self.buffer_order.push_back(pid);
+        Ok(decoded)
+    }
+
+    /// Every object reachable from `source` during `interval`, with exact
+    /// earliest hold ticks (the paper's batch epidemiology / watch-list
+    /// scenarios, §1). Returns the result plus the query's IO-accounted
+    /// stats.
+    pub fn reachable_set(
+        &mut self,
+        source: ObjectId,
+        interval: reach_core::TimeInterval,
+    ) -> Result<(Vec<(ObjectId, Time)>, QueryStats), IndexError> {
+        let started = Instant::now();
+        self.reset_io();
+        self.pager.break_sequence();
+        let before = self.pager.stats();
+        let (set, tstats) = crate::traverse::reachable_set(self, source, interval)?;
+        let io = self.pager.stats().since(&before);
+        Ok((
+            set,
+            QueryStats {
+                random_ios: io.random_reads,
+                seq_ios: io.seq_reads,
+                visited: tstats.visited,
+                examined: tstats.examined,
+                cpu: started.elapsed(),
+            },
+        ))
+    }
+
+    /// Evaluates with an explicit traversal strategy.
+    pub fn evaluate_with(
+        &mut self,
+        q: &Query,
+        kind: TraversalKind,
+    ) -> Result<QueryResult, IndexError> {
+        let started = Instant::now();
+        self.reset_io();
+        self.pager.break_sequence();
+        let before = self.pager.stats();
+        let (outcome, tstats) = evaluate(self, q, kind)?;
+        let io = self.pager.stats().since(&before);
+        Ok(QueryResult {
+            outcome,
+            stats: QueryStats {
+                random_ios: io.random_reads,
+                seq_ios: io.seq_reads,
+                visited: tstats.visited,
+                examined: tstats.examined,
+                cpu: started.elapsed(),
+            },
+        })
+    }
+}
+
+impl HnSource for ReachGraph {
+    fn backing(&self) -> &'static str {
+        "disk"
+    }
+
+    fn levels(&self) -> &[Time] {
+        &self.params.levels
+    }
+
+    fn horizon(&self) -> Time {
+        self.horizon
+    }
+
+    fn num_objects(&self) -> usize {
+        self.num_objects
+    }
+
+    fn vertex(&mut self, v: u32) -> Result<VertexData, IndexError> {
+        let pid = *self
+            .partition_of
+            .get(v as usize)
+            .ok_or_else(|| IndexError::Corrupt(format!("vertex {v} out of range")))?;
+        let part = self.fetch_partition(pid)?;
+        part.vertices
+            .get(&v)
+            .cloned()
+            .ok_or_else(|| IndexError::Corrupt(format!("vertex {v} missing from partition {pid}")))
+    }
+
+    fn node_of(&mut self, o: ObjectId, t: Time) -> Result<u32, IndexError> {
+        let &(first, count) = self
+            .timeline_index
+            .get(o.index())
+            .ok_or(IndexError::UnknownObject(o))?;
+        // Binary search over on-disk fixed-width entries via the pager.
+        let entries_per_page = self.params.page_size / 8;
+        let read_entry = |this: &mut Self, idx: u64| -> Result<(Time, u32), IndexError> {
+            let page = this.timeline_first_page + idx / entries_per_page as u64;
+            let off = (idx % entries_per_page as u64) as usize * 8;
+            let bytes = this.pager.read(page)?;
+            Ok((
+                u32::from_le_bytes([bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3]]),
+                u32::from_le_bytes([
+                    bytes[off + 4],
+                    bytes[off + 5],
+                    bytes[off + 6],
+                    bytes[off + 7],
+                ]),
+            ))
+        };
+        let (mut lo, mut hi) = (0u64, u64::from(count)); // invariant: entry[lo].start ≤ t < entry[hi].start
+        while lo + 1 < hi {
+            let mid = (lo + hi) / 2;
+            let (start, _) = read_entry(self, first + mid)?;
+            if start <= t {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let (_, node) = read_entry(self, first + lo)?;
+        Ok(node)
+    }
+}
+
+impl ReachabilityIndex for ReachGraph {
+    fn name(&self) -> &'static str {
+        "ReachGraph"
+    }
+
+    fn evaluate(&mut self, query: &Query) -> Result<QueryResult, IndexError> {
+        self.evaluate_with(query, TraversalKind::BmBfs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use reach_contact::{Oracle, DEFAULT_LEVELS};
+    use reach_core::TimeInterval;
+
+    fn random_world(seed: u64, n: usize, horizon: Time, density: f64) -> (DnGraph, MultiRes, Oracle) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let script: Vec<Vec<(u32, u32)>> = (0..horizon)
+            .map(|_| {
+                let mut pairs = Vec::new();
+                for a in 0..n as u32 {
+                    for b in (a + 1)..n as u32 {
+                        if rng.gen_bool(density) {
+                            pairs.push((a, b));
+                        }
+                    }
+                }
+                pairs
+            })
+            .collect();
+        let dn = DnGraph::build_from_ticks(n, horizon, |t| script[t as usize].as_slice());
+        let mr = MultiRes::build(&dn, &DEFAULT_LEVELS);
+        let oracle = Oracle::from_events(n, script);
+        (dn, mr, oracle)
+    }
+
+    fn params(page: usize) -> GraphParams {
+        GraphParams {
+            partition_depth: 8,
+            levels: DEFAULT_LEVELS.to_vec(),
+            partition_cache: 8,
+            page_size: page,
+        }
+    }
+
+    #[test]
+    fn disk_graph_matches_oracle_all_kinds() {
+        for seed in 0..5u64 {
+            let n = 6;
+            let horizon = 70;
+            let (dn, mr, oracle) = random_world(seed, n, horizon, 0.03);
+            let mut rg = ReachGraph::build(&dn, &mr, params(256)).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x777);
+            for _ in 0..40 {
+                let s = rng.gen_range(0..n as u32);
+                let d = rng.gen_range(0..n as u32);
+                let a = rng.gen_range(0..horizon);
+                let b = rng.gen_range(a..horizon);
+                let q = Query::new(ObjectId(s), ObjectId(d), TimeInterval::new(a, b));
+                let expected = oracle.evaluate(&q).reachable;
+                for kind in [
+                    TraversalKind::EDfs,
+                    TraversalKind::EBfs,
+                    TraversalKind::BBfs,
+                    TraversalKind::BmBfs,
+                ] {
+                    let got = rg.evaluate_with(&q, kind).unwrap();
+                    assert_eq!(
+                        got.reachable(),
+                        expected,
+                        "{} on disk disagrees on {q} (seed {seed})",
+                        kind.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn node_of_matches_memory_graph() {
+        let (dn, mr, _) = random_world(11, 5, 40, 0.08);
+        let mut rg = ReachGraph::build(&dn, &mr, params(128)).unwrap();
+        for o in 0..5u32 {
+            for t in 0..40 {
+                assert_eq!(
+                    rg.node_of(ObjectId(o), t).unwrap(),
+                    dn.node_of(ObjectId(o), t).0,
+                    "timeline lookup mismatch for o{o} at t{t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn queries_cost_io_and_partition_buffer_bounds_memory() {
+        let (dn, mr, _) = random_world(2, 8, 120, 0.05);
+        let mut rg = ReachGraph::build(&dn, &mr, params(256)).unwrap();
+        let q = Query::new(ObjectId(0), ObjectId(7), TimeInterval::new(0, 119));
+        let r = rg.evaluate_with(&q, TraversalKind::BmBfs).unwrap();
+        assert!(r.stats.random_ios + r.stats.seq_ios > 0, "disk queries cost IO");
+        assert!(rg.buffer.len() <= rg.params.partition_cache);
+    }
+
+    #[test]
+    fn vertex_roundtrips_through_disk() {
+        let (dn, mr, _) = random_world(5, 5, 30, 0.1);
+        let mut rg = ReachGraph::build(&dn, &mr, params(128)).unwrap();
+        for v in 0..dn.num_nodes() as u32 {
+            let vd = rg.vertex(v).unwrap();
+            assert_eq!(vd.interval, dn.node(v).interval);
+            assert_eq!(
+                vd.members,
+                dn.node(v).members.iter().map(|m| m.0).collect::<Vec<_>>()
+            );
+            assert_eq!(vd.fwd, dn.fwd(v));
+            assert_eq!(vd.rev, dn.rev(v));
+            for idx in 0..mr.levels().len() {
+                assert_eq!(vd.bundles[idx], mr.bundle(idx, v));
+            }
+        }
+    }
+
+    #[test]
+    fn deeper_partitions_mean_fewer_partitions() {
+        let (dn, mr, _) = random_world(6, 6, 100, 0.05);
+        let shallow = ReachGraph::build(
+            &dn,
+            &mr,
+            GraphParams {
+                partition_depth: 1,
+                ..params(256)
+            },
+        )
+        .unwrap();
+        let deep = ReachGraph::build(
+            &dn,
+            &mr,
+            GraphParams {
+                partition_depth: 64,
+                ..params(256)
+            },
+        )
+        .unwrap();
+        assert!(deep.num_partitions() <= shallow.num_partitions());
+    }
+
+    #[test]
+    fn memory_and_disk_agree_exactly() {
+        let (dn, mr, _) = random_world(8, 6, 60, 0.06);
+        let mut rg = ReachGraph::build(&dn, &mr, params(256)).unwrap();
+        let mut mem = crate::memory::MemoryHn::new(&dn, &mr);
+        let mut rng = StdRng::seed_from_u64(123);
+        for _ in 0..40 {
+            let s = rng.gen_range(0..6u32);
+            let d = rng.gen_range(0..6u32);
+            let a = rng.gen_range(0..60);
+            let b = rng.gen_range(a..60);
+            let q = Query::new(ObjectId(s), ObjectId(d), TimeInterval::new(a, b));
+            let disk = rg.evaluate_with(&q, TraversalKind::BmBfs).unwrap();
+            let mem_r = mem.evaluate_with(&q, TraversalKind::BmBfs).unwrap();
+            assert_eq!(disk.reachable(), mem_r.reachable(), "query {q}");
+            assert_eq!(disk.stats.visited, mem_r.stats.visited, "visit counts differ on {q}");
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # reach-graph
+//!
+//! The **ReachGraph** index (paper §5): precomputed multi-resolution
+//! reachability over the reduced contact-network DAG, laid out on disk in
+//! topological partitions, queried with bidirectional multi-resolution BFS
+//! (BM-BFS, Algorithm 2).
+//!
+//! * [`GraphParams`] / [`TraversalKind`] — tuning and strategy selection;
+//! * [`placement`] — depth-`d_p` topological partitioning (§5.1.3);
+//! * [`ReachGraph`] — the disk-resident index;
+//! * [`MemoryHn`] — the memory-resident variant (§6.4);
+//! * [`traverse`] — E-DFS / E-BFS / B-BFS / BM-BFS over either backing.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod diskgraph;
+pub mod memory;
+pub mod params;
+pub mod placement;
+pub mod traverse;
+pub mod vertex;
+
+pub use diskgraph::ReachGraph;
+pub use memory::MemoryHn;
+pub use params::{GraphParams, TraversalKind};
+pub use placement::{partition, Partitioning};
+pub use traverse::{reachable_set, TraversalStats};
+pub use vertex::{HnSource, VertexData};

@@ -1,0 +1,102 @@
+//! ReachGraph tuning parameters.
+
+use reach_core::Time;
+use reach_storage::DEFAULT_PAGE_SIZE;
+
+/// Construction and runtime parameters of a ReachGraph index (paper §5).
+#[derive(Clone, Debug)]
+pub struct GraphParams {
+    /// Partition depth `d_p`: vertices within this DN1 depth of a partition
+    /// root are placed together (paper optimum: 32, §6.2.1.4).
+    pub partition_depth: u32,
+    /// Long-edge resolutions (doubling chain starting at 2; the paper's
+    /// optimum is six resolutions, `DN_1 ∪ DN_2 ∪ … ∪ DN_32`).
+    pub levels: Vec<Time>,
+    /// Number of decoded partitions buffered during traversal ("older
+    /// partitions in memory can be discarded", §5.2).
+    pub partition_cache: usize,
+    /// Device page size in bytes (paper: 4 KB).
+    pub page_size: usize,
+}
+
+impl Default for GraphParams {
+    fn default() -> Self {
+        Self {
+            partition_depth: 32,
+            levels: reach_contact::DEFAULT_LEVELS.to_vec(),
+            partition_cache: 64,
+            page_size: DEFAULT_PAGE_SIZE,
+        }
+    }
+}
+
+impl GraphParams {
+    /// Validates parameter sanity; called by the builder.
+    pub fn validate(&self) {
+        assert!(self.partition_depth >= 1, "partition depth must be ≥ 1");
+        assert!(self.page_size >= 64, "page size unreasonably small");
+        for (i, &l) in self.levels.iter().enumerate() {
+            if i == 0 {
+                assert_eq!(l, 2, "first level must be 2");
+            } else {
+                assert_eq!(l, self.levels[i - 1] * 2, "levels must double");
+            }
+        }
+    }
+}
+
+/// Which traversal strategy evaluates the query (paper §6.2.2 compares all
+/// of them; BM-BFS is ReachGraph proper).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraversalKind {
+    /// External DFS to the exact destination vertex — the naïve baseline.
+    EDfs,
+    /// External BFS to the exact destination vertex.
+    EBfs,
+    /// Bidirectional BFS at resolution `DN_1` only, with member
+    /// intersection.
+    BBfs,
+    /// Bidirectional multi-resolution BFS (Algorithm 2).
+    BmBfs,
+}
+
+impl TraversalKind {
+    /// Report name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraversalKind::EDfs => "E-DFS",
+            TraversalKind::EBfs => "E-BFS",
+            TraversalKind::BBfs => "B-BFS",
+            TraversalKind::BmBfs => "BM-BFS",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_optima() {
+        let p = GraphParams::default();
+        assert_eq!(p.partition_depth, 32);
+        assert_eq!(p.levels, vec![2, 4, 8, 16, 32]);
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "levels must double")]
+    fn bad_levels_rejected() {
+        GraphParams {
+            levels: vec![2, 3],
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(TraversalKind::BmBfs.name(), "BM-BFS");
+        assert_eq!(TraversalKind::EDfs.name(), "E-DFS");
+    }
+}

@@ -1,0 +1,132 @@
+//! Vertex records: the unit of traversal, memory- or disk-backed.
+
+use reach_core::{IndexError, ObjectId, Time, TimeInterval};
+use reach_storage::{ByteReader, ByteWriter};
+
+/// Owned view of one `HN` vertex as traversal consumes it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VertexData {
+    /// Validity interval of the component.
+    pub interval: TimeInterval,
+    /// Sorted member objects.
+    pub members: Vec<u32>,
+    /// DN1 successors (components at `end + 1`).
+    pub fwd: Vec<u32>,
+    /// DN1 predecessors (components at `start - 1`).
+    pub rev: Vec<u32>,
+    /// Long-edge bundles, one per materialized level (possibly empty).
+    pub bundles: Vec<Vec<u32>>,
+}
+
+impl VertexData {
+    /// Whether `o` is a member.
+    pub fn contains(&self, o: ObjectId) -> bool {
+        self.members.binary_search(&o.0).is_ok()
+    }
+
+    /// Serializes the vertex.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.put_u32(self.interval.start);
+        w.put_u32(self.interval.end);
+        w.put_u32_slice(&self.members);
+        w.put_u32_slice(&self.fwd);
+        w.put_u32_slice(&self.rev);
+        w.put_u8(self.bundles.len() as u8);
+        for b in &self.bundles {
+            w.put_u32_slice(b);
+        }
+    }
+
+    /// Decodes a vertex.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, IndexError> {
+        let start = r.get_u32()?;
+        let end = r.get_u32()?;
+        let interval = TimeInterval::try_new(start, end)
+            .ok_or_else(|| IndexError::Corrupt(format!("vertex interval [{start}, {end}]")))?;
+        let members = r.get_u32_vec()?;
+        let fwd = r.get_u32_vec()?;
+        let rev = r.get_u32_vec()?;
+        let nb = r.get_u8()? as usize;
+        let mut bundles = Vec::with_capacity(nb);
+        for _ in 0..nb {
+            bundles.push(r.get_u32_vec()?);
+        }
+        Ok(Self {
+            interval,
+            members,
+            fwd,
+            rev,
+            bundles,
+        })
+    }
+}
+
+/// The abstraction both the memory-resident and the disk-resident `HN`
+/// expose to the traversal algorithms.
+pub trait HnSource {
+    /// Identifying name for reports ("memory" / "disk").
+    fn backing(&self) -> &'static str;
+
+    /// Materialized long-edge levels (ascending doubling chain).
+    fn levels(&self) -> &[Time];
+
+    /// Dataset horizon in ticks.
+    fn horizon(&self) -> Time;
+
+    /// Number of objects.
+    fn num_objects(&self) -> usize;
+
+    /// Fetches one vertex (charging IO where applicable).
+    fn vertex(&mut self, v: u32) -> Result<VertexData, IndexError>;
+
+    /// The vertex containing `o` at tick `t` (the paper's `Ht` lookup).
+    fn node_of(&mut self, o: ObjectId, t: Time) -> Result<u32, IndexError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_roundtrip() {
+        let v = VertexData {
+            interval: TimeInterval::new(3, 9),
+            members: vec![1, 4, 7],
+            fwd: vec![10, 12],
+            rev: vec![0],
+            bundles: vec![vec![20], vec![], vec![30, 31]],
+        };
+        let mut w = ByteWriter::new();
+        v.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(VertexData::decode(&mut r).unwrap(), v);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn corrupt_interval_detected() {
+        let mut w = ByteWriter::new();
+        w.put_u32(9); // start
+        w.put_u32(3); // end < start
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(
+            VertexData::decode(&mut r),
+            Err(IndexError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn contains_uses_binary_search() {
+        let v = VertexData {
+            interval: TimeInterval::new(0, 0),
+            members: vec![2, 5, 9],
+            fwd: vec![],
+            rev: vec![],
+            bundles: vec![],
+        };
+        assert!(v.contains(ObjectId(5)));
+        assert!(!v.contains(ObjectId(4)));
+    }
+}

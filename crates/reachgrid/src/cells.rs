@@ -1,0 +1,232 @@
+//! Grid-cell records: the on-disk unit of ReachGrid.
+//!
+//! A cell record holds, for every object whose chunk segment touches the
+//! cell, the object's *full* segment for that temporal partition. Storing the
+//! whole segment (rather than only the in-cell samples) keeps each seed's
+//! position known for every tick of the chunk once a single cell containing
+//! it has been read — the property Algorithm 1's incremental sweep relies on.
+
+use reach_core::{Coord, IndexError, ObjectId, Point, Time};
+use reach_storage::{ByteReader, ByteWriter};
+
+/// Decoded contents of one grid cell for one temporal partition.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CellData {
+    /// `(object, samples)` pairs, ascending by object id; `samples[k]` is
+    /// the position at tick `window.start + k` of the chunk.
+    pub objects: Vec<(ObjectId, Vec<Point>)>,
+}
+
+impl CellData {
+    /// Serializes the cell into a record payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::with_capacity(8 + self.objects.len() * 64);
+        w.put_u32(self.objects.len() as u32);
+        for (o, samples) in &self.objects {
+            w.put_u32(o.0);
+            w.put_u32(samples.len() as u32);
+            for p in samples {
+                w.put_f32(p.x);
+                w.put_f32(p.y);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a record payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self, IndexError> {
+        let mut r = ByteReader::new(bytes);
+        let n = r.get_u32()? as usize;
+        let mut objects = Vec::with_capacity(n);
+        for _ in 0..n {
+            let o = ObjectId(r.get_u32()?);
+            let k = r.get_u32()? as usize;
+            let mut samples = Vec::with_capacity(k);
+            for _ in 0..k {
+                let x = r.get_f32()?;
+                let y = r.get_f32()?;
+                samples.push(Point::new(x, y));
+            }
+            objects.push((o, samples));
+        }
+        Ok(Self { objects })
+    }
+}
+
+/// Maps positions to spatial-grid cell coordinates.
+#[derive(Clone, Copy, Debug)]
+pub struct GridGeometry {
+    /// Cell side in metres.
+    pub cell_size: Coord,
+    /// Grid columns.
+    pub cols: u32,
+    /// Grid rows.
+    pub rows: u32,
+}
+
+impl GridGeometry {
+    /// Builds the geometry for an environment of `width × height` metres.
+    pub fn new(width: Coord, height: Coord, cell_size: Coord) -> Self {
+        assert!(cell_size > 0.0);
+        let cols = (width / cell_size).ceil().max(1.0) as u32;
+        let rows = (height / cell_size).ceil().max(1.0) as u32;
+        Self {
+            cell_size,
+            cols,
+            rows,
+        }
+    }
+
+    /// Total number of cells.
+    pub fn num_cells(&self) -> u32 {
+        self.cols * self.rows
+    }
+
+    /// Cell id containing `p` (positions outside the environment are
+    /// clamped to the border cells).
+    #[inline]
+    pub fn cell_of(&self, p: Point) -> u32 {
+        let cx = ((p.x / self.cell_size).floor() as i64).clamp(0, i64::from(self.cols) - 1) as u32;
+        let cy = ((p.y / self.cell_size).floor() as i64).clamp(0, i64::from(self.rows) - 1) as u32;
+        cy * self.cols + cx
+    }
+
+    /// All cell ids intersecting the axis-aligned square of half-width
+    /// `margin` around `p` — the cells a `d_T`-inflated seed position can
+    /// touch (the potential-seed cells `N_i` of §4.2).
+    pub fn cells_around(&self, p: Point, margin: Coord, out: &mut Vec<u32>) {
+        let lo_x = (((p.x - margin) / self.cell_size).floor() as i64).clamp(0, i64::from(self.cols) - 1);
+        let hi_x = (((p.x + margin) / self.cell_size).floor() as i64).clamp(0, i64::from(self.cols) - 1);
+        let lo_y = (((p.y - margin) / self.cell_size).floor() as i64).clamp(0, i64::from(self.rows) - 1);
+        let hi_y = (((p.y + margin) / self.cell_size).floor() as i64).clamp(0, i64::from(self.rows) - 1);
+        for cy in lo_y..=hi_y {
+            for cx in lo_x..=hi_x {
+                out.push(cy as u32 * self.cols + cx as u32);
+            }
+        }
+    }
+}
+
+/// A chunk (temporal partition) boundary helper: chunk `j` covers ticks
+/// `[j·R_T, min((j+1)·R_T, horizon) - 1]`.
+#[derive(Clone, Copy, Debug)]
+pub struct ChunkLayout {
+    /// Ticks per chunk (`R_T`).
+    pub temporal: Time,
+    /// Dataset horizon.
+    pub horizon: Time,
+}
+
+impl ChunkLayout {
+    /// Number of chunks.
+    pub fn num_chunks(&self) -> u32 {
+        if self.horizon == 0 {
+            0
+        } else {
+            self.horizon.div_ceil(self.temporal)
+        }
+    }
+
+    /// Chunk index containing tick `t`.
+    #[inline]
+    pub fn chunk_of(&self, t: Time) -> u32 {
+        t / self.temporal
+    }
+
+    /// Tick window of chunk `j`.
+    pub fn window(&self, j: u32) -> reach_core::TimeInterval {
+        let start = j * self.temporal;
+        let end = ((j + 1) * self.temporal - 1).min(self.horizon - 1);
+        reach_core::TimeInterval::new(start, end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_record_roundtrip() {
+        let cell = CellData {
+            objects: vec![
+                (ObjectId(3), vec![Point::new(1.0, 2.0), Point::new(3.0, 4.0)]),
+                (ObjectId(9), vec![Point::new(-1.5, 0.25)]),
+            ],
+        };
+        let bytes = cell.encode();
+        assert_eq!(CellData::decode(&bytes).unwrap(), cell);
+    }
+
+    #[test]
+    fn empty_cell_roundtrip() {
+        let cell = CellData::default();
+        assert_eq!(CellData::decode(&cell.encode()).unwrap(), cell);
+    }
+
+    #[test]
+    fn truncated_cell_is_corrupt() {
+        let cell = CellData {
+            objects: vec![(ObjectId(1), vec![Point::new(0.0, 0.0)])],
+        };
+        let bytes = cell.encode();
+        assert!(CellData::decode(&bytes[..bytes.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn geometry_cell_mapping() {
+        let g = GridGeometry::new(100.0, 50.0, 10.0);
+        assert_eq!(g.cols, 10);
+        assert_eq!(g.rows, 5);
+        assert_eq!(g.num_cells(), 50);
+        assert_eq!(g.cell_of(Point::new(0.0, 0.0)), 0);
+        assert_eq!(g.cell_of(Point::new(95.0, 45.0)), 49);
+        assert_eq!(g.cell_of(Point::new(15.0, 25.0)), 2 * 10 + 1);
+        // Out-of-range positions clamp to border cells.
+        assert_eq!(g.cell_of(Point::new(-5.0, -5.0)), 0);
+        assert_eq!(g.cell_of(Point::new(1000.0, 1000.0)), 49);
+    }
+
+    #[test]
+    fn cells_around_covers_neighborhood() {
+        let g = GridGeometry::new(100.0, 100.0, 10.0);
+        let mut out = Vec::new();
+        // Point in the middle of cell (5,5); margin under a cell: only the
+        // home cell unless the margin crosses a boundary.
+        g.cells_around(Point::new(55.0, 55.0), 4.0, &mut out);
+        assert_eq!(out, vec![5 * 10 + 5]);
+        out.clear();
+        // Margin crossing into all 8 neighbors.
+        g.cells_around(Point::new(55.0, 55.0), 6.0, &mut out);
+        assert_eq!(out.len(), 9);
+        out.clear();
+        // Corner point: clamped to the grid.
+        g.cells_around(Point::new(0.0, 0.0), 15.0, &mut out);
+        assert_eq!(out.len(), 4); // cells (0,0),(1,0),(0,1),(1,1)
+    }
+
+    #[test]
+    fn chunk_layout_windows() {
+        let l = ChunkLayout {
+            temporal: 20,
+            horizon: 45,
+        };
+        assert_eq!(l.num_chunks(), 3);
+        assert_eq!(l.window(0), reach_core::TimeInterval::new(0, 19));
+        assert_eq!(l.window(1), reach_core::TimeInterval::new(20, 39));
+        assert_eq!(l.window(2), reach_core::TimeInterval::new(40, 44));
+        assert_eq!(l.chunk_of(0), 0);
+        assert_eq!(l.chunk_of(19), 0);
+        assert_eq!(l.chunk_of(20), 1);
+        assert_eq!(l.chunk_of(44), 2);
+    }
+
+    #[test]
+    fn chunk_layout_exact_multiple() {
+        let l = ChunkLayout {
+            temporal: 10,
+            horizon: 30,
+        };
+        assert_eq!(l.num_chunks(), 3);
+        assert_eq!(l.window(2), reach_core::TimeInterval::new(20, 29));
+    }
+}

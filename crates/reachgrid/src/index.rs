@@ -1,0 +1,341 @@
+//! ReachGrid index construction and disk placement (paper §4.1).
+//!
+//! Layout on the simulated device, in page order:
+//!
+//! 1. the object→cell *directory*: for every chunk, a fixed-width array of
+//!    `u32` cell ids giving each object's cell at the chunk's first tick
+//!    (the paper's external hash table mapping objects to trajectories);
+//! 2. the cell records of chunk 0, page-aligned, ascending cell id;
+//! 3. the cell records of chunk 1; … and so on.
+//!
+//! Cells of earlier chunks strictly precede later chunks (the paper's
+//! placement rule for early termination) and the trajectories inside a cell
+//! sit on consecutive pages.
+
+use crate::cells::{CellData, ChunkLayout, GridGeometry};
+use crate::params::GridParams;
+use reach_core::{Environment, IndexError, ObjectId, Time, TimeInterval};
+use reach_storage::{DiskSim, IoStats, Pager, RecordPtr, RecordWriter};
+use reach_traj::TrajectoryStore;
+
+/// Per-chunk metadata kept in memory (the grid directory itself is tiny
+/// compared to the data; the object→cell directory is on disk).
+#[derive(Clone, Debug)]
+pub struct ChunkMeta {
+    /// Tick window of the chunk.
+    pub window: TimeInterval,
+    /// `(cell id, record address)` of every non-empty cell, ascending id.
+    pub cells: Vec<(u32, RecordPtr)>,
+}
+
+impl ChunkMeta {
+    /// Record pointer of a cell, if the cell is non-empty.
+    pub fn cell_ptr(&self, cell: u32) -> Option<RecordPtr> {
+        self.cells
+            .binary_search_by_key(&cell, |&(c, _)| c)
+            .ok()
+            .map(|i| self.cells[i].1)
+    }
+}
+
+/// A fully constructed, disk-resident ReachGrid index.
+#[derive(Debug)]
+pub struct ReachGrid {
+    pub(crate) params: GridParams,
+    pub(crate) geometry: GridGeometry,
+    pub(crate) layout: ChunkLayout,
+    pub(crate) chunks: Vec<ChunkMeta>,
+    pub(crate) dir_first_page: u64,
+    pub(crate) dir_pages_per_chunk: u64,
+    pub(crate) num_objects: usize,
+    pub(crate) pager: Pager,
+}
+
+impl ReachGrid {
+    /// Builds the index for `store` with the given parameters.
+    pub fn build(store: &TrajectoryStore, params: GridParams) -> Result<Self, IndexError> {
+        params.validate();
+        let env: Environment = store.environment();
+        let geometry = GridGeometry::new(env.width, env.height, params.cell_size);
+        let layout = ChunkLayout {
+            temporal: params.temporal,
+            horizon: store.horizon(),
+        };
+        let num_objects = store.num_objects();
+        let mut disk = DiskSim::new(params.page_size);
+
+        // --- Directory region -------------------------------------------
+        let entries_per_page = params.page_size / 4;
+        let dir_pages_per_chunk = (num_objects as u64).div_ceil(entries_per_page as u64).max(1);
+        let num_chunks = layout.num_chunks() as u64;
+        let dir_first_page = disk.allocate((dir_pages_per_chunk * num_chunks) as usize);
+
+        // --- Cell region --------------------------------------------------
+        let mut writer = RecordWriter::new(&mut disk);
+        let mut chunks = Vec::with_capacity(num_chunks as usize);
+        let mut dir_page_buf = vec![0u8; params.page_size];
+        for j in 0..layout.num_chunks() {
+            let window = layout.window(j);
+            // Assign each object's chunk segment to every cell one of its
+            // samples falls in.
+            let mut staging: std::collections::BTreeMap<u32, CellData> =
+                std::collections::BTreeMap::new();
+            let mut dir_entries: Vec<u32> = Vec::with_capacity(num_objects);
+            let mut touched: Vec<u32> = Vec::new();
+            for traj in store.iter() {
+                let seg = traj
+                    .segment(window)
+                    .expect("chunk windows lie inside the horizon");
+                touched.clear();
+                for (_, p) in seg.samples() {
+                    touched.push(self_cell(&geometry, p));
+                }
+                touched.sort_unstable();
+                touched.dedup();
+                dir_entries.push(self_cell(
+                    &geometry,
+                    seg.positions[0],
+                ));
+                for &cell in &touched {
+                    staging
+                        .entry(cell)
+                        .or_default()
+                        .objects
+                        .push((traj.object, seg.positions.to_vec()));
+                }
+            }
+            // Write this chunk's directory pages.
+            for (page_idx, chunk_entries) in dir_entries.chunks(entries_per_page).enumerate() {
+                dir_page_buf.fill(0);
+                for (k, &cell) in chunk_entries.iter().enumerate() {
+                    dir_page_buf[k * 4..k * 4 + 4].copy_from_slice(&cell.to_le_bytes());
+                }
+                disk.write_page(
+                    dir_first_page + u64::from(j) * dir_pages_per_chunk + page_idx as u64,
+                    &dir_page_buf,
+                )?;
+            }
+            // Write the chunk's cells in ascending cell-id order, each
+            // page-aligned so its first access is one seek.
+            let mut cells = Vec::with_capacity(staging.len());
+            for (cell_id, data) in staging {
+                writer.align_to_page(&mut disk)?;
+                let ptr = writer.append(&mut disk, &data.encode())?;
+                cells.push((cell_id, ptr));
+            }
+            chunks.push(ChunkMeta { window, cells });
+        }
+        writer.finish(&mut disk)?;
+        disk.reset_stats();
+        Ok(Self {
+            params,
+            geometry,
+            layout,
+            chunks,
+            dir_first_page,
+            dir_pages_per_chunk,
+            num_objects,
+            pager: Pager::new(disk, params.cache_pages),
+        })
+    }
+
+    /// Index parameters.
+    pub fn params(&self) -> &GridParams {
+        &self.params
+    }
+
+    /// Grid geometry (spatial partitioning).
+    pub fn geometry(&self) -> &GridGeometry {
+        &self.geometry
+    }
+
+    /// Temporal chunk layout.
+    pub fn layout(&self) -> &ChunkLayout {
+        &self.layout
+    }
+
+    /// Number of indexed objects.
+    pub fn num_objects(&self) -> usize {
+        self.num_objects
+    }
+
+    /// Indexed horizon.
+    pub fn horizon(&self) -> Time {
+        self.layout.horizon
+    }
+
+    /// Per-chunk metadata.
+    pub fn chunk(&self, j: u32) -> &ChunkMeta {
+        &self.chunks[j as usize]
+    }
+
+    /// Total index size on the simulated device, in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.pager.disk().size_bytes()
+    }
+
+    /// Cumulative device IO counters (construction writes + query reads).
+    pub fn io_stats(&self) -> IoStats {
+        self.pager.stats()
+    }
+
+    /// Clears IO counters and the buffer pool (cold-cache measurement
+    /// boundary).
+    pub fn reset_io(&mut self) {
+        self.pager.reset_stats();
+        self.pager.clear_cache();
+    }
+
+    /// Test-only public wrapper over the directory lookup.
+    #[doc(hidden)]
+    pub fn dir_lookup_for_tests(&mut self, chunk: u32, o: ObjectId) -> Result<u32, IndexError> {
+        self.dir_lookup(chunk, o)
+    }
+
+    /// Test-only public wrapper over the cell reader.
+    #[doc(hidden)]
+    pub fn read_cell_for_tests(
+        &mut self,
+        ptr: reach_storage::RecordPtr,
+    ) -> Result<CellData, IndexError> {
+        self.read_cell(ptr)
+    }
+
+    /// Reads one object→cell directory entry through the pager.
+    pub(crate) fn dir_lookup(&mut self, chunk: u32, o: ObjectId) -> Result<u32, IndexError> {
+        let entries_per_page = self.params.page_size / 4;
+        let page = self.dir_first_page
+            + u64::from(chunk) * self.dir_pages_per_chunk
+            + (o.index() / entries_per_page) as u64;
+        let off = (o.index() % entries_per_page) * 4;
+        let bytes = self.pager.read(page)?;
+        Ok(u32::from_le_bytes([
+            bytes[off],
+            bytes[off + 1],
+            bytes[off + 2],
+            bytes[off + 3],
+        ]))
+    }
+
+    /// Reads and decodes one cell record through the pager.
+    pub(crate) fn read_cell(&mut self, ptr: RecordPtr) -> Result<CellData, IndexError> {
+        let bytes = reach_storage::read_record(&mut self.pager, ptr)?;
+        CellData::decode(&bytes)
+    }
+}
+
+#[inline]
+fn self_cell(geometry: &GridGeometry, p: reach_core::Point) -> u32 {
+    geometry.cell_of(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reach_core::Point;
+    use reach_traj::Trajectory;
+
+    fn store() -> TrajectoryStore {
+        // 3 objects, 25 ticks, 100×100 env: o0 in the west, o1 in the east,
+        // o2 wandering across.
+        let env = Environment::square(100.0);
+        let mk = |id: u32, f: &dyn Fn(u32) -> (f32, f32)| {
+            Trajectory::new(
+                ObjectId(id),
+                0,
+                (0..25).map(|t| { let (x, y) = f(t); Point::new(x, y) }).collect(),
+            )
+        };
+        let trajs = vec![
+            mk(0, &|_| (10.0, 10.0)),
+            mk(1, &|_| (90.0, 90.0)),
+            mk(2, &|t| (4.0 * t as f32, 50.0)),
+        ];
+        TrajectoryStore::new(env, trajs).unwrap()
+    }
+
+    fn params() -> GridParams {
+        GridParams {
+            temporal: 10,
+            cell_size: 25.0,
+            threshold: 5.0,
+            cache_pages: 16,
+            page_size: 256,
+        }
+    }
+
+    #[test]
+    fn build_creates_expected_chunks() {
+        let g = ReachGrid::build(&store(), params()).unwrap();
+        assert_eq!(g.layout().num_chunks(), 3);
+        assert_eq!(g.chunk(0).window, TimeInterval::new(0, 9));
+        assert_eq!(g.chunk(2).window, TimeInterval::new(20, 24));
+        assert_eq!(g.num_objects(), 3);
+        assert!(g.size_bytes() > 0);
+    }
+
+    #[test]
+    fn directory_points_to_start_cell() {
+        let mut g = ReachGrid::build(&store(), params()).unwrap();
+        // o0 at (10,10) → cell (0,0) = 0 in a 4×4 grid of 25m cells.
+        assert_eq!(g.dir_lookup(0, ObjectId(0)).unwrap(), 0);
+        // o1 at (90,90) → cell (3,3) = 15.
+        assert_eq!(g.dir_lookup(0, ObjectId(1)).unwrap(), 15);
+        // o2 starts chunk 1 at x=40 → col 1, row 2 → 9.
+        assert_eq!(g.dir_lookup(1, ObjectId(2)).unwrap(), 2 * 4 + 1);
+    }
+
+    #[test]
+    fn cells_contain_full_segments() {
+        let mut g = ReachGrid::build(&store(), params()).unwrap();
+        let ptr = g
+            .chunk(0)
+            .cell_ptr(0)
+            .expect("o0's home cell is non-empty");
+        let cell = g.read_cell(ptr).unwrap();
+        let (o, samples) = &cell.objects[0];
+        assert_eq!(*o, ObjectId(0));
+        assert_eq!(samples.len(), 10, "full chunk segment stored");
+    }
+
+    #[test]
+    fn moving_object_lands_in_multiple_cells() {
+        let mut g = ReachGrid::build(&store(), params()).unwrap();
+        // o2 crosses x=0..36 in chunk 0 → cells (0,2) and (1,2).
+        let c_a = g.chunk(0).cell_ptr(2 * 4).expect("cell (0,2)");
+        let c_b = g.chunk(0).cell_ptr(2 * 4 + 1).expect("cell (1,2)");
+        let in_a = g.read_cell(c_a).unwrap();
+        let in_b = g.read_cell(c_b).unwrap();
+        assert!(in_a.objects.iter().any(|(o, _)| *o == ObjectId(2)));
+        assert!(in_b.objects.iter().any(|(o, _)| *o == ObjectId(2)));
+    }
+
+    #[test]
+    fn empty_cells_not_stored() {
+        let g = ReachGrid::build(&store(), params()).unwrap();
+        // 4×4 grid, but only a handful of cells are populated per chunk.
+        assert!(g.chunk(0).cells.len() <= 6);
+        assert!(g.chunk(0).cell_ptr(5).is_none(), "cell (1,1) is empty");
+    }
+
+    #[test]
+    fn chunks_placed_in_order_on_disk() {
+        let g = ReachGrid::build(&store(), params()).unwrap();
+        let mut last = 0u64;
+        for j in 0..g.layout().num_chunks() {
+            for &(_, ptr) in &g.chunk(j).cells {
+                assert!(
+                    ptr.page >= last,
+                    "cell pages must be non-decreasing across chunks"
+                );
+                last = ptr.page;
+            }
+        }
+    }
+
+    #[test]
+    fn construction_io_is_reset() {
+        let g = ReachGrid::build(&store(), params()).unwrap();
+        assert_eq!(g.io_stats(), IoStats::default());
+    }
+}

@@ -1,0 +1,77 @@
+//! ReachGrid tuning parameters.
+
+use reach_core::{Coord, Time};
+use reach_storage::DEFAULT_PAGE_SIZE;
+
+/// Construction and runtime parameters of a ReachGrid index (paper §4.1).
+#[derive(Clone, Copy, Debug)]
+pub struct GridParams {
+    /// Temporal resolution `R_T`: ticks per temporal partition (the paper's
+    /// empirically optimal value is 20 for both dataset families, §6.1.1).
+    pub temporal: Time,
+    /// Spatial resolution `R_S`: grid cell side in metres (paper optimum:
+    /// 1 024 m for RWP, 17 km for VN).
+    pub cell_size: Coord,
+    /// Contact threshold `d_T` in metres.
+    pub threshold: Coord,
+    /// Buffer-pool capacity in pages used at query time.
+    pub cache_pages: usize,
+    /// Device page size in bytes (paper: 4 KB).
+    pub page_size: usize,
+}
+
+impl Default for GridParams {
+    fn default() -> Self {
+        Self {
+            temporal: 20,
+            cell_size: 1024.0,
+            threshold: 25.0,
+            cache_pages: 256,
+            page_size: DEFAULT_PAGE_SIZE,
+        }
+    }
+}
+
+impl GridParams {
+    /// Validates parameter sanity; called by the builder.
+    pub fn validate(&self) {
+        assert!(self.temporal >= 1, "temporal resolution must be ≥ 1 tick");
+        assert!(self.cell_size > 0.0, "cell size must be positive");
+        assert!(self.threshold > 0.0, "contact threshold must be positive");
+        assert!(self.page_size >= 64, "page size unreasonably small");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_optima() {
+        let p = GridParams::default();
+        assert_eq!(p.temporal, 20);
+        assert_eq!(p.cell_size, 1024.0);
+        assert_eq!(p.page_size, 4096);
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "temporal resolution")]
+    fn zero_temporal_rejected() {
+        GridParams {
+            temporal: 0,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "cell size")]
+    fn zero_cell_rejected() {
+        GridParams {
+            cell_size: 0.0,
+            ..Default::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,328 @@
+//! ReachGrid query processing — Algorithm 1 of the paper (§4.2).
+//!
+//! The evaluator sweeps the query interval chunk by chunk, maintaining the
+//! *seed set* (objects already reachable from the query source). Per chunk it
+//! loads only the cells containing seeds plus the `d_T`-inflated neighbor
+//! cells (`N_i`, the potential-seed cells), advances tick by tick, closes
+//! over same-tick contact chains, and terminates as soon as the destination
+//! becomes a seed. Cell buffers are discarded at chunk boundaries, exactly as
+//! the paper prescribes.
+
+use crate::cells::CellData;
+use crate::index::ReachGrid;
+use reach_core::{
+    IndexError, ObjectId, Point, Query, QueryOutcome, QueryResult, QueryStats,
+    ReachabilityIndex, Time, TimeInterval,
+};
+use reach_traj::SpatialHash;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Per-chunk working state of Algorithm 1.
+struct ChunkState {
+    /// Chunk tick window (unclipped), for sample indexing.
+    chunk_start: Time,
+    /// Decoded cells, keyed by cell id.
+    loaded: HashMap<u32, CellData>,
+    /// Chunk segments of current seeds (samples indexed from `chunk_start`).
+    seed_segs: HashMap<u32, Vec<Point>>,
+    /// Seeds whose neighborhood cells still need loading this tick.
+    pending: Vec<u32>,
+}
+
+impl ReachGrid {
+    /// Evaluates a reachability query with guided expansion (Algorithm 1).
+    pub fn evaluate_query(&mut self, q: &Query) -> Result<QueryResult, IndexError> {
+        let started = Instant::now();
+        self.pager.clear_cache();
+        self.pager.break_sequence();
+        let before = self.pager.stats();
+        let mut stats = QueryStats::default();
+
+        let outcome = self.run_query(q, &mut stats)?;
+
+        let io = self.pager.stats().since(&before);
+        stats.random_ios = io.random_reads;
+        stats.seq_ios = io.seq_reads;
+        stats.cpu = started.elapsed();
+        Ok(QueryResult { outcome, stats })
+    }
+
+    fn run_query(&mut self, q: &Query, stats: &mut QueryStats) -> Result<QueryOutcome, IndexError> {
+        let horizon = self.horizon();
+        if q.source.index() >= self.num_objects() {
+            return Err(IndexError::UnknownObject(q.source));
+        }
+        if q.dest.index() >= self.num_objects() {
+            return Err(IndexError::UnknownObject(q.dest));
+        }
+        if q.interval.start >= horizon {
+            return Err(IndexError::IntervalOutOfRange {
+                requested: q.interval,
+                horizon,
+            });
+        }
+        if q.source == q.dest {
+            return Ok(QueryOutcome::reachable_at(q.interval.start));
+        }
+        let interval = TimeInterval::new(q.interval.start, q.interval.end.min(horizon - 1));
+
+        let mut is_seed = vec![false; self.num_objects()];
+        is_seed[q.source.index()] = true;
+        let mut seed_list: Vec<u32> = vec![q.source.0];
+
+        let first_chunk = self.layout.chunk_of(interval.start);
+        let last_chunk = self.layout.chunk_of(interval.end);
+        for j in first_chunk..=last_chunk {
+            let chunk_window = self.layout.window(j);
+            let window = chunk_window
+                .intersect(&interval)
+                .expect("chunk range overlaps the query interval");
+            let mut state = ChunkState {
+                chunk_start: chunk_window.start,
+                loaded: HashMap::new(),
+                seed_segs: HashMap::new(),
+                pending: Vec::new(),
+            };
+            // FindCells: locate and load every current seed's cell.
+            for &s in &seed_list {
+                let cell = self.dir_lookup(j, ObjectId(s))?;
+                self.load_cell(j, cell, &mut state, &is_seed, stats)?;
+                state.pending.push(s);
+            }
+            // Sweep the (clipped) window.
+            let threshold = self.params.threshold;
+            let mut hash = SpatialHash::new(threshold.max(1e-3));
+            let mut around: Vec<u32> = Vec::new();
+            for t in window.ticks() {
+                let idx = (t - state.chunk_start) as usize;
+                // All seeds want their neighborhoods present at this tick.
+                state.pending.clear();
+                state.pending.extend(state.seed_segs.keys().copied());
+                loop {
+                    // Load the potential-seed cells N_i around pending seeds.
+                    while let Some(s) = state.pending.pop() {
+                        let p = state.seed_segs[&s][idx];
+                        around.clear();
+                        self.geometry.cells_around(p, threshold, &mut around);
+                        for &cell in &around {
+                            if !state.loaded.contains_key(&cell) {
+                                self.load_cell(j, cell, &mut state, &is_seed, stats)?;
+                            }
+                        }
+                    }
+                    // Probe every non-seed sample against the seed hash.
+                    hash.clear();
+                    let mut seed_pts: Vec<Point> = Vec::with_capacity(state.seed_segs.len());
+                    for (k, seg) in state.seed_segs.values().enumerate() {
+                        hash.insert(k as u32, seg[idx]);
+                        seed_pts.push(seg[idx]);
+                    }
+                    let mut newly: Vec<(u32, Vec<Point>)> = Vec::new();
+                    for data in state.loaded.values() {
+                        for (o, samples) in &data.objects {
+                            if is_seed[o.index()]
+                                || newly.iter().any(|(n, _)| *n == o.0)
+                            {
+                                continue;
+                            }
+                            let p = samples[idx];
+                            let mut hit = false;
+                            hash.for_neighbors(p, |si| {
+                                if !hit && seed_pts[si as usize].within(&p, threshold) {
+                                    hit = true;
+                                }
+                            });
+                            stats.examined += 1;
+                            if hit {
+                                newly.push((o.0, samples.clone()));
+                            }
+                        }
+                    }
+                    if newly.is_empty() {
+                        break;
+                    }
+                    for (o, seg) in newly {
+                        is_seed[o as usize] = true;
+                        seed_list.push(o);
+                        if o == q.dest.0 {
+                            return Ok(QueryOutcome::reachable_at(t));
+                        }
+                        state.seed_segs.insert(o, seg);
+                        state.pending.push(o);
+                    }
+                    // Loop again: same-tick contact chains and the freshly
+                    // loaded neighborhoods may seed more objects.
+                }
+            }
+        }
+        Ok(QueryOutcome::UNREACHABLE)
+    }
+
+    fn load_cell(
+        &mut self,
+        chunk: u32,
+        cell: u32,
+        state: &mut ChunkState,
+        is_seed: &[bool],
+        stats: &mut QueryStats,
+    ) -> Result<(), IndexError> {
+        if state.loaded.contains_key(&cell) {
+            return Ok(());
+        }
+        let Some(ptr) = self.chunks[chunk as usize].cell_ptr(cell) else {
+            // Empty cells are not stored; remember the miss so we do not
+            // retry the lookup this chunk.
+            state.loaded.insert(cell, CellData::default());
+            return Ok(());
+        };
+        let data = self.read_cell(ptr)?;
+        stats.visited += 1;
+        // Seeds found in this cell contribute their chunk segments.
+        for (o, samples) in &data.objects {
+            if is_seed[o.index()] && !state.seed_segs.contains_key(&o.0) {
+                state.seed_segs.insert(o.0, samples.clone());
+            }
+        }
+        state.loaded.insert(cell, data);
+        Ok(())
+    }
+}
+
+impl ReachabilityIndex for ReachGrid {
+    fn name(&self) -> &'static str {
+        "ReachGrid"
+    }
+
+    fn evaluate(&mut self, query: &Query) -> Result<QueryResult, IndexError> {
+        self.evaluate_query(query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::GridParams;
+    use reach_contact::Oracle;
+    use reach_core::Environment;
+    use reach_traj::{Trajectory, TrajectoryStore};
+
+    /// Three walkers on a line: o0 stays west, o1 walks from o0 to o2,
+    /// o2 stays east. Contacts: o0-o1 early, o1-o2 late.
+    fn relay_store() -> TrajectoryStore {
+        let env = Environment::square(200.0);
+        let mk = |id: u32, f: &dyn Fn(u32) -> f32| {
+            Trajectory::new(
+                ObjectId(id),
+                0,
+                (0..40).map(|t| Point::new(f(t), 0.0)).collect(),
+            )
+        };
+        let trajs = vec![
+            mk(0, &|_| 0.0),
+            mk(1, &|t| t as f32 * 4.0), // 0 → 156
+            mk(2, &|_| 150.0),
+        ];
+        TrajectoryStore::new(env, trajs).unwrap()
+    }
+
+    fn grid(store: &TrajectoryStore) -> ReachGrid {
+        ReachGrid::build(
+            store,
+            GridParams {
+                temporal: 10,
+                cell_size: 30.0,
+                threshold: 5.0,
+                cache_pages: 32,
+                page_size: 256,
+            },
+        )
+        .unwrap()
+    }
+
+    fn q(s: u32, d: u32, a: Time, b: Time) -> Query {
+        Query::new(ObjectId(s), ObjectId(d), TimeInterval::new(a, b))
+    }
+
+    #[test]
+    fn relay_chain_is_found() {
+        let store = relay_store();
+        let mut g = grid(&store);
+        let oracle = Oracle::build(&store, 5.0);
+        // o0 → o2 requires the full relay through o1.
+        let full = g.evaluate_query(&q(0, 2, 0, 39)).unwrap();
+        assert_eq!(full.outcome, oracle.evaluate(&q(0, 2, 0, 39)));
+        assert!(full.reachable());
+        // Cutting the interval before o1 meets o2 breaks the chain.
+        let cut = g.evaluate_query(&q(0, 2, 0, 20)).unwrap();
+        assert_eq!(cut.outcome, oracle.evaluate(&q(0, 2, 0, 20)));
+        assert!(!cut.reachable());
+    }
+
+    #[test]
+    fn direction_matters() {
+        let store = relay_store();
+        let mut g = grid(&store);
+        let oracle = Oracle::build(&store, 5.0);
+        // o2 → o0 needs the reverse chronology (o2 meets o1 *after* o1 left
+        // o0), so it must be unreachable.
+        let r = g.evaluate_query(&q(2, 0, 0, 39)).unwrap();
+        assert_eq!(r.outcome, oracle.evaluate(&q(2, 0, 0, 39)));
+        assert!(!r.reachable());
+    }
+
+    #[test]
+    fn self_query_costs_nothing() {
+        let store = relay_store();
+        let mut g = grid(&store);
+        let r = g.evaluate_query(&q(1, 1, 5, 10)).unwrap();
+        assert!(r.reachable());
+        assert_eq!(r.stats.random_ios + r.stats.seq_ios, 0);
+    }
+
+    #[test]
+    fn early_termination_reads_less() {
+        let store = relay_store();
+        let mut g = grid(&store);
+        // o0 → o1 succeeds in the first chunk; the same query over the whole
+        // horizon must not read more pages than the unreachable o0 → o2 cut.
+        let quick = g.evaluate_query(&q(0, 1, 0, 39)).unwrap();
+        let slow = g.evaluate_query(&q(0, 2, 0, 20)).unwrap();
+        assert!(quick.reachable());
+        assert!(
+            quick.stats.normalized_io() <= slow.stats.normalized_io(),
+            "early termination should not cost more IO"
+        );
+    }
+
+    #[test]
+    fn unknown_object_and_bad_interval_error() {
+        let store = relay_store();
+        let mut g = grid(&store);
+        assert!(matches!(
+            g.evaluate_query(&q(9, 0, 0, 5)),
+            Err(IndexError::UnknownObject(_))
+        ));
+        assert!(matches!(
+            g.evaluate_query(&q(0, 1, 100, 120)),
+            Err(IndexError::IntervalOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn interval_end_clipped_to_horizon() {
+        let store = relay_store();
+        let mut g = grid(&store);
+        let r = g.evaluate_query(&q(0, 2, 0, 10_000)).unwrap();
+        assert!(r.reachable());
+    }
+
+    #[test]
+    fn trait_dispatch_works() {
+        let store = relay_store();
+        let mut g = grid(&store);
+        let idx: &mut dyn ReachabilityIndex = &mut g;
+        assert_eq!(idx.name(), "ReachGrid");
+        assert!(idx.evaluate(&q(0, 1, 0, 39)).unwrap().reachable());
+    }
+}

@@ -1,0 +1,110 @@
+//! IO accounting in the paper's cost model.
+//!
+//! The paper measures query cost as the number of random IOs, normalizing
+//! sequential accesses at a 20:1 ratio (§6): *"the sequential IOs are
+//! normalized to random accesses by assuming that each random access costs
+//! as much as 20 sequential accesses"*.
+
+use reach_core::SEQ_PER_RANDOM;
+use std::ops::{Add, Sub};
+
+/// Cumulative IO counters of a simulated device.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct IoStats {
+    /// Page reads that required a seek (the previous read was not the
+    /// immediately preceding page).
+    pub random_reads: u64,
+    /// Page reads that continued a consecutive forward scan.
+    pub seq_reads: u64,
+    /// Page writes (index construction cost).
+    pub writes: u64,
+    /// Reads served from the buffer pool without touching the device.
+    pub cache_hits: u64,
+}
+
+impl IoStats {
+    /// Total device page reads (random + sequential, excluding cache hits).
+    pub fn total_reads(&self) -> u64 {
+        self.random_reads + self.seq_reads
+    }
+
+    /// Normalized IO count `random + seq/20` — the paper's reported metric.
+    pub fn normalized(&self) -> f64 {
+        self.random_reads as f64 + self.seq_reads as f64 / SEQ_PER_RANDOM as f64
+    }
+
+    /// Counters accumulated since `earlier` (element-wise saturating
+    /// difference); used to attribute IO to a single query.
+    pub fn since(&self, earlier: &IoStats) -> IoStats {
+        IoStats {
+            random_reads: self.random_reads.saturating_sub(earlier.random_reads),
+            seq_reads: self.seq_reads.saturating_sub(earlier.seq_reads),
+            writes: self.writes.saturating_sub(earlier.writes),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+        }
+    }
+}
+
+impl Add for IoStats {
+    type Output = IoStats;
+    fn add(self, rhs: IoStats) -> IoStats {
+        IoStats {
+            random_reads: self.random_reads + rhs.random_reads,
+            seq_reads: self.seq_reads + rhs.seq_reads,
+            writes: self.writes + rhs.writes,
+            cache_hits: self.cache_hits + rhs.cache_hits,
+        }
+    }
+}
+
+impl Sub for IoStats {
+    type Output = IoStats;
+    fn sub(self, rhs: IoStats) -> IoStats {
+        self.since(&rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalized_matches_paper_ratio() {
+        let s = IoStats {
+            random_reads: 2,
+            seq_reads: 60,
+            writes: 5,
+            cache_hits: 100,
+        };
+        assert!((s.normalized() - 5.0).abs() < 1e-12);
+        assert_eq!(s.total_reads(), 62);
+    }
+
+    #[test]
+    fn since_is_elementwise_difference() {
+        let a = IoStats {
+            random_reads: 10,
+            seq_reads: 20,
+            writes: 30,
+            cache_hits: 40,
+        };
+        let b = IoStats {
+            random_reads: 4,
+            seq_reads: 5,
+            writes: 6,
+            cache_hits: 7,
+        };
+        let d = a.since(&b);
+        assert_eq!(
+            d,
+            IoStats {
+                random_reads: 6,
+                seq_reads: 15,
+                writes: 24,
+                cache_hits: 33,
+            }
+        );
+        assert_eq!(a - b, d);
+        assert_eq!(b + d, a);
+    }
+}

@@ -1,0 +1,286 @@
+//! Record layout on pages.
+//!
+//! Index builders append variable-length records into a consecutive page
+//! range; records may span page boundaries (a populated ReachGrid cell or a
+//! large HN partition easily exceeds 4 KB). Readers fetch a record through
+//! the pager: the first page access is random, continuation pages are
+//! sequential — exactly the placement effect the paper's §4.1/§5.1.3
+//! optimize for.
+
+use crate::codec::{ByteReader, ByteWriter};
+use crate::disk::{DiskSim, PageId};
+use crate::pager::Pager;
+use reach_core::IndexError;
+
+/// Address of a record on disk: page plus byte offset of its length prefix.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct RecordPtr {
+    /// Page holding the first byte of the record header.
+    pub page: PageId,
+    /// Byte offset inside that page.
+    pub offset: u32,
+}
+
+impl RecordPtr {
+    /// Serialized size of a pointer.
+    pub const ENCODED_LEN: usize = 12;
+
+    /// Encodes the pointer.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.put_u64(self.page);
+        w.put_u32(self.offset);
+    }
+
+    /// Decodes a pointer.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, IndexError> {
+        Ok(Self {
+            page: r.get_u64()?,
+            offset: r.get_u32()?,
+        })
+    }
+}
+
+/// Append-only record writer over a [`DiskSim`].
+///
+/// Records are `[len: u32][payload…]`, written contiguously; a record whose
+/// tail does not fit the current page continues on the next allocated page.
+/// `align_to_page` starts the next record on a fresh page — used when a
+/// structure (e.g. a grid cell) must begin on a page boundary so its first
+/// access is a single random IO.
+#[derive(Debug)]
+pub struct RecordWriter {
+    first_page: PageId,
+    cur_page: PageId,
+    cur: Vec<u8>,
+    page_size: usize,
+    written_pages: u64,
+}
+
+impl RecordWriter {
+    /// Starts writing at a freshly allocated page of `disk`.
+    pub fn new(disk: &mut DiskSim) -> Self {
+        let page_size = disk.page_size();
+        let first_page = disk.allocate(1);
+        Self {
+            first_page,
+            cur_page: first_page,
+            cur: Vec::with_capacity(page_size),
+            page_size,
+            written_pages: 0,
+        }
+    }
+
+    /// The page where this writer began.
+    pub fn first_page(&self) -> PageId {
+        self.first_page
+    }
+
+    /// Position where the *next* record will start.
+    pub fn tell(&self) -> RecordPtr {
+        RecordPtr {
+            page: self.cur_page,
+            offset: self.cur.len() as u32,
+        }
+    }
+
+    /// Appends one record, returning its address.
+    pub fn append(&mut self, disk: &mut DiskSim, payload: &[u8]) -> Result<RecordPtr, IndexError> {
+        let ptr = self.tell();
+        let mut header = ByteWriter::with_capacity(4);
+        header.put_u32(u32::try_from(payload.len()).expect("record length fits u32"));
+        self.push_bytes(disk, header.as_bytes())?;
+        self.push_bytes(disk, payload)?;
+        Ok(ptr)
+    }
+
+    fn push_bytes(&mut self, disk: &mut DiskSim, mut bytes: &[u8]) -> Result<(), IndexError> {
+        while !bytes.is_empty() {
+            let room = self.page_size - self.cur.len();
+            if room == 0 {
+                self.flush_page(disk, true)?;
+                continue;
+            }
+            let n = room.min(bytes.len());
+            self.cur.extend_from_slice(&bytes[..n]);
+            bytes = &bytes[n..];
+        }
+        Ok(())
+    }
+
+    fn flush_page(&mut self, disk: &mut DiskSim, allocate_next: bool) -> Result<(), IndexError> {
+        disk.write_page(self.cur_page, &self.cur)?;
+        self.written_pages += 1;
+        self.cur.clear();
+        if allocate_next {
+            self.cur_page = disk.allocate(1);
+        }
+        Ok(())
+    }
+
+    /// Starts the next record on a fresh page (no-op when already at a page
+    /// start).
+    pub fn align_to_page(&mut self, disk: &mut DiskSim) -> Result<(), IndexError> {
+        if !self.cur.is_empty() {
+            self.flush_page(disk, true)?;
+        }
+        Ok(())
+    }
+
+    /// Flushes the trailing partial page and returns the total number of
+    /// pages written.
+    pub fn finish(mut self, disk: &mut DiskSim) -> Result<u64, IndexError> {
+        if !self.cur.is_empty() {
+            self.flush_page(disk, false)?;
+        }
+        Ok(self.written_pages)
+    }
+}
+
+/// Reads one record (written by [`RecordWriter::append`]) through the pager.
+pub fn read_record(pager: &mut Pager, ptr: RecordPtr) -> Result<Vec<u8>, IndexError> {
+    let page_size = pager.page_size();
+    let mut page = pager.read(ptr.page)?;
+    let mut off = ptr.offset as usize;
+    let mut page_id = ptr.page;
+
+    let take = |pager: &mut Pager,
+                    page: &mut Box<[u8]>,
+                    page_id: &mut PageId,
+                    off: &mut usize,
+                    n: usize|
+     -> Result<Vec<u8>, IndexError> {
+        let mut out = Vec::with_capacity(n);
+        let mut left = n;
+        while left > 0 {
+            if *off == page_size {
+                *page_id += 1;
+                *page = pager.read(*page_id)?;
+                *off = 0;
+            }
+            let chunk = left.min(page_size - *off);
+            out.extend_from_slice(&page[*off..*off + chunk]);
+            *off += chunk;
+            left -= chunk;
+        }
+        Ok(out)
+    };
+
+    let len_bytes = take(pager, &mut page, &mut page_id, &mut off, 4)?;
+    let len = u32::from_le_bytes([len_bytes[0], len_bytes[1], len_bytes[2], len_bytes[3]]) as usize;
+    // Guard against corrupt pointers: a record cannot be larger than the
+    // remaining device.
+    let device_bytes = pager.disk().size_bytes();
+    if (len as u64) > device_bytes {
+        return Err(IndexError::Corrupt(format!(
+            "record at page {} offset {} claims {} bytes",
+            ptr.page, ptr.offset, len
+        )));
+    }
+    take(pager, &mut page, &mut page_id, &mut off, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_records_roundtrip() {
+        let mut disk = DiskSim::new(64);
+        let mut w = RecordWriter::new(&mut disk);
+        let p1 = w.append(&mut disk, b"alpha").unwrap();
+        let p2 = w.append(&mut disk, b"beta").unwrap();
+        w.finish(&mut disk).unwrap();
+        disk.reset_stats();
+
+        let mut pager = Pager::new(disk, 4);
+        assert_eq!(read_record(&mut pager, p1).unwrap(), b"alpha");
+        assert_eq!(read_record(&mut pager, p2).unwrap(), b"beta");
+    }
+
+    #[test]
+    fn record_spanning_pages_roundtrips() {
+        let mut disk = DiskSim::new(64);
+        let mut w = RecordWriter::new(&mut disk);
+        let big: Vec<u8> = (0..300).map(|i| (i % 251) as u8).collect();
+        let ptr = w.append(&mut disk, &big).unwrap();
+        w.finish(&mut disk).unwrap();
+        disk.reset_stats();
+
+        let mut pager = Pager::new(disk, 16);
+        assert_eq!(read_record(&mut pager, ptr).unwrap(), big);
+        // Spanning read: first page random, continuations sequential.
+        let s = pager.stats();
+        assert_eq!(s.random_reads, 1);
+        assert!(s.seq_reads >= 4, "300B over 64B pages spans ≥5 pages");
+    }
+
+    #[test]
+    fn align_to_page_starts_fresh_page() {
+        let mut disk = DiskSim::new(64);
+        let mut w = RecordWriter::new(&mut disk);
+        w.append(&mut disk, b"x").unwrap();
+        w.align_to_page(&mut disk).unwrap();
+        let p = w.tell();
+        assert_eq!(p.offset, 0);
+        let ptr = w.append(&mut disk, b"page-aligned").unwrap();
+        assert_eq!(ptr.offset, 0);
+        w.finish(&mut disk).unwrap();
+        disk.reset_stats();
+        let mut pager = Pager::new(disk, 4);
+        assert_eq!(read_record(&mut pager, ptr).unwrap(), b"page-aligned");
+    }
+
+    #[test]
+    fn empty_record_roundtrips() {
+        let mut disk = DiskSim::new(64);
+        let mut w = RecordWriter::new(&mut disk);
+        let ptr = w.append(&mut disk, b"").unwrap();
+        w.finish(&mut disk).unwrap();
+        let mut pager = Pager::new(disk, 4);
+        assert_eq!(read_record(&mut pager, ptr).unwrap(), b"");
+    }
+
+    #[test]
+    fn many_records_all_recoverable() {
+        let mut disk = DiskSim::new(128);
+        let mut w = RecordWriter::new(&mut disk);
+        let mut ptrs = Vec::new();
+        for i in 0..200u32 {
+            let payload: Vec<u8> = (0..(i % 37)).map(|j| (i + j) as u8).collect();
+            ptrs.push((w.append(&mut disk, &payload).unwrap(), payload));
+        }
+        w.finish(&mut disk).unwrap();
+        let mut pager = Pager::new(disk, 8);
+        for (ptr, expect) in &ptrs {
+            assert_eq!(&read_record(&mut pager, *ptr).unwrap(), expect);
+        }
+    }
+
+    #[test]
+    fn corrupt_pointer_reports_error() {
+        let mut disk = DiskSim::new(64);
+        let mut w = RecordWriter::new(&mut disk);
+        w.append(&mut disk, b"ok").unwrap();
+        w.finish(&mut disk).unwrap();
+        // Write a bogus giant length at a fresh page.
+        let p = disk.allocate(1);
+        disk.write_page(p, &u32::MAX.to_le_bytes()).unwrap();
+        let mut pager = Pager::new(disk, 4);
+        let bogus = RecordPtr { page: p, offset: 0 };
+        assert!(read_record(&mut pager, bogus).is_err());
+    }
+
+    #[test]
+    fn record_ptr_codec_roundtrip() {
+        let ptr = RecordPtr {
+            page: 123456789,
+            offset: 4321,
+        };
+        let mut w = ByteWriter::new();
+        ptr.encode(&mut w);
+        assert_eq!(w.len(), RecordPtr::ENCODED_LEN);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(RecordPtr::decode(&mut r).unwrap(), ptr);
+    }
+}

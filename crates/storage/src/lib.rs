@@ -1,0 +1,36 @@
+//! # reach-storage
+//!
+//! Simulated disk substrate for the reachability indexes.
+//!
+//! The paper's core systems contribution is *disk placement*: both ReachGrid
+//! (§4.1) and ReachGraph (§5.1.3) carefully lay their structures out on
+//! consecutive blocks so query-time traversal turns random IO into
+//! sequential scans, and both report cost in normalized IOs (random +
+//! sequential/20, §6). Reproducing that on real hardware is neither portable
+//! nor measurable at laptop scale, so this crate provides:
+//!
+//! * [`DiskSim`] — a memory-backed page device that counts reads, classifies
+//!   them as sequential or random, and counts construction writes;
+//! * [`LruPool`] / [`Pager`] — the buffer pool both indexes use at query
+//!   time;
+//! * [`ByteWriter`] / [`ByteReader`] — the checked binary codec for on-page
+//!   records;
+//! * [`RecordWriter`] / [`read_record`] — variable-length records spanning
+//!   pages, with page-aligned placement control.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod buffer;
+pub mod codec;
+pub mod disk;
+pub mod iostats;
+pub mod layout;
+pub mod pager;
+
+pub use buffer::LruPool;
+pub use codec::{ByteReader, ByteWriter};
+pub use disk::{DiskSim, PageId, DEFAULT_PAGE_SIZE};
+pub use iostats::IoStats;
+pub use layout::{read_record, RecordPtr, RecordWriter};
+pub use pager::Pager;

@@ -1,0 +1,172 @@
+//! The pager: buffer-pool-mediated access to a [`DiskSim`].
+//!
+//! Query processing in both indexes goes through a [`Pager`], so cache hits
+//! cost nothing and misses are charged to the device with sequential/random
+//! classification. Construction writes go straight to the device.
+
+use crate::buffer::LruPool;
+use crate::disk::{DiskSim, PageId};
+use crate::iostats::IoStats;
+use reach_core::IndexError;
+
+/// Buffer-pool-fronted page store.
+#[derive(Debug)]
+pub struct Pager {
+    disk: DiskSim,
+    pool: LruPool,
+}
+
+impl Pager {
+    /// Wraps a device with an LRU pool of `cache_pages` pages.
+    pub fn new(disk: DiskSim, cache_pages: usize) -> Self {
+        Self {
+            disk,
+            pool: LruPool::new(cache_pages),
+        }
+    }
+
+    /// Page size of the underlying device.
+    pub fn page_size(&self) -> usize {
+        self.disk.page_size()
+    }
+
+    /// The underlying device (for construction-time allocation and writes).
+    pub fn disk_mut(&mut self) -> &mut DiskSim {
+        &mut self.disk
+    }
+
+    /// The underlying device, read-only.
+    pub fn disk(&self) -> &DiskSim {
+        &self.disk
+    }
+
+    /// Reads a page through the pool. Hits cost nothing; misses hit the
+    /// device and populate the pool.
+    ///
+    /// Returns an owned copy of the page: records routinely span page
+    /// boundaries and callers hold several pages at once, which a borrowing
+    /// API would forbid.
+    pub fn read(&mut self, page: PageId) -> Result<Box<[u8]>, IndexError> {
+        if let Some(bytes) = self.pool.get(page) {
+            let copy: Box<[u8]> = bytes.into();
+            self.disk.note_cache_hit();
+            return Ok(copy);
+        }
+        let bytes: Box<[u8]> = self.disk.read_page(page)?.into();
+        self.pool.insert(page, &bytes);
+        Ok(bytes)
+    }
+
+    /// Whether a page is currently cached (no recency side effect).
+    pub fn is_cached(&self, page: PageId) -> bool {
+        self.pool.contains(page)
+    }
+
+    /// Write-through page update (keeps the pool coherent).
+    pub fn write(&mut self, page: PageId, data: &[u8]) -> Result<(), IndexError> {
+        self.disk.write_page(page, data)?;
+        self.pool.remove(page);
+        Ok(())
+    }
+
+    /// Drops all cached pages (e.g. at a query boundary, to model a cold
+    /// cache, or at ReachGrid chunk boundaries which discard their buffers).
+    pub fn clear_cache(&mut self) {
+        self.pool.clear();
+    }
+
+    /// Resizes the pool (drops current contents).
+    pub fn set_cache_pages(&mut self, pages: usize) {
+        self.pool = LruPool::new(pages);
+    }
+
+    /// Device counters.
+    pub fn stats(&self) -> IoStats {
+        self.disk.stats()
+    }
+
+    /// Clears device counters and head position.
+    pub fn reset_stats(&mut self) {
+        self.disk.reset_stats();
+    }
+
+    /// Marks an access-stream boundary: the next device read counts random.
+    pub fn break_sequence(&mut self) {
+        self.disk.break_sequence();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pager_with_pages(n: usize, cache: usize) -> Pager {
+        let mut d = DiskSim::new(128);
+        let first = d.allocate(n);
+        for i in 0..n {
+            d.write_page(first + i as u64, &[i as u8; 4]).unwrap();
+        }
+        d.reset_stats();
+        Pager::new(d, cache)
+    }
+
+    #[test]
+    fn cache_hit_avoids_device_read() {
+        let mut p = pager_with_pages(4, 2);
+        p.read(0).unwrap();
+        p.read(0).unwrap();
+        let s = p.stats();
+        assert_eq!(s.total_reads(), 1);
+        assert_eq!(s.cache_hits, 1);
+    }
+
+    #[test]
+    fn eviction_causes_reread() {
+        let mut p = pager_with_pages(4, 1);
+        p.read(0).unwrap();
+        p.read(1).unwrap(); // evicts 0
+        p.read(0).unwrap(); // miss again
+        assert_eq!(p.stats().total_reads(), 3);
+        assert_eq!(p.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn sequential_scan_through_pager_is_sequential_on_device() {
+        let mut p = pager_with_pages(5, 8);
+        for i in 0..5 {
+            p.read(i).unwrap();
+        }
+        let s = p.stats();
+        assert_eq!(s.random_reads, 1);
+        assert_eq!(s.seq_reads, 4);
+        // Second scan is all cache hits.
+        for i in 0..5 {
+            p.read(i).unwrap();
+        }
+        assert_eq!(p.stats().total_reads(), 5);
+        assert_eq!(p.stats().cache_hits, 5);
+    }
+
+    #[test]
+    fn write_through_invalidates_cache() {
+        let mut p = pager_with_pages(2, 2);
+        assert_eq!(p.read(0).unwrap()[0], 0);
+        p.write(0, &[9, 9]).unwrap();
+        assert_eq!(p.read(0).unwrap()[0], 9);
+    }
+
+    #[test]
+    fn clear_cache_forces_misses() {
+        let mut p = pager_with_pages(2, 2);
+        p.read(0).unwrap();
+        p.clear_cache();
+        p.read(0).unwrap();
+        assert_eq!(p.stats().total_reads(), 2);
+    }
+
+    #[test]
+    fn out_of_bounds_propagates() {
+        let mut p = pager_with_pages(1, 1);
+        assert!(p.read(7).is_err());
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for the storage substrate.
+
+use proptest::prelude::*;
+use reach_storage::{read_record, DiskSim, LruPool, Pager, RecordWriter};
+
+proptest! {
+    /// Any sequence of variable-length records written through the layout
+    /// writer is recoverable byte-for-byte through the pager, regardless of
+    /// page size, cache size or page-alignment choices.
+    #[test]
+    fn record_layout_roundtrips(
+        page_size in prop::sample::select(vec![64usize, 128, 256, 4096]),
+        cache in 0usize..16,
+        records in prop::collection::vec(
+            (prop::collection::vec(any::<u8>(), 0..600), prop::bool::ANY),
+            1..40
+        ),
+    ) {
+        let mut disk = DiskSim::new(page_size);
+        let mut w = RecordWriter::new(&mut disk);
+        let mut ptrs = Vec::new();
+        for (payload, align) in &records {
+            if *align {
+                w.align_to_page(&mut disk).unwrap();
+            }
+            ptrs.push(w.append(&mut disk, payload).unwrap());
+        }
+        w.finish(&mut disk).unwrap();
+        disk.reset_stats();
+
+        let mut pager = Pager::new(disk, cache);
+        for (ptr, (payload, _)) in ptrs.iter().zip(&records) {
+            prop_assert_eq!(&read_record(&mut pager, *ptr).unwrap(), payload);
+        }
+        // Read IO must be bounded by the number of pages touched per record.
+        let stats = pager.stats();
+        prop_assert!(stats.total_reads() + stats.cache_hits >= records.len() as u64);
+    }
+
+    /// The LRU pool behaves exactly like a brute-force recency list.
+    #[test]
+    fn lru_matches_reference_model(
+        capacity in 1usize..8,
+        ops in prop::collection::vec((0u64..12, prop::bool::ANY), 1..200),
+    ) {
+        let mut pool = LruPool::new(capacity);
+        let mut model: Vec<u64> = Vec::new(); // front = MRU
+        for &(page, is_insert) in &ops {
+            if is_insert {
+                pool.insert(page, &page.to_le_bytes());
+                if let Some(pos) = model.iter().position(|&p| p == page) {
+                    model.remove(pos);
+                } else if model.len() == capacity {
+                    model.pop();
+                }
+                model.insert(0, page);
+            } else {
+                let hit = pool.get(page).is_some();
+                let model_hit = model.contains(&page);
+                prop_assert_eq!(hit, model_hit, "hit mismatch for page {}", page);
+                if model_hit {
+                    let pos = model.iter().position(|&p| p == page).unwrap();
+                    model.remove(pos);
+                    model.insert(0, page);
+                }
+            }
+            prop_assert!(pool.len() <= capacity);
+            prop_assert_eq!(pool.len(), model.len());
+        }
+    }
+
+    /// Sequential/random classification: reading pages `0..n` in order costs
+    /// exactly 1 random + (n-1) sequential; reading them strided is all
+    /// random.
+    #[test]
+    fn io_classification_extremes(n in 2usize..50) {
+        let mut d = DiskSim::new(64);
+        d.allocate(2 * n);
+        for i in 0..n as u64 {
+            d.read_page(i).unwrap();
+        }
+        prop_assert_eq!(d.stats().random_reads, 1);
+        prop_assert_eq!(d.stats().seq_reads, (n - 1) as u64);
+
+        d.reset_stats();
+        for i in 0..n as u64 {
+            d.read_page(i * 2).unwrap();
+        }
+        prop_assert_eq!(d.stats().random_reads, n as u64);
+        prop_assert_eq!(d.stats().seq_reads, 0);
+    }
+}

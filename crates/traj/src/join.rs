@@ -1,0 +1,324 @@
+//! Spatiotemporal trajectory joins.
+//!
+//! The paper builds contact networks with a *window trajectory join*
+//! `P ⋈_dT Q` (§4): all pairs of objects within `d_T` of each other during a
+//! window, produced in time-sweep order so consumers can terminate early —
+//! the join strategy of Arumugam & Jermaine's CPA join \[1\]. Our positions
+//! are per-tick samples (the TEN model is per-instance anyway), so the sweep
+//! advances tick by tick and prunes candidate pairs with a uniform spatial
+//! hash of cell width `d_T`.
+
+use crate::store::TrajectoryStore;
+use reach_core::{ContactEvent, Coord, ObjectId, Point, TimeInterval};
+use std::collections::HashMap;
+
+/// Reusable spatial hash over points with cell width `cell`.
+///
+/// Candidates for the within-`d` predicate are found by probing the 3×3
+/// neighborhood of a point's cell, which is exhaustive when `cell ≥ d`.
+#[derive(Debug)]
+pub struct SpatialHash {
+    cell: f64,
+    buckets: HashMap<(i32, i32), Vec<u32>>,
+}
+
+impl SpatialHash {
+    /// Creates an empty hash with the given cell width (metres); `cell` must
+    /// be positive.
+    pub fn new(cell: Coord) -> Self {
+        assert!(cell > 0.0, "spatial hash cell width must be positive");
+        Self {
+            cell: f64::from(cell),
+            buckets: HashMap::new(),
+        }
+    }
+
+    #[inline]
+    fn key(&self, p: Point) -> (i32, i32) {
+        (
+            (f64::from(p.x) / self.cell).floor() as i32,
+            (f64::from(p.y) / self.cell).floor() as i32,
+        )
+    }
+
+    /// Removes all points but keeps bucket allocations for reuse.
+    pub fn clear(&mut self) {
+        for v in self.buckets.values_mut() {
+            v.clear();
+        }
+    }
+
+    /// Inserts a point tagged with an arbitrary `u32` payload (object id,
+    /// slot index, …).
+    pub fn insert(&mut self, tag: u32, p: Point) {
+        self.buckets.entry(self.key(p)).or_default().push(tag);
+    }
+
+    /// Calls `f(tag)` for every point in the 3×3 neighborhood of `p`'s cell
+    /// (including `p`'s own cell). Tags inserted for `p` itself are included;
+    /// callers filter.
+    pub fn for_neighbors<F: FnMut(u32)>(&self, p: Point, mut f: F) {
+        let (cx, cy) = self.key(p);
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                if let Some(v) = self.buckets.get(&(cx + dx, cy + dy)) {
+                    for &tag in v {
+                        f(tag);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Emits every unordered pair `(i, j)` with `i < j` among `points` whose
+/// distance is ≤ `threshold`. `points[k]` is tagged `k`. Pairs are pushed to
+/// `out` (cleared first); `scratch` is the reusable hash.
+pub fn proximity_pairs(
+    points: &[Point],
+    threshold: Coord,
+    scratch: &mut SpatialHash,
+    out: &mut Vec<(u32, u32)>,
+) {
+    out.clear();
+    scratch.clear();
+    for (i, &p) in points.iter().enumerate() {
+        scratch.insert(i as u32, p);
+    }
+    for (i, &p) in points.iter().enumerate() {
+        let i = i as u32;
+        scratch.for_neighbors(p, |j| {
+            if j > i && points[j as usize].within(&p, threshold) {
+                out.push((i, j));
+            }
+        });
+    }
+    out.sort_unstable();
+}
+
+/// The window self-join `R(w) ⋈_dT R(w)` over a trajectory store: every
+/// instantaneous proximity event inside `window`, in tick order.
+///
+/// This is the paper's materialization step for `C'` (§4); the
+/// [`crate::join::sweep_join`] variant supports the early termination the
+/// indexes rely on.
+pub fn window_self_join(
+    store: &TrajectoryStore,
+    window: TimeInterval,
+    threshold: Coord,
+) -> Vec<ContactEvent> {
+    let mut events = Vec::new();
+    sweep_join(store, window, threshold, |ev| {
+        events.push(ev);
+        true
+    });
+    events
+}
+
+/// Time-sweeping self-join: calls `visit` for every proximity event in tick
+/// order; `visit` returns `false` to terminate the sweep early (the paper's
+/// "terminate whenever a new object … is discovered").
+pub fn sweep_join<F: FnMut(ContactEvent) -> bool>(
+    store: &TrajectoryStore,
+    window: TimeInterval,
+    threshold: Coord,
+    mut visit: F,
+) {
+    let Some(window) = window.intersect(&store.horizon_interval()) else {
+        return;
+    };
+    let n = store.num_objects();
+    if n == 0 {
+        return;
+    }
+    let mut hash = SpatialHash::new(threshold.max(1e-3));
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    let mut points: Vec<Point> = Vec::with_capacity(n);
+    for t in window.ticks() {
+        points.clear();
+        for tr in store.iter() {
+            points.push(tr.positions[t as usize]);
+        }
+        proximity_pairs(&points, threshold, &mut hash, &mut pairs);
+        for &(a, b) in pairs.iter() {
+            let ev = ContactEvent::new(t, ObjectId(a), ObjectId(b));
+            if !visit(ev) {
+                return;
+            }
+        }
+    }
+}
+
+/// Squared closest-point-of-approach distance between two objects moving
+/// linearly across one tick: object 1 from `p1` with per-tick displacement
+/// `v1`, object 2 from `p2` with `v2`. Returns the minimum squared distance
+/// over the unit time step `[0, 1]`.
+///
+/// This is the primitive of the CPA join \[1\] that the paper adopts; the
+/// discrete indexes only need sampled positions, but the non-immediate
+/// extension and the generators use it to validate interpolation fidelity.
+pub fn cpa_distance_sq(p1: Point, v1: (f64, f64), p2: Point, v2: (f64, f64)) -> f64 {
+    let dx = f64::from(p1.x) - f64::from(p2.x);
+    let dy = f64::from(p1.y) - f64::from(p2.y);
+    let dvx = v1.0 - v2.0;
+    let dvy = v1.1 - v2.1;
+    let dv2 = dvx * dvx + dvy * dvy;
+    // Relative motion is (dx + t·dvx, dy + t·dvy); minimize |·|² over [0,1].
+    let t = if dv2 <= f64::EPSILON {
+        0.0
+    } else {
+        (-(dx * dvx + dy * dvy) / dv2).clamp(0.0, 1.0)
+    };
+    let mx = dx + t * dvx;
+    let my = dy + t * dvy;
+    mx * mx + my * my
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reach_core::{Environment, Time};
+
+    fn store_from_rows(rows: Vec<Vec<(f32, f32)>>) -> TrajectoryStore {
+        // rows[i] = positions of object i over the horizon
+        let env = Environment::square(1000.0);
+        let trajs = rows
+            .into_iter()
+            .enumerate()
+            .map(|(i, ps)| {
+                crate::trajectory::Trajectory::new(
+                    ObjectId(i as u32),
+                    0,
+                    ps.into_iter().map(|(x, y)| Point::new(x, y)).collect(),
+                )
+            })
+            .collect();
+        TrajectoryStore::new(env, trajs).expect("valid")
+    }
+
+    #[test]
+    fn proximity_pairs_basic() {
+        let points = vec![
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 4.0),  // 5m from 0
+            Point::new(50.0, 0.0), // far
+        ];
+        let mut hash = SpatialHash::new(5.0);
+        let mut out = Vec::new();
+        proximity_pairs(&points, 5.0, &mut hash, &mut out);
+        assert_eq!(out, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn proximity_pairs_matches_brute_force() {
+        // Deterministic lattice-with-jitter layout.
+        let points: Vec<Point> = (0..60)
+            .map(|i| {
+                let x = (i % 8) as f32 * 7.3 + (i as f32 * 0.17).sin() * 3.0;
+                let y = (i / 8) as f32 * 6.1 + (i as f32 * 0.29).cos() * 3.0;
+                Point::new(x, y)
+            })
+            .collect();
+        let d = 8.0f32;
+        let mut hash = SpatialHash::new(d);
+        let mut out = Vec::new();
+        proximity_pairs(&points, d, &mut hash, &mut out);
+        let mut brute = Vec::new();
+        for i in 0..points.len() as u32 {
+            for j in (i + 1)..points.len() as u32 {
+                if points[i as usize].within(&points[j as usize], d) {
+                    brute.push((i, j));
+                }
+            }
+        }
+        assert_eq!(out, brute);
+    }
+
+    #[test]
+    fn window_join_replays_figure_1() {
+        // Figure 1 of the paper: o1-o2 contact at t=0 and [2,3]; o2-o4 at
+        // t=1; o3-o4 during [1,2]. Encode with 1-D positions, d_T = 1.
+        // Build positions so exactly those pairs are within distance 1.
+        let far = |k: f32| 100.0 * k;
+        let rows = vec![
+            // o0 unused filler object kept far away from everyone
+            vec![(far(9.0), 0.0), (far(9.0), 0.0), (far(9.0), 0.0), (far(9.0), 0.0)],
+            // o1
+            vec![(0.0, 0.0), (far(1.0), 0.0), (10.0, 0.0), (10.0, 0.0)],
+            // o2: next to o1 at t=0, next to o4 at t=1, back to o1 at t∈[2,3]
+            vec![(0.5, 0.0), (20.0, 0.0), (10.5, 0.0), (10.5, 0.0)],
+            // o3: near o4 during [1,2] (1.0m from o4, 1.5m from o2 at t=1)
+            vec![(far(2.0), 0.0), (21.5, 0.0), (40.0, 0.0), (far(2.0), 0.0)],
+            // o4
+            vec![(far(3.0), 0.0), (20.5, 0.0), (40.5, 0.0), (far(3.0), 0.0)],
+        ];
+        let store = store_from_rows(rows);
+        let evs = window_self_join(&store, TimeInterval::new(0, 3), 1.0);
+        let as_tuples: Vec<(Time, u32, u32)> = evs.iter().map(|e| (e.t, e.a.0, e.b.0)).collect();
+        assert_eq!(
+            as_tuples,
+            vec![(0, 1, 2), (1, 2, 4), (1, 3, 4), (2, 1, 2), (2, 3, 4), (3, 1, 2)]
+        );
+    }
+
+    #[test]
+    fn sweep_join_early_termination() {
+        let rows = vec![
+            vec![(0.0, 0.0), (0.0, 0.0), (0.0, 0.0)],
+            vec![(0.5, 0.0), (0.5, 0.0), (0.5, 0.0)],
+        ];
+        let store = store_from_rows(rows);
+        let mut seen = 0;
+        sweep_join(&store, TimeInterval::new(0, 2), 1.0, |_| {
+            seen += 1;
+            false // stop immediately
+        });
+        assert_eq!(seen, 1);
+    }
+
+    #[test]
+    fn join_window_clipped_to_horizon() {
+        let rows = vec![
+            vec![(0.0, 0.0), (0.0, 0.0)],
+            vec![(0.5, 0.0), (90.0, 0.0)],
+        ];
+        let store = store_from_rows(rows);
+        // Window exceeding the horizon must not panic.
+        let evs = window_self_join(&store, TimeInterval::new(0, 100), 1.0);
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].t, 0);
+    }
+
+    #[test]
+    fn cpa_detects_midstep_approach() {
+        // Two objects crossing: far apart at both endpoints, close at t=0.5.
+        let p1 = Point::new(0.0, 0.0);
+        let v1 = (10.0, 0.0);
+        let p2 = Point::new(10.0, 1.0);
+        let v2 = (-10.0, 0.0);
+        let d2 = cpa_distance_sq(p1, v1, p2, v2);
+        assert!((d2 - 1.0).abs() < 1e-9, "closest approach is 1m at t=0.5");
+        // Sampled endpoints never get closer than sqrt(10² + 1).
+        assert!(p1.distance(&p2) > 10.0);
+    }
+
+    #[test]
+    fn cpa_stationary_pair() {
+        let p1 = Point::new(0.0, 0.0);
+        let p2 = Point::new(3.0, 4.0);
+        let d2 = cpa_distance_sq(p1, (0.0, 0.0), p2, (0.0, 0.0));
+        assert!((d2 - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpa_clamps_to_step() {
+        // Objects diverging: the minimum over [0,1] is at t=0.
+        let d2 = cpa_distance_sq(
+            Point::new(0.0, 0.0),
+            (-5.0, 0.0),
+            Point::new(2.0, 0.0),
+            (5.0, 0.0),
+        );
+        assert!((d2 - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,214 @@
+//! The trajectory store: the full movement dataset over a common horizon.
+
+use crate::trajectory::{Trajectory, TrajectorySegment};
+use reach_core::{Environment, IndexError, ObjectId, Point, Time, TimeInterval};
+
+/// A complete contact dataset's raw movement data: one trajectory per object,
+/// all spanning the same horizon `[0, horizon)`.
+///
+/// Objects are dense (`ObjectId(0) .. ObjectId(n-1)`), which every index in
+/// the workspace exploits for vector-indexed lookups.
+#[derive(Clone, Debug)]
+pub struct TrajectoryStore {
+    env: Environment,
+    horizon: Time,
+    trajectories: Vec<Trajectory>,
+}
+
+impl TrajectoryStore {
+    /// Builds a store, validating that trajectory `i` belongs to object `i`
+    /// and that every trajectory covers exactly `[0, horizon)`.
+    pub fn new(
+        env: Environment,
+        trajectories: Vec<Trajectory>,
+    ) -> Result<Self, IndexError> {
+        let horizon = trajectories
+            .first()
+            .map(|t| t.positions.len() as Time)
+            .unwrap_or(0);
+        for (i, t) in trajectories.iter().enumerate() {
+            if t.object.index() != i {
+                return Err(IndexError::Corrupt(format!(
+                    "trajectory at slot {i} belongs to {}; ids must be dense",
+                    t.object
+                )));
+            }
+            if t.start != 0 || t.positions.len() as Time != horizon {
+                return Err(IndexError::Corrupt(format!(
+                    "trajectory of {} covers {:?}, expected [0, {horizon})",
+                    t.object,
+                    t.interval()
+                )));
+            }
+        }
+        Ok(Self {
+            env,
+            horizon,
+            trajectories,
+        })
+    }
+
+    /// The environment objects move in.
+    pub fn environment(&self) -> Environment {
+        self.env
+    }
+
+    /// Number of objects `|O|`.
+    pub fn num_objects(&self) -> usize {
+        self.trajectories.len()
+    }
+
+    /// Horizon `|T|`: trajectories cover ticks `0 .. horizon`.
+    pub fn horizon(&self) -> Time {
+        self.horizon
+    }
+
+    /// The full horizon as a closed interval `[0, horizon-1]`.
+    pub fn horizon_interval(&self) -> TimeInterval {
+        TimeInterval::new(0, self.horizon.saturating_sub(1))
+    }
+
+    /// The trajectory of `o`.
+    pub fn trajectory(&self, o: ObjectId) -> Result<&Trajectory, IndexError> {
+        self.trajectories
+            .get(o.index())
+            .ok_or(IndexError::UnknownObject(o))
+    }
+
+    /// Position of `o` at tick `t`.
+    pub fn position(&self, o: ObjectId, t: Time) -> Result<Point, IndexError> {
+        self.trajectory(o)?
+            .position_at(t)
+            .ok_or(IndexError::IntervalOutOfRange {
+                requested: TimeInterval::instant(t),
+                horizon: self.horizon,
+            })
+    }
+
+    /// All trajectories.
+    pub fn iter(&self) -> impl Iterator<Item = &Trajectory> {
+        self.trajectories.iter()
+    }
+
+    /// The segment set `R(w)` of every object clipped to `w` (paper §4).
+    pub fn segments(&self, window: TimeInterval) -> Vec<TrajectorySegment<'_>> {
+        self.trajectories
+            .iter()
+            .filter_map(|t| t.segment(window))
+            .collect()
+    }
+
+    /// Positions of every object at tick `t` (object id = slot index).
+    /// Returns `None` past the horizon.
+    pub fn snapshot(&self, t: Time) -> Option<Vec<Point>> {
+        if t >= self.horizon {
+            return None;
+        }
+        Some(
+            self.trajectories
+                .iter()
+                .map(|tr| tr.positions[t as usize])
+                .collect(),
+        )
+    }
+
+    /// Raw dataset size in bytes if stored as packed `(f32, f32)` samples —
+    /// the quantity Table 2 of the paper reports per dataset.
+    pub fn raw_size_bytes(&self) -> u64 {
+        self.num_objects() as u64 * u64::from(self.horizon) * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> TrajectoryStore {
+        let env = Environment::square(100.0);
+        let trajs = (0..3)
+            .map(|i| {
+                Trajectory::new(
+                    ObjectId(i),
+                    0,
+                    (0..5)
+                        .map(|t| Point::new(i as f32 * 10.0 + t as f32, 0.0))
+                        .collect(),
+                )
+            })
+            .collect();
+        TrajectoryStore::new(env, trajs).expect("valid store")
+    }
+
+    #[test]
+    fn store_basics() {
+        let s = store();
+        assert_eq!(s.num_objects(), 3);
+        assert_eq!(s.horizon(), 5);
+        assert_eq!(s.horizon_interval(), TimeInterval::new(0, 4));
+        assert_eq!(s.raw_size_bytes(), 3 * 5 * 8);
+    }
+
+    #[test]
+    fn position_lookup() {
+        let s = store();
+        assert_eq!(
+            s.position(ObjectId(2), 3).unwrap(),
+            Point::new(23.0, 0.0)
+        );
+        assert!(s.position(ObjectId(2), 5).is_err());
+        assert!(matches!(
+            s.position(ObjectId(9), 0),
+            Err(IndexError::UnknownObject(ObjectId(9)))
+        ));
+    }
+
+    #[test]
+    fn segments_clip_every_object() {
+        let s = store();
+        let segs = s.segments(TimeInterval::new(1, 2));
+        assert_eq!(segs.len(), 3);
+        for (i, seg) in segs.iter().enumerate() {
+            assert_eq!(seg.object, ObjectId(i as u32));
+            assert_eq!(seg.positions.len(), 2);
+        }
+    }
+
+    #[test]
+    fn snapshot_at_tick() {
+        let s = store();
+        let snap = s.snapshot(4).expect("inside horizon");
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap[1], Point::new(14.0, 0.0));
+        assert!(s.snapshot(5).is_none());
+    }
+
+    #[test]
+    fn non_dense_ids_rejected() {
+        let env = Environment::square(10.0);
+        let t = Trajectory::new(ObjectId(1), 0, vec![Point::default()]);
+        assert!(TrajectoryStore::new(env, vec![t]).is_err());
+    }
+
+    #[test]
+    fn ragged_horizons_rejected() {
+        let env = Environment::square(10.0);
+        let a = Trajectory::new(ObjectId(0), 0, vec![Point::default(); 4]);
+        let b = Trajectory::new(ObjectId(1), 0, vec![Point::default(); 5]);
+        assert!(TrajectoryStore::new(env, vec![a, b]).is_err());
+    }
+
+    #[test]
+    fn nonzero_start_rejected() {
+        let env = Environment::square(10.0);
+        let a = Trajectory::new(ObjectId(0), 1, vec![Point::default(); 4]);
+        assert!(TrajectoryStore::new(env, vec![a]).is_err());
+    }
+
+    #[test]
+    fn empty_store_is_valid() {
+        let env = Environment::square(10.0);
+        let s = TrajectoryStore::new(env, vec![]).unwrap();
+        assert_eq!(s.num_objects(), 0);
+        assert_eq!(s.horizon(), 0);
+    }
+}

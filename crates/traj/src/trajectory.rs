@@ -1,0 +1,178 @@
+//! Trajectories: per-tick position samples of a moving object.
+
+use reach_core::{Mbr, ObjectId, Point, Time, TimeInterval};
+
+/// The movement history of one object: a position sample for every tick of
+/// `[start, start + positions.len())` (paper §4: `r_i = {(v⃗_1, t_1), …}`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trajectory {
+    /// The object this trajectory belongs to.
+    pub object: ObjectId,
+    /// Tick of the first sample.
+    pub start: Time,
+    /// One position per tick.
+    pub positions: Vec<Point>,
+}
+
+impl Trajectory {
+    /// Creates a trajectory. Panics if there are no samples.
+    pub fn new(object: ObjectId, start: Time, positions: Vec<Point>) -> Self {
+        assert!(
+            !positions.is_empty(),
+            "trajectory of {object} must contain at least one sample"
+        );
+        Self {
+            object,
+            start,
+            positions,
+        }
+    }
+
+    /// The closed interval of ticks covered by this trajectory.
+    pub fn interval(&self) -> TimeInterval {
+        TimeInterval::new(self.start, self.start + (self.positions.len() as Time - 1))
+    }
+
+    /// Position at tick `t`, or `None` outside the sampled range.
+    #[inline]
+    pub fn position_at(&self, t: Time) -> Option<Point> {
+        let idx = t.checked_sub(self.start)? as usize;
+        self.positions.get(idx).copied()
+    }
+
+    /// The trajectory segment `r_i(w)` — the samples whose ticks fall in
+    /// `window` (paper §4). `None` when the window misses the trajectory.
+    pub fn segment(&self, window: TimeInterval) -> Option<TrajectorySegment<'_>> {
+        let iv = self.interval().intersect(&window)?;
+        let lo = (iv.start - self.start) as usize;
+        let hi = (iv.end - self.start) as usize;
+        Some(TrajectorySegment {
+            object: self.object,
+            start: iv.start,
+            positions: &self.positions[lo..=hi],
+        })
+    }
+
+    /// Bounding rectangle of the full trajectory.
+    pub fn mbr(&self) -> Mbr {
+        Mbr::of_points(self.positions.iter().copied())
+    }
+}
+
+/// A borrowed slice of a trajectory restricted to a time window.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrajectorySegment<'a> {
+    /// Owning object.
+    pub object: ObjectId,
+    /// Tick of `positions\[0\]`.
+    pub start: Time,
+    /// Contiguous samples.
+    pub positions: &'a [Point],
+}
+
+impl<'a> TrajectorySegment<'a> {
+    /// Closed tick interval covered by the segment.
+    pub fn interval(&self) -> TimeInterval {
+        TimeInterval::new(self.start, self.start + (self.positions.len() as Time - 1))
+    }
+
+    /// Position at tick `t`, or `None` outside the segment.
+    #[inline]
+    pub fn position_at(&self, t: Time) -> Option<Point> {
+        let idx = t.checked_sub(self.start)? as usize;
+        self.positions.get(idx).copied()
+    }
+
+    /// Iterator of `(tick, position)` pairs.
+    pub fn samples(&self) -> impl Iterator<Item = (Time, Point)> + 'a {
+        let start = self.start;
+        self.positions
+            .iter()
+            .enumerate()
+            .map(move |(i, &p)| (start + i as Time, p))
+    }
+
+    /// Bounding rectangle of the segment (the object's MBR in ReachGrid
+    /// query processing, before `d_T` inflation).
+    pub fn mbr(&self) -> Mbr {
+        Mbr::of_points(self.positions.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traj() -> Trajectory {
+        Trajectory::new(
+            ObjectId(3),
+            10,
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(2.0, 0.0),
+                Point::new(3.0, 5.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn interval_and_position_lookup() {
+        let t = traj();
+        assert_eq!(t.interval(), TimeInterval::new(10, 13));
+        assert_eq!(t.position_at(10), Some(Point::new(0.0, 0.0)));
+        assert_eq!(t.position_at(13), Some(Point::new(3.0, 5.0)));
+        assert_eq!(t.position_at(9), None);
+        assert_eq!(t.position_at(14), None);
+    }
+
+    #[test]
+    fn segment_clips_to_window() {
+        let t = traj();
+        let s = t.segment(TimeInterval::new(11, 12)).expect("overlap");
+        assert_eq!(s.interval(), TimeInterval::new(11, 12));
+        assert_eq!(s.positions.len(), 2);
+        assert_eq!(s.position_at(11), Some(Point::new(1.0, 0.0)));
+        assert_eq!(s.position_at(10), None);
+    }
+
+    #[test]
+    fn segment_window_larger_than_trajectory() {
+        let t = traj();
+        let s = t.segment(TimeInterval::new(0, 100)).expect("overlap");
+        assert_eq!(s.interval(), t.interval());
+        assert_eq!(s.positions.len(), 4);
+    }
+
+    #[test]
+    fn segment_disjoint_window_is_none() {
+        let t = traj();
+        assert!(t.segment(TimeInterval::new(0, 9)).is_none());
+        assert!(t.segment(TimeInterval::new(14, 20)).is_none());
+    }
+
+    #[test]
+    fn samples_enumerate_ticks() {
+        let t = traj();
+        let s = t.segment(TimeInterval::new(12, 13)).unwrap();
+        let got: Vec<(Time, Point)> = s.samples().collect();
+        assert_eq!(
+            got,
+            vec![(12, Point::new(2.0, 0.0)), (13, Point::new(3.0, 5.0))]
+        );
+    }
+
+    #[test]
+    fn mbr_covers_all_samples() {
+        let t = traj();
+        let m = t.mbr();
+        assert_eq!(m.min, Point::new(0.0, 0.0));
+        assert_eq!(m.max, Point::new(3.0, 5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_trajectory_rejected() {
+        let _ = Trajectory::new(ObjectId(0), 0, vec![]);
+    }
+}

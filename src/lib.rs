@@ -1,0 +1,82 @@
+//! # streach — spatiotemporal contact-network reachability
+//!
+//! A complete Rust implementation of Shirani-Mehr, Banaei-Kashani & Shahabi,
+//! *Efficient Reachability Query Evaluation in Large Spatiotemporal Contact
+//! Datasets* (VLDB 2012): the **ReachGrid** and **ReachGraph** indexes, the
+//! contact-network substrate they are built on, the baselines they are
+//! evaluated against, and the paper's §7 extensions.
+//!
+//! This facade crate re-exports the public API of every workspace crate:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`core`] | ticks, intervals, geometry, contacts, queries, `ReachabilityIndex` |
+//! | [`storage`] | simulated disk, pager, IO accounting |
+//! | [`traj`] | trajectories and spatiotemporal joins |
+//! | [`mobility`] | RWP / road-network / sparse-GPS generators, workloads |
+//! | [`contact`] | contact extraction, TEN→DN reduction, multi-resolution, oracle |
+//! | [`grid`] | ReachGrid index + SPJ baseline |
+//! | [`graph`] | ReachGraph index + E-DFS/E-BFS/B-BFS/BM-BFS |
+//! | [`baselines`] | GRAIL (memory and disk) |
+//! | [`ext`] | uncertain contacts (U-ReachGraph), non-immediate contacts |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use streach::prelude::*;
+//!
+//! // A tiny random-waypoint world.
+//! let store = RwpConfig {
+//!     env: Environment::square(500.0),
+//!     num_objects: 30,
+//!     horizon: 400,
+//!     ..RwpConfig::default()
+//! }
+//! .generate(7);
+//!
+//! // Build both indexes.
+//! let mut grid = ReachGrid::build(
+//!     &store,
+//!     GridParams { cell_size: 100.0, threshold: 25.0, ..GridParams::default() },
+//! )
+//! .expect("grid construction succeeds");
+//! let dn = DnGraph::build(&store, 25.0);
+//! let mr = MultiRes::build(&dn, &DEFAULT_LEVELS);
+//! let mut graph = ReachGraph::build(&dn, &mr, GraphParams::default())
+//!     .expect("graph construction succeeds");
+//!
+//! // Both agree on every query.
+//! let q = Query::new(ObjectId(0), ObjectId(5), TimeInterval::new(10, 300));
+//! let a = grid.evaluate(&q).expect("grid query evaluates");
+//! let b = graph.evaluate(&q).expect("graph query evaluates");
+//! assert_eq!(a.reachable(), b.reachable());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use reach_baselines as baselines;
+pub use reach_contact as contact;
+pub use reach_core as core;
+pub use reach_ext as ext;
+pub use reach_graph as graph;
+pub use reach_grid as grid;
+pub use reach_mobility as mobility;
+pub use reach_storage as storage;
+pub use reach_traj as traj;
+
+/// Everything needed to build and query the two indexes.
+pub mod prelude {
+    pub use reach_baselines::{GrailDisk, GrailMem};
+    pub use reach_contact::{DnGraph, MultiRes, Oracle, DEFAULT_LEVELS};
+    pub use reach_core::{
+        Contact, ContactEvent, Environment, IndexError, Mbr, ObjectId, Point, Query,
+        QueryOutcome, QueryResult, ReachabilityIndex, Time, TimeInterval,
+    };
+    pub use reach_ext::{NonImmediateIndex, UReachGraph, UncertainOracle};
+    pub use reach_graph::{GraphParams, MemoryHn, ReachGraph, TraversalKind};
+    pub use reach_grid::{GridParams, ReachGrid, Spj};
+    pub use reach_mobility::{RoadNetwork, RwpConfig, VehicleConfig, WorkloadConfig};
+    pub use reach_storage::{DiskSim, IoStats, Pager};
+    pub use reach_traj::{Trajectory, TrajectoryStore};
+}

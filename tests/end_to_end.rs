@@ -1,0 +1,124 @@
+//! End-to-end integration: every evaluator in the workspace must return the
+//! same verdicts on realistic mobility datasets, from raw trajectories
+//! through index construction to query results.
+
+use streach::baselines::{GrailDisk, GrailMem};
+use streach::prelude::*;
+
+fn rwp_store(seed: u64, n: usize, horizon: Time) -> TrajectoryStore {
+    RwpConfig {
+        env: Environment::square(600.0),
+        num_objects: n,
+        horizon,
+        tick_seconds: 6.0,
+        speed_min: 1.0,
+        speed_max: 3.0,
+        pause_ticks_max: 2,
+    }
+    .generate(seed)
+}
+
+fn vn_store(seed: u64, n: usize, horizon: Time) -> TrajectoryStore {
+    let network = RoadNetwork::city_grid(Environment::square(3000.0), 6, 6, seed ^ 1);
+    VehicleConfig {
+        network,
+        num_objects: n,
+        horizon,
+        tick_seconds: 5.0,
+        speed_min: 6.0,
+        speed_max: 16.0,
+    }
+    .generate(seed)
+}
+
+/// Runs every evaluator over a shared workload and checks agreement with the
+/// oracle.
+fn assert_all_agree(store: &TrajectoryStore, d_t: f32, seed: u64) {
+    let oracle = Oracle::build(store, d_t);
+    let dn = DnGraph::build(store, d_t);
+    dn.validate().expect("DN invariants hold");
+    let mr = MultiRes::build(&dn, &DEFAULT_LEVELS);
+
+    let mut grid = ReachGrid::build(
+        store,
+        GridParams {
+            temporal: 15,
+            cell_size: 150.0,
+            threshold: d_t,
+            ..GridParams::default()
+        },
+    )
+    .expect("grid builds");
+    let mut graph = ReachGraph::build(&dn, &mr, GraphParams::default()).expect("graph builds");
+    let mut grail_mem = GrailMem::new(&dn, 4, seed);
+    let mut grail_disk = GrailDisk::build(&dn, 4, seed, 4096, 32).expect("grail disk builds");
+
+    let queries = WorkloadConfig {
+        num_queries: 50,
+        interval_len_min: 20,
+        interval_len_max: 150,
+    }
+    .generate(store.num_objects(), store.horizon(), seed ^ 0xBEEF);
+
+    for q in &queries {
+        let expected = oracle.evaluate(q).reachable;
+        let g = grid.evaluate(q).expect("grid evaluates");
+        assert_eq!(g.reachable(), expected, "ReachGrid vs oracle on {q}");
+        if expected {
+            assert_eq!(
+                g.outcome.earliest,
+                oracle.evaluate(q).earliest,
+                "ReachGrid earliest-arrival on {q}"
+            );
+        }
+        for kind in [
+            TraversalKind::EDfs,
+            TraversalKind::EBfs,
+            TraversalKind::BBfs,
+            TraversalKind::BmBfs,
+        ] {
+            let r = graph.evaluate_with(q, kind).expect("graph evaluates");
+            assert_eq!(r.reachable(), expected, "{} vs oracle on {q}", kind.name());
+        }
+        let mut spj = Spj::new(&mut grid);
+        assert_eq!(
+            spj.evaluate(q).expect("spj evaluates").reachable(),
+            expected,
+            "SPJ vs oracle on {q}"
+        );
+        assert_eq!(
+            grail_mem.evaluate(q).expect("grail mem").reachable(),
+            expected,
+            "GRAIL(mem) vs oracle on {q}"
+        );
+        assert_eq!(
+            grail_disk.evaluate(q).expect("grail disk").reachable(),
+            expected,
+            "GRAIL(disk) vs oracle on {q}"
+        );
+        let mut mem = MemoryHn::new(&dn, &mr);
+        assert_eq!(
+            mem.evaluate(q).expect("memory hn").reachable(),
+            expected,
+            "ReachGraph(mem) vs oracle on {q}"
+        );
+    }
+}
+
+#[test]
+fn all_evaluators_agree_on_rwp() {
+    assert_all_agree(&rwp_store(1, 40, 300), 25.0, 0xA1);
+    assert_all_agree(&rwp_store(2, 25, 400), 25.0, 0xA2);
+}
+
+#[test]
+fn all_evaluators_agree_on_vn() {
+    assert_all_agree(&vn_store(3, 30, 300), 300.0, 0xB1);
+}
+
+#[test]
+fn all_evaluators_agree_on_sparse_gps() {
+    let dense = vn_store(4, 20, 240);
+    let sparse = streach::mobility::sparsify(&dense, 12);
+    assert_all_agree(&sparse, 300.0, 0xC1);
+}

@@ -1,0 +1,178 @@
+//! Failure injection: disk-backed indexes must surface corruption and
+//! out-of-range requests as typed errors, never panics or wrong answers.
+
+use streach::prelude::*;
+use streach::storage::{DiskSim, Pager, RecordPtr, RecordWriter};
+
+fn small_store(seed: u64) -> TrajectoryStore {
+    RwpConfig {
+        env: Environment::square(400.0),
+        num_objects: 12,
+        horizon: 120,
+        tick_seconds: 6.0,
+        speed_min: 1.0,
+        speed_max: 2.0,
+        pause_ticks_max: 2,
+    }
+    .generate(seed)
+}
+
+#[test]
+fn grid_rejects_out_of_range_requests_without_panicking() {
+    let store = small_store(1);
+    let mut grid = ReachGrid::build(
+        &store,
+        GridParams {
+            temporal: 10,
+            cell_size: 80.0,
+            threshold: 25.0,
+            ..GridParams::default()
+        },
+    )
+    .expect("builds");
+    // Unknown objects.
+    for (s, d) in [(99, 0), (0, 99), (99, 98)] {
+        let q = Query::new(ObjectId(s), ObjectId(d), TimeInterval::new(0, 10));
+        assert!(matches!(
+            grid.evaluate(&q),
+            Err(IndexError::UnknownObject(_))
+        ));
+    }
+    // Interval fully outside the horizon.
+    let q = Query::new(ObjectId(0), ObjectId(1), TimeInterval::new(500, 600));
+    assert!(matches!(
+        grid.evaluate(&q),
+        Err(IndexError::IntervalOutOfRange { .. })
+    ));
+    // The index stays usable after errors.
+    let q = Query::new(ObjectId(0), ObjectId(1), TimeInterval::new(0, 100));
+    assert!(grid.evaluate(&q).is_ok());
+}
+
+#[test]
+fn graph_rejects_out_of_range_requests_without_panicking() {
+    let store = small_store(2);
+    let dn = DnGraph::build(&store, 25.0);
+    let mr = MultiRes::build(&dn, &DEFAULT_LEVELS);
+    let mut graph = ReachGraph::build(&dn, &mr, GraphParams::default()).expect("builds");
+    for kind in [
+        TraversalKind::EDfs,
+        TraversalKind::EBfs,
+        TraversalKind::BBfs,
+        TraversalKind::BmBfs,
+    ] {
+        let q = Query::new(ObjectId(50), ObjectId(0), TimeInterval::new(0, 10));
+        assert!(matches!(
+            graph.evaluate_with(&q, kind),
+            Err(IndexError::UnknownObject(_))
+        ));
+        let q = Query::new(ObjectId(0), ObjectId(1), TimeInterval::new(400, 500));
+        assert!(matches!(
+            graph.evaluate_with(&q, kind),
+            Err(IndexError::IntervalOutOfRange { .. })
+        ));
+    }
+    assert!(graph
+        .reachable_set(ObjectId(99), TimeInterval::new(0, 10))
+        .is_err());
+    // Still healthy afterwards.
+    let q = Query::new(ObjectId(0), ObjectId(1), TimeInterval::new(0, 100));
+    assert!(graph.evaluate(&q).is_ok());
+}
+
+#[test]
+fn corrupt_records_decode_to_errors_not_panics() {
+    // Hand-roll a device holding a record whose length prefix lies.
+    let mut disk = DiskSim::new(128);
+    let mut w = RecordWriter::new(&mut disk);
+    let good = w.append(&mut disk, b"fine").expect("write succeeds");
+    w.finish(&mut disk).expect("flush succeeds");
+    let evil_page = disk.allocate(1);
+    disk.write_page(evil_page, &u32::MAX.to_le_bytes())
+        .expect("write succeeds");
+    let mut pager = Pager::new(disk, 4);
+    // The good record still reads.
+    assert_eq!(
+        streach::storage::read_record(&mut pager, good).expect("readable"),
+        b"fine"
+    );
+    // The corrupt one errors.
+    let bogus = RecordPtr {
+        page: evil_page,
+        offset: 0,
+    };
+    assert!(matches!(
+        streach::storage::read_record(&mut pager, bogus),
+        Err(IndexError::Corrupt(_) | IndexError::PageOutOfBounds { .. })
+    ));
+    // Pointers past the device error too.
+    let outer = RecordPtr {
+        page: 10_000,
+        offset: 0,
+    };
+    assert!(matches!(
+        streach::storage::read_record(&mut pager, outer),
+        Err(IndexError::PageOutOfBounds { .. })
+    ));
+}
+
+#[test]
+fn vertex_decode_rejects_truncation_everywhere() {
+    use streach::graph::VertexData;
+    use streach::storage::{ByteReader, ByteWriter};
+    let v = VertexData {
+        interval: TimeInterval::new(3, 9),
+        members: vec![1, 4, 7],
+        fwd: vec![10, 12],
+        rev: vec![0],
+        bundles: vec![vec![20], vec![30, 31]],
+    };
+    let mut w = ByteWriter::new();
+    v.encode(&mut w);
+    let bytes = w.into_bytes();
+    // Every strict prefix must fail cleanly (no panic, no partial success
+    // that silently drops edges).
+    for cut in 0..bytes.len() {
+        let mut r = ByteReader::new(&bytes[..cut]);
+        assert!(
+            VertexData::decode(&mut r).is_err(),
+            "prefix of {cut} bytes decoded successfully"
+        );
+    }
+    let mut r = ByteReader::new(&bytes);
+    assert_eq!(VertexData::decode(&mut r).expect("full decode"), v);
+}
+
+#[test]
+fn queries_are_deterministic_across_repeats_and_cache_states() {
+    // Same query repeated must give identical verdicts regardless of buffer
+    // history (cold vs warm paths).
+    let store = small_store(3);
+    let dn = DnGraph::build(&store, 25.0);
+    let mr = MultiRes::build(&dn, &DEFAULT_LEVELS);
+    let mut graph = ReachGraph::build(&dn, &mr, GraphParams::default()).expect("builds");
+    let mut grid = ReachGrid::build(
+        &store,
+        GridParams {
+            temporal: 10,
+            cell_size: 80.0,
+            threshold: 25.0,
+            ..GridParams::default()
+        },
+    )
+    .expect("builds");
+    let queries = WorkloadConfig {
+        num_queries: 25,
+        interval_len_min: 10,
+        interval_len_max: 80,
+    }
+    .generate(12, 120, 9);
+    for q in &queries {
+        let g1 = graph.evaluate(q).expect("evaluates").reachable();
+        let g2 = graph.evaluate(q).expect("evaluates").reachable();
+        assert_eq!(g1, g2, "graph verdict changed across repeats on {q}");
+        let r1 = grid.evaluate(q).expect("evaluates").outcome;
+        let r2 = grid.evaluate(q).expect("evaluates").outcome;
+        assert_eq!(r1, r2, "grid outcome changed across repeats on {q}");
+    }
+}
