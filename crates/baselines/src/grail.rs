@@ -21,9 +21,7 @@ use reach_contact::DnGraph;
 use reach_core::{
     IndexError, ObjectId, Query, QueryOutcome, QueryResult, QueryStats, ReachabilityIndex, Time,
 };
-use reach_storage::{
-    read_record, ByteReader, ByteWriter, DiskSim, Pager, RecordPtr, RecordWriter,
-};
+use reach_storage::{read_record, ByteReader, ByteWriter, DiskSim, Pager, RecordPtr, RecordWriter};
 use std::time::Instant;
 
 /// The randomized interval labels of one DAG.

@@ -112,7 +112,8 @@ impl DatasetSpec {
             }
             .generate(self.seed),
             Family::Vn => {
-                let mut cfg = VehicleConfig::default_city(self.num_objects, self.horizon, self.seed);
+                let mut cfg =
+                    VehicleConfig::default_city(self.num_objects, self.horizon, self.seed);
                 cfg.network = reach_mobility::RoadNetwork::city_grid(
                     Environment::square(side),
                     grid_dim(side),
@@ -122,7 +123,8 @@ impl DatasetSpec {
                 cfg.generate(self.seed)
             }
             Family::Vnr => {
-                let mut cfg = VehicleConfig::default_city(self.num_objects, self.horizon, self.seed);
+                let mut cfg =
+                    VehicleConfig::default_city(self.num_objects, self.horizon, self.seed);
                 cfg.network = reach_mobility::RoadNetwork::city_grid(
                     Environment::square(side),
                     grid_dim(side),
@@ -156,13 +158,7 @@ pub fn prefix_store(store: &TrajectoryStore, horizon: Time) -> TrajectoryStore {
     assert!(horizon >= 1 && horizon <= store.horizon());
     let trajs = store
         .iter()
-        .map(|t| {
-            reach_traj::Trajectory::new(
-                t.object,
-                0,
-                t.positions[..horizon as usize].to_vec(),
-            )
-        })
+        .map(|t| reach_traj::Trajectory::new(t.object, 0, t.positions[..horizon as usize].to_vec()))
         .collect();
     TrajectoryStore::new(store.environment(), trajs).expect("prefix preserves shape")
 }

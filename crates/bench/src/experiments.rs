@@ -12,8 +12,8 @@ use crate::runner::{run_batch, timed, BatchResult};
 use reach_baselines::{GrailDisk, GrailMem};
 use reach_contact::{reduction_stats_for, DnGraph, MultiRes};
 use reach_core::{Query, Time};
-use reach_grid::{GridParams, ReachGrid, Spj};
 use reach_graph::{GraphParams, MemoryHn, ReachGraph, TraversalKind};
+use reach_grid::{GridParams, ReachGrid, Spj};
 use reach_mobility::WorkloadConfig;
 
 /// Queries per batch (paper: 400; quick tier trims for turnaround).
@@ -179,7 +179,10 @@ pub fn exp_fig8(tier: Tier) -> Vec<Table> {
 /// Figure 9(a,b): ReachGrid construction time vs horizon for both families.
 pub fn exp_fig9(tier: Tier) -> Vec<Table> {
     let mut out = Vec::new();
-    for (fig, series) in [("Figure 9(a)", rwp_series(tier)), ("Figure 9(b)", vn_series(tier))] {
+    for (fig, series) in [
+        ("Figure 9(a)", rwp_series(tier)),
+        ("Figure 9(b)", vn_series(tier)),
+    ] {
         let mut t = Table::new(
             fig,
             "ReachGrid construction time vs |T|",
@@ -578,8 +581,7 @@ pub fn exp_table5(tier: Tier) -> Vec<Table> {
             spec.horizon,
             0x56,
         );
-        let mut grail_disk =
-            GrailDisk::build(&dn, 5, 0xF1, tier.page_size(), 64).expect("builds");
+        let mut grail_disk = GrailDisk::build(&dn, 5, 0xF1, tier.page_size(), 64).expect("builds");
         let gd = run_batch(&mut grail_disk, &queries);
         let mut rg = ReachGraph::build(&dn, &mr, graph_params_for(tier)).expect("builds");
         let rd = run_batch(&mut rg, &queries);

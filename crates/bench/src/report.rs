@@ -135,7 +135,9 @@ mod tests {
         assert!(md.contains("### Figure 0 — demo"));
         assert!(md.contains("| a   | bee |"));
         assert!(md.contains("| 333 | 4   |"));
-        assert!(md.lines().any(|l| l.starts_with("|---") || l.starts_with("|----")));
+        assert!(md
+            .lines()
+            .any(|l| l.starts_with("|---") || l.starts_with("|----")));
     }
 
     #[test]

@@ -67,9 +67,7 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use reach_core::{
-        IndexError, ObjectId, QueryOutcome, QueryResult, QueryStats, TimeInterval,
-    };
+    use reach_core::{IndexError, ObjectId, QueryOutcome, QueryResult, QueryStats, TimeInterval};
 
     struct Fake;
     impl ReachabilityIndex for Fake {

@@ -131,10 +131,7 @@ impl DnGraph {
         let horizon = store.horizon();
         let per_tick = crate::extract::events_by_tick(store, store.horizon_interval(), threshold);
         let events = |t: Time| -> &[(u32, u32)] {
-            per_tick
-                .get(t as usize)
-                .map(Vec::as_slice)
-                .unwrap_or(&[])
+            per_tick.get(t as usize).map(Vec::as_slice).unwrap_or(&[])
         };
         Self::build_from_ticks(store.num_objects(), horizon, events)
     }
@@ -232,7 +229,10 @@ impl DnGraph {
                 return Err(format!("node {i} members not strictly sorted"));
             }
             if node.interval.end >= self.horizon {
-                return Err(format!("node {i} interval {} beyond horizon", node.interval));
+                return Err(format!(
+                    "node {i} interval {} beyond horizon",
+                    node.interval
+                ));
             }
         }
         // Edge invariants: adjacency in time + shared member.
@@ -420,10 +420,7 @@ impl Builder {
         }
         touched.sort_unstable();
         touched.dedup();
-        let mut keyed: Vec<(u32, u32)> = touched
-            .iter()
-            .map(|&o| (self.uf.find(o), o))
-            .collect();
+        let mut keyed: Vec<(u32, u32)> = touched.iter().map(|&o| (self.uf.find(o), o)).collect();
         keyed.sort_unstable();
         // 2. Classify groups: continuation vs new.
         let mut new_groups: Vec<Vec<ObjectId>> = Vec::new();
@@ -503,9 +500,7 @@ mod tests {
     /// in contact at tick `t`.
     fn dn(num_objects: usize, script: Vec<Vec<(u32, u32)>>) -> DnGraph {
         let horizon = script.len() as Time;
-        let g = DnGraph::build_from_ticks(num_objects, horizon, |t| {
-            script[t as usize].as_slice()
-        });
+        let g = DnGraph::build_from_ticks(num_objects, horizon, |t| script[t as usize].as_slice());
         g.validate().expect("valid DN");
         g
     }
@@ -622,10 +617,7 @@ mod tests {
 
     #[test]
     fn node_of_is_consistent_over_time() {
-        let g = dn(
-            3,
-            vec![vec![(0, 1)], vec![(0, 1)], vec![(1, 2)], vec![]],
-        );
+        let g = dn(3, vec![vec![(0, 1)], vec![(0, 1)], vec![(1, 2)], vec![]]);
         for t in 0..4 {
             for o in 0..3u32 {
                 let nid = g.node_of(ObjectId(o), t);
@@ -657,15 +649,7 @@ mod tests {
 
     #[test]
     fn ids_are_topologically_sorted_by_start() {
-        let g = dn(
-            4,
-            vec![
-                vec![(0, 1)],
-                vec![(2, 3)],
-                vec![(0, 2)],
-                vec![],
-            ],
-        );
+        let g = dn(4, vec![vec![(0, 1)], vec![(2, 3)], vec![(0, 2)], vec![]]);
         for u in 0..g.num_nodes() as u32 {
             for &v in g.fwd(u) {
                 assert!(u < v, "edge {u}->{v} violates id topological order");

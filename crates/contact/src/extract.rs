@@ -62,7 +62,11 @@ pub struct EventCounts {
 }
 
 /// Counts events and contacts in one pass.
-pub fn count_events(store: &TrajectoryStore, window: TimeInterval, threshold: Coord) -> EventCounts {
+pub fn count_events(
+    store: &TrajectoryStore,
+    window: TimeInterval,
+    threshold: Coord,
+) -> EventCounts {
     let mut acc = ContactAccumulator::new();
     let mut events = 0u64;
     let mut last_tick: Option<Time> = None;

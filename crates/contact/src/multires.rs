@@ -231,10 +231,7 @@ mod tests {
     #[test]
     fn launch_boundary_rules() {
         // Node alive [3, 9], level 4, horizon 20: ta = 8.
-        assert_eq!(
-            launch_boundary(TimeInterval::new(3, 9), 4, 20),
-            Some(8)
-        );
+        assert_eq!(launch_boundary(TimeInterval::new(3, 9), 4, 20), Some(8));
         // Node dies before ever being alive at its launch: [5, 6], level 4
         // → ta = 4 < start ⇒ none.
         assert_eq!(launch_boundary(TimeInterval::new(5, 6), 4, 20), None);
@@ -252,8 +249,7 @@ mod tests {
             let mr = MultiRes::build(&dn, &DEFAULT_LEVELS);
             for (idx, &level) in mr.levels().iter().enumerate() {
                 for v in 0..dn.num_nodes() as u32 {
-                    let expected = match launch_boundary(dn.node(v).interval, level, dn.horizon())
-                    {
+                    let expected = match launch_boundary(dn.node(v).interval, level, dn.horizon()) {
                         Some(ta) => hold_set_dn1(&dn, v, ta + level),
                         None => Vec::new(),
                     };

@@ -21,11 +21,7 @@ impl Oracle {
     /// Builds the oracle from a trajectory store.
     pub fn build(store: &TrajectoryStore, threshold: Coord) -> Self {
         Self {
-            per_tick: crate::extract::events_by_tick(
-                store,
-                store.horizon_interval(),
-                threshold,
-            ),
+            per_tick: crate::extract::events_by_tick(store, store.horizon_interval(), threshold),
             num_objects: store.num_objects(),
         }
     }
@@ -180,10 +176,7 @@ mod tests {
 
     #[test]
     fn item_persists_through_silent_gaps() {
-        let o = Oracle::from_events(
-            3,
-            vec![vec![(0, 1)], vec![], vec![], vec![(1, 2)]],
-        );
+        let o = Oracle::from_events(3, vec![vec![(0, 1)], vec![], vec![], vec![(1, 2)]]);
         assert_eq!(o.evaluate(&q(0, 2, 0, 3)), QueryOutcome::reachable_at(3));
         // But not if the window ends before the second contact.
         assert!(!o.evaluate(&q(0, 2, 0, 2)).reachable);

@@ -13,9 +13,7 @@ fn script_strategy(
 ) -> impl Strategy<Value = (usize, Vec<Vec<(u32, u32)>>)> {
     (2..=max_objects, 1..=max_horizon).prop_flat_map(move |(n, h)| {
         let pair = (0..n as u32, 0..n as u32)
-            .prop_filter_map("distinct", |(a, b)| {
-                (a != b).then(|| (a.min(b), a.max(b)))
-            });
+            .prop_filter_map("distinct", |(a, b)| (a != b).then(|| (a.min(b), a.max(b))));
         let tick = prop::collection::vec(pair, 0..4);
         prop::collection::vec(tick, h).prop_map(move |script| (n, script))
     })

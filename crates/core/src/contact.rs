@@ -58,7 +58,11 @@ impl Contact {
         if a < b {
             Self { a, b, interval }
         } else {
-            Self { a: b, b: a, interval }
+            Self {
+                a: b,
+                b: a,
+                interval,
+            }
         }
     }
 

@@ -1,4 +1,8 @@
 //! Property-based tests for the core primitives.
+//!
+//! Runs are CI-deterministic: the case count is pinned here and the RNG seed
+//! derives from the test name (override with `PROPTEST_SEED=<u64>` to replay
+//! or explore a different stream).
 
 use proptest::prelude::*;
 use reach_core::{ContactAccumulator, ContactEvent, Mbr, ObjectId, Point, TimeInterval, UnionFind};
@@ -8,6 +12,8 @@ fn interval_strategy() -> impl Strategy<Value = TimeInterval> {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
     #[test]
     fn interval_intersection_is_commutative(a in interval_strategy(), b in interval_strategy()) {
         prop_assert_eq!(a.intersect(&b), b.intersect(&a));

@@ -271,7 +271,10 @@ mod tests {
         for lifetime in 0..=3u32 {
             let idx = NonImmediateIndex::build(&store, 1.0, lifetime);
             let now = idx.reachable(ObjectId(0), ObjectId(1), iv).0;
-            assert!(now || !reached_before, "reachability lost at T_t={lifetime}");
+            assert!(
+                now || !reached_before,
+                "reachability lost at T_t={lifetime}"
+            );
             reached_before = now;
         }
     }
@@ -290,9 +293,10 @@ mod tests {
     fn replicated_join_event_shape() {
         let store = bus_store();
         let events = replicated_join(&store, 1.0, 2);
-        assert!(events
-            .iter()
-            .any(|e| e.from == ObjectId(0) && e.to == ObjectId(1) && e.receive == 2 && e.emit == 0));
+        assert!(events.iter().any(|e| e.from == ObjectId(0)
+            && e.to == ObjectId(1)
+            && e.receive == 2
+            && e.emit == 0));
         for e in &events {
             assert!(e.emit <= e.receive);
             assert!(e.receive - e.emit <= 2);

@@ -45,12 +45,8 @@ pub fn events_from_store(
     reach_contact::extract_events(store, window, threshold)
         .into_iter()
         .map(|ev| {
-            let pa = store
-                .position(ev.a, ev.t)
-                .expect("event positions exist");
-            let pb = store
-                .position(ev.b, ev.t)
-                .expect("event positions exist");
+            let pa = store.position(ev.a, ev.t).expect("event positions exist");
+            let pb = store.position(ev.b, ev.t).expect("event positions exist");
             let frac = (pa.distance(&pb) / f64::from(threshold)).min(1.0);
             UncertainEvent {
                 t: ev.t,
@@ -337,11 +333,7 @@ mod tests {
     fn max_path_beats_shorter_lower_probability_path() {
         // Two routes 0→3: direct weak link (0.2) and a strong relay
         // (0.9 × 0.9 = 0.81).
-        let events = vec![
-            ev(0, 0, 3, 0.2),
-            ev(1, 0, 1, 0.9),
-            ev(2, 1, 3, 0.9),
-        ];
+        let events = vec![ev(0, 0, 3, 0.2), ev(1, 0, 1, 0.9), ev(2, 1, 3, 0.9)];
         let g = UReachGraph::build(4, 4, &events);
         let p = g.best_probability(ObjectId(0), ObjectId(3), TimeInterval::new(0, 3), 1.1);
         assert!((p - 0.81).abs() < 1e-12);
@@ -352,11 +344,7 @@ mod tests {
         // Path A: acquire o1 at t=0 with p=0.3 → event at t=1 to dest (0.9).
         // Path B: acquire o1 at t=2 with p=0.95 — too late for the t=1 hop,
         // and no later hop exists. Pareto keeping both acquisitions matters.
-        let events = vec![
-            ev(0, 0, 1, 0.3),
-            ev(1, 1, 3, 0.9),
-            ev(2, 0, 1, 0.95),
-        ];
+        let events = vec![ev(0, 0, 1, 0.3), ev(1, 1, 3, 0.9), ev(2, 0, 1, 0.95)];
         let g = UReachGraph::build(4, 4, &events);
         let p = g.best_probability(ObjectId(0), ObjectId(3), TimeInterval::new(0, 3), 1.1);
         assert!((p - 0.27).abs() < 1e-12);
@@ -417,7 +405,11 @@ mod tests {
         let env = Environment::square(100.0);
         let trajs = vec![
             Trajectory::new(ObjectId(0), 0, vec![Point::new(0.0, 0.0); 2]),
-            Trajectory::new(ObjectId(1), 0, vec![Point::new(1.0, 0.0), Point::new(9.0, 0.0)]),
+            Trajectory::new(
+                ObjectId(1),
+                0,
+                vec![Point::new(1.0, 0.0), Point::new(9.0, 0.0)],
+            ),
         ];
         let store = TrajectoryStore::new(env, trajs).unwrap();
         let events = events_from_store(&store, 10.0, 1.0, 1.0);

@@ -10,20 +10,17 @@ fn uncertain_events(
     max_horizon: usize,
 ) -> impl Strategy<Value = (usize, u32, Vec<UncertainEvent>)> {
     (3..=max_objects, 4..=max_horizon).prop_flat_map(move |(n, h)| {
-        let ev = (
-            0..h as u32,
-            0..n as u32,
-            0..n as u32,
-            0.05f64..=1.0,
-        )
-            .prop_filter_map("distinct pair", |(t, a, b, p)| {
+        let ev = (0..h as u32, 0..n as u32, 0..n as u32, 0.05f64..=1.0).prop_filter_map(
+            "distinct pair",
+            |(t, a, b, p)| {
                 (a != b).then(|| UncertainEvent {
                     t,
                     a: ObjectId(a.min(b)),
                     b: ObjectId(a.max(b)),
                     p,
                 })
-            });
+            },
+        );
         prop::collection::vec(ev, 0..30).prop_map(move |evs| (n, h as u32, evs))
     })
 }

@@ -317,7 +317,10 @@ mod tests {
         let n = net();
         assert_eq!(n.num_nodes(), 25);
         assert!(n.is_connected());
-        assert!(n.num_edges() >= 24, "spanning connectivity requires ≥ n-1 edges");
+        assert!(
+            n.num_edges() >= 24,
+            "spanning connectivity requires ≥ n-1 edges"
+        );
     }
 
     #[test]
@@ -413,7 +416,11 @@ mod tests {
                     let wx = f64::from(p.x - pa.x);
                     let wy = f64::from(p.y - pa.y);
                     let len2 = vx * vx + vy * vy;
-                    let t = if len2 <= 0.0 { 0.0 } else { ((wx * vx + wy * vy) / len2).clamp(0.0, 1.0) };
+                    let t = if len2 <= 0.0 {
+                        0.0
+                    } else {
+                        ((wx * vx + wy * vy) / len2).clamp(0.0, 1.0)
+                    };
                     let dx = wx - t * vx;
                     let dy = wy - t * vy;
                     if (dx * dx + dy * dy).sqrt() < 1.0 {

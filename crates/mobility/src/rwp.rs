@@ -61,16 +61,10 @@ impl RwpConfig {
             .map(|i| {
                 // Derive one rng per object so per-object streams are stable
                 // under changes to the object count.
-                let mut orng = StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64
-                    .wrapping_mul(i as u64 + 1)));
-                // Mix a little state from the master rng too, so `seed` fully
-                // determines the whole dataset.
-                let _: u64 = rng.gen();
-                Trajectory::new(
-                    ObjectId(i as u32),
-                    0,
-                    self.walk(&mut orng),
-                )
+                let mut orng = StdRng::seed_from_u64(
+                    seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1)) ^ rng.gen::<u64>(),
+                );
+                Trajectory::new(ObjectId(i as u32), 0, self.walk(&mut orng))
             })
             .collect();
         TrajectoryStore::new(self.env, trajectories).expect("generator produces a dense store")

@@ -42,8 +42,7 @@ pub fn sparsify(store: &TrajectoryStore, keep_every: u32) -> TrajectoryStore {
             Trajectory::new(t.object, 0, positions)
         })
         .collect();
-    TrajectoryStore::new(store.environment(), trajectories)
-        .expect("sparsify preserves store shape")
+    TrajectoryStore::new(store.environment(), trajectories).expect("sparsify preserves store shape")
 }
 
 /// Ticks between retained GPS fixes matching the paper's Beijing trace:
@@ -58,12 +57,7 @@ mod tests {
 
     fn dense() -> TrajectoryStore {
         let c = VehicleConfig {
-            network: crate::roadnet::RoadNetwork::city_grid(
-                Environment::square(1000.0),
-                4,
-                4,
-                1,
-            ),
+            network: crate::roadnet::RoadNetwork::city_grid(Environment::square(1000.0), 4, 4, 1),
             num_objects: 4,
             horizon: 50,
             tick_seconds: 5.0,

@@ -17,9 +17,7 @@ use crate::placement::{partition, Partitioning};
 use crate::traverse::evaluate;
 use crate::vertex::{HnSource, VertexData};
 use reach_contact::{DnGraph, MultiRes};
-use reach_core::{
-    IndexError, ObjectId, Query, QueryResult, QueryStats, ReachabilityIndex, Time,
-};
+use reach_core::{IndexError, ObjectId, Query, QueryResult, QueryStats, ReachabilityIndex, Time};
 use reach_storage::{
     read_record, ByteReader, ByteWriter, DiskSim, IoStats, Pager, RecordPtr, RecordWriter,
 };
@@ -326,7 +324,12 @@ mod tests {
     use reach_contact::{Oracle, DEFAULT_LEVELS};
     use reach_core::TimeInterval;
 
-    fn random_world(seed: u64, n: usize, horizon: Time, density: f64) -> (DnGraph, MultiRes, Oracle) {
+    fn random_world(
+        seed: u64,
+        n: usize,
+        horizon: Time,
+        density: f64,
+    ) -> (DnGraph, MultiRes, Oracle) {
         let mut rng = StdRng::seed_from_u64(seed);
         let script: Vec<Vec<(u32, u32)>> = (0..horizon)
             .map(|_| {
@@ -410,7 +413,10 @@ mod tests {
         let mut rg = ReachGraph::build(&dn, &mr, params(256)).unwrap();
         let q = Query::new(ObjectId(0), ObjectId(7), TimeInterval::new(0, 119));
         let r = rg.evaluate_with(&q, TraversalKind::BmBfs).unwrap();
-        assert!(r.stats.random_ios + r.stats.seq_ios > 0, "disk queries cost IO");
+        assert!(
+            r.stats.random_ios + r.stats.seq_ios > 0,
+            "disk queries cost IO"
+        );
         assert!(rg.buffer.len() <= rg.params.partition_cache);
     }
 
@@ -472,7 +478,10 @@ mod tests {
             let disk = rg.evaluate_with(&q, TraversalKind::BmBfs).unwrap();
             let mem_r = mem.evaluate_with(&q, TraversalKind::BmBfs).unwrap();
             assert_eq!(disk.reachable(), mem_r.reachable(), "query {q}");
-            assert_eq!(disk.stats.visited, mem_r.stats.visited, "visit counts differ on {q}");
+            assert_eq!(
+                disk.stats.visited, mem_r.stats.visited,
+                "visit counts differ on {q}"
+            );
         }
     }
 }

@@ -8,9 +8,7 @@ use crate::params::TraversalKind;
 use crate::traverse::{evaluate, TraversalStats};
 use crate::vertex::{HnSource, VertexData};
 use reach_contact::{DnGraph, MultiRes};
-use reach_core::{
-    IndexError, ObjectId, Query, QueryResult, QueryStats, ReachabilityIndex, Time,
-};
+use reach_core::{IndexError, ObjectId, Query, QueryResult, QueryStats, ReachabilityIndex, Time};
 use std::time::Instant;
 
 /// Memory-backed `HN` source.

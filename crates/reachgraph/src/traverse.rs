@@ -25,9 +25,7 @@
 use crate::params::TraversalKind;
 use crate::vertex::{HnSource, VertexData};
 use reach_contact::launch_boundary;
-use reach_core::{
-    IndexError, Query, QueryOutcome, Time, TimeInterval,
-};
+use reach_core::{IndexError, Query, QueryOutcome, Time, TimeInterval};
 use std::cmp::Reverse;
 use std::collections::hash_map::Entry;
 use std::collections::{BinaryHeap, HashMap};
@@ -126,7 +124,8 @@ pub fn reachable_set<S: HnSource>(
                 _ => {}
             }
         }
-        let relax = |w: u32, arr: Time,
+        let relax = |w: u32,
+                     arr: Time,
                      best: &mut HashMap<u32, Time>,
                      heap: &mut BinaryHeap<Reverse<(Time, u32)>>,
                      stats: &mut TraversalStats| {
@@ -188,7 +187,10 @@ fn unidirectional<S: HnSource>(
         }
         stats.visited += 1;
         let vd = src.vertex(v)?;
-        let mut relax = |w: u32, arr: Time, pending: &mut std::collections::VecDeque<(u32, Time)>, stats: &mut TraversalStats| {
+        let mut relax = |w: u32,
+                         arr: Time,
+                         pending: &mut std::collections::VecDeque<(u32, Time)>,
+                         stats: &mut TraversalStats| {
             stats.examined += 1;
             match best.entry(w) {
                 Entry::Occupied(mut e) if *e.get() > arr => {
@@ -282,7 +284,15 @@ fn bidirectional<S: HnSource>(
                     }
                 }
                 expand_forward(
-                    &vd, a, mid, horizon, &levels, multires, &mut fwd_best, &mut fq, &mut stats,
+                    &vd,
+                    a,
+                    mid,
+                    horizon,
+                    &levels,
+                    multires,
+                    &mut fwd_best,
+                    &mut fq,
+                    &mut stats,
                 );
             }
         }

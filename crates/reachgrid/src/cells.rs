@@ -95,10 +95,14 @@ impl GridGeometry {
     /// `margin` around `p` — the cells a `d_T`-inflated seed position can
     /// touch (the potential-seed cells `N_i` of §4.2).
     pub fn cells_around(&self, p: Point, margin: Coord, out: &mut Vec<u32>) {
-        let lo_x = (((p.x - margin) / self.cell_size).floor() as i64).clamp(0, i64::from(self.cols) - 1);
-        let hi_x = (((p.x + margin) / self.cell_size).floor() as i64).clamp(0, i64::from(self.cols) - 1);
-        let lo_y = (((p.y - margin) / self.cell_size).floor() as i64).clamp(0, i64::from(self.rows) - 1);
-        let hi_y = (((p.y + margin) / self.cell_size).floor() as i64).clamp(0, i64::from(self.rows) - 1);
+        let lo_x =
+            (((p.x - margin) / self.cell_size).floor() as i64).clamp(0, i64::from(self.cols) - 1);
+        let hi_x =
+            (((p.x + margin) / self.cell_size).floor() as i64).clamp(0, i64::from(self.cols) - 1);
+        let lo_y =
+            (((p.y - margin) / self.cell_size).floor() as i64).clamp(0, i64::from(self.rows) - 1);
+        let hi_y =
+            (((p.y + margin) / self.cell_size).floor() as i64).clamp(0, i64::from(self.rows) - 1);
         for cy in lo_y..=hi_y {
             for cx in lo_x..=hi_x {
                 out.push(cy as u32 * self.cols + cx as u32);
@@ -149,7 +153,10 @@ mod tests {
     fn cell_record_roundtrip() {
         let cell = CellData {
             objects: vec![
-                (ObjectId(3), vec![Point::new(1.0, 2.0), Point::new(3.0, 4.0)]),
+                (
+                    ObjectId(3),
+                    vec![Point::new(1.0, 2.0), Point::new(3.0, 4.0)],
+                ),
                 (ObjectId(9), vec![Point::new(-1.5, 0.25)]),
             ],
         };

@@ -66,7 +66,9 @@ impl ReachGrid {
 
         // --- Directory region -------------------------------------------
         let entries_per_page = params.page_size / 4;
-        let dir_pages_per_chunk = (num_objects as u64).div_ceil(entries_per_page as u64).max(1);
+        let dir_pages_per_chunk = (num_objects as u64)
+            .div_ceil(entries_per_page as u64)
+            .max(1);
         let num_chunks = layout.num_chunks() as u64;
         let dir_first_page = disk.allocate((dir_pages_per_chunk * num_chunks) as usize);
 
@@ -92,10 +94,7 @@ impl ReachGrid {
                 }
                 touched.sort_unstable();
                 touched.dedup();
-                dir_entries.push(self_cell(
-                    &geometry,
-                    seg.positions[0],
-                ));
+                dir_entries.push(self_cell(&geometry, seg.positions[0]));
                 for &cell in &touched {
                     staging
                         .entry(cell)
@@ -243,7 +242,12 @@ mod tests {
             Trajectory::new(
                 ObjectId(id),
                 0,
-                (0..25).map(|t| { let (x, y) = f(t); Point::new(x, y) }).collect(),
+                (0..25)
+                    .map(|t| {
+                        let (x, y) = f(t);
+                        Point::new(x, y)
+                    })
+                    .collect(),
             )
         };
         let trajs = vec![
@@ -288,10 +292,7 @@ mod tests {
     #[test]
     fn cells_contain_full_segments() {
         let mut g = ReachGrid::build(&store(), params()).unwrap();
-        let ptr = g
-            .chunk(0)
-            .cell_ptr(0)
-            .expect("o0's home cell is non-empty");
+        let ptr = g.chunk(0).cell_ptr(0).expect("o0's home cell is non-empty");
         let cell = g.read_cell(ptr).unwrap();
         let (o, samples) = &cell.objects[0];
         assert_eq!(*o, ObjectId(0));

@@ -11,8 +11,8 @@
 use crate::cells::CellData;
 use crate::index::ReachGrid;
 use reach_core::{
-    IndexError, ObjectId, Point, Query, QueryOutcome, QueryResult, QueryStats,
-    ReachabilityIndex, Time, TimeInterval,
+    IndexError, ObjectId, Point, Query, QueryOutcome, QueryResult, QueryStats, ReachabilityIndex,
+    Time, TimeInterval,
 };
 use reach_traj::SpatialHash;
 use std::collections::HashMap;
@@ -121,9 +121,7 @@ impl ReachGrid {
                     let mut newly: Vec<(u32, Vec<Point>)> = Vec::new();
                     for data in state.loaded.values() {
                         for (o, samples) in &data.objects {
-                            if is_seed[o.index()]
-                                || newly.iter().any(|(n, _)| *n == o.0)
-                            {
+                            if is_seed[o.index()] || newly.iter().any(|(n, _)| *n == o.0) {
                                 continue;
                             }
                             let p = samples[idx];

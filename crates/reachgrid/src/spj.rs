@@ -9,8 +9,8 @@
 use crate::cells::CellData;
 use crate::index::ReachGrid;
 use reach_core::{
-    IndexError, Point, Query, QueryOutcome, QueryResult, QueryStats,
-    ReachabilityIndex, TimeInterval, UnionFind,
+    IndexError, Point, Query, QueryOutcome, QueryResult, QueryStats, ReachabilityIndex,
+    TimeInterval, UnionFind,
 };
 use reach_traj::{proximity_pairs, SpatialHash};
 use std::time::Instant;

@@ -144,10 +144,10 @@ pub fn read_record(pager: &mut Pager, ptr: RecordPtr) -> Result<Vec<u8>, IndexEr
     let mut page_id = ptr.page;
 
     let take = |pager: &mut Pager,
-                    page: &mut Box<[u8]>,
-                    page_id: &mut PageId,
-                    off: &mut usize,
-                    n: usize|
+                page: &mut Box<[u8]>,
+                page_id: &mut PageId,
+                off: &mut usize,
+                n: usize|
      -> Result<Vec<u8>, IndexError> {
         let mut out = Vec::with_capacity(n);
         let mut left = n;

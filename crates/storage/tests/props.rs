@@ -1,9 +1,15 @@
 //! Property tests for the storage substrate.
+//!
+//! Runs are CI-deterministic: the case count is pinned here and the RNG seed
+//! derives from the test name (override with `PROPTEST_SEED=<u64>` to replay
+//! or explore a different stream).
 
 use proptest::prelude::*;
 use reach_storage::{read_record, DiskSim, LruPool, Pager, RecordWriter};
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
     /// Any sequence of variable-length records written through the layout
     /// writer is recoverable byte-for-byte through the pager, regardless of
     /// page size, cache size or page-alignment choices.

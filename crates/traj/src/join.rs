@@ -242,7 +242,12 @@ mod tests {
         let far = |k: f32| 100.0 * k;
         let rows = vec![
             // o0 unused filler object kept far away from everyone
-            vec![(far(9.0), 0.0), (far(9.0), 0.0), (far(9.0), 0.0), (far(9.0), 0.0)],
+            vec![
+                (far(9.0), 0.0),
+                (far(9.0), 0.0),
+                (far(9.0), 0.0),
+                (far(9.0), 0.0),
+            ],
             // o1
             vec![(0.0, 0.0), (far(1.0), 0.0), (10.0, 0.0), (10.0, 0.0)],
             // o2: next to o1 at t=0, next to o4 at t=1, back to o1 at t∈[2,3]
@@ -257,7 +262,14 @@ mod tests {
         let as_tuples: Vec<(Time, u32, u32)> = evs.iter().map(|e| (e.t, e.a.0, e.b.0)).collect();
         assert_eq!(
             as_tuples,
-            vec![(0, 1, 2), (1, 2, 4), (1, 3, 4), (2, 1, 2), (2, 3, 4), (3, 1, 2)]
+            vec![
+                (0, 1, 2),
+                (1, 2, 4),
+                (1, 3, 4),
+                (2, 1, 2),
+                (2, 3, 4),
+                (3, 1, 2)
+            ]
         );
     }
 
@@ -278,10 +290,7 @@ mod tests {
 
     #[test]
     fn join_window_clipped_to_horizon() {
-        let rows = vec![
-            vec![(0.0, 0.0), (0.0, 0.0)],
-            vec![(0.5, 0.0), (90.0, 0.0)],
-        ];
+        let rows = vec![vec![(0.0, 0.0), (0.0, 0.0)], vec![(0.5, 0.0), (90.0, 0.0)]];
         let store = store_from_rows(rows);
         // Window exceeding the horizon must not panic.
         let evs = window_self_join(&store, TimeInterval::new(0, 100), 1.0);

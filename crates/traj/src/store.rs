@@ -18,10 +18,7 @@ pub struct TrajectoryStore {
 impl TrajectoryStore {
     /// Builds a store, validating that trajectory `i` belongs to object `i`
     /// and that every trajectory covers exactly `[0, horizon)`.
-    pub fn new(
-        env: Environment,
-        trajectories: Vec<Trajectory>,
-    ) -> Result<Self, IndexError> {
+    pub fn new(env: Environment, trajectories: Vec<Trajectory>) -> Result<Self, IndexError> {
         let horizon = trajectories
             .first()
             .map(|t| t.positions.len() as Time)
@@ -151,10 +148,7 @@ mod tests {
     #[test]
     fn position_lookup() {
         let s = store();
-        assert_eq!(
-            s.position(ObjectId(2), 3).unwrap(),
-            Point::new(23.0, 0.0)
-        );
+        assert_eq!(s.position(ObjectId(2), 3).unwrap(), Point::new(23.0, 0.0));
         assert!(s.position(ObjectId(2), 5).is_err());
         assert!(matches!(
             s.position(ObjectId(9), 0),

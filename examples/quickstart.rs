@@ -14,8 +14,8 @@ fn main() {
     // (Object ids 0..3 stand for the paper's o1..o4.)
     let far = |k: f32| 100.0 * k;
     let rows: Vec<Vec<f32>> = vec![
-        vec![0.0, far(1.0), 10.0, 10.0],   // o1
-        vec![0.5, 20.0, 10.5, 10.5],       // o2
+        vec![0.0, far(1.0), 10.0, 10.0],      // o1
+        vec![0.5, 20.0, 10.5, 10.5],          // o2
         vec![far(2.0), 21.5, 40.0, far(2.0)], // o3
         vec![far(3.0), 20.5, 40.5, far(3.0)], // o4
     ];
@@ -72,10 +72,22 @@ fn main() {
 
     // --- The paper's example queries --------------------------------------
     let queries = [
-        ("o1 ~[0,1]~> o4 (paper: reachable)", Query::new(ObjectId(0), ObjectId(3), TimeInterval::new(0, 1))),
-        ("o4 ~[0,1]~> o1 (paper: NOT reachable)", Query::new(ObjectId(3), ObjectId(0), TimeInterval::new(0, 1))),
-        ("o1 ~[2,3]~> o2", Query::new(ObjectId(0), ObjectId(1), TimeInterval::new(2, 3))),
-        ("o3 ~[1,3]~> o1", Query::new(ObjectId(2), ObjectId(0), TimeInterval::new(1, 3))),
+        (
+            "o1 ~[0,1]~> o4 (paper: reachable)",
+            Query::new(ObjectId(0), ObjectId(3), TimeInterval::new(0, 1)),
+        ),
+        (
+            "o4 ~[0,1]~> o1 (paper: NOT reachable)",
+            Query::new(ObjectId(3), ObjectId(0), TimeInterval::new(0, 1)),
+        ),
+        (
+            "o1 ~[2,3]~> o2",
+            Query::new(ObjectId(0), ObjectId(1), TimeInterval::new(2, 3)),
+        ),
+        (
+            "o3 ~[1,3]~> o1",
+            Query::new(ObjectId(2), ObjectId(0), TimeInterval::new(1, 3)),
+        ),
     ];
     let oracle = Oracle::build(&store, d_t);
     println!("\n== queries ==");
@@ -83,11 +95,23 @@ fn main() {
         let g = grid.evaluate(&q).expect("grid evaluates");
         let h = graph.evaluate(&q).expect("graph evaluates");
         let o = oracle.evaluate(&q);
-        assert_eq!(g.reachable(), o.reachable, "ReachGrid disagrees with oracle");
-        assert_eq!(h.reachable(), o.reachable, "ReachGraph disagrees with oracle");
+        assert_eq!(
+            g.reachable(),
+            o.reachable,
+            "ReachGrid disagrees with oracle"
+        );
+        assert_eq!(
+            h.reachable(),
+            o.reachable,
+            "ReachGraph disagrees with oracle"
+        );
         println!(
             "  {label}\n    -> {} (ReachGrid {:.2} IOs, ReachGraph {:.2} IOs)",
-            if g.reachable() { "reachable" } else { "not reachable" },
+            if g.reachable() {
+                "reachable"
+            } else {
+                "not reachable"
+            },
             g.stats.normalized_io(),
             h.stats.normalized_io(),
         );

@@ -51,7 +51,10 @@ fn main() {
                 by_index += 1;
             }
         }
-        assert_eq!(by_index, by_oracle, "index and oracle disagree at p_T={p_threshold}");
+        assert_eq!(
+            by_index, by_oracle,
+            "index and oracle disagree at p_T={p_threshold}"
+        );
         println!(
             "p_T = {p_threshold:>4}: {by_index:>3} of {} objects probabilistically reachable from {source}",
             store.num_objects()
@@ -67,9 +70,7 @@ fn main() {
     for lifetime in [0u32, 5, 10] {
         let ni = NonImmediateIndex::build(&store, d_t, lifetime);
         let reached = (0..store.num_objects() as u32)
-            .filter(|&d| {
-                ni.reachable(source, ObjectId(d), certain_window).0
-            })
+            .filter(|&d| ni.reachable(source, ObjectId(d), certain_window).0)
             .count();
         println!(
             "  lifetime {:>2} ticks -> {reached:>3} objects reachable from {source} during {certain_window}",

@@ -94,7 +94,11 @@ fn main() {
         let fwd = watchlist
             .iter()
             .any(|&s| oracle.evaluate(&Query::new(s, v, window)).reachable);
-        assert_eq!(fwd, downstream.contains(&v), "forward trace mismatch at {v}");
+        assert_eq!(
+            fwd,
+            downstream.contains(&v),
+            "forward trace mismatch at {v}"
+        );
         let bwd = watchlist
             .iter()
             .any(|&s| oracle.evaluate(&Query::new(v, s, window)).reachable);

@@ -70,8 +70,8 @@ pub mod prelude {
     pub use reach_baselines::{GrailDisk, GrailMem};
     pub use reach_contact::{DnGraph, MultiRes, Oracle, DEFAULT_LEVELS};
     pub use reach_core::{
-        Contact, ContactEvent, Environment, IndexError, Mbr, ObjectId, Point, Query,
-        QueryOutcome, QueryResult, ReachabilityIndex, Time, TimeInterval,
+        Contact, ContactEvent, Environment, IndexError, Mbr, ObjectId, Point, Query, QueryOutcome,
+        QueryResult, ReachabilityIndex, Time, TimeInterval,
     };
     pub use reach_ext::{NonImmediateIndex, UReachGraph, UncertainOracle};
     pub use reach_graph::{GraphParams, MemoryHn, ReachGraph, TraversalKind};

@@ -72,7 +72,10 @@ fn reachgrid_beats_spj_on_average() {
     for q in &queries {
         let a = grid.evaluate(q).expect("grid evaluates").stats;
         grid_pages += a.random_ios + a.seq_ios;
-        let b = Spj::new(&mut grid).evaluate(q).expect("spj evaluates").stats;
+        let b = Spj::new(&mut grid)
+            .evaluate(q)
+            .expect("spj evaluates")
+            .stats;
         spj_pages += b.random_ios + b.seq_ios;
     }
     assert!(
@@ -97,10 +100,18 @@ fn traversal_strategy_ordering() {
     }
     .generate(100, 900, 17);
     let mut visited = std::collections::HashMap::new();
-    for kind in [TraversalKind::EDfs, TraversalKind::BBfs, TraversalKind::BmBfs] {
+    for kind in [
+        TraversalKind::EDfs,
+        TraversalKind::BBfs,
+        TraversalKind::BmBfs,
+    ] {
         let mut total = 0u64;
         for q in &queries {
-            total += graph.evaluate_with(q, kind).expect("evaluates").stats.visited;
+            total += graph
+                .evaluate_with(q, kind)
+                .expect("evaluates")
+                .stats
+                .visited;
         }
         visited.insert(kind.name(), total);
     }

@@ -1,0 +1,607 @@
+//! Offline, dependency-free shim of the
+//! [`proptest`](https://crates.io/crates/proptest) crate, providing exactly
+//! the surface this workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//!   [`prop_assert!`] / [`prop_assert_eq!`], and `?` on
+//!   [`TestCaseError`]-valued expressions inside test bodies
+//! * [`Strategy`] with `prop_map` / `prop_flat_map` / `prop_filter_map`,
+//!   implemented for integer/float ranges and tuples
+//! * `prop::collection::vec`, `prop::sample::select`, `prop::bool::ANY`,
+//!   [`any`], and [`Just`]
+//! * [`ProptestConfig`] with `with_cases` plus an explicit `seed` knob
+//!
+//! Differences from upstream: generation is **deterministic** (the RNG seed
+//! derives from `PROPTEST_SEED`, the config seed, and the test name — see
+//! [`test_runner::rng_for`]) and there is **no shrinking**: a failing case
+//! reports the case number and seed so it can be replayed exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The RNG driving all strategies in this shim.
+pub type TestRng = StdRng;
+
+/// How many times a strategy may reject internally before the whole case is
+/// restarted by the runner.
+const LOCAL_RETRIES: usize = 64;
+
+// ---------------------------------------------------------------------------
+// Config and errors
+// ---------------------------------------------------------------------------
+
+/// Per-`proptest!` block configuration (shim of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases each test must pass.
+    pub cases: u32,
+    /// Explicit base seed; `None` uses `PROPTEST_SEED` from the environment,
+    /// falling back to a fixed default, so CI runs are reproducible.
+    pub seed: Option<u64>,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases with default seed handling.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, seed: None }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            seed: None,
+        }
+    }
+}
+
+/// Failure raised by `prop_assert!` or `?` inside a property test body.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    reason: String,
+}
+
+impl TestCaseError {
+    /// A hard test-case failure with the given reason.
+    pub fn fail<S: Into<String>>(reason: S) -> Self {
+        TestCaseError {
+            reason: reason.into(),
+        }
+    }
+
+    /// Alias of [`TestCaseError::fail`] kept for upstream compatibility.
+    pub fn reject<S: Into<String>>(reason: S) -> Self {
+        TestCaseError::fail(reason)
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.reason)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Result type of a single property-test case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A generator of values (shim of `proptest::strategy::Strategy`).
+///
+/// `gen_value` returns `None` when an internal filter rejected too often; the
+/// runner then restarts the whole case with fresh randomness.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value, or `None` on internal rejection.
+    fn gen_value(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` builds from it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Keeps only values `f` maps to `Some`, retrying on rejection.
+    fn prop_filter_map<U, F>(self, whence: impl Into<String>, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<U>,
+    {
+        FilterMap {
+            inner: self,
+            f,
+            whence: whence.into(),
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Option<U> {
+        self.inner.gen_value(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Option<S2::Value> {
+        let outer = self.inner.gen_value(rng)?;
+        (self.f)(outer).gen_value(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    f: F,
+    #[allow(dead_code)]
+    whence: String,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> Option<U>> Strategy for FilterMap<S, F> {
+    type Value = U;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Option<U> {
+        for _ in 0..LOCAL_RETRIES {
+            if let Some(v) = self.inner.gen_value(rng) {
+                if let Some(u) = (self.f)(v) {
+                    return Some(u);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// A strategy that always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn gen_value(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Strategy for () {
+    type Value = ();
+
+    fn gen_value(&self, _rng: &mut TestRng) -> Option<()> {
+        Some(())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($S:ident . $idx:tt),+))*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn gen_value(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                Some(($(self.$idx.gen_value(rng)?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+}
+
+// ---------------------------------------------------------------------------
+// any::<T>()
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical "any value" strategy (shim of `proptest::arbitrary`).
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value of this type.
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+impl<T: rand::Standard> Arbitrary for T {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        rng.gen()
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Option<T> {
+        Some(T::arbitrary_value(rng))
+    }
+}
+
+/// The canonical strategy for `T`: uniform over the type's full output.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(core::marker::PhantomData)
+}
+
+// ---------------------------------------------------------------------------
+// Submodules mirrored from upstream: collection, sample, bool
+// ---------------------------------------------------------------------------
+
+/// Collection strategies (shim of `proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Inclusive length bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi);
+            let mut out = Vec::with_capacity(len);
+            for _ in 0..len {
+                out.push(self.element.gen_value(rng)?);
+            }
+            Some(out)
+        }
+    }
+
+    /// `Vec` of values from `element`, with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Sampling strategies (shim of `proptest::sample`).
+pub mod sample {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy returned by [`select`].
+    pub struct Select<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Option<T> {
+            let i = rng.gen_range(0..self.items.len());
+            Some(self.items[i].clone())
+        }
+    }
+
+    /// Uniformly selects one of the given items. Panics on an empty list.
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select requires a non-empty list");
+        Select { items }
+    }
+}
+
+/// Boolean strategies (shim of `proptest::bool`).
+pub mod bool {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy type of [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Either boolean with equal probability.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = core::primitive::bool;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Option<core::primitive::bool> {
+            Some(rng.gen())
+        }
+    }
+}
+
+/// Upstream-compatible alias so `prop::collection::vec(..)` etc. resolve.
+pub mod prop {
+    pub use crate::{bool, collection, sample};
+}
+
+// ---------------------------------------------------------------------------
+// Test runner
+// ---------------------------------------------------------------------------
+
+/// Deterministic seeding of the per-test RNG (shim of `proptest::test_runner`).
+pub mod test_runner {
+    pub use crate::{ProptestConfig as Config, TestCaseError, TestCaseResult};
+
+    /// Fallback base seed when neither `PROPTEST_SEED` nor the config sets one.
+    pub const DEFAULT_BASE_SEED: u64 = 0x5EED_CAFE_F00D_0001;
+
+    fn fnv1a(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// The base seed in effect: `PROPTEST_SEED` env var, else the config's
+    /// explicit seed, else [`DEFAULT_BASE_SEED`].
+    pub fn base_seed(config: &Config) -> u64 {
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(n) = s.trim().parse::<u64>() {
+                return n;
+            }
+        }
+        config.seed.unwrap_or(DEFAULT_BASE_SEED)
+    }
+
+    /// Builds the RNG for one test fn: base seed mixed with the test name, so
+    /// every test gets an independent — but fully reproducible — stream.
+    pub fn rng_for(test_name: &str, config: &Config) -> super::TestRng {
+        use rand::SeedableRng;
+        super::TestRng::seed_from_u64(base_seed(config) ^ fnv1a(test_name))
+    }
+}
+
+/// Runs a case body exactly once. Used by [`proptest!`] instead of a bound
+/// closure call so bodies may freely mutate their captured inputs without
+/// tripping `unused_mut` in bodies that do not.
+#[doc(hidden)]
+pub fn run_case<F: FnOnce() -> TestCaseResult>(body: F) -> TestCaseResult {
+    body()
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Declares property tests (shim of upstream `proptest!`).
+///
+/// Supported grammar: an optional `#![proptest_config(expr)]` header followed
+/// by `#[test] fn name(pat in strategy, ...) { body }` items. Bodies may use
+/// `?` on `Result<_, TestCaseError>` expressions and the `prop_assert*!`
+/// macros. No shrinking: failures report the case number and base seed.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!((<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::rng_for(stringify!($name), &__config);
+            let __strategies = ($($strat,)*);
+            let mut __cases: u32 = 0;
+            let mut __rejects: u32 = 0;
+            while __cases < __config.cases {
+                match $crate::Strategy::gen_value(&__strategies, &mut __rng) {
+                    ::core::option::Option::Some(($($pat,)*)) => {
+                        let __outcome = $crate::run_case(move || {
+                            $body
+                            ::core::result::Result::Ok(())
+                        });
+                        if let ::core::result::Result::Err(__e) = __outcome {
+                            ::core::panic!(
+                                "proptest case {}/{} of `{}` failed (base seed {}): {}",
+                                __cases + 1,
+                                __config.cases,
+                                stringify!($name),
+                                $crate::test_runner::base_seed(&__config),
+                                __e
+                            );
+                        }
+                        __cases += 1;
+                    }
+                    ::core::option::Option::None => {
+                        __rejects += 1;
+                        assert!(
+                            __rejects < 4096,
+                            "proptest `{}`: too many rejected inputs",
+                            stringify!($name)
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property test, failing the case (not
+/// panicking directly) so the runner can report case and seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property test; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            l,
+            r,
+            ::std::format!($($fmt)*)
+        );
+    }};
+}
+
+/// Everything the property tests import (shim of `proptest::prelude`).
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, proptest, Arbitrary, Just, ProptestConfig,
+        Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner;
+
+    #[test]
+    fn rng_is_deterministic_per_test_name() {
+        let cfg = ProptestConfig::with_cases(1);
+        let mut a = test_runner::rng_for("x", &cfg);
+        let mut b = test_runner::rng_for("x", &cfg);
+        let s = (0u32..100).gen_value(&mut a);
+        let t = (0u32..100).gen_value(&mut b);
+        assert_eq!(s, t);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn generated_values_respect_strategies(
+            x in 3u32..10,
+            v in prop::collection::vec(any::<u8>(), 2..5),
+            flag in prop::bool::ANY,
+            pick in prop::sample::select(vec![1usize, 2, 3]),
+            (a, b) in (0i32..4, 0i32..4).prop_filter_map("distinct", |(a, b)| {
+                (a != b).then_some((a, b))
+            }),
+        ) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert!(usize::from(flag) <= 1);
+            prop_assert!([1usize, 2, 3].contains(&pick));
+            prop_assert!(a != b);
+            let doubled = (0u32..5).prop_map(|n| n * 2);
+            let mut rng = test_runner::rng_for("inner", &ProptestConfig::with_cases(1));
+            let d = doubled.gen_value(&mut rng).unwrap();
+            prop_assert_eq!(d % 2, 0);
+        }
+    }
+}
