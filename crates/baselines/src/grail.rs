@@ -21,7 +21,10 @@ use reach_contact::DnGraph;
 use reach_core::{
     IndexError, ObjectId, Query, QueryOutcome, QueryResult, QueryStats, ReachabilityIndex, Time,
 };
-use reach_storage::{read_record, ByteReader, ByteWriter, DiskSim, Pager, RecordPtr, RecordWriter};
+use reach_storage::{
+    read_record, BlockDevice, ByteReader, ByteWriter, Pager, RecordPtr, RecordWriter, SimDevice,
+    TimelineRegion,
+};
 use std::time::Instant;
 
 /// The randomized interval labels of one DAG.
@@ -222,9 +225,8 @@ type DiskVertex = (Vec<u32>, Vec<(u32, u32)>);
 pub struct GrailDisk {
     pager: Pager,
     node_ptrs: Vec<RecordPtr>,
-    timeline_index: Vec<(u64, u32)>,
-    timeline_first_page: u64,
-    page_size: usize,
+    /// The `Ht` lookup region (shared layout with ReachGraph).
+    timeline: TimelineRegion,
     horizon: Time,
     num_objects: usize,
 }
@@ -238,43 +240,31 @@ impl GrailDisk {
         page_size: usize,
         cache_pages: usize,
     ) -> Result<Self, IndexError> {
-        let labels = GrailLabels::build(dn, d, seed);
-        let mut disk = DiskSim::new(page_size);
+        let device = SimDevice::new(page_size);
+        Self::build_on(Box::new(device), dn, d, seed, cache_pages)
+    }
 
-        // Timeline region (same role as in ReachGraph).
-        let entries_per_page = page_size / 8;
-        let total_entries: u64 = (0..dn.num_objects() as u32)
-            .map(|o| dn.timeline(ObjectId(o)).len() as u64)
-            .sum();
-        let timeline_pages = total_entries.div_ceil(entries_per_page as u64).max(1);
-        let timeline_first_page = disk.allocate(timeline_pages as usize);
-        let mut timeline_index = Vec::with_capacity(dn.num_objects());
-        {
-            let mut entry_idx = 0u64;
-            let mut buf = vec![0u8; page_size];
-            let mut cur = 0u64;
-            for o in 0..dn.num_objects() as u32 {
-                let tl = dn.timeline(ObjectId(o));
-                timeline_index.push((entry_idx, tl.len() as u32));
-                for &(t, node) in tl {
-                    let page = entry_idx / entries_per_page as u64;
-                    if page != cur {
-                        disk.write_page(timeline_first_page + cur, &buf)?;
-                        buf.fill(0);
-                        cur = page;
-                    }
-                    let off = (entry_idx % entries_per_page as u64) as usize * 8;
-                    buf[off..off + 4].copy_from_slice(&t.to_le_bytes());
-                    buf[off + 4..off + 8].copy_from_slice(&node.to_le_bytes());
-                    entry_idx += 1;
-                }
-            }
-            disk.write_page(timeline_first_page + cur, &buf)?;
-        }
+    /// Serializes `dn` + labels onto any block device.
+    pub fn build_on(
+        mut device: Box<dyn BlockDevice>,
+        dn: &DnGraph,
+        d: usize,
+        seed: u64,
+        cache_pages: usize,
+    ) -> Result<Self, IndexError> {
+        let labels = GrailLabels::build(dn, d, seed);
+        let disk = device.as_mut();
+
+        // Timeline region (identical layout to ReachGraph's, via the shared
+        // reach_storage::TimelineRegion).
+        let timelines: Vec<&[(Time, u32)]> = (0..dn.num_objects() as u32)
+            .map(|o| dn.timeline(ObjectId(o)))
+            .collect();
+        let timeline = TimelineRegion::build(disk, &timelines)?;
 
         // Vertices in generation (id) order, packed — GRAIL has no notion of
         // partitioned placement, which is exactly its disk weakness.
-        let mut writer = RecordWriter::new(&mut disk);
+        let mut writer = RecordWriter::new(disk)?;
         let mut node_ptrs = Vec::with_capacity(dn.num_nodes());
         for v in 0..dn.num_nodes() as u32 {
             let mut w = ByteWriter::new();
@@ -285,19 +275,22 @@ impl GrailDisk {
                 w.put_u32(lo);
                 w.put_u32(hi);
             }
-            node_ptrs.push(writer.append(&mut disk, w.as_bytes())?);
+            node_ptrs.push(writer.append(disk, w.as_bytes())?);
         }
-        writer.finish(&mut disk)?;
+        writer.finish(disk)?;
         disk.reset_stats();
         Ok(Self {
-            pager: Pager::new(disk, cache_pages),
+            pager: Pager::new(device, cache_pages),
             node_ptrs,
-            timeline_index,
-            timeline_first_page,
-            page_size,
+            timeline,
             horizon: dn.horizon(),
             num_objects: dn.num_objects(),
         })
+    }
+
+    /// The underlying block device (diagnostics and equivalence testing).
+    pub fn device_mut(&mut self) -> &mut dyn BlockDevice {
+        self.pager.device_mut()
     }
 
     fn read_vertex(&mut self, v: u32) -> Result<DiskVertex, IndexError> {
@@ -313,36 +306,7 @@ impl GrailDisk {
     }
 
     fn node_of(&mut self, o: ObjectId, t: Time) -> Result<u32, IndexError> {
-        let &(first, count) = self
-            .timeline_index
-            .get(o.index())
-            .ok_or(IndexError::UnknownObject(o))?;
-        let entries_per_page = self.page_size / 8;
-        let read_entry = |this: &mut Self, idx: u64| -> Result<(Time, u32), IndexError> {
-            let page = this.timeline_first_page + idx / entries_per_page as u64;
-            let off = (idx % entries_per_page as u64) as usize * 8;
-            let bytes = this.pager.read(page)?;
-            Ok((
-                u32::from_le_bytes([bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3]]),
-                u32::from_le_bytes([
-                    bytes[off + 4],
-                    bytes[off + 5],
-                    bytes[off + 6],
-                    bytes[off + 7],
-                ]),
-            ))
-        };
-        let (mut lo, mut hi) = (0u64, u64::from(count));
-        while lo + 1 < hi {
-            let mid = (lo + hi) / 2;
-            let (start, _) = read_entry(self, first + mid)?;
-            if start <= t {
-                lo = mid;
-            } else {
-                hi = mid;
-            }
-        }
-        Ok(read_entry(self, first + lo)?.1)
+        self.timeline.node_of(&mut self.pager, o, t)
     }
 
     /// Evaluates a query, counting IO.

@@ -22,7 +22,9 @@
 use reach_contact::{DnGraph, MultiRes, DEFAULT_LEVELS};
 use reach_core::{Coord, Environment, Time};
 use reach_mobility::{sparsify, RwpConfig, VehicleConfig, BEIJING_KEEP_EVERY};
+use reach_storage::{BlockDevice, StorageConfig};
 use reach_traj::TrajectoryStore;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Dataset family, matching the paper's naming.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -195,6 +197,98 @@ impl Tier {
     }
 }
 
+/// Storage backend the experiment harness builds its indexes on. Selected
+/// at run time from `--backend=sim|file|mmap` (or the `STREACH_BACKEND`
+/// environment variable); `sim` — the paper's measurement model — is the
+/// default, the other two run the identical experiments against real files
+/// so wall-clock numbers reflect actual IO.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Backend {
+    /// Memory-backed simulator (default; the paper's IO-count model).
+    #[default]
+    Sim,
+    /// Real file with positioned IO, one temp file per index build.
+    File,
+    /// Read-optimized memory-resident image over a temp file.
+    Mmap,
+}
+
+impl Backend {
+    /// Parses `--backend=…` from process args, falling back to the
+    /// `STREACH_BACKEND` environment variable, then to `sim`.
+    pub fn from_args() -> Backend {
+        for a in std::env::args() {
+            if let Some(v) = a.strip_prefix("--backend=") {
+                return Backend::parse(v);
+            }
+        }
+        match std::env::var("STREACH_BACKEND") {
+            Ok(v) => Backend::parse(&v),
+            Err(_) => Backend::Sim,
+        }
+    }
+
+    fn parse(v: &str) -> Backend {
+        match v {
+            "sim" => Backend::Sim,
+            "file" => Backend::File,
+            "mmap" => Backend::Mmap,
+            other => panic!("unknown storage backend {other:?} (expected sim|file|mmap)"),
+        }
+    }
+
+    /// Report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Sim => "sim",
+            Backend::File => "file",
+            Backend::Mmap => "mmap",
+        }
+    }
+
+    /// Creates a fresh device for one index build. File-backed devices land
+    /// in a per-process directory under the system temp dir, one uniquely
+    /// named file per build. On Unix the path (and the then-empty directory)
+    /// is unlinked as soon as the device holds its descriptor, so bench runs
+    /// leave nothing behind no matter how they exit; elsewhere the files
+    /// live until the OS clears its temp dir.
+    pub fn device(self, page_size: usize) -> Box<dyn BlockDevice> {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let path = match self {
+            Backend::Sim => {
+                return StorageConfig::sim(page_size)
+                    .create()
+                    .expect("sim device creates")
+            }
+            Backend::File | Backend::Mmap => {
+                let dir =
+                    std::env::temp_dir().join(format!("streach-bench-{}", std::process::id()));
+                std::fs::create_dir_all(&dir).expect("temp device dir creates");
+                dir.join(format!(
+                    "dev-{}.pages",
+                    NEXT.fetch_add(1, Ordering::Relaxed)
+                ))
+            }
+        };
+        let config = if self == Backend::File {
+            StorageConfig::file(&path, page_size)
+        } else {
+            StorageConfig::mmap(&path, page_size)
+        };
+        let device = config.create().expect("experiment device creates");
+        // Benchmark devices are never reopened, so the anonymous-file trick
+        // applies: with the descriptor held, the name can go away now (and
+        // removing the directory succeeds exactly when it is empty).
+        if cfg!(unix) {
+            let _ = std::fs::remove_file(&path);
+            if let Some(dir) = path.parent() {
+                let _ = std::fs::remove_dir(dir);
+            }
+        }
+        device
+    }
+}
+
 /// The three RWP sizes of the tier (paper: RWP10k/20k/40k).
 pub fn rwp_series(tier: Tier) -> Vec<DatasetSpec> {
     match tier {
@@ -285,6 +379,26 @@ mod tests {
             }
         }
         assert!(linear_triples * 10 >= total * 9, "interpolation not linear");
+    }
+
+    #[test]
+    fn backend_parsing_and_devices() {
+        assert_eq!(Backend::parse("sim"), Backend::Sim);
+        assert_eq!(Backend::parse("file"), Backend::File);
+        assert_eq!(Backend::parse("mmap"), Backend::Mmap);
+        for be in [Backend::Sim, Backend::File, Backend::Mmap] {
+            let mut dev = be.device(128);
+            assert_eq!(dev.backend(), be.name());
+            assert_eq!(dev.page_size(), 128);
+            let p = dev.allocate(1).unwrap();
+            dev.write_page(p, b"ok").unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown storage backend")]
+    fn unknown_backend_rejected() {
+        Backend::parse("tape");
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! reproduction target is the *shape*: who wins, by what factor, and where
 //! the crossovers sit. EXPERIMENTS.md records the comparison.
 
-use crate::datasets::{middle, prefix_store, rwp_series, vn_series, vnr, DatasetSpec, Tier};
+use crate::datasets::{
+    middle, prefix_store, rwp_series, vn_series, vnr, Backend, DatasetSpec, Tier,
+};
 use crate::report::{fbytes, fdur, fnum, Table};
 use crate::runner::{run_batch, timed, BatchResult};
 use reach_baselines::{GrailDisk, GrailMem};
@@ -15,6 +17,25 @@ use reach_core::{Query, Time};
 use reach_graph::{GraphParams, MemoryHn, ReachGraph, TraversalKind};
 use reach_grid::{GridParams, ReachGrid, Spj};
 use reach_mobility::WorkloadConfig;
+use reach_traj::TrajectoryStore;
+
+/// Builds a ReachGrid on the run's configured storage backend.
+fn build_grid(store: &TrajectoryStore, params: GridParams) -> ReachGrid {
+    let device = Backend::from_args().device(params.page_size);
+    ReachGrid::build_on(device, store, params).expect("grid builds")
+}
+
+/// Builds a ReachGraph on the run's configured storage backend.
+fn build_graph(dn: &DnGraph, mr: &MultiRes, params: GraphParams) -> ReachGraph {
+    let device = Backend::from_args().device(params.page_size);
+    ReachGraph::build_on(device, dn, mr, params).expect("graph builds")
+}
+
+/// Builds a disk GRAIL on the run's configured storage backend.
+fn build_grail(dn: &DnGraph, d: usize, seed: u64, page_size: usize, cache: usize) -> GrailDisk {
+    let device = Backend::from_args().device(page_size);
+    GrailDisk::build_on(device, dn, d, seed, cache).expect("grail builds")
+}
 
 /// Queries per batch (paper: 400; quick tier trims for turnaround).
 pub fn num_queries(tier: Tier) -> usize {
@@ -127,7 +148,7 @@ pub fn exp_fig8(tier: Tier) -> Vec<Table> {
     );
     let mut best = (f64::INFINITY, spatial_candidates[0]);
     for &rs in &spatial_candidates {
-        let mut grid = ReachGrid::build(
+        let mut grid = build_grid(
             &store,
             GridParams {
                 temporal: 20,
@@ -136,8 +157,7 @@ pub fn exp_fig8(tier: Tier) -> Vec<Table> {
                 page_size: tier.page_size(),
                 ..GridParams::default()
             },
-        )
-        .expect("grid builds");
+        );
         let r = run_batch(&mut grid, &queries);
         if r.mean_io < best.0 {
             best = (r.mean_io, rs);
@@ -155,7 +175,7 @@ pub fn exp_fig8(tier: Tier) -> Vec<Table> {
         &["R_T (ticks)", "mean normalized IO"],
     );
     for rt in [5u32, 10, 20, 40, 80] {
-        let mut grid = ReachGrid::build(
+        let mut grid = build_grid(
             &store,
             GridParams {
                 temporal: rt,
@@ -164,8 +184,7 @@ pub fn exp_fig8(tier: Tier) -> Vec<Table> {
                 page_size: tier.page_size(),
                 ..GridParams::default()
             },
-        )
-        .expect("grid builds");
+        );
         let r = run_batch(&mut grid, &queries);
         tb.row(vec![rt.to_string(), fnum(r.mean_io)]);
     }
@@ -194,7 +213,7 @@ pub fn exp_fig9(tier: Tier) -> Vec<Table> {
                 let horizon = spec.horizon / frac;
                 let prefix = prefix_store(&store, horizon);
                 let params = grid_params_for(spec, tier);
-                let (grid, dur) = timed(|| ReachGrid::build(&prefix, params).expect("builds"));
+                let (grid, dur) = timed(|| build_grid(&prefix, params));
                 t.row(vec![
                     spec.name.clone(),
                     horizon.to_string(),
@@ -223,7 +242,7 @@ pub fn exp_spj(tier: Tier) -> Vec<Table> {
         for spec in &series {
             let store = spec.generate();
             let queries = workload(spec, tier, 0x59);
-            let mut grid = ReachGrid::build(&store, grid_params_for(spec, tier)).expect("builds");
+            let mut grid = build_grid(&store, grid_params_for(spec, tier));
             let spj = run_batch(&mut Spj::new(&mut grid), &queries);
             let rg = run_batch(&mut grid, &queries);
             let improvement = if spj.mean_io > 0.0 {
@@ -393,15 +412,14 @@ pub fn exp_fig12(tier: Tier) -> Vec<Table> {
         let mr = spec.build_multires(&dn);
         let mut col_depth = Vec::new();
         for &dp in &depths {
-            let mut rg = ReachGraph::build(
+            let mut rg = build_graph(
                 &dn,
                 &mr,
                 GraphParams {
                     partition_depth: dp,
                     ..graph_params_for(tier)
                 },
-            )
-            .expect("graph builds");
+            );
             col_depth.push(run_batch(&mut rg, &queries).mean_io);
         }
         per_depth.push(col_depth);
@@ -410,15 +428,14 @@ pub fn exp_fig12(tier: Tier) -> Vec<Table> {
         for r in res_counts.clone() {
             let levels: Vec<Time> = (1..r).map(|i| 2u32 << (i - 1)).collect();
             let mr_r = MultiRes::build(&dn, &levels);
-            let mut rg = ReachGraph::build(
+            let mut rg = build_graph(
                 &dn,
                 &mr_r,
                 GraphParams {
                     levels,
                     ..graph_params_for(tier)
                 },
-            )
-            .expect("graph builds");
+            );
             col_res.push(run_batch(&mut rg, &queries).mean_io);
         }
         per_res.push(col_res);
@@ -457,7 +474,7 @@ pub fn exp_fig13(tier: Tier) -> Vec<Table> {
         let store = spec.generate();
         let dn = spec.build_dn(&store);
         let mr = spec.build_multires(&dn);
-        let mut rg = ReachGraph::build(&dn, &mr, graph_params_for(tier)).expect("builds");
+        let mut rg = build_graph(&dn, &mr, graph_params_for(tier));
         let queries = workload(spec, tier, 0x13);
         let mut cells = vec![spec.name.clone()];
         for kind in [
@@ -502,10 +519,10 @@ pub fn exp_fig14_15(tier: Tier) -> Vec<Table> {
     );
     for spec in [middle(&rwp), middle(&vn)] {
         let store = spec.generate();
-        let mut grid = ReachGrid::build(&store, grid_params_for(spec, tier)).expect("builds");
+        let mut grid = build_grid(&store, grid_params_for(spec, tier));
         let dn = spec.build_dn(&store);
         let mr = spec.build_multires(&dn);
-        let mut rg = ReachGraph::build(&dn, &mr, GraphParams::default()).expect("builds");
+        let mut rg = build_graph(&dn, &mr, GraphParams::default());
         for len in [100u32, 300, 500] {
             let queries = WorkloadConfig::fixed_length(num_queries(tier), len).generate(
                 spec.num_objects,
@@ -581,9 +598,9 @@ pub fn exp_table5(tier: Tier) -> Vec<Table> {
             spec.horizon,
             0x56,
         );
-        let mut grail_disk = GrailDisk::build(&dn, 5, 0xF1, tier.page_size(), 64).expect("builds");
+        let mut grail_disk = build_grail(&dn, 5, 0xF1, tier.page_size(), 64);
         let gd = run_batch(&mut grail_disk, &queries);
-        let mut rg = ReachGraph::build(&dn, &mr, graph_params_for(tier)).expect("builds");
+        let mut rg = build_graph(&dn, &mr, graph_params_for(tier));
         let rd = run_batch(&mut rg, &queries);
         let improvement = if gd.mean_io > 0.0 {
             100.0 * (1.0 - rd.mean_io / gd.mean_io)
@@ -620,15 +637,14 @@ pub fn exp_ablation(tier: Tier) -> Vec<Table> {
     let dn = spec.build_dn(&store);
     let mr = spec.build_multires(&dn);
     for cache in [1usize, 4, 16, 64] {
-        let mut rg = ReachGraph::build(
+        let mut rg = build_graph(
             &dn,
             &mr,
             GraphParams {
                 partition_cache: cache,
                 ..graph_params_for(tier)
             },
-        )
-        .expect("builds");
+        );
         let r = run_batch(&mut rg, &queries);
         ta.row(vec![cache.to_string(), fnum(r.mean_io)]);
     }
@@ -639,14 +655,13 @@ pub fn exp_ablation(tier: Tier) -> Vec<Table> {
         &["buffered pages", "mean IO"],
     );
     for cache in [8usize, 64, 256] {
-        let mut grid = ReachGrid::build(
+        let mut grid = build_grid(
             &store,
             GridParams {
                 cache_pages: cache,
                 ..grid_params_for(spec, tier)
             },
-        )
-        .expect("builds");
+        );
         let r = run_batch(&mut grid, &queries);
         tb.row(vec![cache.to_string(), fnum(r.mean_io)]);
     }

@@ -20,6 +20,8 @@ pub mod experiments;
 pub mod report;
 pub mod runner;
 
-pub use datasets::{middle, prefix_store, rwp_series, vn_series, vnr, DatasetSpec, Family, Tier};
+pub use datasets::{
+    middle, prefix_store, rwp_series, vn_series, vnr, Backend, DatasetSpec, Family, Tier,
+};
 pub use report::{fbytes, fdur, fnum, Table};
 pub use runner::{run_batch, timed, BatchResult};

@@ -29,6 +29,17 @@ pub enum IndexError {
     /// The index was built with parameters incompatible with the request
     /// (e.g. asking for a resolution level that was never materialized).
     Unsupported(String),
+    /// An operating-system IO operation failed (file-backed storage). The
+    /// string carries the operation and the OS error text; `std::io::Error`
+    /// itself is neither `Clone` nor `Eq`, so it cannot be embedded.
+    Io(String),
+}
+
+impl IndexError {
+    /// Wraps an OS-level IO failure with the operation that caused it.
+    pub fn io(op: &str, err: &std::io::Error) -> Self {
+        IndexError::Io(format!("{op}: {err}"))
+    }
 }
 
 impl fmt::Display for IndexError {
@@ -44,6 +55,7 @@ impl fmt::Display for IndexError {
             }
             IndexError::Corrupt(msg) => write!(f, "corrupt index data: {msg}"),
             IndexError::Unsupported(msg) => write!(f, "unsupported request: {msg}"),
+            IndexError::Io(msg) => write!(f, "storage IO failure: {msg}"),
         }
     }
 }

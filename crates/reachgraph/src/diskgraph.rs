@@ -1,13 +1,22 @@
 //! The disk-resident ReachGraph index (paper §5.1.3).
 //!
-//! Layout on the simulated device, in page order:
+//! Layout on the block device, in page order:
 //!
 //! 1. the *timeline region* — per object, its `(start_tick, node)` runs as
 //!    fixed 8-byte entries (our substitute for the paper's per-tick `Ht`
 //!    hash tables; same role: locating the vertex of `o_i(t)`);
 //! 2. the *partition region* — one page-aligned record per partition, in
 //!    creation (topological) order; a partition record holds its vertices
-//!    (interval, members, DN1 edges both directions, long-edge bundles).
+//!    (interval, members, DN1 edges both directions, long-edge bundles);
+//! 3. the *metadata footer* (`reach_storage::meta`) — everything needed to
+//!    reconstruct the in-memory state (params, page table, record
+//!    directory), so an index built on a persistent backend can be dropped
+//!    and reopened with [`ReachGraph::open`].
+//!
+//! The index is backend-agnostic: [`ReachGraph::build`] keeps the paper's
+//! simulator, [`ReachGraph::build_on`] accepts any
+//! [`BlockDevice`](reach_storage::BlockDevice) — the layout and the counted
+//! IO are identical on all of them.
 //!
 //! Traversal fetches whole partitions and buffers a bounded number of
 //! decoded partitions, discarding the oldest (§5.2).
@@ -19,7 +28,8 @@ use crate::vertex::{HnSource, VertexData};
 use reach_contact::{DnGraph, MultiRes};
 use reach_core::{IndexError, ObjectId, Query, QueryResult, QueryStats, ReachabilityIndex, Time};
 use reach_storage::{
-    read_record, ByteReader, ByteWriter, DiskSim, IoStats, Pager, RecordPtr, RecordWriter,
+    meta, read_record, BlockDevice, ByteReader, ByteWriter, IoStats, Pager, RecordPtr,
+    RecordWriter, SimDevice, TimelineRegion,
 };
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
@@ -42,63 +52,51 @@ pub struct ReachGraph {
     partition_of: Vec<u32>,
     /// Record address per partition.
     partition_ptrs: Vec<RecordPtr>,
-    /// Timeline region geometry: per object `(first entry index, count)`.
-    timeline_index: Vec<(u64, u32)>,
-    timeline_first_page: u64,
+    /// The `Ht` lookup region (shared layout with disk GRAIL).
+    timeline: TimelineRegion,
     /// Decoded-partition buffer (bounded, FIFO eviction).
     buffer: HashMap<u32, Rc<DecodedPartition>>,
     buffer_order: VecDeque<u32>,
 }
 
 impl ReachGraph {
-    /// Builds the disk layout from a DN and its long-edge bundles.
+    /// Builds the disk layout on the paper's memory-backed simulator.
     pub fn build(dn: &DnGraph, mr: &MultiRes, params: GraphParams) -> Result<Self, IndexError> {
+        let device = SimDevice::new(params.page_size);
+        Self::build_on(Box::new(device), dn, mr, params)
+    }
+
+    /// Builds the disk layout from a DN and its long-edge bundles onto any
+    /// block device. The device's page size must match
+    /// `params.page_size`.
+    pub fn build_on(
+        mut device: Box<dyn BlockDevice>,
+        dn: &DnGraph,
+        mr: &MultiRes,
+        params: GraphParams,
+    ) -> Result<Self, IndexError> {
         params.validate();
         assert_eq!(
             mr.levels(),
             params.levels.as_slice(),
             "MultiRes levels must match GraphParams levels"
         );
-        let mut disk = DiskSim::new(params.page_size);
+        assert_eq!(
+            device.page_size(),
+            params.page_size,
+            "device page size must match GraphParams page size"
+        );
+        let disk = device.as_mut();
 
         // --- Timeline region ---------------------------------------------
-        let entries_per_page = params.page_size / 8;
-        let total_entries: u64 = (0..dn.num_objects() as u32)
-            .map(|o| dn.timeline(ObjectId(o)).len() as u64)
-            .sum();
-        let timeline_pages = total_entries.div_ceil(entries_per_page as u64).max(1);
-        let timeline_first_page = disk.allocate(timeline_pages as usize);
-        let mut timeline_index = Vec::with_capacity(dn.num_objects());
-        {
-            let mut entry_idx: u64 = 0;
-            let mut page_buf = vec![0u8; params.page_size];
-            let mut cur_page = 0u64;
-            let flush = |disk: &mut DiskSim, page: u64, buf: &mut Vec<u8>| {
-                disk.write_page(timeline_first_page + page, buf)
-                    .expect("timeline pages preallocated");
-                buf.fill(0);
-            };
-            for o in 0..dn.num_objects() as u32 {
-                let tl = dn.timeline(ObjectId(o));
-                timeline_index.push((entry_idx, tl.len() as u32));
-                for &(t, node) in tl {
-                    let page = entry_idx / entries_per_page as u64;
-                    if page != cur_page {
-                        flush(&mut disk, cur_page, &mut page_buf);
-                        cur_page = page;
-                    }
-                    let off = (entry_idx % entries_per_page as u64) as usize * 8;
-                    page_buf[off..off + 4].copy_from_slice(&t.to_le_bytes());
-                    page_buf[off + 4..off + 8].copy_from_slice(&node.to_le_bytes());
-                    entry_idx += 1;
-                }
-            }
-            flush(&mut disk, cur_page, &mut page_buf);
-        }
+        let timelines: Vec<&[(Time, u32)]> = (0..dn.num_objects() as u32)
+            .map(|o| dn.timeline(ObjectId(o)))
+            .collect();
+        let timeline = TimelineRegion::build(disk, &timelines)?;
 
         // --- Partition region ----------------------------------------------
         let parts: Partitioning = partition(dn, params.partition_depth);
-        let mut writer = RecordWriter::new(&mut disk);
+        let mut writer = RecordWriter::new(disk)?;
         let mut partition_ptrs = Vec::with_capacity(parts.num_partitions as usize);
         for mine in &parts.members {
             let mut w = ByteWriter::with_capacity(64 * mine.len());
@@ -117,22 +115,63 @@ impl ReachGraph {
                 w.put_u32(v);
                 vd.encode(&mut w);
             }
-            writer.align_to_page(&mut disk)?;
-            partition_ptrs.push(writer.append(&mut disk, w.as_bytes())?);
+            writer.align_to_page(disk)?;
+            partition_ptrs.push(writer.append(disk, w.as_bytes())?);
         }
-        writer.finish(&mut disk)?;
+        writer.finish(disk)?;
+
+        // --- Metadata footer ----------------------------------------------
+        let meta_payload = encode_meta(
+            &params,
+            dn.horizon(),
+            dn.num_objects(),
+            dn.num_nodes(),
+            &parts.partition_of,
+            &partition_ptrs,
+            &timeline,
+        );
+        meta::write_footer(disk, &meta_payload)?;
         disk.reset_stats();
 
         Ok(Self {
-            pager: Pager::new(disk, 0), // partition buffer is the cache
+            pager: Pager::new(device, 0), // partition buffer is the cache
             params,
             horizon: dn.horizon(),
             num_objects: dn.num_objects(),
             num_nodes: dn.num_nodes(),
             partition_of: parts.partition_of,
             partition_ptrs,
-            timeline_index,
-            timeline_first_page,
+            timeline,
+            buffer: HashMap::new(),
+            buffer_order: VecDeque::new(),
+        })
+    }
+
+    /// Reopens an index previously built (with [`ReachGraph::build_on`]) on
+    /// a persistent device: reads the metadata footer and reconstructs the
+    /// in-memory state without touching the data regions.
+    pub fn open(device: Box<dyn BlockDevice>) -> Result<Self, IndexError> {
+        let mut pager = Pager::new(device, 0);
+        let payload = meta::read_footer(&mut pager)?;
+        let decoded = decode_meta(&payload)?;
+        pager.reset_stats();
+        pager.clear_cache();
+        if decoded.params.page_size != pager.page_size() {
+            return Err(IndexError::Corrupt(format!(
+                "metadata page size {} does not match device page size {}",
+                decoded.params.page_size,
+                pager.page_size()
+            )));
+        }
+        Ok(Self {
+            pager,
+            params: decoded.params,
+            horizon: decoded.horizon,
+            num_objects: decoded.num_objects,
+            num_nodes: decoded.num_nodes,
+            partition_of: decoded.partition_of,
+            partition_ptrs: decoded.partition_ptrs,
+            timeline: decoded.timeline,
             buffer: HashMap::new(),
             buffer_order: VecDeque::new(),
         })
@@ -150,7 +189,12 @@ impl ReachGraph {
 
     /// Index size on the device, bytes.
     pub fn size_bytes(&self) -> u64 {
-        self.pager.disk().size_bytes()
+        self.pager.device().size_bytes()
+    }
+
+    /// The underlying block device (diagnostics and equivalence testing).
+    pub fn device_mut(&mut self) -> &mut dyn BlockDevice {
+        self.pager.device_mut()
     }
 
     /// Device counters.
@@ -241,6 +285,133 @@ impl ReachGraph {
     }
 }
 
+/// Decoded metadata payload (see [`encode_meta`]).
+struct DecodedMeta {
+    params: GraphParams,
+    horizon: Time,
+    num_objects: usize,
+    num_nodes: usize,
+    partition_of: Vec<u32>,
+    partition_ptrs: Vec<RecordPtr>,
+    timeline: TimelineRegion,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn encode_meta(
+    params: &GraphParams,
+    horizon: Time,
+    num_objects: usize,
+    num_nodes: usize,
+    partition_of: &[u32],
+    partition_ptrs: &[RecordPtr],
+    timeline: &TimelineRegion,
+) -> Vec<u8> {
+    let timeline_index = timeline.index();
+    let mut w = ByteWriter::with_capacity(
+        64 + 4 * partition_of.len() + 12 * partition_ptrs.len() + 12 * timeline_index.len(),
+    );
+    w.put_u32(params.partition_depth);
+    w.put_u32_slice(&params.levels);
+    w.put_u64(params.partition_cache as u64);
+    w.put_u64(params.page_size as u64);
+    w.put_u32(horizon);
+    w.put_u64(num_objects as u64);
+    w.put_u64(num_nodes as u64);
+    w.put_u64(timeline.first_page());
+    w.put_u32(timeline_index.len() as u32);
+    for &(first, count) in timeline_index {
+        w.put_u64(first);
+        w.put_u32(count);
+    }
+    w.put_u32_slice(partition_of);
+    w.put_u32(partition_ptrs.len() as u32);
+    for ptr in partition_ptrs {
+        ptr.encode(&mut w);
+    }
+    w.into_bytes()
+}
+
+fn decode_meta(payload: &[u8]) -> Result<DecodedMeta, IndexError> {
+    let corrupt = |what: String| IndexError::Corrupt(format!("ReachGraph metadata: {what}"));
+    let mut r = ByteReader::new(payload);
+    let partition_depth = r.get_u32()?;
+    let levels = r.get_u32_vec()?;
+    let partition_cache = r.get_u64()? as usize;
+    let page_size = r.get_u64()? as usize;
+    // The same invariants `GraphParams::validate` asserts, but as typed
+    // errors: this input is untrusted on-disk data, and `open` must never
+    // panic on a corrupt footer.
+    if partition_depth == 0 {
+        return Err(corrupt("partition depth 0".into()));
+    }
+    if page_size < 64 {
+        return Err(corrupt(format!("page size {page_size} unreasonably small")));
+    }
+    for (i, &l) in levels.iter().enumerate() {
+        let expected = 2u32.checked_shl(i as u32).unwrap_or(0);
+        if l != expected {
+            return Err(corrupt(format!(
+                "level {i} is {l}, expected the doubling chain value {expected}"
+            )));
+        }
+    }
+    let params = GraphParams {
+        partition_depth,
+        levels,
+        partition_cache,
+        page_size,
+    };
+    let horizon = r.get_u32()?;
+    let num_objects = r.get_u64()? as usize;
+    let num_nodes = r.get_u64()? as usize;
+    let timeline_first_page = r.get_u64()?;
+    let tl_len = r.get_u32()? as usize;
+    // Cap pre-allocations by the bytes actually present: these counts are
+    // untrusted, and a corrupt footer must produce an error, not an
+    // allocator abort (each timeline entry is 12 encoded bytes).
+    let mut timeline_index = Vec::with_capacity(tl_len.min(r.remaining() / 12));
+    for _ in 0..tl_len {
+        let first = r.get_u64()?;
+        let count = r.get_u32()?;
+        timeline_index.push((first, count));
+    }
+    if timeline_index.len() != num_objects {
+        return Err(corrupt(format!(
+            "timeline table covers {} objects but the graph has {num_objects}",
+            timeline_index.len()
+        )));
+    }
+    let partition_of = r.get_u32_vec()?;
+    let np = r.get_u32()? as usize;
+    let mut partition_ptrs = Vec::with_capacity(np.min(r.remaining() / RecordPtr::ENCODED_LEN));
+    for _ in 0..np {
+        partition_ptrs.push(RecordPtr::decode(&mut r)?);
+    }
+    if r.remaining() != 0 {
+        return Err(corrupt(format!("{} trailing bytes", r.remaining())));
+    }
+    if partition_of.len() != num_nodes {
+        return Err(corrupt(format!(
+            "page table covers {} vertices but the graph has {num_nodes}",
+            partition_of.len()
+        )));
+    }
+    if let Some(&bad) = partition_of.iter().find(|&&pid| pid as usize >= np) {
+        return Err(corrupt(format!(
+            "page table references partition {bad} but only {np} partitions exist"
+        )));
+    }
+    Ok(DecodedMeta {
+        timeline: TimelineRegion::from_parts(timeline_first_page, timeline_index, page_size),
+        params,
+        horizon,
+        num_objects,
+        num_nodes,
+        partition_of,
+        partition_ptrs,
+    })
+}
+
 impl HnSource for ReachGraph {
     fn backing(&self) -> &'static str {
         "disk"
@@ -271,38 +442,10 @@ impl HnSource for ReachGraph {
     }
 
     fn node_of(&mut self, o: ObjectId, t: Time) -> Result<u32, IndexError> {
-        let &(first, count) = self
-            .timeline_index
-            .get(o.index())
-            .ok_or(IndexError::UnknownObject(o))?;
-        // Binary search over on-disk fixed-width entries via the pager.
-        let entries_per_page = self.params.page_size / 8;
-        let read_entry = |this: &mut Self, idx: u64| -> Result<(Time, u32), IndexError> {
-            let page = this.timeline_first_page + idx / entries_per_page as u64;
-            let off = (idx % entries_per_page as u64) as usize * 8;
-            let bytes = this.pager.read(page)?;
-            Ok((
-                u32::from_le_bytes([bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3]]),
-                u32::from_le_bytes([
-                    bytes[off + 4],
-                    bytes[off + 5],
-                    bytes[off + 6],
-                    bytes[off + 7],
-                ]),
-            ))
-        };
-        let (mut lo, mut hi) = (0u64, u64::from(count)); // invariant: entry[lo].start ≤ t < entry[hi].start
-        while lo + 1 < hi {
-            let mid = (lo + hi) / 2;
-            let (start, _) = read_entry(self, first + mid)?;
-            if start <= t {
-                lo = mid;
-            } else {
-                hi = mid;
-            }
-        }
-        let (_, node) = read_entry(self, first + lo)?;
-        Ok(node)
+        // Shared `Ht` lookup: binary search over on-disk fixed-width
+        // entries, one zero-copy `with_page` probe per step — the hottest
+        // per-query loop besides partition fetches.
+        self.timeline.node_of(&mut self.pager, o, t)
     }
 }
 
@@ -323,6 +466,7 @@ mod tests {
     use rand::{Rng, SeedableRng};
     use reach_contact::{Oracle, DEFAULT_LEVELS};
     use reach_core::TimeInterval;
+    use reach_storage::FileDevice;
 
     fn random_world(
         seed: u64,
@@ -483,5 +627,114 @@ mod tests {
                 "visit counts differ on {q}"
             );
         }
+    }
+
+    #[test]
+    fn metadata_roundtrips_through_footer() {
+        let (dn, mr, _) = random_world(9, 5, 50, 0.06);
+        let rg = ReachGraph::build(&dn, &mr, params(128)).unwrap();
+        let payload = encode_meta(
+            &rg.params,
+            rg.horizon,
+            rg.num_objects,
+            rg.num_nodes,
+            &rg.partition_of,
+            &rg.partition_ptrs,
+            &rg.timeline,
+        );
+        let decoded = decode_meta(&payload).unwrap();
+        assert_eq!(decoded.params.levels, rg.params.levels);
+        assert_eq!(decoded.horizon, rg.horizon);
+        assert_eq!(decoded.num_objects, rg.num_objects);
+        assert_eq!(decoded.num_nodes, rg.num_nodes);
+        assert_eq!(decoded.partition_of, rg.partition_of);
+        assert_eq!(decoded.partition_ptrs, rg.partition_ptrs);
+        assert_eq!(decoded.timeline.index(), rg.timeline.index());
+        assert_eq!(decoded.timeline.first_page(), rg.timeline.first_page());
+        // Truncations decode to errors, not panics.
+        for cut in 0..payload.len() {
+            assert!(
+                decode_meta(&payload[..cut]).is_err(),
+                "prefix {cut} decoded"
+            );
+        }
+        // Structurally valid but semantically corrupt metadata must produce
+        // typed errors, never panics: a broken doubling chain…
+        let bad_levels = encode_meta(
+            &GraphParams {
+                levels: vec![2, 3],
+                ..rg.params.clone()
+            },
+            rg.horizon,
+            rg.num_objects,
+            rg.num_nodes,
+            &rg.partition_of,
+            &rg.partition_ptrs,
+            &rg.timeline,
+        );
+        assert!(matches!(
+            decode_meta(&bad_levels),
+            Err(IndexError::Corrupt(_))
+        ));
+        // …and a page-table entry pointing past the partition directory.
+        let mut poisoned = rg.partition_of.clone();
+        poisoned[0] = u32::MAX;
+        let bad_table = encode_meta(
+            &rg.params,
+            rg.horizon,
+            rg.num_objects,
+            rg.num_nodes,
+            &poisoned,
+            &rg.partition_ptrs,
+            &rg.timeline,
+        );
+        assert!(matches!(
+            decode_meta(&bad_table),
+            Err(IndexError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn file_backed_graph_survives_reopen() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("streach-diskgraph-{}.pages", std::process::id()));
+        let (dn, mr, oracle) = random_world(4, 6, 60, 0.05);
+        let queries: Vec<Query> = {
+            let mut rng = StdRng::seed_from_u64(0xFEED);
+            (0..30)
+                .map(|_| {
+                    let s = rng.gen_range(0..6u32);
+                    let d = rng.gen_range(0..6u32);
+                    let a = rng.gen_range(0..60);
+                    let b = rng.gen_range(a..60);
+                    Query::new(ObjectId(s), ObjectId(d), TimeInterval::new(a, b))
+                })
+                .collect()
+        };
+        let mut first_answers = Vec::new();
+        {
+            let dev = FileDevice::create(&path, 256).unwrap();
+            let mut rg = ReachGraph::build_on(Box::new(dev), &dn, &mr, params(256)).unwrap();
+            for q in &queries {
+                first_answers.push(rg.evaluate(q).unwrap());
+            }
+        }
+        let dev = FileDevice::open(&path, 256).unwrap();
+        let mut rg = ReachGraph::open(Box::new(dev)).unwrap();
+        for (q, first) in queries.iter().zip(&first_answers) {
+            let again = rg.evaluate(q).unwrap();
+            assert_eq!(again.reachable(), first.reachable(), "reopened on {q}");
+            assert_eq!(
+                again.reachable(),
+                oracle.evaluate(q).reachable,
+                "oracle on {q}"
+            );
+            assert_eq!(
+                (again.stats.random_ios, again.stats.seq_ios),
+                (first.stats.random_ios, first.stats.seq_ios),
+                "IO accounting changed across reopen on {q}"
+            );
+        }
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -21,6 +21,14 @@
 //! follows from the transitivity property (5.2): on any witness path some
 //! object holds the item at `mid`, is discovered forward with `ea ≤ mid` and
 //! backward with `ld ≥ mid`.
+//!
+//! Storage note: the traversal's page traffic flows through
+//! [`HnSource::node_of`] (timeline binary-search probes) and
+//! [`HnSource::vertex`] (partition records). On the disk backing both ride
+//! `Pager::with_page`: single-page probes borrow the cached buffer
+//! zero-copy, while multi-page partition records keep the owned
+//! `read_record` path, since a record spanning pages cannot be borrowed from
+//! one pool slot.
 
 use crate::params::TraversalKind;
 use crate::vertex::{HnSource, VertexData};

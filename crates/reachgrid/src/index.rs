@@ -1,6 +1,7 @@
 //! ReachGrid index construction and disk placement (paper §4.1).
 //!
-//! Layout on the simulated device, in page order:
+//! Layout on the block device (simulated or real, see
+//! [`reach_storage::BlockDevice`]), in page order:
 //!
 //! 1. the object→cell *directory*: for every chunk, a fixed-width array of
 //!    `u32` cell ids giving each object's cell at the chunk's first tick
@@ -15,7 +16,7 @@
 use crate::cells::{CellData, ChunkLayout, GridGeometry};
 use crate::params::GridParams;
 use reach_core::{Environment, IndexError, ObjectId, Time, TimeInterval};
-use reach_storage::{DiskSim, IoStats, Pager, RecordPtr, RecordWriter};
+use reach_storage::{BlockDevice, IoStats, Pager, RecordPtr, RecordWriter, SimDevice};
 use reach_traj::TrajectoryStore;
 
 /// Per-chunk metadata kept in memory (the grid directory itself is tiny
@@ -52,9 +53,25 @@ pub struct ReachGrid {
 }
 
 impl ReachGrid {
-    /// Builds the index for `store` with the given parameters.
+    /// Builds the index for `store` on the paper's memory-backed simulator.
     pub fn build(store: &TrajectoryStore, params: GridParams) -> Result<Self, IndexError> {
+        let device = SimDevice::new(params.page_size);
+        Self::build_on(Box::new(device), store, params)
+    }
+
+    /// Builds the index for `store` onto any block device. The device's page
+    /// size must match `params.page_size`.
+    pub fn build_on(
+        mut device: Box<dyn BlockDevice>,
+        store: &TrajectoryStore,
+        params: GridParams,
+    ) -> Result<Self, IndexError> {
         params.validate();
+        assert_eq!(
+            device.page_size(),
+            params.page_size,
+            "device page size must match GridParams page size"
+        );
         let env: Environment = store.environment();
         let geometry = GridGeometry::new(env.width, env.height, params.cell_size);
         let layout = ChunkLayout {
@@ -62,7 +79,7 @@ impl ReachGrid {
             horizon: store.horizon(),
         };
         let num_objects = store.num_objects();
-        let mut disk = DiskSim::new(params.page_size);
+        let disk = device.as_mut();
 
         // --- Directory region -------------------------------------------
         let entries_per_page = params.page_size / 4;
@@ -70,10 +87,10 @@ impl ReachGrid {
             .div_ceil(entries_per_page as u64)
             .max(1);
         let num_chunks = layout.num_chunks() as u64;
-        let dir_first_page = disk.allocate((dir_pages_per_chunk * num_chunks) as usize);
+        let dir_first_page = disk.allocate((dir_pages_per_chunk * num_chunks) as usize)?;
 
         // --- Cell region --------------------------------------------------
-        let mut writer = RecordWriter::new(&mut disk);
+        let mut writer = RecordWriter::new(disk)?;
         let mut chunks = Vec::with_capacity(num_chunks as usize);
         let mut dir_page_buf = vec![0u8; params.page_size];
         for j in 0..layout.num_chunks() {
@@ -118,13 +135,13 @@ impl ReachGrid {
             // page-aligned so its first access is one seek.
             let mut cells = Vec::with_capacity(staging.len());
             for (cell_id, data) in staging {
-                writer.align_to_page(&mut disk)?;
-                let ptr = writer.append(&mut disk, &data.encode())?;
+                writer.align_to_page(disk)?;
+                let ptr = writer.append(disk, &data.encode())?;
                 cells.push((cell_id, ptr));
             }
             chunks.push(ChunkMeta { window, cells });
         }
-        writer.finish(&mut disk)?;
+        writer.finish(disk)?;
         disk.reset_stats();
         Ok(Self {
             params,
@@ -134,7 +151,7 @@ impl ReachGrid {
             dir_first_page,
             dir_pages_per_chunk,
             num_objects,
-            pager: Pager::new(disk, params.cache_pages),
+            pager: Pager::new(device, params.cache_pages),
         })
     }
 
@@ -168,9 +185,14 @@ impl ReachGrid {
         &self.chunks[j as usize]
     }
 
-    /// Total index size on the simulated device, in bytes.
+    /// Total index size on the device, in bytes.
     pub fn size_bytes(&self) -> u64 {
-        self.pager.disk().size_bytes()
+        self.pager.device().size_bytes()
+    }
+
+    /// The underlying block device (diagnostics and equivalence testing).
+    pub fn device_mut(&mut self) -> &mut dyn reach_storage::BlockDevice {
+        self.pager.device_mut()
     }
 
     /// Cumulative device IO counters (construction writes + query reads).
@@ -200,20 +222,18 @@ impl ReachGrid {
         self.read_cell(ptr)
     }
 
-    /// Reads one object→cell directory entry through the pager.
+    /// Reads one object→cell directory entry through the pager. A directory
+    /// probe touches exactly one page, so it borrows the cached buffer via
+    /// the zero-copy `with_page` path.
     pub(crate) fn dir_lookup(&mut self, chunk: u32, o: ObjectId) -> Result<u32, IndexError> {
         let entries_per_page = self.params.page_size / 4;
         let page = self.dir_first_page
             + u64::from(chunk) * self.dir_pages_per_chunk
             + (o.index() / entries_per_page) as u64;
         let off = (o.index() % entries_per_page) * 4;
-        let bytes = self.pager.read(page)?;
-        Ok(u32::from_le_bytes([
-            bytes[off],
-            bytes[off + 1],
-            bytes[off + 2],
-            bytes[off + 3],
-        ]))
+        self.pager.with_page(page, |bytes| {
+            u32::from_le_bytes([bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3]])
+        })
     }
 
     /// Reads and decodes one cell record through the pager.

@@ -15,17 +15,20 @@ use reach_core::{
     Time, TimeInterval,
 };
 use reach_traj::SpatialHash;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 /// Per-chunk working state of Algorithm 1.
 struct ChunkState {
     /// Chunk tick window (unclipped), for sample indexing.
     chunk_start: Time,
-    /// Decoded cells, keyed by cell id.
-    loaded: HashMap<u32, CellData>,
+    /// Decoded cells, keyed by cell id. Ordered map: iteration order feeds
+    /// the probe loop, and a deterministic order keeps query IO accounting
+    /// reproducible across runs and storage backends.
+    loaded: BTreeMap<u32, CellData>,
     /// Chunk segments of current seeds (samples indexed from `chunk_start`).
-    seed_segs: HashMap<u32, Vec<Point>>,
+    /// Ordered for the same reason.
+    seed_segs: BTreeMap<u32, Vec<Point>>,
     /// Seeds whose neighborhood cells still need loading this tick.
     pending: Vec<u32>,
 }
@@ -80,8 +83,8 @@ impl ReachGrid {
                 .expect("chunk range overlaps the query interval");
             let mut state = ChunkState {
                 chunk_start: chunk_window.start,
-                loaded: HashMap::new(),
-                seed_segs: HashMap::new(),
+                loaded: BTreeMap::new(),
+                seed_segs: BTreeMap::new(),
                 pending: Vec::new(),
             };
             // FindCells: locate and load every current seed's cell.

@@ -6,7 +6,7 @@
 //! classic hash-map + intrusive doubly-linked list LRU with O(1) touch,
 //! insert and evict.
 
-use crate::disk::PageId;
+use crate::device::PageId;
 use std::collections::HashMap;
 
 const NIL: usize = usize::MAX;

@@ -4,11 +4,20 @@
 //! sequential accesses at a 20:1 ratio (§6): *"the sequential IOs are
 //! normalized to random accesses by assuming that each random access costs
 //! as much as 20 sequential accesses"*.
+//!
+//! Writes are classified the same way (an append-only construction sweep is
+//! one seek plus sequential page writes; re-visiting a directory page is a
+//! seek), so index-construction cost is reported in the same normalized
+//! currency as query cost. Reads and writes track separate head positions:
+//! the build phase issues no reads and the query phase no writes, so the
+//! streams never contend for one head in practice, and keeping them apart
+//! makes construction cost independent of interleaved metadata reads.
 
+use crate::device::PageId;
 use reach_core::SEQ_PER_RANDOM;
 use std::ops::{Add, Sub};
 
-/// Cumulative IO counters of a simulated device.
+/// Cumulative IO counters of a block device.
 #[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
 pub struct IoStats {
     /// Page reads that required a seek (the previous read was not the
@@ -16,8 +25,10 @@ pub struct IoStats {
     pub random_reads: u64,
     /// Page reads that continued a consecutive forward scan.
     pub seq_reads: u64,
-    /// Page writes (index construction cost).
-    pub writes: u64,
+    /// Page writes that required a seek.
+    pub random_writes: u64,
+    /// Page writes that continued a consecutive forward scan.
+    pub seq_writes: u64,
     /// Reads served from the buffer pool without touching the device.
     pub cache_hits: u64,
 }
@@ -28,9 +39,36 @@ impl IoStats {
         self.random_reads + self.seq_reads
     }
 
-    /// Normalized IO count `random + seq/20` — the paper's reported metric.
+    /// Total device page writes (random + sequential).
+    pub fn total_writes(&self) -> u64 {
+        self.random_writes + self.seq_writes
+    }
+
+    /// Normalized read count `random + seq/20` — the paper's reported
+    /// query-cost metric.
     pub fn normalized(&self) -> f64 {
         self.random_reads as f64 + self.seq_reads as f64 / SEQ_PER_RANDOM as f64
+    }
+
+    /// Normalized write count `random + seq/20` (construction cost in the
+    /// same currency as [`IoStats::normalized`]).
+    pub fn normalized_writes(&self) -> f64 {
+        self.random_writes as f64 + self.seq_writes as f64 / SEQ_PER_RANDOM as f64
+    }
+
+    /// Human-readable one-liner surfacing both the read and the write
+    /// classification plus cache hits.
+    pub fn summary(&self) -> String {
+        format!(
+            "reads {} random + {} seq (norm {:.2}), writes {} random + {} seq (norm {:.2}), {} cache hits",
+            self.random_reads,
+            self.seq_reads,
+            self.normalized(),
+            self.random_writes,
+            self.seq_writes,
+            self.normalized_writes(),
+            self.cache_hits,
+        )
     }
 
     /// Counters accumulated since `earlier` (element-wise saturating
@@ -39,7 +77,8 @@ impl IoStats {
         IoStats {
             random_reads: self.random_reads.saturating_sub(earlier.random_reads),
             seq_reads: self.seq_reads.saturating_sub(earlier.seq_reads),
-            writes: self.writes.saturating_sub(earlier.writes),
+            random_writes: self.random_writes.saturating_sub(earlier.random_writes),
+            seq_writes: self.seq_writes.saturating_sub(earlier.seq_writes),
             cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
         }
     }
@@ -51,7 +90,8 @@ impl Add for IoStats {
         IoStats {
             random_reads: self.random_reads + rhs.random_reads,
             seq_reads: self.seq_reads + rhs.seq_reads,
-            writes: self.writes + rhs.writes,
+            random_writes: self.random_writes + rhs.random_writes,
+            seq_writes: self.seq_writes + rhs.seq_writes,
             cache_hits: self.cache_hits + rhs.cache_hits,
         }
     }
@@ -64,6 +104,64 @@ impl Sub for IoStats {
     }
 }
 
+/// Shared IO-accounting state embedded by every [`BlockDevice`]
+/// (crate::BlockDevice) implementation, so the sequential/random
+/// classification is identical across backends.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct IoTracker {
+    stats: IoStats,
+    last_read: Option<PageId>,
+    last_write: Option<PageId>,
+}
+
+impl IoTracker {
+    /// Fresh tracker with zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Classifies and counts one page read.
+    pub fn note_read(&mut self, id: PageId) {
+        if self.last_read.map(|p| p + 1) == Some(id) {
+            self.stats.seq_reads += 1;
+        } else {
+            self.stats.random_reads += 1;
+        }
+        self.last_read = Some(id);
+    }
+
+    /// Classifies and counts one page write.
+    pub fn note_write(&mut self, id: PageId) {
+        if self.last_write.map(|p| p + 1) == Some(id) {
+            self.stats.seq_writes += 1;
+        } else {
+            self.stats.random_writes += 1;
+        }
+        self.last_write = Some(id);
+    }
+
+    /// Counts one buffer-pool hit.
+    pub fn note_cache_hit(&mut self) {
+        self.stats.cache_hits += 1;
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// Clears counters and both head positions.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Forgets both head positions without clearing counters.
+    pub fn break_sequence(&mut self) {
+        self.last_read = None;
+        self.last_write = None;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -73,11 +171,14 @@ mod tests {
         let s = IoStats {
             random_reads: 2,
             seq_reads: 60,
-            writes: 5,
+            random_writes: 1,
+            seq_writes: 40,
             cache_hits: 100,
         };
         assert!((s.normalized() - 5.0).abs() < 1e-12);
+        assert!((s.normalized_writes() - 3.0).abs() < 1e-12);
         assert_eq!(s.total_reads(), 62);
+        assert_eq!(s.total_writes(), 41);
     }
 
     #[test]
@@ -85,13 +186,15 @@ mod tests {
         let a = IoStats {
             random_reads: 10,
             seq_reads: 20,
-            writes: 30,
+            random_writes: 30,
+            seq_writes: 31,
             cache_hits: 40,
         };
         let b = IoStats {
             random_reads: 4,
             seq_reads: 5,
-            writes: 6,
+            random_writes: 6,
+            seq_writes: 2,
             cache_hits: 7,
         };
         let d = a.since(&b);
@@ -100,11 +203,55 @@ mod tests {
             IoStats {
                 random_reads: 6,
                 seq_reads: 15,
-                writes: 24,
+                random_writes: 24,
+                seq_writes: 29,
                 cache_hits: 33,
             }
         );
         assert_eq!(a - b, d);
         assert_eq!(b + d, a);
+    }
+
+    #[test]
+    fn tracker_classifies_reads_and_writes_independently() {
+        let mut t = IoTracker::new();
+        t.note_read(3); // random (first)
+        t.note_write(3); // random (first write, independent head)
+        t.note_read(4); // seq
+        t.note_write(4); // seq
+        t.note_read(9); // random
+        t.note_write(0); // random
+        let s = t.stats();
+        assert_eq!(s.random_reads, 2);
+        assert_eq!(s.seq_reads, 1);
+        assert_eq!(s.random_writes, 2);
+        assert_eq!(s.seq_writes, 1);
+    }
+
+    #[test]
+    fn tracker_break_sequence_forces_random_both_ways() {
+        let mut t = IoTracker::new();
+        t.note_read(0);
+        t.note_write(5);
+        t.break_sequence();
+        t.note_read(1); // would have been sequential
+        t.note_write(6); // would have been sequential
+        let s = t.stats();
+        assert_eq!(s.seq_reads, 0);
+        assert_eq!(s.seq_writes, 0);
+        assert_eq!(s.random_reads, 2);
+        assert_eq!(s.random_writes, 2);
+    }
+
+    #[test]
+    fn summary_mentions_both_streams() {
+        let mut t = IoTracker::new();
+        t.note_read(0);
+        t.note_write(1);
+        t.note_cache_hit();
+        let s = t.stats().summary();
+        assert!(s.contains("reads 1 random"));
+        assert!(s.contains("writes 1 random"));
+        assert!(s.contains("1 cache hits"));
     }
 }

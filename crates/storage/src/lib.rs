@@ -1,36 +1,61 @@
 //! # reach-storage
 //!
-//! Simulated disk substrate for the reachability indexes.
+//! Pluggable block-device substrate for the reachability indexes.
 //!
 //! The paper's core systems contribution is *disk placement*: both ReachGrid
 //! (§4.1) and ReachGraph (§5.1.3) carefully lay their structures out on
 //! consecutive blocks so query-time traversal turns random IO into
 //! sequential scans, and both report cost in normalized IOs (random +
-//! sequential/20, §6). Reproducing that on real hardware is neither portable
-//! nor measurable at laptop scale, so this crate provides:
+//! sequential/20, §6). This crate reproduces that measurement model behind a
+//! [`BlockDevice`] trait with three interchangeable backends:
 //!
-//! * [`DiskSim`] — a memory-backed page device that counts reads, classifies
-//!   them as sequential or random, and counts construction writes;
+//! | backend | persistence | use |
+//! |---|---|---|
+//! | [`SimDevice`] | none (memory) | the paper's IO-count evaluation model |
+//! | [`FileDevice`] | real file, positioned IO | persistence + wall-clock benchmarking |
+//! | [`MmapDevice`] | real file, memory-resident image | read-heavy query workloads |
+//!
+//! All three share one accounting path ([`IoStats`] via
+//! `iostats::IoTracker`), so an index costs *identical counted IO* on every
+//! backend — which the backend-equivalence test suite asserts. Around the
+//! devices sit:
+//!
 //! * [`LruPool`] / [`Pager`] — the buffer pool both indexes use at query
-//!   time;
+//!   time (the pager owns its device as `Box<dyn BlockDevice>`; see
+//!   [`pager`] for why erasure beats genericity here);
 //! * [`ByteWriter`] / [`ByteReader`] — the checked binary codec for on-page
 //!   records;
 //! * [`RecordWriter`] / [`read_record`] — variable-length records spanning
-//!   pages, with page-aligned placement control.
+//!   pages, with page-aligned placement control;
+//! * [`meta`] — self-describing metadata footers so file-backed indexes can
+//!   be dropped and reopened;
+//! * [`StorageConfig`] — the runtime factory selecting a backend from
+//!   configuration.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod buffer;
 pub mod codec;
-pub mod disk;
+pub mod config;
+pub mod device;
+pub mod file;
 pub mod iostats;
 pub mod layout;
+pub mod meta;
+pub mod mmap;
 pub mod pager;
+pub mod sim;
+pub mod timeline;
 
 pub use buffer::LruPool;
 pub use codec::{ByteReader, ByteWriter};
-pub use disk::{DiskSim, PageId, DEFAULT_PAGE_SIZE};
+pub use config::{StorageBackend, StorageConfig};
+pub use device::{BlockDevice, PageId, DEFAULT_PAGE_SIZE};
+pub use file::FileDevice;
 pub use iostats::IoStats;
 pub use layout::{read_record, RecordPtr, RecordWriter};
+pub use mmap::MmapDevice;
 pub use pager::Pager;
+pub use sim::SimDevice;
+pub use timeline::TimelineRegion;

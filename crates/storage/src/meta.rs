@@ -1,0 +1,122 @@
+//! Index metadata footers: making a device self-describing so an index can
+//! be dropped and reopened from persistent storage.
+//!
+//! An index serializes whatever it needs to reconstruct itself (parameters,
+//! region geometry, record directories) into an opaque payload;
+//! [`write_footer`] appends that payload as a regular record followed by a
+//! single fixed-format *footer page* — always the last page of the device —
+//! holding a magic number, the page size, and the payload's [`RecordPtr`].
+//! [`read_footer`] walks the chain backwards. The footer is deterministic
+//! (no timestamps), so devices built from identical inputs stay
+//! byte-identical across backends.
+
+use crate::codec::{ByteReader, ByteWriter};
+use crate::device::BlockDevice;
+use crate::layout::{read_record, RecordPtr, RecordWriter};
+use crate::pager::Pager;
+use reach_core::IndexError;
+
+/// Footer magic: `b"STREACH1"` as a little-endian u64.
+pub const FOOTER_MAGIC: u64 = u64::from_le_bytes(*b"STREACH1");
+
+/// Appends `payload` as a record plus the trailing footer page, then syncs
+/// the device.
+pub fn write_footer(disk: &mut dyn BlockDevice, payload: &[u8]) -> Result<(), IndexError> {
+    let mut w = RecordWriter::new(disk)?;
+    let ptr = w.append(disk, payload)?;
+    w.finish(disk)?;
+    let footer_page = disk.allocate(1)?;
+    let mut fw = ByteWriter::with_capacity(8 + 8 + RecordPtr::ENCODED_LEN);
+    fw.put_u64(FOOTER_MAGIC);
+    fw.put_u64(disk.page_size() as u64);
+    ptr.encode(&mut fw);
+    disk.write_page(footer_page, fw.as_bytes())?;
+    disk.sync()
+}
+
+/// Reads the metadata payload back from a device whose last page is a
+/// footer written by [`write_footer`]. IO performed here is counted on the
+/// device; callers opening an index should reset stats afterwards.
+pub fn read_footer(pager: &mut Pager) -> Result<Vec<u8>, IndexError> {
+    let pages = pager.device().len_pages();
+    if pages == 0 {
+        return Err(IndexError::Corrupt(
+            "empty device has no metadata footer".into(),
+        ));
+    }
+    let page_size = pager.page_size();
+    let ptr = pager.with_page(pages - 1, |bytes| {
+        let mut r = ByteReader::new(bytes);
+        let magic = r.get_u64()?;
+        if magic != FOOTER_MAGIC {
+            return Err(IndexError::Corrupt(format!(
+                "bad footer magic {magic:#018x} (device not written by this workspace?)"
+            )));
+        }
+        let stored_page_size = r.get_u64()?;
+        if stored_page_size != page_size as u64 {
+            return Err(IndexError::Corrupt(format!(
+                "device written with page size {stored_page_size}, opened with {page_size}"
+            )));
+        }
+        RecordPtr::decode(&mut r)
+    })??;
+    read_record(pager, ptr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::SimDevice;
+
+    #[test]
+    fn footer_roundtrips() {
+        let mut disk = SimDevice::new(64);
+        // Simulate index data before the footer.
+        let data_page = disk.allocate(2).unwrap();
+        disk.write_page(data_page, b"payload-region").unwrap();
+        let meta: Vec<u8> = (0..200u16).map(|i| (i % 251) as u8).collect();
+        write_footer(&mut disk, &meta).unwrap();
+        let mut pager = Pager::new(Box::new(disk), 4);
+        assert_eq!(read_footer(&mut pager).unwrap(), meta);
+    }
+
+    #[test]
+    fn bad_magic_is_corrupt() {
+        let mut disk = SimDevice::new(64);
+        let p = disk.allocate(1).unwrap();
+        disk.write_page(p, b"not a footer").unwrap();
+        let mut pager = Pager::new(Box::new(disk), 4);
+        assert!(matches!(
+            read_footer(&mut pager),
+            Err(IndexError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn page_size_mismatch_is_corrupt() {
+        let mut disk = SimDevice::new(64);
+        write_footer(&mut disk, b"meta").unwrap();
+        // Rebuild a device with a different page size holding the same last
+        // page bytes.
+        let mut other = SimDevice::new(128);
+        let mut buf64 = vec![0u8; 64];
+        let pages = disk.len_pages();
+        disk.read_page_into(pages - 1, &mut buf64).unwrap();
+        let p = other.allocate(1).unwrap();
+        other.write_page(p, &buf64).unwrap();
+        let mut pager = Pager::new(Box::new(other), 4);
+        let err = read_footer(&mut pager).unwrap_err();
+        assert!(matches!(err, IndexError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn empty_device_is_corrupt() {
+        let disk = SimDevice::new(64);
+        let mut pager = Pager::new(Box::new(disk), 4);
+        assert!(matches!(
+            read_footer(&mut pager),
+            Err(IndexError::Corrupt(_))
+        ));
+    }
+}

@@ -1,0 +1,247 @@
+//! A read-optimized, memory-mapped-style block device.
+//!
+//! [`MmapDevice`] keeps the whole device image resident in memory and serves
+//! reads from it without touching the OS per access — the query-time shape of
+//! a shared read-only `mmap`. Because this workspace builds offline and
+//! `reach_storage` is `#![forbid(unsafe_code)]`, the image is a plain
+//! `Vec<u8>` populated once at [`MmapDevice::open`]; swapping in a real map
+//! is a **one-file change**: replace the `image` field with
+//! `memmap2::MmapMut` (and the explicit write-through in
+//! [`BlockDevice::write_page`] with `flush_range`) — nothing outside this
+//! module names the representation.
+//!
+//! Writes go through to the backing file immediately, so a device built on
+//! `MmapDevice` persists exactly like one built on
+//! [`FileDevice`](crate::FileDevice) and can be reopened by either backend.
+//! IO accounting is identical to the other backends — the paper's cost model
+//! measures *page accesses*, not syscalls, so a query costs the same counted
+//! IO here as on the simulator.
+
+use crate::device::{check_page, check_page_size, pwrite_at, BlockDevice, PageId};
+use crate::iostats::{IoStats, IoTracker};
+use reach_core::IndexError;
+use std::fs::{File, OpenOptions};
+use std::path::{Path, PathBuf};
+
+/// Memory-resident image of a file-backed device, write-through on update.
+#[derive(Debug)]
+pub struct MmapDevice {
+    file: File,
+    path: PathBuf,
+    page_size: usize,
+    image: Vec<u8>,
+    len_pages: u64,
+    tracker: IoTracker,
+}
+
+impl MmapDevice {
+    /// Creates (or truncates) the file at `path` as an empty device.
+    pub fn create(path: impl AsRef<Path>, page_size: usize) -> Result<Self, IndexError> {
+        check_page_size(page_size);
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .map_err(|e| IndexError::io(&format!("create {}", path.display()), &e))?;
+        Ok(Self {
+            file,
+            path,
+            page_size,
+            image: Vec::new(),
+            len_pages: 0,
+            tracker: IoTracker::new(),
+        })
+    }
+
+    /// Opens an existing device file, mapping its full image into memory.
+    pub fn open(path: impl AsRef<Path>, page_size: usize) -> Result<Self, IndexError> {
+        check_page_size(page_size);
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)
+            .map_err(|e| IndexError::io(&format!("open {}", path.display()), &e))?;
+        let image = std::fs::read(&path)
+            .map_err(|e| IndexError::io(&format!("map {}", path.display()), &e))?;
+        if image.len() % page_size != 0 {
+            return Err(IndexError::Corrupt(format!(
+                "{}: file length {} is not a multiple of page size {page_size}",
+                path.display(),
+                image.len()
+            )));
+        }
+        let len_pages = (image.len() / page_size) as u64;
+        Ok(Self {
+            file,
+            path,
+            page_size,
+            image,
+            len_pages,
+            tracker: IoTracker::new(),
+        })
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn page_range(&self, id: PageId) -> std::ops::Range<usize> {
+        let start = id as usize * self.page_size;
+        start..start + self.page_size
+    }
+}
+
+impl BlockDevice for MmapDevice {
+    fn backend(&self) -> &'static str {
+        "mmap"
+    }
+
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn len_pages(&self) -> u64 {
+        self.len_pages
+    }
+
+    fn allocate(&mut self, n: usize) -> Result<PageId, IndexError> {
+        let first = self.len_pages;
+        let new_len = self.len_pages + n as u64;
+        // Keep the backing file the same length as the image so trailing
+        // allocated-but-never-written pages survive a reopen by any backend.
+        self.file
+            .set_len(new_len * self.page_size as u64)
+            .map_err(|e| IndexError::io(&format!("extend {}", self.path.display()), &e))?;
+        self.len_pages = new_len;
+        self.image
+            .resize(self.len_pages as usize * self.page_size, 0);
+        Ok(first)
+    }
+
+    fn write_page(&mut self, id: PageId, data: &[u8]) -> Result<(), IndexError> {
+        assert!(
+            data.len() <= self.page_size,
+            "write of {} bytes exceeds page size {}",
+            data.len(),
+            self.page_size
+        );
+        check_page(id, self.len_pages)?;
+        let range = self.page_range(id);
+        let page = &mut self.image[range];
+        page[..data.len()].copy_from_slice(data);
+        page[data.len()..].fill(0);
+        // Write-through so the backing file stays reopenable by any backend.
+        let off = id * self.page_size as u64;
+        let range = self.page_range(id);
+        pwrite_at(&mut self.file, off, &self.image[range]).map_err(|e| {
+            IndexError::io(&format!("write page {id} of {}", self.path.display()), &e)
+        })?;
+        self.tracker.note_write(id);
+        Ok(())
+    }
+
+    fn read_page_into(&mut self, id: PageId, buf: &mut [u8]) -> Result<(), IndexError> {
+        assert_eq!(buf.len(), self.page_size, "buffer must be one page long");
+        check_page(id, self.len_pages)?;
+        buf.copy_from_slice(&self.image[self.page_range(id)]);
+        self.tracker.note_read(id);
+        Ok(())
+    }
+
+    fn stats(&self) -> IoStats {
+        self.tracker.stats()
+    }
+
+    fn reset_stats(&mut self) {
+        self.tracker.reset();
+    }
+
+    fn break_sequence(&mut self) {
+        self.tracker.break_sequence();
+    }
+
+    fn note_cache_hit(&mut self) {
+        self.tracker.note_cache_hit();
+    }
+
+    fn sync(&mut self) -> Result<(), IndexError> {
+        self.file
+            .sync_all()
+            .map_err(|e| IndexError::io(&format!("sync {}", self.path.display()), &e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FileDevice;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "streach-mmapdev-{}-{tag}.pages",
+            std::process::id()
+        ));
+        p
+    }
+
+    #[test]
+    fn roundtrips_in_memory() {
+        let path = temp_path("roundtrip");
+        let mut d = MmapDevice::create(&path, 64).unwrap();
+        let p = d.allocate(2).unwrap();
+        d.write_page(p, b"alpha").unwrap();
+        let mut buf = vec![0u8; 64];
+        d.read_page_into(p, &mut buf).unwrap();
+        assert_eq!(&buf[..5], b"alpha");
+        d.read_page_into(p + 1, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+        drop(d);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn writes_reach_the_file_and_cross_backends() {
+        let path = temp_path("crossopen");
+        {
+            let mut d = MmapDevice::create(&path, 64).unwrap();
+            let p = d.allocate(2).unwrap();
+            d.write_page(p, b"one").unwrap();
+            d.write_page(p + 1, b"two").unwrap();
+            d.sync().unwrap();
+        }
+        // A FileDevice sees exactly what the mmap device wrote, and vice
+        // versa.
+        let mut f = FileDevice::open(&path, 64).unwrap();
+        assert_eq!(f.len_pages(), 2);
+        let mut buf = vec![0u8; 64];
+        f.read_page_into(0, &mut buf).unwrap();
+        assert_eq!(&buf[..3], b"one");
+        drop(f);
+        let mut m = MmapDevice::open(&path, 64).unwrap();
+        m.read_page_into(1, &mut buf).unwrap();
+        assert_eq!(&buf[..3], b"two");
+        drop(m);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn accounting_matches_other_backends() {
+        let path = temp_path("accounting");
+        let mut d = MmapDevice::create(&path, 64).unwrap();
+        d.allocate(4).unwrap();
+        let mut buf = vec![0u8; 64];
+        for i in 0..4 {
+            d.read_page_into(i, &mut buf).unwrap();
+        }
+        assert_eq!(d.stats().random_reads, 1);
+        assert_eq!(d.stats().seq_reads, 3);
+        drop(d);
+        let _ = std::fs::remove_file(&path);
+    }
+}

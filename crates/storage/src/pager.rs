@@ -1,43 +1,60 @@
-//! The pager: buffer-pool-mediated access to a [`DiskSim`].
+//! The pager: buffer-pool-mediated access to any [`BlockDevice`].
 //!
-//! Query processing in both indexes goes through a [`Pager`], so cache hits
+//! Query processing in every index goes through a [`Pager`], so cache hits
 //! cost nothing and misses are charged to the device with sequential/random
 //! classification. Construction writes go straight to the device.
+//!
+//! ## Why type erasure, not genericity
+//!
+//! The pager owns its device as `Box<dyn BlockDevice>` rather than a type
+//! parameter. The trade was deliberate: backend choice is a *runtime*
+//! decision (benchmarks and the [`StorageConfig`](crate::StorageConfig)
+//! factory pick sim/file/mmap from configuration), which dynamic dispatch
+//! serves directly, whereas `Pager<D>` would ripple a type parameter through
+//! `ReachGrid`, `ReachGraph`, `GrailDisk`, `Spj`, and every function that
+//! touches them — for no measurable gain, since one virtual call per *page
+//! IO* is noise next to the page copy (sim/mmap) or syscall (file) it
+//! fronts, and the hot cache-hit path never reaches the device at all.
 
 use crate::buffer::LruPool;
-use crate::disk::{DiskSim, PageId};
+use crate::device::{BlockDevice, PageId};
 use crate::iostats::IoStats;
 use reach_core::IndexError;
 
-/// Buffer-pool-fronted page store.
+/// Buffer-pool-fronted page store over an erased [`BlockDevice`].
 #[derive(Debug)]
 pub struct Pager {
-    disk: DiskSim,
+    device: Box<dyn BlockDevice>,
     pool: LruPool,
 }
 
 impl Pager {
     /// Wraps a device with an LRU pool of `cache_pages` pages.
-    pub fn new(disk: DiskSim, cache_pages: usize) -> Self {
+    pub fn new(device: Box<dyn BlockDevice>, cache_pages: usize) -> Self {
         Self {
-            disk,
+            device,
             pool: LruPool::new(cache_pages),
         }
     }
 
     /// Page size of the underlying device.
     pub fn page_size(&self) -> usize {
-        self.disk.page_size()
+        self.device.page_size()
     }
 
     /// The underlying device (for construction-time allocation and writes).
-    pub fn disk_mut(&mut self) -> &mut DiskSim {
-        &mut self.disk
+    pub fn device_mut(&mut self) -> &mut dyn BlockDevice {
+        self.device.as_mut()
     }
 
     /// The underlying device, read-only.
-    pub fn disk(&self) -> &DiskSim {
-        &self.disk
+    pub fn device(&self) -> &dyn BlockDevice {
+        self.device.as_ref()
+    }
+
+    /// Consumes the pager, returning the device.
+    pub fn into_device(self) -> Box<dyn BlockDevice> {
+        self.device
     }
 
     /// Reads a page through the pool. Hits cost nothing; misses hit the
@@ -45,16 +62,29 @@ impl Pager {
     ///
     /// Returns an owned copy of the page: records routinely span page
     /// boundaries and callers hold several pages at once, which a borrowing
-    /// API would forbid.
+    /// API would forbid. Single-page consumers on hot paths should prefer
+    /// [`Pager::with_page`], which skips this copy.
     pub fn read(&mut self, page: PageId) -> Result<Box<[u8]>, IndexError> {
+        self.with_page(page, |bytes| bytes.into())
+    }
+
+    /// Zero-copy read path: runs `f` over the cached page buffer without
+    /// materializing an owned copy. On a pool hit the closure borrows the
+    /// resident buffer directly; on a miss the page is fetched, inserted,
+    /// and borrowed in place. IO accounting is identical to [`Pager::read`].
+    pub fn with_page<R>(
+        &mut self,
+        page: PageId,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<R, IndexError> {
         if let Some(bytes) = self.pool.get(page) {
-            let copy: Box<[u8]> = bytes.into();
-            self.disk.note_cache_hit();
-            return Ok(copy);
+            self.device.note_cache_hit();
+            return Ok(f(bytes));
         }
-        let bytes: Box<[u8]> = self.disk.read_page(page)?.into();
-        self.pool.insert(page, &bytes);
-        Ok(bytes)
+        let mut buf = vec![0u8; self.device.page_size()];
+        self.device.read_page_into(page, &mut buf)?;
+        self.pool.insert(page, &buf);
+        Ok(f(&buf))
     }
 
     /// Whether a page is currently cached (no recency side effect).
@@ -64,7 +94,7 @@ impl Pager {
 
     /// Write-through page update (keeps the pool coherent).
     pub fn write(&mut self, page: PageId, data: &[u8]) -> Result<(), IndexError> {
-        self.disk.write_page(page, data)?;
+        self.device.write_page(page, data)?;
         self.pool.remove(page);
         Ok(())
     }
@@ -82,32 +112,33 @@ impl Pager {
 
     /// Device counters.
     pub fn stats(&self) -> IoStats {
-        self.disk.stats()
+        self.device.stats()
     }
 
     /// Clears device counters and head position.
     pub fn reset_stats(&mut self) {
-        self.disk.reset_stats();
+        self.device.reset_stats();
     }
 
     /// Marks an access-stream boundary: the next device read counts random.
     pub fn break_sequence(&mut self) {
-        self.disk.break_sequence();
+        self.device.break_sequence();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sim::SimDevice;
 
     fn pager_with_pages(n: usize, cache: usize) -> Pager {
-        let mut d = DiskSim::new(128);
-        let first = d.allocate(n);
+        let mut d = SimDevice::new(128);
+        let first = d.allocate(n).unwrap();
         for i in 0..n {
             d.write_page(first + i as u64, &[i as u8; 4]).unwrap();
         }
         d.reset_stats();
-        Pager::new(d, cache)
+        Pager::new(Box::new(d), cache)
     }
 
     #[test]
@@ -145,6 +176,29 @@ mod tests {
         }
         assert_eq!(p.stats().total_reads(), 5);
         assert_eq!(p.stats().cache_hits, 5);
+    }
+
+    #[test]
+    fn with_page_matches_read_and_charges_identically() {
+        let mut a = pager_with_pages(3, 2);
+        let mut b = pager_with_pages(3, 2);
+        for i in [0u64, 1, 0, 2, 2] {
+            let owned = a.read(i).unwrap();
+            let borrowed = b.with_page(i, |bytes| bytes.to_vec()).unwrap();
+            assert_eq!(&owned[..], &borrowed[..]);
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn with_page_works_with_zero_capacity_pool() {
+        let mut p = pager_with_pages(2, 0);
+        let first = p.with_page(0, |b| b[0]).unwrap();
+        assert_eq!(first, 0);
+        let second = p.with_page(1, |b| b[0]).unwrap();
+        assert_eq!(second, 1);
+        assert_eq!(p.stats().total_reads(), 2);
+        assert_eq!(p.stats().cache_hits, 0);
     }
 
     #[test]

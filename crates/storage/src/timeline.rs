@@ -1,0 +1,179 @@
+//! The on-device timeline region shared by the disk-resident indexes.
+//!
+//! Both ReachGraph and disk-adopted GRAIL answer "which vertex holds object
+//! `o` at tick `t`" (the paper's `Ht` lookup) through the same physical
+//! structure: every object's `(start_tick, node)` runs packed densely as
+//! fixed 8-byte entries in object-id order, probed by binary search through
+//! the pager. The layout and its IO accounting live here, in one place, so
+//! the two consumers cannot drift apart — the backend-equivalence guarantees
+//! depend on them staying byte-identical.
+
+use crate::device::{BlockDevice, PageId};
+use crate::pager::Pager;
+use reach_core::{IndexError, ObjectId, Time};
+
+/// A dense fixed-width `(start_tick, node)` region plus its in-memory
+/// directory (`(first entry index, count)` per object).
+#[derive(Clone, Debug)]
+pub struct TimelineRegion {
+    first_page: PageId,
+    index: Vec<(u64, u32)>,
+    entries_per_page: usize,
+}
+
+impl TimelineRegion {
+    /// Encoded size of one `(start_tick, node)` entry.
+    pub const ENTRY_BYTES: usize = 8;
+
+    /// Writes one region holding every object's timeline, in object-id
+    /// order, onto freshly allocated pages of `disk`.
+    pub fn build(
+        disk: &mut dyn BlockDevice,
+        timelines: &[&[(Time, u32)]],
+    ) -> Result<Self, IndexError> {
+        let page_size = disk.page_size();
+        let entries_per_page = page_size / Self::ENTRY_BYTES;
+        let total: u64 = timelines.iter().map(|tl| tl.len() as u64).sum();
+        let pages = total.div_ceil(entries_per_page as u64).max(1);
+        let first_page = disk.allocate(pages as usize)?;
+        let mut index = Vec::with_capacity(timelines.len());
+        let mut buf = vec![0u8; page_size];
+        let mut cur_page = 0u64;
+        let mut entry_idx = 0u64;
+        for tl in timelines {
+            index.push((entry_idx, tl.len() as u32));
+            for &(t, node) in *tl {
+                let page = entry_idx / entries_per_page as u64;
+                if page != cur_page {
+                    disk.write_page(first_page + cur_page, &buf)?;
+                    buf.fill(0);
+                    cur_page = page;
+                }
+                let off = (entry_idx % entries_per_page as u64) as usize * Self::ENTRY_BYTES;
+                buf[off..off + 4].copy_from_slice(&t.to_le_bytes());
+                buf[off + 4..off + 8].copy_from_slice(&node.to_le_bytes());
+                entry_idx += 1;
+            }
+        }
+        disk.write_page(first_page + cur_page, &buf)?;
+        Ok(Self {
+            first_page,
+            index,
+            entries_per_page,
+        })
+    }
+
+    /// Reassembles a region from persisted geometry (the reopen path; the
+    /// caller recovers `first_page` and `index` from its metadata footer).
+    pub fn from_parts(first_page: PageId, index: Vec<(u64, u32)>, page_size: usize) -> Self {
+        Self {
+            first_page,
+            index,
+            entries_per_page: page_size / Self::ENTRY_BYTES,
+        }
+    }
+
+    /// First page of the region.
+    pub fn first_page(&self) -> PageId {
+        self.first_page
+    }
+
+    /// Per-object `(first entry index, count)` directory.
+    pub fn index(&self) -> &[(u64, u32)] {
+        &self.index
+    }
+
+    fn read_entry(&self, pager: &mut Pager, idx: u64) -> Result<(Time, u32), IndexError> {
+        let page = self.first_page + idx / self.entries_per_page as u64;
+        let off = (idx % self.entries_per_page as u64) as usize * Self::ENTRY_BYTES;
+        pager.with_page(page, |bytes| {
+            (
+                u32::from_le_bytes([bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3]]),
+                u32::from_le_bytes([
+                    bytes[off + 4],
+                    bytes[off + 5],
+                    bytes[off + 6],
+                    bytes[off + 7],
+                ]),
+            )
+        })
+    }
+
+    /// The node containing `o` at tick `t`: binary search over the object's
+    /// on-device run entries. Each probe touches exactly one page and rides
+    /// the zero-copy [`Pager::with_page`] path.
+    pub fn node_of(&self, pager: &mut Pager, o: ObjectId, t: Time) -> Result<u32, IndexError> {
+        let &(first, count) = self
+            .index
+            .get(o.index())
+            .ok_or(IndexError::UnknownObject(o))?;
+        // Invariant: entry[lo].start ≤ t < entry[hi].start.
+        let (mut lo, mut hi) = (0u64, u64::from(count));
+        while lo + 1 < hi {
+            let mid = (lo + hi) / 2;
+            let (start, _) = self.read_entry(pager, first + mid)?;
+            if start <= t {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(self.read_entry(pager, first + lo)?.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::SimDevice;
+
+    fn region_with(
+        timelines: &[&[(Time, u32)]],
+        page_size: usize,
+        cache: usize,
+    ) -> (TimelineRegion, Pager) {
+        let mut disk = SimDevice::new(page_size);
+        let region = TimelineRegion::build(&mut disk, timelines).unwrap();
+        disk.reset_stats();
+        (region, Pager::new(Box::new(disk), cache))
+    }
+
+    #[test]
+    fn lookups_resolve_the_covering_run() {
+        let o0: &[(Time, u32)] = &[(0, 10), (5, 11), (9, 12)];
+        let o1: &[(Time, u32)] = &[(0, 20), (3, 21)];
+        let (region, mut pager) = region_with(&[o0, o1], 64, 4);
+        assert_eq!(region.node_of(&mut pager, ObjectId(0), 0).unwrap(), 10);
+        assert_eq!(region.node_of(&mut pager, ObjectId(0), 4).unwrap(), 10);
+        assert_eq!(region.node_of(&mut pager, ObjectId(0), 5).unwrap(), 11);
+        assert_eq!(region.node_of(&mut pager, ObjectId(0), 100).unwrap(), 12);
+        assert_eq!(region.node_of(&mut pager, ObjectId(1), 2).unwrap(), 20);
+        assert_eq!(region.node_of(&mut pager, ObjectId(1), 3).unwrap(), 21);
+    }
+
+    #[test]
+    fn unknown_objects_error() {
+        let o0: &[(Time, u32)] = &[(0, 1)];
+        let (region, mut pager) = region_with(&[o0], 64, 4);
+        assert!(matches!(
+            region.node_of(&mut pager, ObjectId(9), 0),
+            Err(IndexError::UnknownObject(ObjectId(9)))
+        ));
+    }
+
+    #[test]
+    fn region_spans_pages_and_reopens_from_parts() {
+        // 64 B pages hold 8 entries; 20 entries span 3 pages.
+        let tl: Vec<(Time, u32)> = (0..20).map(|i| (i * 3, 100 + i)).collect();
+        let (region, mut pager) = region_with(&[&tl], 64, 4);
+        for (i, &(start, node)) in tl.iter().enumerate() {
+            assert_eq!(
+                region.node_of(&mut pager, ObjectId(0), start).unwrap(),
+                node,
+                "entry {i}"
+            );
+        }
+        let rebuilt = TimelineRegion::from_parts(region.first_page(), region.index().to_vec(), 64);
+        assert_eq!(rebuilt.node_of(&mut pager, ObjectId(0), 59).unwrap(), 119);
+    }
+}

@@ -11,7 +11,7 @@
 //! | module | contents |
 //! |---|---|
 //! | [`core`] | ticks, intervals, geometry, contacts, queries, `ReachabilityIndex` |
-//! | [`storage`] | simulated disk, pager, IO accounting |
+//! | [`storage`] | pluggable block devices (sim/file/mmap), pager, IO accounting |
 //! | [`traj`] | trajectories and spatiotemporal joins |
 //! | [`mobility`] | RWP / road-network / sparse-GPS generators, workloads |
 //! | [`contact`] | contact extraction, TEN→DN reduction, multi-resolution, oracle |
@@ -19,6 +19,23 @@
 //! | [`graph`] | ReachGraph index + E-DFS/E-BFS/B-BFS/BM-BFS |
 //! | [`baselines`] | GRAIL (memory and disk) |
 //! | [`ext`] | uncertain contacts (U-ReachGraph), non-immediate contacts |
+//!
+//! ## Storage backends
+//!
+//! Every index builds and queries identically on any
+//! [`BlockDevice`](storage::BlockDevice); pick one with
+//! [`StorageConfig`](storage::StorageConfig) (or hand a boxed device to the
+//! `build_on` constructors directly):
+//!
+//! | backend | constructor | persists? | IO accounting | best for |
+//! |---|---|---|---|---|
+//! | [`SimDevice`](storage::SimDevice) | `StorageConfig::sim(page_size)` | no (memory) | yes | the paper's IO-count evaluation model |
+//! | [`FileDevice`](storage::FileDevice) | `StorageConfig::file(path, page_size)` | yes (positioned file IO) | yes | persistence across runs, wall-clock benchmarks |
+//! | [`MmapDevice`](storage::MmapDevice) | `StorageConfig::mmap(path, page_size)` | yes (write-through image) | yes | read-heavy query serving |
+//!
+//! The three backends share one accounting path, so a query costs *identical
+//! counted IO* on all of them (asserted by `tests/backend_equivalence.rs`),
+//! and files written by `FileDevice` and `MmapDevice` are interchangeable.
 //!
 //! ## Quickstart
 //!
@@ -51,6 +68,43 @@
 //! let b = graph.evaluate(&q).expect("graph query evaluates");
 //! assert_eq!(a.reachable(), b.reachable());
 //! ```
+//!
+//! ## Persistent ReachGraph on a real file
+//!
+//! ```
+//! use streach::prelude::*;
+//!
+//! let store = RwpConfig {
+//!     env: Environment::square(300.0),
+//!     num_objects: 10,
+//!     horizon: 100,
+//!     ..RwpConfig::default()
+//! }
+//! .generate(3);
+//! let dn = DnGraph::build(&store, 25.0);
+//! let mr = MultiRes::build(&dn, &DEFAULT_LEVELS);
+//! let params = GraphParams { page_size: 512, ..GraphParams::default() };
+//!
+//! let mut path = std::env::temp_dir();
+//! path.push(format!("streach-doc-{}.pages", std::process::id()));
+//! let cfg = StorageConfig::file(&path, params.page_size);
+//!
+//! let q = Query::new(ObjectId(0), ObjectId(5), TimeInterval::new(0, 99));
+//! let verdict = {
+//!     // Build on a real file…
+//!     let device = cfg.create().expect("file device creates");
+//!     let mut graph = ReachGraph::build_on(device, &dn, &mr, params)
+//!         .expect("graph builds on a file");
+//!     graph.evaluate(&q).expect("query evaluates").reachable()
+//! }; // …drop the index entirely…
+//!
+//! // …and reopen it from the file alone: same answers, honest IO stats.
+//! let mut reopened = ReachGraph::open(cfg.open().expect("file device reopens"))
+//!     .expect("graph reopens from its metadata footer");
+//! let again = reopened.evaluate(&q).expect("query evaluates");
+//! assert_eq!(again.reachable(), verdict);
+//! # let _ = std::fs::remove_file(&path);
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -77,6 +131,9 @@ pub mod prelude {
     pub use reach_graph::{GraphParams, MemoryHn, ReachGraph, TraversalKind};
     pub use reach_grid::{GridParams, ReachGrid, Spj};
     pub use reach_mobility::{RoadNetwork, RwpConfig, VehicleConfig, WorkloadConfig};
-    pub use reach_storage::{DiskSim, IoStats, Pager};
+    pub use reach_storage::{
+        BlockDevice, FileDevice, IoStats, MmapDevice, Pager, SimDevice, StorageBackend,
+        StorageConfig,
+    };
     pub use reach_traj::{Trajectory, TrajectoryStore};
 }

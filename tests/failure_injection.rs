@@ -2,7 +2,7 @@
 //! out-of-range requests as typed errors, never panics or wrong answers.
 
 use streach::prelude::*;
-use streach::storage::{DiskSim, Pager, RecordPtr, RecordWriter};
+use streach::storage::{Pager, RecordPtr, RecordWriter, SimDevice};
 
 fn small_store(seed: u64) -> TrajectoryStore {
     RwpConfig {
@@ -83,14 +83,14 @@ fn graph_rejects_out_of_range_requests_without_panicking() {
 #[test]
 fn corrupt_records_decode_to_errors_not_panics() {
     // Hand-roll a device holding a record whose length prefix lies.
-    let mut disk = DiskSim::new(128);
-    let mut w = RecordWriter::new(&mut disk);
+    let mut disk = SimDevice::new(128);
+    let mut w = RecordWriter::new(&mut disk).unwrap();
     let good = w.append(&mut disk, b"fine").expect("write succeeds");
     w.finish(&mut disk).expect("flush succeeds");
-    let evil_page = disk.allocate(1);
+    let evil_page = disk.allocate(1).unwrap();
     disk.write_page(evil_page, &u32::MAX.to_le_bytes())
         .expect("write succeeds");
-    let mut pager = Pager::new(disk, 4);
+    let mut pager = Pager::new(Box::new(disk), 4);
     // The good record still reads.
     assert_eq!(
         streach::storage::read_record(&mut pager, good).expect("readable"),
