@@ -1,0 +1,13 @@
+//! Runs the ingested-trace comparison (ReachGrid / ReachGraph / GRAIL).
+//!
+//! `--trace=PATH` loads a real trace (see DATAFORMATS.md); without it a
+//! synthetic trace is written and re-ingested through the full text
+//! pipeline. `--backend=sim|file|mmap` selects the storage backend and
+//! `--full` the recorded scales, as for every other experiment binary.
+
+fn main() {
+    let tier = reach_bench::Tier::from_args();
+    for table in reach_bench::experiments::exp_trace(tier) {
+        table.print();
+    }
+}

@@ -19,12 +19,15 @@
 //! grid cells and graph partitions still span several pages
 //! ([`Tier::page_size`]).
 
+use reach_contact::ingest::{ContactTrace, IngestError, IngestOptions, EMBED_THRESHOLD};
 use reach_contact::{DnGraph, MultiRes, DEFAULT_LEVELS};
 use reach_core::{Coord, Environment, Time};
 use reach_mobility::{sparsify, RwpConfig, VehicleConfig, BEIJING_KEEP_EVERY};
 use reach_storage::{BlockDevice, StorageConfig};
 use reach_traj::TrajectoryStore;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Dataset family, matching the paper's naming.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -35,6 +38,8 @@ pub enum Family {
     Vn,
     /// Sparse-GPS interpolated vehicles (paper `VNR`, Beijing substitute).
     Vnr,
+    /// A loaded contact trace (no generator; see `reach_contact::ingest`).
+    Trace,
 }
 
 /// A reproducible dataset specification.
@@ -52,6 +57,9 @@ pub struct DatasetSpec {
     pub threshold: Coord,
     /// Generator seed.
     pub seed: u64,
+    /// The loaded trace when `family == Family::Trace` (shared, the specs
+    /// are cloned freely).
+    trace: Option<Arc<ContactTrace>>,
 }
 
 impl DatasetSpec {
@@ -64,6 +72,7 @@ impl DatasetSpec {
             horizon,
             threshold: 25.0,
             seed,
+            trace: None,
         }
     }
 
@@ -76,6 +85,7 @@ impl DatasetSpec {
             horizon,
             threshold: 300.0,
             seed,
+            trace: None,
         }
     }
 
@@ -88,18 +98,53 @@ impl DatasetSpec {
             horizon,
             threshold: 300.0,
             seed,
+            trace: None,
         }
     }
 
-    /// Environment side length implied by the family's target density.
+    /// Loads a contact trace from `path` (strict mode, format sniffed — see
+    /// `DATAFORMATS.md`) and wraps it as a dataset spec: `generate` embeds
+    /// the trace into trajectories for ReachGrid, `build_dn` takes the
+    /// event-direct path.
+    pub fn trace(name: &str, path: impl AsRef<Path>) -> Result<Self, IngestError> {
+        let trace = ContactTrace::load_path(path, &IngestOptions::default())?;
+        Ok(Self::from_trace(name, trace))
+    }
+
+    /// Wraps an already-loaded trace as a dataset spec.
+    pub fn from_trace(name: &str, trace: ContactTrace) -> Self {
+        Self {
+            name: name.into(),
+            family: Family::Trace,
+            num_objects: trace.num_objects(),
+            horizon: trace.horizon(),
+            threshold: EMBED_THRESHOLD,
+            seed: 0,
+            trace: Some(Arc::new(trace)),
+        }
+    }
+
+    /// The loaded trace of a [`Family::Trace`] spec.
+    pub fn contact_trace(&self) -> Option<&ContactTrace> {
+        self.trace.as_deref()
+    }
+
+    /// Environment side length implied by the family's target density (for
+    /// traces: the embedding's home-point grid).
     pub fn env_side(&self) -> Coord {
         match self.family {
             Family::Rwp => (self.num_objects as f64 / 6.0e-5).sqrt() as Coord,
             Family::Vn | Family::Vnr => (self.num_objects as f64 / 6.7e-6).sqrt() as Coord,
+            Family::Trace => self
+                .trace
+                .as_ref()
+                .map(|t| embed_side(t.num_objects()))
+                .unwrap_or(0.0),
         }
     }
 
-    /// Generates the trajectory store.
+    /// Generates the trajectory store (for traces: the component-colocation
+    /// embedding of `reach_contact::ingest::embed`).
     pub fn generate(&self) -> TrajectoryStore {
         let side = self.env_side();
         match self.family {
@@ -135,12 +180,23 @@ impl DatasetSpec {
                 );
                 sparsify(&cfg.generate(self.seed), BEIJING_KEEP_EVERY)
             }
+            Family::Trace => self
+                .trace
+                .as_ref()
+                .expect("trace specs always carry their trace")
+                .to_store(),
         }
     }
 
-    /// Builds the reduced DAG for this dataset (threshold applied).
+    /// Builds the reduced DAG for this dataset. Generator families extract
+    /// contacts from `store` (threshold applied); trace specs take the
+    /// event-direct `DnGraph::from_contacts` path — `store` is not touched —
+    /// which yields the identical DAG (see the ingestion round-trip tests).
     pub fn build_dn(&self, store: &TrajectoryStore) -> DnGraph {
-        DnGraph::build(store, self.threshold)
+        match &self.trace {
+            Some(trace) => trace.build_dn(),
+            None => DnGraph::build(store, self.threshold),
+        }
     }
 
     /// Builds the default multi-resolution bundles for a DN.
@@ -152,6 +208,13 @@ impl DatasetSpec {
 /// Road-grid dimension for an environment side: ~700 m block spacing.
 fn grid_dim(side: Coord) -> usize {
     ((side / 700.0).round() as usize).clamp(4, 40)
+}
+
+/// Side length of the trace embedding's home-point grid (mirrors
+/// `reach_contact::ingest::embed`).
+fn embed_side(num_objects: usize) -> Coord {
+    let cols = (num_objects as f64).sqrt().ceil().max(1.0) as Coord;
+    cols * reach_contact::ingest::EMBED_SPACING
 }
 
 /// Truncates a store to its first `horizon` ticks (the growing-`|T|` sweeps
@@ -323,7 +386,17 @@ pub fn vn_series(tier: Tier) -> Vec<DatasetSpec> {
 
 /// The middle dataset of a series (the paper's workhorse configuration,
 /// e.g. RWP20k / VN2k).
+///
+/// # Panics
+///
+/// Panics with a descriptive message on an empty series (every built-in
+/// series has three entries; the experiment binaries in `src/bin` all call
+/// this through `rwp_series`/`vn_series`, which are never empty).
 pub fn middle(series: &[DatasetSpec]) -> &DatasetSpec {
+    assert!(
+        !series.is_empty(),
+        "middle() needs a non-empty dataset series"
+    );
     &series[series.len() / 2]
 }
 
@@ -333,6 +406,32 @@ pub fn vnr(tier: Tier) -> DatasetSpec {
         Tier::Quick => DatasetSpec::vnr("vnr", 120, 2000, 31),
         Tier::Full => DatasetSpec::vnr("vnr", 250, 6000, 31),
     }
+}
+
+/// Builds a synthetic contact trace *through the full text pipeline* and
+/// returns it as a trace spec: an RWP dataset is generated, its contacts
+/// extracted, written to `dir` with the edge-list writer, and re-ingested
+/// from the file. `exp_trace` uses this as its no-network fallback, so CI
+/// exercises writer, parser, and the event-direct DN build end to end.
+///
+/// Returns the spec and the path of the written trace (caller owns the
+/// file).
+pub fn synthetic_trace(tier: Tier, dir: &Path) -> (DatasetSpec, std::path::PathBuf) {
+    let source = match tier {
+        Tier::Quick => DatasetSpec::rwp("trace-rwp", 500, 1500, 77),
+        Tier::Full => DatasetSpec::rwp("trace-rwp", 1000, 4000, 77),
+    };
+    let store = source.generate();
+    let contacts =
+        reach_contact::extract_contacts(&store, store.horizon_interval(), source.threshold);
+    let trace = ContactTrace::from_parts(store.num_objects(), store.horizon(), contacts)
+        .expect("extracted contacts fit their own universe");
+    let path = dir.join(format!("streach-synth-{}.trace", std::process::id()));
+    let file = std::fs::File::create(&path).expect("synthetic trace file creates");
+    reach_contact::ingest::write_events(&trace, std::io::BufWriter::new(file))
+        .expect("synthetic trace writes");
+    let spec = DatasetSpec::trace("trace-rwp", &path).expect("own trace re-ingests");
+    (spec, path)
 }
 
 #[cfg(test)]
@@ -409,5 +508,52 @@ mod tests {
         assert_eq!(middle(&r).name, r[1].name);
         let v = vn_series(Tier::Quick);
         assert!(v.iter().all(|s| s.threshold == 300.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty dataset series")]
+    fn middle_of_empty_series_panics_with_message() {
+        let _ = middle(&[]);
+    }
+
+    #[test]
+    fn trace_specs_embed_and_build_event_direct() {
+        let trace = ContactTrace::parse(
+            "#! streach-trace kind=events ids=numeric num_objects=5 horizon=40 origin=0\n\
+             0 1 0 3\n1 2 10 5\n3 4 20\n",
+            &IngestOptions::default(),
+        )
+        .unwrap();
+        let spec = DatasetSpec::from_trace("t", trace);
+        assert_eq!(spec.family, Family::Trace);
+        assert_eq!(spec.num_objects, 5);
+        assert_eq!(spec.horizon, 40);
+        let store = spec.generate();
+        assert_eq!(store.num_objects(), 5);
+        assert_eq!(store.horizon(), 40);
+        // Event-direct DN equals the DN extracted from the embedding.
+        let direct = spec.build_dn(&store);
+        let via_store = DnGraph::build(&store, spec.threshold);
+        assert_eq!(direct.nodes(), via_store.nodes());
+        assert_eq!(direct.size(), via_store.size());
+    }
+
+    #[test]
+    fn synthetic_trace_round_trips_through_a_file() {
+        let dir = std::env::temp_dir();
+        let tiny = DatasetSpec::rwp("tiny", 40, 120, 9);
+        let store = tiny.generate();
+        let contacts =
+            reach_contact::extract_contacts(&store, store.horizon_interval(), tiny.threshold);
+        let trace =
+            ContactTrace::from_parts(store.num_objects(), store.horizon(), contacts).unwrap();
+        let path = dir.join(format!("streach-test-{}.trace", std::process::id()));
+        let f = std::fs::File::create(&path).unwrap();
+        reach_contact::ingest::write_events(&trace, f).unwrap();
+        let spec = DatasetSpec::trace("tiny-trace", &path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let direct = spec.build_dn(&spec.generate());
+        let reference = tiny.build_dn(&store);
+        assert_eq!(direct.nodes(), reference.nodes());
     }
 }

@@ -59,10 +59,14 @@ fn grid_params_for(spec: &DatasetSpec, tier: Tier) -> GridParams {
     // for RWP (1024 m in their 10 km world), and the *whole* environment for
     // VN (their optimum is R_S = 17 km ≈ the full extent — vehicles cluster
     // on roads, so spatial partitioning degenerates and the grid acts as a
-    // temporal index). R_T = 20 per the paper.
+    // temporal index). R_T = 20 per the paper. Trace embeddings have no
+    // spatial locality at all (components teleport between home points), so
+    // they take the VN degenerate setting too.
     let cell_size = match spec.family {
         crate::datasets::Family::Rwp => (spec.env_side() / 10.0).max(64.0),
-        crate::datasets::Family::Vn | crate::datasets::Family::Vnr => spec.env_side(),
+        crate::datasets::Family::Vn
+        | crate::datasets::Family::Vnr
+        | crate::datasets::Family::Trace => spec.env_side(),
     };
     GridParams {
         temporal: 20,
@@ -618,6 +622,85 @@ pub fn exp_table5(tier: Tier) -> Vec<Table> {
 }
 
 // ---------------------------------------------------------------------------
+// exp_trace — loaded contact traces (ISSUE 3: the first non-generator
+// workload)
+// ---------------------------------------------------------------------------
+
+/// Ingested-trace comparison: ReachGrid (over the component-colocation
+/// embedding), ReachGraph (event-direct DN, BM-BFS) and disk GRAIL answer
+/// one workload over a loaded contact trace, on whatever `--backend` is
+/// selected.
+///
+/// The trace comes from `--trace=PATH` when given (any format of
+/// `DATAFORMATS.md`); otherwise a synthetic trace is written through the
+/// full text pipeline ([`crate::datasets::synthetic_trace`]) so the
+/// experiment — and its CI smoke run — needs no network access.
+pub fn exp_trace(tier: Tier) -> Vec<Table> {
+    let explicit = std::env::args().find_map(|a| a.strip_prefix("--trace=").map(String::from));
+    let (spec, temp_path) = match explicit {
+        Some(path) => (
+            DatasetSpec::trace("trace", &path)
+                .unwrap_or_else(|e| panic!("loading trace {path}: {e}")),
+            None,
+        ),
+        None => {
+            let (spec, path) = crate::datasets::synthetic_trace(tier, &std::env::temp_dir());
+            (spec, Some(path))
+        }
+    };
+    let trace = spec.contact_trace().expect("trace spec carries its trace");
+    let mut inventory = Table::new(
+        "exp_trace (inventory)",
+        "loaded contact trace",
+        &[
+            "trace", "objects", "ticks", "contacts", "records", "skipped",
+        ],
+    );
+    inventory.row(vec![
+        spec.name.clone(),
+        trace.num_objects().to_string(),
+        trace.horizon().to_string(),
+        trace.contacts().len().to_string(),
+        trace.records().to_string(),
+        trace.skipped().to_string(),
+    ]);
+
+    let mut t = Table::new(
+        "exp_trace",
+        "ReachGrid vs ReachGraph vs GRAIL on an ingested contact trace (event-direct DN)",
+        &["index", "mean normalized IO", "mean CPU", "reachable frac"],
+    );
+    assert!(
+        spec.num_objects >= 2 && spec.horizon >= 2,
+        "trace {} is too small for a query workload",
+        spec.name
+    );
+    let queries = workload(&spec, tier, 0x7C);
+    let store = spec.generate();
+    let dn = spec.build_dn(&store);
+    let mr = spec.build_multires(&dn);
+    let mut row = |name: &str, r: BatchResult| {
+        t.row(vec![
+            name.to_string(),
+            fnum(r.mean_io),
+            fdur(r.mean_cpu),
+            format!("{:.2}", r.reachable_frac),
+        ]);
+    };
+    let mut grid = build_grid(&store, grid_params_for(&spec, tier));
+    row("ReachGrid", run_batch(&mut grid, &queries));
+    let mut rg = build_graph(&dn, &mr, graph_params_for(tier));
+    row("ReachGraph (BM-BFS)", run_batch(&mut rg, &queries));
+    let mut grail = build_grail(&dn, 5, 0xF1, tier.page_size(), 64);
+    row("GRAIL (disk)", run_batch(&mut grail, &queries));
+
+    if let Some(path) = temp_path {
+        let _ = std::fs::remove_file(path);
+    }
+    vec![inventory, t]
+}
+
+// ---------------------------------------------------------------------------
 // Ablations — design choices the paper motivates but does not sweep
 // ---------------------------------------------------------------------------
 
@@ -682,6 +765,7 @@ pub fn all(tier: Tier) -> Vec<Table> {
     out.extend(exp_fig13(tier));
     out.extend(exp_fig14_15(tier));
     out.extend(exp_table5(tier));
+    out.extend(exp_trace(tier));
     out.extend(exp_ablation(tier));
     out
 }

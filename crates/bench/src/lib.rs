@@ -21,7 +21,8 @@ pub mod report;
 pub mod runner;
 
 pub use datasets::{
-    middle, prefix_store, rwp_series, vn_series, vnr, Backend, DatasetSpec, Family, Tier,
+    middle, prefix_store, rwp_series, synthetic_trace, vn_series, vnr, Backend, DatasetSpec,
+    Family, Tier,
 };
 pub use report::{fbytes, fdur, fnum, Table};
 pub use runner::{run_batch, timed, BatchResult};

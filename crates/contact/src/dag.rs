@@ -20,8 +20,14 @@
 //! interval, so an item inside the node cannot spread beyond its members
 //! until the node dies**. Items disperse only across DN1 edges at
 //! `end + 1`.
+//!
+//! Three constructors build the same DAG from different inputs:
+//! [`DnGraph::build`] (trajectories, via the §4 join),
+//! [`DnGraph::build_from_ticks`]/[`DnGraph::build_streaming`] (per-tick
+//! event lists), and [`DnGraph::from_contacts`] (maximal contact intervals,
+//! the event-direct path ingested traces take — see [`crate::ingest`]).
 
-use reach_core::{NodeId, ObjectId, Time, TimeInterval, UnionFind};
+use reach_core::{Contact, NodeId, ObjectId, Time, TimeInterval, UnionFind};
 use reach_traj::TrajectoryStore;
 use std::collections::HashMap;
 
@@ -142,7 +148,75 @@ impl DnGraph {
     where
         F: Fn(Time) -> &'a [(u32, u32)],
     {
+        Self::build_streaming(num_objects, horizon, move |t, buf| {
+            buf.extend_from_slice(events(t))
+        })
+    }
+
+    /// Builds the DN from a streaming per-tick event callback: `events` is
+    /// called once per tick in ascending order and fills `buf` with the pairs
+    /// in contact at that tick (`a != b`, any order, duplicates allowed).
+    ///
+    /// This is the event-direct construction path: nothing about the input
+    /// needs to exist in memory up front, so contact-trace loaders can feed
+    /// the builder without materializing a per-tick event table (let alone a
+    /// `TrajectoryStore` and the spatial join behind [`DnGraph::build`]).
+    pub fn build_streaming<F>(num_objects: usize, horizon: Time, events: F) -> Self
+    where
+        F: FnMut(Time, &mut Vec<(u32, u32)>),
+    {
         Builder::new(num_objects, horizon).run(events)
+    }
+
+    /// Builds the DN directly from maximal-interval [`Contact`]s — the form
+    /// real contact traces arrive in (see [`crate::ingest`]) — without a
+    /// trajectory store or spatial join.
+    ///
+    /// The contacts may be in any order; each is expanded into its per-tick
+    /// events by an interval sweep, so the cost is `O(|C| log |C| +
+    /// Σ_c |T_c|)`, the same as feeding the equivalent instantaneous event
+    /// stream. The result is identical to [`DnGraph::build`] on any
+    /// trajectory dataset whose extracted contact network equals `contacts`
+    /// (asserted by the ingestion round-trip tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a contact references an object `≥ num_objects`, lies beyond
+    /// `horizon`, or is a self-contact. [`crate::ingest::ContactTrace`]
+    /// guarantees these invariants for loaded traces.
+    pub fn from_contacts(num_objects: usize, horizon: Time, contacts: &[Contact]) -> Self {
+        for c in contacts {
+            assert!(
+                c.a.index() < num_objects && c.b.index() < num_objects,
+                "contact {c:?} references an object outside the universe of {num_objects}"
+            );
+            assert!(
+                c.interval.end < horizon,
+                "contact {c:?} extends beyond the horizon {horizon}"
+            );
+            // Contact::new forbids a == b, but the fields are public.
+            assert!(c.a != c.b, "self-contact {c:?}");
+        }
+        // Interval sweep: activate contacts at their start tick, emit every
+        // active pair each tick, retire contacts past their end tick.
+        let mut order: Vec<usize> = (0..contacts.len()).collect();
+        order.sort_unstable_by_key(|&i| contacts[i].interval.start);
+        let mut next = 0usize;
+        let mut active: Vec<usize> = Vec::new();
+        Self::build_streaming(num_objects, horizon, move |t, buf| {
+            while next < order.len() && contacts[order[next]].interval.start == t {
+                active.push(order[next]);
+                next += 1;
+            }
+            active.retain(|&i| {
+                let c = &contacts[i];
+                if c.interval.end < t {
+                    return false;
+                }
+                buf.push((c.a.0, c.b.0));
+                true
+            });
+        })
     }
 
     /// Number of hyper nodes.
@@ -326,9 +400,9 @@ impl Builder {
         }
     }
 
-    fn run<'a, F>(mut self, events: F) -> DnGraph
+    fn run<F>(mut self, mut events: F) -> DnGraph
     where
-        F: Fn(Time) -> &'a [(u32, u32)],
+        F: FnMut(Time, &mut Vec<(u32, u32)>),
     {
         if self.num_objects == 0 || self.horizon == 0 {
             return DnGraph {
@@ -340,13 +414,16 @@ impl Builder {
                 horizon: self.horizon,
             };
         }
-        self.initial_tick(events(0));
+        let mut buf: Vec<(u32, u32)> = Vec::new();
+        events(0, &mut buf);
+        self.initial_tick(&buf);
         for t in 1..self.horizon {
-            let pairs = events(t);
-            if pairs.is_empty() && self.multi_open.is_empty() {
+            buf.clear();
+            events(t, &mut buf);
+            if buf.is_empty() && self.multi_open.is_empty() {
                 continue; // nothing can change
             }
-            self.step(t, pairs);
+            self.step(t, &buf);
         }
         // Close every open run at the horizon.
         let horizon = self.horizon;
@@ -656,6 +733,100 @@ mod tests {
                 assert!(g.node(u).interval.end < g.node(v).interval.start);
             }
         }
+    }
+
+    /// The per-tick scripts of these tests expressed as maximal contacts.
+    fn contacts_of_script(script: &[Vec<(u32, u32)>]) -> Vec<Contact> {
+        let mut acc = reach_core::ContactAccumulator::new();
+        for (t, pairs) in script.iter().enumerate() {
+            for &(a, b) in pairs {
+                acc.push(reach_core::ContactEvent::new(
+                    t as Time,
+                    ObjectId(a),
+                    ObjectId(b),
+                ));
+            }
+        }
+        acc.finish()
+    }
+
+    /// Structural equality of two DNs: same nodes (members + intervals, same
+    /// ids) and same DN1 edges.
+    fn assert_same_dn(a: &DnGraph, b: &DnGraph) {
+        assert_eq!(a.num_objects(), b.num_objects());
+        assert_eq!(a.horizon(), b.horizon());
+        assert_eq!(a.nodes(), b.nodes());
+        for v in 0..a.num_nodes() as u32 {
+            assert_eq!(a.fwd(v), b.fwd(v), "out-edges of node {v} differ");
+            assert_eq!(a.rev(v), b.rev(v), "in-edges of node {v} differ");
+        }
+    }
+
+    #[test]
+    fn from_contacts_matches_tick_construction() {
+        type Script = Vec<Vec<(u32, u32)>>;
+        let scripts: Vec<(usize, Script)> = vec![
+            (
+                4,
+                vec![
+                    vec![(0, 1)],
+                    vec![(1, 3), (2, 3)],
+                    vec![(0, 1), (2, 3)],
+                    vec![(0, 1)],
+                ],
+            ),
+            (3, vec![vec![], vec![], vec![]]),
+            (2, vec![vec![(0, 1)], vec![]]),
+            (5, {
+                let mut s = vec![vec![]; 12];
+                s[3] = vec![(0, 1), (2, 3)];
+                s[4] = vec![(0, 1)];
+                s[9] = vec![(1, 4)];
+                s
+            }),
+        ];
+        for (n, script) in scripts {
+            let by_tick = dn(n, script.clone());
+            let contacts = contacts_of_script(&script);
+            let direct = DnGraph::from_contacts(n, script.len() as Time, &contacts);
+            direct.validate().expect("contact-built DN is valid");
+            assert_same_dn(&by_tick, &direct);
+        }
+    }
+
+    #[test]
+    fn from_contacts_accepts_unsorted_input() {
+        let script = vec![vec![(0, 1)], vec![(1, 2)], vec![(1, 2)], vec![(0, 1)]];
+        let mut contacts = contacts_of_script(&script);
+        contacts.reverse();
+        let direct = DnGraph::from_contacts(3, 4, &contacts);
+        assert_same_dn(&dn(3, script), &direct);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the universe")]
+    fn from_contacts_rejects_foreign_objects() {
+        let c = Contact::new(ObjectId(0), ObjectId(9), TimeInterval::new(0, 0));
+        let _ = DnGraph::from_contacts(2, 4, &[c]);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the horizon")]
+    fn from_contacts_rejects_overlong_intervals() {
+        let c = Contact::new(ObjectId(0), ObjectId(1), TimeInterval::new(0, 4));
+        let _ = DnGraph::from_contacts(2, 4, &[c]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-contact")]
+    fn from_contacts_rejects_self_contacts() {
+        // Contact::new forbids a == b, but the fields are public.
+        let c = Contact {
+            a: ObjectId(1),
+            b: ObjectId(1),
+            interval: TimeInterval::new(0, 1),
+        };
+        let _ = DnGraph::from_contacts(2, 4, &[c]);
     }
 
     #[test]

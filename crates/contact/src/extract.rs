@@ -1,8 +1,12 @@
-//! Contact extraction: from trajectories to contact events and contacts.
+//! Contact extraction: from trajectories to contact events and contacts
+//! (paper §4).
 //!
 //! A contact network is materialized by a spatiotemporal self-join of the
-//! trajectory set (paper §4). Events arrive in tick order, which both the
-//! TEN/DN builders and the oracle consume directly.
+//! trajectory set: objects within the threshold `d_T` at a tick are in
+//! contact. Events arrive in tick order, which both the TEN/DN builders and
+//! the oracle consume directly. This is one of the two roads into the
+//! contact network — the other is [`crate::ingest`], which loads the same
+//! maximal [`Contact`]s from real trace files with no trajectories at all.
 
 use reach_core::{Contact, ContactAccumulator, ContactEvent, Coord, Time, TimeInterval};
 use reach_traj::{window_self_join, TrajectoryStore};

@@ -1,0 +1,202 @@
+//! Temporal edge-list parser: the SNAP / SocioPatterns family of formats.
+//!
+//! One contact per line. Two column orders exist in the wild:
+//!
+//! * **`u v t [duration]`** (SNAP temporal networks, most exported CSVs) —
+//!   the default. The optional fourth column is a duration in raw time
+//!   units, making the record cover `[t, t + duration − 1]`; without it the
+//!   record is instantaneous (`[t, t]`).
+//! * **`t u v …`** (SocioPatterns `tij` releases) — selected by
+//!   [`EdgeListSource::sociopatterns`]. Trailing columns (the `Ci Cj`
+//!   community labels of some releases) are ignored, as the format
+//!   specifies.
+//!
+//! Fields split on any run of whitespace, `,` or `;`, so space-, tab- and
+//! comma-separated variants all parse. See `DATAFORMATS.md` for the full
+//! contract.
+
+use super::{parse_time_field, ContactSource, Directives, IngestError, LineCursor, RawRecord};
+use std::io::BufRead;
+
+/// Parser for temporal edge lists (`u v t [duration]`, or `t u v` in
+/// SocioPatterns mode).
+pub struct EdgeListSource<R: BufRead> {
+    cursor: LineCursor<R>,
+    time_first: bool,
+}
+
+impl<R: BufRead> EdgeListSource<R> {
+    /// A parser for the default `u v t [duration]` column order.
+    pub fn new(reader: R) -> Self {
+        Self {
+            cursor: LineCursor::new(reader),
+            time_first: false,
+        }
+    }
+
+    /// A parser for the SocioPatterns `t i j …` column order (extra columns
+    /// ignored).
+    pub fn sociopatterns(reader: R) -> Self {
+        Self {
+            cursor: LineCursor::new(reader),
+            time_first: true,
+        }
+    }
+}
+
+impl<R: BufRead> ContactSource for EdgeListSource<R> {
+    fn next_record(&mut self) -> Option<Result<RawRecord, IngestError>> {
+        let (line, mut fields) = match self.cursor.next_fields()? {
+            Ok(lf) => lf,
+            Err(e) => return Some(Err(e)),
+        };
+        let rec = if self.time_first {
+            if fields.len() < 3 {
+                return Some(Err(IngestError::parse(
+                    line,
+                    format!("expected `t i j …`, got {} fields", fields.len()),
+                )));
+            }
+            let v = fields.swap_remove(2);
+            let u = fields.swap_remove(1);
+            match parse_time_field(line, "time", &fields[0]) {
+                Ok(t) => RawRecord {
+                    line,
+                    u,
+                    v,
+                    start: t,
+                    end: t,
+                },
+                Err(e) => return Some(Err(e)),
+            }
+        } else {
+            if fields.len() < 3 || fields.len() > 4 {
+                return Some(Err(IngestError::parse(
+                    line,
+                    format!("expected `u v t [duration]`, got {} fields", fields.len()),
+                )));
+            }
+            let t = match parse_time_field(line, "time", &fields[2]) {
+                Ok(t) => t,
+                Err(e) => return Some(Err(e)),
+            };
+            let end = if fields.len() == 4 {
+                let dur = match parse_time_field(line, "duration", &fields[3]) {
+                    Ok(d) => d,
+                    Err(e) => return Some(Err(e)),
+                };
+                if dur == 0 {
+                    return Some(Err(IngestError::parse(line, "duration must be ≥ 1")));
+                }
+                match t.checked_add(dur - 1) {
+                    Some(end) => end,
+                    None => {
+                        return Some(Err(IngestError::parse(
+                            line,
+                            format!("duration {dur} overflows from {t}"),
+                        )))
+                    }
+                }
+            } else {
+                t
+            };
+            let v = fields.swap_remove(1);
+            let u = fields.swap_remove(0);
+            RawRecord {
+                line,
+                u,
+                v,
+                start: t,
+                end,
+            }
+        };
+        Some(Ok(rec))
+    }
+
+    fn directives(&self) -> Directives {
+        self.cursor.directives()
+    }
+
+    fn name(&self) -> &'static str {
+        "edge list"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(mut s: impl ContactSource) -> (Vec<RawRecord>, Vec<IngestError>) {
+        let mut ok = Vec::new();
+        let mut errs = Vec::new();
+        while let Some(r) = s.next_record() {
+            match r {
+                Ok(rec) => ok.push(rec),
+                Err(e) => errs.push(e),
+            }
+        }
+        (ok, errs)
+    }
+
+    #[test]
+    fn parses_whitespace_and_csv() {
+        let (ok, errs) = drain(EdgeListSource::new("1 2 10\n3,4,11\n5;6;12\n".as_bytes()));
+        assert!(errs.is_empty());
+        assert_eq!(ok.len(), 3);
+        assert_eq!(ok[0].u, "1");
+        assert_eq!(ok[1].v, "4");
+        assert_eq!(ok[2].start, 12);
+        assert_eq!(ok[0].line, 1);
+        assert_eq!(ok[2].line, 3);
+    }
+
+    #[test]
+    fn duration_column() {
+        let (ok, _) = drain(EdgeListSource::new("1 2 10 5\n".as_bytes()));
+        assert_eq!((ok[0].start, ok[0].end), (10, 14));
+        let (_, errs) = drain(EdgeListSource::new("1 2 10 0\n".as_bytes()));
+        assert_eq!(errs.len(), 1, "zero duration is malformed");
+    }
+
+    #[test]
+    fn sociopatterns_order_ignores_extras() {
+        let (ok, errs) = drain(EdgeListSource::sociopatterns(
+            "20 1148 1201 A B\n40 1148 1201\n".as_bytes(),
+        ));
+        assert!(errs.is_empty());
+        assert_eq!(ok[0].u, "1148");
+        assert_eq!(ok[0].v, "1201");
+        assert_eq!((ok[0].start, ok[0].end), (20, 20));
+        assert_eq!(ok[1].start, 40);
+    }
+
+    #[test]
+    fn wrong_arity_is_malformed() {
+        let (_, errs) = drain(EdgeListSource::new("1 2\n1 2 3 4 5\n".as_bytes()));
+        assert_eq!(errs.len(), 2);
+        assert!(matches!(errs[0], IngestError::Parse { line: 1, .. }));
+        assert!(matches!(errs[1], IngestError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn comments_and_directives_skipped() {
+        let src = EdgeListSource::new(
+            "# comment\n%% matrix-market style\n#! streach-trace horizon=9\n1 2 0\n".as_bytes(),
+        );
+        let mut src = src;
+        let (ok, errs) = {
+            let mut ok = Vec::new();
+            let mut errs = Vec::new();
+            while let Some(r) = src.next_record() {
+                match r {
+                    Ok(rec) => ok.push(rec),
+                    Err(e) => errs.push(e),
+                }
+            }
+            (ok, errs)
+        };
+        assert!(errs.is_empty());
+        assert_eq!(ok.len(), 1);
+        assert_eq!(src.directives().horizon, Some(9));
+    }
+}

@@ -1,0 +1,154 @@
+//! Component-colocation embedding: a [`ContactTrace`] as a
+//! [`TrajectoryStore`].
+//!
+//! ReachGrid (paper §4.1) is a *trajectory* index — it cannot be built from
+//! a contact trace directly. But reachability only depends on the per-tick
+//! connected components of the contact graph (snapshot symmetry +
+//! transitivity, properties 5.1/5.2), so any trajectory dataset with the
+//! same per-tick components answers every reachability query identically.
+//! This module constructs the simplest such dataset: every object has a
+//! *home point* on a grid with spacing [`EMBED_SPACING`], and at each tick
+//! all members of a contact component teleport to the home point of the
+//! component's smallest member. Colocated objects are within
+//! [`EMBED_THRESHOLD`]; distinct components sit at distinct grid points,
+//! ≥ `EMBED_SPACING` apart.
+//!
+//! The spatial join of the embedded store therefore yields the *clique
+//! closure* of each component — different pairwise events than the trace,
+//! but identical components at every tick, hence an identical reduced DAG
+//! (asserted by the ingestion tests) and identical query answers from every
+//! index in the workspace.
+
+use super::ContactTrace;
+use reach_core::{Coord, Environment, ObjectId, Point, UnionFind};
+use reach_traj::{Trajectory, TrajectoryStore};
+
+/// Home-point grid spacing of the embedding, in metres.
+pub const EMBED_SPACING: Coord = 8.0;
+
+/// Contact threshold `d_T` to use with an embedded store (any value below
+/// [`EMBED_SPACING`] and above 0 works; this is the documented default).
+pub const EMBED_THRESHOLD: Coord = 1.0;
+
+/// Embeds `trace` into a synthetic trajectory store whose contact network at
+/// threshold [`EMBED_THRESHOLD`] has exactly the trace's per-tick connected
+/// components (see the module docs for why that preserves reachability).
+pub fn embed(trace: &ContactTrace) -> TrajectoryStore {
+    let n = trace.num_objects();
+    let horizon = trace.horizon();
+    let cols = (n as f64).sqrt().ceil().max(1.0) as usize;
+    let home = |o: usize| -> Point {
+        Point::new(
+            ((o % cols) as Coord + 0.5) * EMBED_SPACING,
+            ((o / cols) as Coord + 0.5) * EMBED_SPACING,
+        )
+    };
+    let env = Environment::square(cols as Coord * EMBED_SPACING);
+    let mut positions: Vec<Vec<Point>> = (0..n).map(|o| vec![home(o); horizon as usize]).collect();
+
+    // Interval sweep over the contacts (they are sorted by start), with
+    // per-tick components via union-find — the same pass the DN builder
+    // makes.
+    let mut uf = UnionFind::new(n);
+    let mut next = 0usize;
+    let mut active: Vec<usize> = Vec::new();
+    let contacts = trace.contacts();
+    let mut touched: Vec<u32> = Vec::new();
+    for t in 0..horizon {
+        while next < contacts.len() && contacts[next].interval.start == t {
+            active.push(next);
+            next += 1;
+        }
+        if active.is_empty() {
+            continue;
+        }
+        uf.reset();
+        touched.clear();
+        active.retain(|&i| {
+            let c = &contacts[i];
+            if c.interval.end < t {
+                return false;
+            }
+            uf.union(c.a.0, c.b.0);
+            touched.push(c.a.0);
+            touched.push(c.b.0);
+            true
+        });
+        // Smallest member of each component anchors the colocation point.
+        touched.sort_unstable();
+        touched.dedup();
+        let mut keyed: Vec<(u32, u32)> = touched.iter().map(|&o| (uf.find(o), o)).collect();
+        keyed.sort_unstable();
+        let mut i = 0;
+        while i < keyed.len() {
+            let root = keyed[i].0;
+            let anchor = home(keyed[i].1 as usize); // first = smallest member
+            while i < keyed.len() && keyed[i].0 == root {
+                positions[keyed[i].1 as usize][t as usize] = anchor;
+                i += 1;
+            }
+        }
+    }
+
+    let trajs = positions
+        .into_iter()
+        .enumerate()
+        .map(|(o, ps)| Trajectory::new(ObjectId(o as u32), 0, ps))
+        .collect();
+    TrajectoryStore::new(env, trajs).expect("embedding produces a dense, uniform-horizon store")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{ContactTrace, IngestOptions};
+    use super::*;
+    use crate::dag::DnGraph;
+
+    fn trace() -> ContactTrace {
+        // Figure 1 of the paper plus a silent object 4.
+        let text = "#! streach-trace kind=events ids=numeric num_objects=5 horizon=4 origin=0\n\
+                    0 1 0\n1 3 1\n2 3 1\n0 1 2\n2 3 2\n0 1 3\n";
+        ContactTrace::parse(text, &IngestOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn embedded_store_has_trace_shape() {
+        let t = trace();
+        let store = embed(&t);
+        assert_eq!(store.num_objects(), 5);
+        assert_eq!(store.horizon(), 4);
+    }
+
+    #[test]
+    fn components_colocate_and_strangers_stay_apart() {
+        let t = trace();
+        let store = embed(&t);
+        // t=1: component {1,2,3} colocated, 0 and 4 elsewhere.
+        let snap = store.snapshot(1).unwrap();
+        assert_eq!(snap[1], snap[2]);
+        assert_eq!(snap[2], snap[3]);
+        let d = |a: Point, b: Point| ((a.x - b.x).powi(2) + (a.y - b.y).powi(2)).sqrt();
+        assert!(d(snap[0], snap[1]) >= EMBED_SPACING - 1e-3);
+        assert!(d(snap[4], snap[1]) >= EMBED_SPACING - 1e-3);
+    }
+
+    #[test]
+    fn embedded_dn_equals_trace_dn() {
+        let t = trace();
+        let direct = t.build_dn();
+        let via_store = DnGraph::build(&embed(&t), EMBED_THRESHOLD);
+        via_store.validate().expect("embedded DN valid");
+        assert_eq!(direct.nodes(), via_store.nodes());
+        for v in 0..direct.num_nodes() as u32 {
+            assert_eq!(direct.fwd(v), via_store.fwd(v));
+        }
+    }
+
+    #[test]
+    fn empty_trace_embeds_to_empty_store() {
+        let t = ContactTrace::parse("", &IngestOptions::default()).unwrap();
+        let store = embed(&t);
+        assert_eq!(store.num_objects(), 0);
+        assert_eq!(store.horizon(), 0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Interval contact-record parser: `u v start end`.
+//!
+//! The natural serialization of the paper's §3.1 contact definition — one
+//! maximal (or partial; overlaps are merged downstream) contact per line
+//! with an inclusive validity interval, the format interval indexes such as
+//! Brito et al.'s timed transitive closures consume. Exactly four fields
+//! per data line; `end < start` is malformed. See `DATAFORMATS.md`.
+
+use super::{parse_time_field, ContactSource, Directives, IngestError, LineCursor, RawRecord};
+use std::io::BufRead;
+
+/// Parser for interval contact records (`u v start end`, ends inclusive).
+pub struct IntervalSource<R: BufRead> {
+    cursor: LineCursor<R>,
+}
+
+impl<R: BufRead> IntervalSource<R> {
+    /// A parser over any buffered reader.
+    pub fn new(reader: R) -> Self {
+        Self {
+            cursor: LineCursor::new(reader),
+        }
+    }
+}
+
+impl<R: BufRead> ContactSource for IntervalSource<R> {
+    fn next_record(&mut self) -> Option<Result<RawRecord, IngestError>> {
+        let (line, mut fields) = match self.cursor.next_fields()? {
+            Ok(lf) => lf,
+            Err(e) => return Some(Err(e)),
+        };
+        if fields.len() != 4 {
+            return Some(Err(IngestError::parse(
+                line,
+                format!("expected `u v start end`, got {} fields", fields.len()),
+            )));
+        }
+        let start = match parse_time_field(line, "start", &fields[2]) {
+            Ok(t) => t,
+            Err(e) => return Some(Err(e)),
+        };
+        let end = match parse_time_field(line, "end", &fields[3]) {
+            Ok(t) => t,
+            Err(e) => return Some(Err(e)),
+        };
+        if end < start {
+            return Some(Err(IngestError::parse(
+                line,
+                format!("interval [{start}, {end}] ends before it starts"),
+            )));
+        }
+        let v = fields.swap_remove(1);
+        let u = fields.swap_remove(0);
+        Some(Ok(RawRecord {
+            line,
+            u,
+            v,
+            start,
+            end,
+        }))
+    }
+
+    fn directives(&self) -> Directives {
+        self.cursor.directives()
+    }
+
+    fn name(&self) -> &'static str {
+        "interval records"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_intervals() {
+        let mut s = IntervalSource::new("7 9 10 25\n".as_bytes());
+        let r = s.next_record().unwrap().unwrap();
+        assert_eq!((r.u.as_str(), r.v.as_str()), ("7", "9"));
+        assert_eq!((r.start, r.end), (10, 25));
+        assert!(s.next_record().is_none());
+    }
+
+    #[test]
+    fn reversed_interval_is_malformed() {
+        let mut s = IntervalSource::new("1 2 9 3\n".as_bytes());
+        let e = s.next_record().unwrap().unwrap_err();
+        assert!(matches!(e, IngestError::Parse { line: 1, .. }), "{e}");
+    }
+
+    #[test]
+    fn arity_is_exact() {
+        let mut s = IntervalSource::new("1 2 3\n1 2 3 4 5\n".as_bytes());
+        assert!(s.next_record().unwrap().is_err());
+        assert!(s.next_record().unwrap().is_err());
+    }
+}

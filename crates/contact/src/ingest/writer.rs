@@ -1,0 +1,103 @@
+//! Synthetic-trace writers: serialize a [`ContactTrace`] back into the text
+//! formats the parsers accept.
+//!
+//! The writers exist so the workspace can round-trip without network access:
+//! CI generates a synthetic dataset, extracts its contacts, *writes* them as
+//! a trace, re-ingests the file, and asserts the loader-built DN is
+//! edge-identical to the trajectory-built one. They always emit a full
+//! directive header (`kind`, `num_objects`, `horizon`, `origin=0`,
+//! `time_scale=1`, and `ids=numeric` when labels are the decimal ids), which
+//! is exactly what makes the round trip lossless — a bare edge list cannot
+//! name silent objects or trailing silent ticks.
+
+use super::ContactTrace;
+use std::io::{self, Write};
+
+/// Writes `trace` as a temporal edge list, one `u v t duration` line per
+/// maximal contact, preceded by the directive header.
+pub fn write_events<W: Write>(trace: &ContactTrace, mut w: W) -> io::Result<()> {
+    header(trace, "events", &mut w)?;
+    for c in trace.contacts() {
+        writeln!(
+            w,
+            "{} {} {} {}",
+            trace.label(c.a),
+            trace.label(c.b),
+            c.interval.start,
+            c.interval.len()
+        )?;
+    }
+    Ok(())
+}
+
+/// Writes `trace` as interval contact records, one `u v start end` line per
+/// maximal contact, preceded by the directive header.
+pub fn write_intervals<W: Write>(trace: &ContactTrace, mut w: W) -> io::Result<()> {
+    header(trace, "intervals", &mut w)?;
+    for c in trace.contacts() {
+        writeln!(
+            w,
+            "{} {} {} {}",
+            trace.label(c.a),
+            trace.label(c.b),
+            c.interval.start,
+            c.interval.end
+        )?;
+    }
+    Ok(())
+}
+
+fn header<W: Write>(trace: &ContactTrace, kind: &str, w: &mut W) -> io::Result<()> {
+    write!(w, "#! streach-trace v1 kind={kind}")?;
+    if trace.numeric_identity() {
+        write!(w, " ids=numeric")?;
+    }
+    writeln!(
+        w,
+        " num_objects={} horizon={} origin=0 time_scale=1",
+        trace.num_objects(),
+        trace.horizon()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{ContactTrace, IngestOptions};
+    use super::*;
+    use reach_core::{Contact, ObjectId, TimeInterval};
+
+    fn sample() -> ContactTrace {
+        let c = |a: u32, b: u32, s: u32, e: u32| {
+            Contact::new(ObjectId(a), ObjectId(b), TimeInterval::new(s, e))
+        };
+        // Object 3 and ticks 8..12 are silent — the header must carry them.
+        ContactTrace::from_parts(4, 12, [c(0, 1, 0, 2), c(1, 2, 4, 7)]).unwrap()
+    }
+
+    #[test]
+    fn events_round_trip_exactly() {
+        let trace = sample();
+        let mut buf = Vec::new();
+        write_events(&trace, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("#! streach-trace v1 kind=events ids=numeric"));
+        let back = ContactTrace::parse(&text, &IngestOptions::default()).unwrap();
+        assert_eq!(back.contacts(), trace.contacts());
+        assert_eq!(back.num_objects(), 4);
+        assert_eq!(back.horizon(), 12);
+    }
+
+    #[test]
+    fn intervals_round_trip_exactly() {
+        let trace = sample();
+        let mut buf = Vec::new();
+        write_intervals(&trace, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("kind=intervals"));
+        // The kind directive drives the sniffing in parse().
+        let back = ContactTrace::parse(&text, &IngestOptions::default()).unwrap();
+        assert_eq!(back.contacts(), trace.contacts());
+        assert_eq!(back.num_objects(), 4);
+        assert_eq!(back.horizon(), 12);
+    }
+}

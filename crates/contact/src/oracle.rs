@@ -1,10 +1,12 @@
-//! Brute-force reachability ground truth.
+//! Brute-force reachability ground truth (the paper's §3.2 reachability
+//! definition, evaluated literally).
 //!
 //! Forward simulation of item propagation directly on per-tick contact
-//! events: at every tick the infected set closes over the tick's connected
-//! components (snapshot symmetry + transitivity, paper properties 5.1/5.2).
-//! Quadratic-ish and memory-hungry — exists purely as the oracle every index
-//! in the workspace is validated against.
+//! events — definition 3.4's "chain of temporally ordered contacts" by
+//! construction: at every tick the infected set closes over the tick's
+//! connected components (snapshot symmetry + transitivity, paper properties
+//! 5.1/5.2). Quadratic-ish and memory-hungry — exists purely as the oracle
+//! every index in the workspace is validated against.
 
 use reach_core::{Coord, ObjectId, Query, QueryOutcome, Time, TimeInterval, UnionFind};
 use reach_traj::TrajectoryStore;

@@ -15,7 +15,7 @@
 //!
 //! The index is backend-agnostic: [`ReachGraph::build`] keeps the paper's
 //! simulator, [`ReachGraph::build_on`] accepts any
-//! [`BlockDevice`](reach_storage::BlockDevice) — the layout and the counted
+//! [`BlockDevice`] — the layout and the counted
 //! IO are identical on all of them.
 //!
 //! Traversal fetches whole partitions and buffers a bounded number of

@@ -104,9 +104,9 @@ impl Sub for IoStats {
     }
 }
 
-/// Shared IO-accounting state embedded by every [`BlockDevice`]
-/// (crate::BlockDevice) implementation, so the sequential/random
-/// classification is identical across backends.
+/// Shared IO-accounting state embedded by every
+/// [`BlockDevice`](crate::BlockDevice) implementation, so the
+/// sequential/random classification is identical across backends.
 #[derive(Clone, Copy, Default, Debug)]
 pub struct IoTracker {
     stats: IoStats,

@@ -14,7 +14,7 @@
 //! | [`storage`] | pluggable block devices (sim/file/mmap), pager, IO accounting |
 //! | [`traj`] | trajectories and spatiotemporal joins |
 //! | [`mobility`] | RWP / road-network / sparse-GPS generators, workloads |
-//! | [`contact`] | contact extraction, TEN→DN reduction, multi-resolution, oracle |
+//! | [`contact`] | contact extraction, trace ingestion, TEN→DN reduction, multi-resolution, oracle |
 //! | [`grid`] | ReachGrid index + SPJ baseline |
 //! | [`graph`] | ReachGraph index + E-DFS/E-BFS/B-BFS/BM-BFS |
 //! | [`baselines`] | GRAIL (memory and disk) |
@@ -67,6 +67,43 @@
 //! let a = grid.evaluate(&q).expect("grid query evaluates");
 //! let b = graph.evaluate(&q).expect("graph query evaluates");
 //! assert_eq!(a.reachable(), b.reachable());
+//! ```
+//!
+//! ## Ingesting a real contact trace
+//!
+//! Real contact datasets arrive as timestamped edge lists, not trajectories
+//! (see `DATAFORMATS.md` for the format contract). The loader normalizes
+//! them into a [`ContactTrace`](contact::ingest::ContactTrace) and the DN is
+//! built *event-directly* — no trajectories, no spatial join:
+//!
+//! ```
+//! use streach::prelude::*;
+//!
+//! // The paper's Figure 1 network as an inline edge list (u v t [duration]).
+//! let text = "\
+//! #! streach-trace v1 kind=events ids=numeric num_objects=4 horizon=4 origin=0
+//! 0 1 0
+//! 1 3 1
+//! 2 3 1
+//! 0 1 2 2
+//! 2 3 2
+//! ";
+//! let trace = ContactTrace::parse(text, &IngestOptions::default())
+//!     .expect("well-formed trace");
+//! assert_eq!(trace.contacts().len(), 4); // the paper's c1..c4
+//!
+//! // Event-direct DN → ReachGraph, and a reachability query: is o4 (id 3)
+//! // reachable from o1 (id 0) during [0, 1]? (Yes — Figure 1's example.)
+//! let dn = trace.build_dn();
+//! let mr = MultiRes::build(&dn, &DEFAULT_LEVELS);
+//! let mut graph = ReachGraph::build(&dn, &mr, GraphParams::default())
+//!     .expect("graph construction succeeds");
+//! let q = Query::new(ObjectId(0), ObjectId(3), TimeInterval::new(0, 1));
+//! assert!(graph.evaluate(&q).expect("query evaluates").reachable());
+//!
+//! // The reverse direction is unreachable: contacts are temporally ordered.
+//! let q = Query::new(ObjectId(3), ObjectId(0), TimeInterval::new(0, 1));
+//! assert!(!graph.evaluate(&q).expect("query evaluates").reachable());
 //! ```
 //!
 //! ## Persistent ReachGraph on a real file
@@ -122,7 +159,10 @@ pub use reach_traj as traj;
 /// Everything needed to build and query the two indexes.
 pub mod prelude {
     pub use reach_baselines::{GrailDisk, GrailMem};
-    pub use reach_contact::{DnGraph, MultiRes, Oracle, DEFAULT_LEVELS};
+    pub use reach_contact::{
+        ContactSource, ContactTrace, DnGraph, EdgeListSource, ErrorMode, IngestError,
+        IngestOptions, IntervalSource, MultiRes, Oracle, TraceKind, DEFAULT_LEVELS,
+    };
     pub use reach_core::{
         Contact, ContactEvent, Environment, IndexError, Mbr, ObjectId, Point, Query, QueryOutcome,
         QueryResult, ReachabilityIndex, Time, TimeInterval,
