@@ -17,7 +17,7 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use reach_contact::DnGraph;
+use reach_contact::{DnAccess, DnGraph};
 use reach_core::{
     IndexError, ObjectId, Query, QueryOutcome, QueryResult, QueryStats, ReachabilityIndex, Time,
 };
@@ -39,7 +39,14 @@ pub struct GrailLabels {
 impl GrailLabels {
     /// Builds `d` randomized interval labelings of `dn` (paper's GRAIL uses
     /// a small constant `d`; we default to 5 in the experiments).
-    pub fn build(dn: &DnGraph, d: usize, seed: u64) -> Self {
+    ///
+    /// Generic over [`DnAccess`], so labels build identically from a
+    /// resident [`DnGraph`] and a spill-backed
+    /// [`StreamedDn`](reach_contact::StreamedDn): adjacency is fetched
+    /// per node and the DFS frees each node's child list when it leaves the
+    /// stack, so resident scratch is `O(stack depth)` lists plus the labels
+    /// themselves (which *are* the index being built).
+    pub fn build<D: DnAccess>(mut dn: D, d: usize, seed: u64) -> Self {
         assert!(d >= 1, "at least one labeling required");
         let n = dn.num_nodes();
         let mut labels = vec![(0u32, 0u32); n * d];
@@ -49,6 +56,7 @@ impl GrailLabels {
         let mut visited = vec![false; n];
         let mut stack: Vec<(u32, usize)> = Vec::new();
         let mut children_buf: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut fwd_buf: Vec<u32> = Vec::new();
         for i in 0..d {
             // Random root order and random child order per round.
             order.shuffle(&mut rng);
@@ -60,7 +68,7 @@ impl GrailLabels {
                 }
                 // Iterative post-order DFS with per-node shuffled children.
                 visited[root as usize] = true;
-                children_buf[root as usize] = dn.fwd(root).to_vec();
+                dn.fwd_into(root, &mut children_buf[root as usize]);
                 children_buf[root as usize].shuffle(&mut rng);
                 stack.push((root, 0));
                 while let Some(&mut (v, ref mut ci)) = stack.last_mut() {
@@ -70,7 +78,7 @@ impl GrailLabels {
                         *ci += 1;
                         if !visited[c as usize] {
                             visited[c as usize] = true;
-                            children_buf[c as usize] = dn.fwd(c).to_vec();
+                            dn.fwd_into(c, &mut children_buf[c as usize]);
                             children_buf[c as usize].shuffle(&mut rng);
                             stack.push((c, 0));
                         }
@@ -78,6 +86,8 @@ impl GrailLabels {
                         rank[v as usize] = next_rank;
                         next_rank += 1;
                         stack.pop();
+                        // Off the stack for good this round: free its list.
+                        children_buf[v as usize] = Vec::new();
                     }
                 }
             }
@@ -85,7 +95,8 @@ impl GrailLabels {
             // so a reverse-id sweep sees children before parents.
             for v in (0..n).rev() {
                 let mut lo = rank[v];
-                for &c in dn.fwd(v as u32) {
+                dn.fwd_into(v as u32, &mut fwd_buf);
+                for &c in &fwd_buf {
                     lo = lo.min(labels[c as usize * d + i].0);
                 }
                 labels[v * d + i] = (lo, rank[v]);
@@ -245,30 +256,39 @@ impl GrailDisk {
     }
 
     /// Serializes `dn` + labels onto any block device.
-    pub fn build_on(
+    ///
+    /// Generic over [`DnAccess`] like `ReachGraph::build_on`: a spill-backed
+    /// `StreamedDn` builds the identical byte layout under a memory budget.
+    pub fn build_on<D: DnAccess>(
         mut device: Box<dyn BlockDevice>,
-        dn: &DnGraph,
+        mut dn: D,
         d: usize,
         seed: u64,
         cache_pages: usize,
     ) -> Result<Self, IndexError> {
-        let labels = GrailLabels::build(dn, d, seed);
+        let labels = GrailLabels::build(&mut dn, d, seed);
         let disk = device.as_mut();
+        let num_objects = dn.num_objects();
+        let horizon = dn.horizon();
+        let num_nodes = dn.num_nodes();
 
         // Timeline region (identical layout to ReachGraph's, via the shared
         // reach_storage::TimelineRegion).
-        let timelines: Vec<&[(Time, u32)]> = (0..dn.num_objects() as u32)
-            .map(|o| dn.timeline(ObjectId(o)))
-            .collect();
-        let timeline = TimelineRegion::build(disk, &timelines)?;
+        let timeline_total = dn.timeline_total();
+        let timeline =
+            TimelineRegion::build_streamed(disk, num_objects, timeline_total, |o, out| {
+                dn.timeline_into(ObjectId(o), out)
+            })?;
 
         // Vertices in generation (id) order, packed — GRAIL has no notion of
         // partitioned placement, which is exactly its disk weakness.
         let mut writer = RecordWriter::new(disk)?;
-        let mut node_ptrs = Vec::with_capacity(dn.num_nodes());
-        for v in 0..dn.num_nodes() as u32 {
+        let mut node_ptrs = Vec::with_capacity(num_nodes);
+        let mut fwd_buf: Vec<u32> = Vec::new();
+        for v in 0..num_nodes as u32 {
             let mut w = ByteWriter::new();
-            w.put_u32_slice(dn.fwd(v));
+            dn.fwd_into(v, &mut fwd_buf);
+            w.put_u32_slice(&fwd_buf);
             w.put_u8(d as u8);
             for i in 0..d {
                 let (lo, hi) = labels.label(v, i);
@@ -283,8 +303,8 @@ impl GrailDisk {
             pager: Pager::new(device, cache_pages),
             node_ptrs,
             timeline,
-            horizon: dn.horizon(),
-            num_objects: dn.num_objects(),
+            horizon,
+            num_objects,
         })
     }
 

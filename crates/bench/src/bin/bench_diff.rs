@@ -1,0 +1,57 @@
+//! The perf-regression comparator: `bench_diff baseline.json current.json
+//! [--max-regress=5%]`.
+//!
+//! Compares two `bench_perf` reports counter by counter and exits nonzero
+//! if any deterministic IO counter regressed beyond the tolerance, if a
+//! baseline counter disappeared, or if the suites are not comparable
+//! (different tier/backend/schema). Improvements and new counters are
+//! reported but never fail the gate — regenerate the baseline
+//! (`bench_perf --out=BENCH_quick.json`) to lock them in.
+
+use reach_bench::perf::{diff, PerfReport};
+
+fn load(path: &str) -> PerfReport {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    PerfReport::parse(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+}
+
+fn main() {
+    let mut paths: Vec<String> = Vec::new();
+    let mut max_regress = 0.05f64;
+    for a in std::env::args().skip(1) {
+        if let Some(v) = a.strip_prefix("--max-regress=") {
+            let v = v.strip_suffix('%').unwrap_or(v);
+            let pct: f64 = v
+                .parse()
+                .unwrap_or_else(|_| panic!("--max-regress expects a percentage, got {v:?}"));
+            max_regress = pct / 100.0;
+        } else if !a.starts_with("--") {
+            paths.push(a);
+        }
+    }
+    let [baseline, current] = paths.as_slice() else {
+        eprintln!("usage: bench_diff <baseline.json> <current.json> [--max-regress=5%]");
+        std::process::exit(2);
+    };
+    let outcome = diff(&load(baseline), &load(current), max_regress);
+    for note in &outcome.notes {
+        println!("note: {note}");
+    }
+    if outcome.passed() {
+        println!(
+            "perf gate PASSED: no counter above the {:.1}% tolerance ({baseline} vs {current})",
+            100.0 * max_regress
+        );
+    } else {
+        for v in &outcome.violations {
+            println!("REGRESSION: {v}");
+        }
+        println!(
+            "perf gate FAILED: {} violation(s). If this change is intentional, regenerate the \
+             baseline with `cargo run --release -p reach_bench --bin bench_perf -- \
+             --out=BENCH_quick.json` and explain the regression in the PR.",
+            outcome.violations.len()
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,22 @@
+//! Runs the deterministic perf-counter suite and emits the machine-readable
+//! report the CI perf gate compares against `BENCH_quick.json`.
+//!
+//! Usage: `bench_perf [--out=PATH]` — prints the JSON to stdout and, with
+//! `--out=`, also writes it to a file. Counters are counted IO (plus index
+//! sizes and streaming-build spill/peak-memory numbers), never wall clock,
+//! so runs are exactly reproducible on any machine.
+
+fn main() {
+    let out_path = std::env::args().find_map(|a| a.strip_prefix("--out=").map(String::from));
+    let (report, seconds) = reach_bench::perf::quick_suite();
+    let json = report.to_json();
+    print!("{json}");
+    eprintln!(
+        "# {} counters in {seconds:.1}s (wall clock is informational; only counters are gated)",
+        report.counters.len()
+    );
+    if let Some(path) = out_path {
+        std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("# wrote {path}");
+    }
+}

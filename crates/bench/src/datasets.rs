@@ -352,6 +352,28 @@ impl Backend {
     }
 }
 
+/// Parses `--build-budget=BYTES` from process args (falling back to the
+/// `STREACH_BUILD_BUDGET` environment variable): the resident-byte cap for
+/// memory-bounded streaming index construction. Accepts `k`/`m` suffixes
+/// (KiB / MiB). `None` means unbounded (the classic in-memory build).
+pub fn build_budget_from_args() -> Option<usize> {
+    let raw = std::env::args()
+        .find_map(|a| a.strip_prefix("--build-budget=").map(String::from))
+        .or_else(|| std::env::var("STREACH_BUILD_BUDGET").ok())?;
+    let lower = raw.trim().to_ascii_lowercase();
+    let (digits, mult) = if let Some(d) = lower.strip_suffix('k') {
+        (d, 1024usize)
+    } else if let Some(d) = lower.strip_suffix('m') {
+        (d, 1024 * 1024)
+    } else {
+        (lower.as_str(), 1)
+    };
+    let n: usize = digits
+        .parse()
+        .unwrap_or_else(|_| panic!("--build-budget expects BYTES[k|m], got {raw:?}"));
+    Some(n * mult)
+}
+
 /// The three RWP sizes of the tier (paper: RWP10k/20k/40k).
 pub fn rwp_series(tier: Tier) -> Vec<DatasetSpec> {
     match tier {

@@ -6,7 +6,9 @@
 //! * [`datasets`] — the scaled dataset presets (RWP / VN / VNR families);
 //! * [`runner`] — query-batch execution and metric aggregation;
 //! * [`report`] — paper-style table rendering;
-//! * [`experiments`] — one function per table/figure, plus ablations.
+//! * [`experiments`] — one function per table/figure, plus ablations;
+//! * [`perf`] — the deterministic IO-counter suite and `bench_diff`
+//!   comparator behind the CI perf-regression gate.
 //!
 //! Binaries under `src/bin/` run individual experiments
 //! (`cargo run --release -p reach-bench --bin exp_fig14 -- --full`); the
@@ -17,6 +19,7 @@
 
 pub mod datasets;
 pub mod experiments;
+pub mod perf;
 pub mod report;
 pub mod runner;
 
@@ -25,4 +28,4 @@ pub use datasets::{
     Family, Tier,
 };
 pub use report::{fbytes, fdur, fnum, Table};
-pub use runner::{run_batch, timed, BatchResult};
+pub use runner::{assert_same_pages, run_batch, timed, BatchResult};

@@ -1,0 +1,574 @@
+//! The perf-regression gate: a deterministic IO-counter suite, its
+//! machine-readable report, and the comparator CI runs on every PR.
+//!
+//! Wall-clock numbers are hostage to the runner; **counted IO is not**: the
+//! device counters are a pure function of the code (backend equivalence
+//! guarantees sim == file == mmap, and every seed is fixed), so a committed
+//! baseline can be compared exactly. The pipeline:
+//!
+//! 1. [`quick_suite`] builds the three indexes plus a budgeted streaming
+//!    build on small fixed datasets and records build-write, query-read,
+//!    index-size, and spill counters;
+//! 2. `bench_perf` (binary) writes the report as `BENCH_quick.json`;
+//! 3. `bench_diff` (binary) compares a current report against the committed
+//!    baseline with [`diff`] and fails the build on any counter that
+//!    regresses beyond the tolerance.
+//!
+//! The JSON schema is deliberately flat — `{schema, tier, backend,
+//! counters: {key: integer}}` — parsed by the no-dependency reader in this
+//! module. Regenerate the baseline with
+//! `cargo run --release -p reach_bench --bin bench_perf -- --out=BENCH_quick.json`
+//! whenever a PR *intentionally* changes IO behavior, and say why in the PR.
+
+use crate::datasets::DatasetSpec;
+use crate::runner::{assert_same_pages, timed};
+use reach_baselines::GrailDisk;
+use reach_contact::{MultiRes, StreamedDn, DEFAULT_LEVELS};
+use reach_core::{IndexError, Query, ReachabilityIndex};
+use reach_graph::{GraphParams, ReachGraph};
+use reach_grid::{GridParams, ReachGrid};
+use reach_mobility::WorkloadConfig;
+use reach_storage::{BlockDevice, BuildBudget, IoStats, PageId, SimDevice};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+/// Schema version of the report format.
+pub const SCHEMA: u32 = 1;
+
+/// A perf report: deterministic counters keyed by
+/// `dataset/index/phase/metric`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PerfReport {
+    /// Format version ([`SCHEMA`]).
+    pub schema: u32,
+    /// Benchmark tier the suite ran at (`quick` / `full`).
+    pub tier: String,
+    /// Storage backend the counters were measured on.
+    pub backend: String,
+    /// The counters (BTreeMap: the JSON is byte-stable across runs).
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl PerfReport {
+    /// Renders the report as pretty-printed JSON (trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"schema\": {},", self.schema);
+        let _ = writeln!(out, "  \"tier\": \"{}\",", self.tier);
+        let _ = writeln!(out, "  \"backend\": \"{}\",", self.backend);
+        let _ = writeln!(out, "  \"counters\": {{");
+        let n = self.counters.len();
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            let comma = if i + 1 < n { "," } else { "" };
+            let _ = writeln!(out, "    \"{k}\": {v}{comma}");
+        }
+        let _ = writeln!(out, "  }}");
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// Parses a report written by [`PerfReport::to_json`] (tolerating any
+    /// whitespace layout). Returns a description of the first syntax
+    /// problem otherwise.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut p = JsonParser::new(text);
+        let mut schema = None;
+        let mut tier = None;
+        let mut backend = None;
+        let mut counters = BTreeMap::new();
+        p.expect('{')?;
+        loop {
+            if p.peek_is('}') {
+                break;
+            }
+            let key = p.string()?;
+            p.expect(':')?;
+            match key.as_str() {
+                "schema" => schema = Some(p.integer()? as u32),
+                "tier" => tier = Some(p.string()?),
+                "backend" => backend = Some(p.string()?),
+                "counters" => {
+                    p.expect('{')?;
+                    loop {
+                        if p.peek_is('}') {
+                            break;
+                        }
+                        let k = p.string()?;
+                        p.expect(':')?;
+                        let v = p.integer()?;
+                        counters.insert(k, v);
+                        if !p.comma_or_close('}')? {
+                            break;
+                        }
+                    }
+                    p.expect('}')?;
+                }
+                other => return Err(format!("unknown report field {other:?}")),
+            }
+            if !p.comma_or_close('}')? {
+                break;
+            }
+        }
+        p.expect('}')?;
+        Ok(Self {
+            schema: schema.ok_or("missing \"schema\"")?,
+            tier: tier.ok_or("missing \"tier\"")?,
+            backend: backend.ok_or("missing \"backend\"")?,
+            counters,
+        })
+    }
+}
+
+/// Minimal recursive-descent reader for the report's JSON subset.
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek_is(&mut self, c: char) -> bool {
+        self.skip_ws();
+        self.bytes.get(self.pos) == Some(&(c as u8))
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&(c as u8)) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {c:?} at byte {}", self.pos))
+        }
+    }
+
+    /// `,` → true (more elements); lookahead `close` → false; else error.
+    fn comma_or_close(&mut self, close: char) -> Result<bool, String> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b',') => {
+                self.pos += 1;
+                Ok(true)
+            }
+            Some(&b) if b == close as u8 => Ok(false),
+            _ => Err(format!("expected ',' or {close:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'"' {
+                let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                if s.contains('\\') {
+                    return Err("escape sequences are not part of the report format".into());
+                }
+                self.pos += 1;
+                return Ok(s.to_string());
+            }
+            self.pos += 1;
+        }
+        Err("unterminated string".into())
+    }
+
+    fn integer(&mut self) -> Result<u64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(format!("expected an integer at byte {start}"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are ASCII")
+            .parse()
+            .map_err(|e| format!("integer out of range: {e}"))
+    }
+}
+
+/// Outcome of comparing a current report against a baseline.
+#[derive(Clone, Debug, Default)]
+pub struct DiffOutcome {
+    /// Regressions and structural problems — any entry fails the gate.
+    pub violations: Vec<String>,
+    /// Counters that improved or appeared (informational).
+    pub notes: Vec<String>,
+}
+
+impl DiffOutcome {
+    /// Whether the gate passes.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Compares `current` to `baseline`: any counter that grew by more than
+/// `max_regress` (a fraction, e.g. `0.05`) is a violation, as is a counter
+/// present in the baseline but missing from the current run, or a
+/// tier/backend/schema mismatch. Shrunken counters and brand-new counters
+/// are reported as notes.
+pub fn diff(baseline: &PerfReport, current: &PerfReport, max_regress: f64) -> DiffOutcome {
+    let mut out = DiffOutcome::default();
+    if baseline.schema != current.schema {
+        out.violations.push(format!(
+            "schema mismatch: baseline {} vs current {}",
+            baseline.schema, current.schema
+        ));
+    }
+    if baseline.tier != current.tier || baseline.backend != current.backend {
+        out.violations.push(format!(
+            "suite mismatch: baseline {}/{} vs current {}/{} (counters are only comparable on the same tier and backend)",
+            baseline.tier, baseline.backend, current.tier, current.backend
+        ));
+    }
+    for (key, &base) in &baseline.counters {
+        let Some(&cur) = current.counters.get(key) else {
+            out.violations.push(format!(
+                "{key}: present in baseline ({base}) but missing from the current run — regenerate the baseline if the suite changed intentionally"
+            ));
+            continue;
+        };
+        let limit = base as f64 * (1.0 + max_regress);
+        if cur as f64 > limit {
+            let pct = if base == 0 {
+                f64::INFINITY
+            } else {
+                100.0 * (cur as f64 / base as f64 - 1.0)
+            };
+            out.violations.push(format!(
+                "{key}: {base} → {cur} (+{pct:.1}%, tolerance {:.1}%)",
+                100.0 * max_regress
+            ));
+        } else if cur < base {
+            out.notes.push(format!("{key}: improved {base} → {cur}"));
+        }
+    }
+    for key in current.counters.keys() {
+        if !baseline.counters.contains_key(key) {
+            out.notes
+                .push(format!("{key}: new counter (not in baseline)"));
+        }
+    }
+    out
+}
+
+/// A device wrapper that accumulates counters across `reset_stats` calls,
+/// so construction IO (which builders wipe before query accounting starts)
+/// stays observable.
+#[derive(Debug)]
+struct CountingDevice {
+    inner: Box<dyn BlockDevice>,
+    accumulated: Rc<RefCell<IoStats>>,
+}
+
+impl CountingDevice {
+    fn wrap(inner: Box<dyn BlockDevice>) -> (Box<dyn BlockDevice>, Rc<RefCell<IoStats>>) {
+        let accumulated = Rc::new(RefCell::new(IoStats::default()));
+        (
+            Box::new(Self {
+                inner,
+                accumulated: Rc::clone(&accumulated),
+            }),
+            accumulated,
+        )
+    }
+}
+
+impl BlockDevice for CountingDevice {
+    fn backend(&self) -> &'static str {
+        self.inner.backend()
+    }
+
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    fn len_pages(&self) -> u64 {
+        self.inner.len_pages()
+    }
+
+    fn allocate(&mut self, n: usize) -> Result<PageId, IndexError> {
+        self.inner.allocate(n)
+    }
+
+    fn write_page(&mut self, id: PageId, data: &[u8]) -> Result<(), IndexError> {
+        self.inner.write_page(id, data)
+    }
+
+    fn read_page_into(&mut self, id: PageId, buf: &mut [u8]) -> Result<(), IndexError> {
+        self.inner.read_page_into(id, buf)
+    }
+
+    fn stats(&self) -> IoStats {
+        self.inner.stats()
+    }
+
+    fn reset_stats(&mut self) {
+        let total = *self.accumulated.borrow() + self.inner.stats();
+        *self.accumulated.borrow_mut() = total;
+        self.inner.reset_stats();
+    }
+
+    fn break_sequence(&mut self) {
+        self.inner.break_sequence();
+    }
+
+    fn note_cache_hit(&mut self) {
+        self.inner.note_cache_hit();
+    }
+
+    fn sync(&mut self) -> Result<(), IndexError> {
+        self.inner.sync()
+    }
+}
+
+/// Page size of the perf suite's devices.
+const PERF_PAGE: usize = 512;
+/// Streaming-build budget: tight enough to force spills on the perf
+/// dataset, so the spill counters stay live numbers the gate watches.
+const PERF_BUDGET_BYTES: usize = 96 * 1024;
+
+fn perf_queries(spec: &DatasetSpec, n: usize) -> Vec<Query> {
+    WorkloadConfig {
+        num_queries: n,
+        interval_len_min: 100,
+        interval_len_max: 300,
+    }
+    .generate(spec.num_objects, spec.horizon, 0x9E9F)
+}
+
+fn record_batch<I: ReachabilityIndex + ?Sized>(
+    counters: &mut BTreeMap<String, u64>,
+    prefix: &str,
+    index: &mut I,
+    queries: &[Query],
+) {
+    let mut random = 0u64;
+    let mut seq = 0u64;
+    let mut visited = 0u64;
+    let mut reachable = 0u64;
+    for q in queries {
+        let r = index
+            .evaluate(q)
+            .unwrap_or_else(|e| panic!("perf query {q} failed on {}: {e}", index.name()));
+        random += r.stats.random_ios;
+        seq += r.stats.seq_ios;
+        visited += r.stats.visited;
+        reachable += u64::from(r.reachable());
+    }
+    counters.insert(format!("{prefix}/query/random_reads"), random);
+    counters.insert(format!("{prefix}/query/seq_reads"), seq);
+    counters.insert(format!("{prefix}/query/visited"), visited);
+    counters.insert(format!("{prefix}/query/reachable"), reachable);
+}
+
+fn record_build(counters: &mut BTreeMap<String, u64>, prefix: &str, build_io: IoStats, pages: u64) {
+    counters.insert(format!("{prefix}/build/seq_writes"), build_io.seq_writes);
+    counters.insert(
+        format!("{prefix}/build/random_writes"),
+        build_io.random_writes,
+    );
+    counters.insert(format!("{prefix}/size_pages"), pages);
+}
+
+/// Runs the deterministic quick-tier counter suite on the simulator (the
+/// paper's measurement model; backend equivalence makes the numbers valid
+/// for every backend). Returns the report plus the wall-clock seconds the
+/// suite took (informational only — never gated).
+pub fn quick_suite() -> (PerfReport, f64) {
+    let (report, elapsed) = timed(|| {
+        let mut counters = BTreeMap::new();
+        let spec = DatasetSpec::rwp("perf-rwp", 400, 1200, 11);
+        let store = spec.generate();
+        let queries = perf_queries(&spec, 80);
+
+        // ReachGrid.
+        let (device, build_io) = CountingDevice::wrap(Box::new(SimDevice::new(PERF_PAGE)));
+        let mut grid = ReachGrid::build_on(
+            device,
+            &store,
+            GridParams {
+                temporal: 20,
+                cell_size: spec.env_side() / 10.0,
+                threshold: spec.threshold,
+                page_size: PERF_PAGE,
+                ..GridParams::default()
+            },
+        )
+        .expect("perf grid builds");
+        record_build(
+            &mut counters,
+            "rwp/grid",
+            *build_io.borrow(),
+            grid.size_bytes() / PERF_PAGE as u64,
+        );
+        record_batch(&mut counters, "rwp/grid", &mut grid, &queries);
+
+        // ReachGraph (and the DN/multires it shares with GRAIL).
+        let dn = spec.build_dn(&store);
+        let mr = spec.build_multires(&dn);
+        counters.insert("rwp/dn/vertices".into(), dn.size().vertices);
+        counters.insert("rwp/dn/edges".into(), dn.size().edges);
+        let params = GraphParams {
+            partition_depth: 8,
+            page_size: PERF_PAGE,
+            ..GraphParams::default()
+        };
+        let (device, build_io) = CountingDevice::wrap(Box::new(SimDevice::new(PERF_PAGE)));
+        let mut graph =
+            ReachGraph::build_on(device, &dn, &mr, params.clone()).expect("perf graph builds");
+        record_build(
+            &mut counters,
+            "rwp/graph",
+            *build_io.borrow(),
+            graph.size_bytes() / PERF_PAGE as u64,
+        );
+        record_batch(&mut counters, "rwp/graph", &mut graph, &queries);
+
+        // Disk GRAIL.
+        let (device, build_io) = CountingDevice::wrap(Box::new(SimDevice::new(PERF_PAGE)));
+        let mut grail = GrailDisk::build_on(device, &dn, 5, 0xF1, 64).expect("perf grail builds");
+        let grail_pages = {
+            let dev = grail.device_mut();
+            dev.len_pages()
+        };
+        record_build(&mut counters, "rwp/grail", *build_io.borrow(), grail_pages);
+        record_batch(&mut counters, "rwp/grail", &mut grail, &queries);
+
+        // Memory-bounded streaming build: spill counters + peak resident
+        // bytes, and a byte-identity check against the resident build.
+        let contacts =
+            reach_contact::extract_contacts(&store, store.horizon_interval(), spec.threshold);
+        let mut sdn = StreamedDn::from_contacts(
+            store.num_objects(),
+            store.horizon(),
+            &contacts,
+            BuildBudget::bytes(PERF_BUDGET_BYTES),
+            Box::new(SimDevice::new(PERF_PAGE)),
+        );
+        let mr_s = MultiRes::build(&mut sdn, &DEFAULT_LEVELS);
+        let mut graph_s =
+            ReachGraph::build_on(Box::new(SimDevice::new(PERF_PAGE)), &mut sdn, &mr_s, params)
+                .expect("perf streaming graph builds");
+        assert_same_pages(
+            graph.device_mut(),
+            graph_s.device_mut(),
+            "perf streaming build",
+        );
+        let spill = sdn.spill_stats();
+        counters.insert("rwp/stream/spilled_segments".into(), spill.spilled);
+        counters.insert("rwp/stream/reloaded_segments".into(), spill.reloaded);
+        counters.insert(
+            "rwp/stream/spill_write_pages".into(),
+            spill.io.total_writes(),
+        );
+        counters.insert("rwp/stream/spill_read_pages".into(), spill.io.total_reads());
+        counters.insert(
+            "rwp/stream/peak_resident_bytes".into(),
+            spill.peak_resident_bytes,
+        );
+
+        PerfReport {
+            schema: SCHEMA,
+            tier: "quick".into(),
+            backend: "sim".into(),
+            counters,
+        }
+    });
+    (report, elapsed.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(pairs: &[(&str, u64)]) -> PerfReport {
+        PerfReport {
+            schema: SCHEMA,
+            tier: "quick".into(),
+            backend: "sim".into(),
+            counters: pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect(),
+        }
+    }
+
+    #[test]
+    fn json_roundtrips() {
+        let r = report(&[("a/b/c", 0), ("x", 12345), ("y/z", u64::MAX)]);
+        let parsed = PerfReport::parse(&r.to_json()).expect("own output parses");
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn parser_tolerates_whitespace_and_rejects_junk() {
+        let text = "  {\n\"schema\":1 , \"tier\" : \"quick\",\"backend\":\"sim\",\n \"counters\" : { \"k\" : 7 } }  ";
+        let r = PerfReport::parse(text).expect("parses");
+        assert_eq!(r.counters["k"], 7);
+        assert!(PerfReport::parse("{").is_err());
+        assert!(PerfReport::parse("{\"schema\": -1}").is_err());
+        assert!(PerfReport::parse("{\"bogus\": 1}").is_err());
+        assert!(PerfReport::parse("").is_err());
+    }
+
+    #[test]
+    fn diff_passes_identical_reports() {
+        let r = report(&[("a", 10), ("b", 0)]);
+        let d = diff(&r, &r, 0.05);
+        assert!(d.passed(), "{:?}", d.violations);
+        assert!(d.notes.is_empty());
+    }
+
+    #[test]
+    fn diff_fails_on_regression_beyond_tolerance() {
+        let base = report(&[("a", 100)]);
+        let ok = report(&[("a", 105)]);
+        assert!(diff(&base, &ok, 0.05).passed(), "exactly 5% is tolerated");
+        let bad = report(&[("a", 106)]);
+        let d = diff(&base, &bad, 0.05);
+        assert!(!d.passed());
+        assert!(d.violations[0].contains("100 → 106"), "{}", d.violations[0]);
+        // A zero baseline regresses on any growth.
+        let zero = report(&[("a", 0)]);
+        let grew = report(&[("a", 1)]);
+        assert!(!diff(&zero, &grew, 0.05).passed());
+    }
+
+    #[test]
+    fn diff_flags_missing_counters_and_notes_new_ones() {
+        let base = report(&[("a", 10), ("gone", 5)]);
+        let cur = report(&[("a", 9), ("new", 1)]);
+        let d = diff(&base, &cur, 0.05);
+        assert_eq!(d.violations.len(), 1);
+        assert!(d.violations[0].contains("gone"));
+        assert_eq!(d.notes.len(), 2, "improvement + new counter");
+    }
+
+    #[test]
+    fn diff_rejects_mismatched_suites() {
+        let base = report(&[]);
+        let mut cur = report(&[]);
+        cur.backend = "file".into();
+        assert!(!diff(&base, &cur, 0.05).passed());
+    }
+}

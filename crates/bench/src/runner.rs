@@ -5,6 +5,7 @@
 //! the paper's metrics (normalized IOs, CPU time) plus auxiliary counters.
 
 use reach_core::{Query, ReachabilityIndex};
+use reach_storage::BlockDevice;
 use std::time::Duration;
 
 /// Aggregate result of one query batch on one evaluator.
@@ -62,6 +63,28 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     let start = std::time::Instant::now();
     let v = f();
     (v, start.elapsed())
+}
+
+/// Asserts two devices hold byte-identical pages — the build-equivalence
+/// contract shared by the perf suite, `exp_trace --build-budget`, and the
+/// tier-1 streaming suite. Resets both devices' counters afterwards (the
+/// dump itself must not pollute IO accounting).
+pub fn assert_same_pages(a: &mut dyn BlockDevice, b: &mut dyn BlockDevice, what: &str) {
+    assert_eq!(a.page_size(), b.page_size(), "{what}: page size differs");
+    assert_eq!(
+        a.len_pages(),
+        b.len_pages(),
+        "{what}: device length differs"
+    );
+    let page_size = a.page_size();
+    let (mut ba, mut bb) = (vec![0u8; page_size], vec![0u8; page_size]);
+    for p in 0..a.len_pages() {
+        a.read_page_into(p, &mut ba).expect("page in bounds");
+        b.read_page_into(p, &mut bb).expect("page in bounds");
+        assert_eq!(ba, bb, "{what}: page {p} differs between builds");
+    }
+    a.reset_stats();
+    b.reset_stats();
 }
 
 #[cfg(test)]

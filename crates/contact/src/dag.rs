@@ -26,6 +26,14 @@
 //! [`DnGraph::build_from_ticks`]/[`DnGraph::build_streaming`] (per-tick
 //! event lists), and [`DnGraph::from_contacts`] (maximal contact intervals,
 //! the event-direct path ingested traces take — see [`crate::ingest`]).
+//! All three run on one engine: [`DnEventStream`], which seals each hyper
+//! node the moment its run closes and hands it to a [`DnSink`] — the
+//! in-memory `DnGraph` is merely the sink that keeps everything
+//! ([`crate::StreamedDn`] is the sink that doesn't). Consumers that only
+//! need *read* access to a DN — index construction, partitioning,
+//! multi-resolution bundles — go through the [`DnAccess`] trait, so they
+//! work identically on a resident `DnGraph` and a spill-backed
+//! [`crate::StreamedDn`].
 
 use reach_core::{Contact, NodeId, ObjectId, Time, TimeInterval, UnionFind};
 use reach_traj::TrajectoryStore;
@@ -165,7 +173,9 @@ impl DnGraph {
     where
         F: FnMut(Time, &mut Vec<(u32, u32)>),
     {
-        Builder::new(num_objects, horizon).run(events)
+        let mut sink = CollectSink::new(num_objects);
+        let n = DnEventStream::new(num_objects, horizon, events).run(&mut sink);
+        sink.finish(n, num_objects, horizon)
     }
 
     /// Builds the DN directly from maximal-interval [`Contact`]s — the form
@@ -185,38 +195,8 @@ impl DnGraph {
     /// `horizon`, or is a self-contact. [`crate::ingest::ContactTrace`]
     /// guarantees these invariants for loaded traces.
     pub fn from_contacts(num_objects: usize, horizon: Time, contacts: &[Contact]) -> Self {
-        for c in contacts {
-            assert!(
-                c.a.index() < num_objects && c.b.index() < num_objects,
-                "contact {c:?} references an object outside the universe of {num_objects}"
-            );
-            assert!(
-                c.interval.end < horizon,
-                "contact {c:?} extends beyond the horizon {horizon}"
-            );
-            // Contact::new forbids a == b, but the fields are public.
-            assert!(c.a != c.b, "self-contact {c:?}");
-        }
-        // Interval sweep: activate contacts at their start tick, emit every
-        // active pair each tick, retire contacts past their end tick.
-        let mut order: Vec<usize> = (0..contacts.len()).collect();
-        order.sort_unstable_by_key(|&i| contacts[i].interval.start);
-        let mut next = 0usize;
-        let mut active: Vec<usize> = Vec::new();
-        Self::build_streaming(num_objects, horizon, move |t, buf| {
-            while next < order.len() && contacts[order[next]].interval.start == t {
-                active.push(order[next]);
-                next += 1;
-            }
-            active.retain(|&i| {
-                let c = &contacts[i];
-                if c.interval.end < t {
-                    return false;
-                }
-                buf.push((c.a.0, c.b.0));
-                true
-            });
-        })
+        assert_contacts_valid(num_objects, horizon, contacts);
+        Self::build_streaming(num_objects, horizon, contact_sweep(contacts))
     }
 
     /// Number of hyper nodes.
@@ -372,13 +352,309 @@ impl DnGraph {
     }
 }
 
-/// Incremental run-tracking builder.
-struct Builder {
+/// Read access to a reduced contact-network DAG, for consumers that build
+/// things *from* a DN — disk placement, multi-resolution bundles, index
+/// serialization.
+///
+/// The trait exists so those consumers run unchanged — and produce
+/// byte-identical output — whether the DN is a resident [`DnGraph`] or a
+/// spill-backed [`crate::StreamedDn`] whose decoded segments come and go
+/// under a memory budget. That is also why the accessors take `&mut self`
+/// and fill caller-provided buffers instead of returning slices: a
+/// spill-backed implementation may have to evict and reload segments on
+/// every call, so it cannot hand out long-lived borrows.
+///
+/// Accessor calls on a spill-backed implementation may perform scratch IO;
+/// scratch-device failure (e.g. a full temp filesystem) panics — there is
+/// no meaningful way to resume a half-built index, and threading `Result`
+/// through every graph traversal would tax the common in-memory case for an
+/// unrecoverable condition.
+///
+/// `&DnGraph` implements the trait (so existing `build(&dn, …)` call sites
+/// compile unchanged), as does `&mut T` for any implementor (so one
+/// [`crate::StreamedDn`] can feed several consumers in sequence).
+pub trait DnAccess {
+    /// Number of objects in the dataset.
+    fn num_objects(&self) -> usize;
+    /// Horizon in ticks.
+    fn horizon(&self) -> Time;
+    /// Number of hyper nodes.
+    fn num_nodes(&self) -> usize;
+    /// Validity interval of node `v`.
+    fn interval(&mut self, v: u32) -> TimeInterval;
+    /// Replaces `out` with the sorted member objects of node `v`.
+    fn members_into(&mut self, v: u32, out: &mut Vec<u32>);
+    /// Replaces `out` with the sorted DN1 out-edges of node `v`.
+    fn fwd_into(&mut self, v: u32, out: &mut Vec<u32>);
+    /// Replaces `out` with the sorted DN1 in-edges of node `v`.
+    fn rev_into(&mut self, v: u32, out: &mut Vec<u32>);
+    /// Replaces `out` with object `o`'s `(start_tick, node)` runs, ascending.
+    fn timeline_into(&mut self, o: ObjectId, out: &mut Vec<(Time, u32)>);
+    /// Total timeline entries over all objects (Σ per-node member counts);
+    /// lets writers size the on-device timeline region without a dry run.
+    fn timeline_total(&mut self) -> u64;
+}
+
+impl DnAccess for &DnGraph {
+    fn num_objects(&self) -> usize {
+        DnGraph::num_objects(self)
+    }
+
+    fn horizon(&self) -> Time {
+        DnGraph::horizon(self)
+    }
+
+    fn num_nodes(&self) -> usize {
+        DnGraph::num_nodes(self)
+    }
+
+    fn interval(&mut self, v: u32) -> TimeInterval {
+        self.node(v).interval
+    }
+
+    fn members_into(&mut self, v: u32, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend(self.node(v).members.iter().map(|m| m.0));
+    }
+
+    fn fwd_into(&mut self, v: u32, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend_from_slice(self.fwd(v));
+    }
+
+    fn rev_into(&mut self, v: u32, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend_from_slice(self.rev(v));
+    }
+
+    fn timeline_into(&mut self, o: ObjectId, out: &mut Vec<(Time, u32)>) {
+        out.clear();
+        out.extend_from_slice(self.timeline(o));
+    }
+
+    fn timeline_total(&mut self) -> u64 {
+        self.timelines.iter().map(|tl| tl.len() as u64).sum()
+    }
+}
+
+impl<T: DnAccess> DnAccess for &mut T {
+    fn num_objects(&self) -> usize {
+        (**self).num_objects()
+    }
+
+    fn horizon(&self) -> Time {
+        (**self).horizon()
+    }
+
+    fn num_nodes(&self) -> usize {
+        (**self).num_nodes()
+    }
+
+    fn interval(&mut self, v: u32) -> TimeInterval {
+        (**self).interval(v)
+    }
+
+    fn members_into(&mut self, v: u32, out: &mut Vec<u32>) {
+        (**self).members_into(v, out)
+    }
+
+    fn fwd_into(&mut self, v: u32, out: &mut Vec<u32>) {
+        (**self).fwd_into(v, out)
+    }
+
+    fn rev_into(&mut self, v: u32, out: &mut Vec<u32>) {
+        (**self).rev_into(v, out)
+    }
+
+    fn timeline_into(&mut self, o: ObjectId, out: &mut Vec<(Time, u32)>) {
+        (**self).timeline_into(o, out)
+    }
+
+    fn timeline_total(&mut self) -> u64 {
+        (**self).timeline_total()
+    }
+}
+
+/// Receives the elements of a DN as the streaming construction seals them.
+///
+/// [`DnEventStream`] emits every hyper node exactly once, the moment its run
+/// closes (so in ascending *end*-tick order; ascending id within one tick)
+/// with its complete, sorted, deduplicated DN1 adjacency. Ids are dense
+/// `0..n` in interval-*start* (topological) order, exactly as [`DnGraph`]
+/// assigns them. Timeline entries of one object arrive in ascending tick
+/// order, interleaved across objects.
+///
+/// Implementors decide what stays in memory: the `DnGraph` constructors use
+/// a sink that keeps everything; [`crate::StreamedDn`] stages segments in a
+/// spillable pool so the whole DN never has to be resident at once.
+pub trait DnSink {
+    /// One sealed hyper node with its complete DN1 adjacency (both lists
+    /// sorted, deduplicated).
+    fn node(&mut self, id: u32, node: DnNode, fwd: Vec<u32>, rev: Vec<u32>);
+
+    /// One `(start_tick, node)` run of object `o`'s timeline.
+    fn timeline_push(&mut self, o: ObjectId, start: Time, node: u32);
+}
+
+/// The streaming DN construction engine (ROADMAP "stream index
+/// construction"; cf. Brito et al. 2023, PAPERS.md).
+///
+/// Drives the per-tick run-tracking reduction of §5.1.2 while holding only
+/// the *open* runs — whose member sets partition the object universe, so
+/// resident state is `O(|O|)` plus the current tick's events, independent of
+/// the horizon and of the final DAG size. Every sealed node is handed to a
+/// [`DnSink`] and forgotten.
+///
+/// [`DnGraph::build_streaming`] is this engine with an all-collecting sink;
+/// the two paths produce bit-identical DAGs (asserted by the streaming
+/// tier-1 suite).
+pub struct DnEventStream<F> {
     num_objects: usize,
     horizon: Time,
-    nodes: Vec<DnNode>,
-    edges: Vec<(u32, u32)>,
+    events: F,
+}
+
+impl<F> DnEventStream<F>
+where
+    F: FnMut(Time, &mut Vec<(u32, u32)>),
+{
+    /// A stream over a per-tick event callback: `events` is called once per
+    /// tick in ascending order and fills the buffer with the pairs in
+    /// contact at that tick (`a != b`, any order, duplicates allowed).
+    pub fn new(num_objects: usize, horizon: Time, events: F) -> Self {
+        Self {
+            num_objects,
+            horizon,
+            events,
+        }
+    }
+
+    /// Runs the reduction to completion, feeding `sink`; returns the number
+    /// of hyper nodes sealed.
+    pub fn run(self, sink: &mut impl DnSink) -> usize {
+        Builder::new(self.num_objects, self.horizon, sink).run(self.events)
+    }
+}
+
+/// The interval sweep turning maximal [`Contact`]s into the per-tick event
+/// callback [`DnEventStream`] consumes: activate contacts at their start
+/// tick, emit every active pair each tick, retire contacts past their end.
+/// Contacts may be in any order; cost is `O(|C| log |C| + Σ_c |T_c|)`.
+pub fn contact_sweep(contacts: &[Contact]) -> impl FnMut(Time, &mut Vec<(u32, u32)>) + '_ {
+    let mut order: Vec<usize> = (0..contacts.len()).collect();
+    order.sort_unstable_by_key(|&i| contacts[i].interval.start);
+    let mut next = 0usize;
+    let mut active: Vec<usize> = Vec::new();
+    move |t, buf| {
+        while next < order.len() && contacts[order[next]].interval.start == t {
+            active.push(order[next]);
+            next += 1;
+        }
+        active.retain(|&i| {
+            let c = &contacts[i];
+            if c.interval.end < t {
+                return false;
+            }
+            buf.push((c.a.0, c.b.0));
+            true
+        });
+    }
+}
+
+/// The [`DnGraph::from_contacts`] input contract, shared with
+/// [`crate::StreamedDn::from_contacts`].
+///
+/// # Panics
+///
+/// Panics if a contact references an object `≥ num_objects`, lies beyond
+/// `horizon`, or is a self-contact.
+pub(crate) fn assert_contacts_valid(num_objects: usize, horizon: Time, contacts: &[Contact]) {
+    for c in contacts {
+        assert!(
+            c.a.index() < num_objects && c.b.index() < num_objects,
+            "contact {c:?} references an object outside the universe of {num_objects}"
+        );
+        assert!(
+            c.interval.end < horizon,
+            "contact {c:?} extends beyond the horizon {horizon}"
+        );
+        // Contact::new forbids a == b, but the fields are public.
+        assert!(c.a != c.b, "self-contact {c:?}");
+    }
+}
+
+/// The sink behind the in-memory constructors: keeps every sealed node.
+struct CollectSink {
+    nodes: Vec<Option<DnNode>>,
+    fwd: Vec<Vec<u32>>,
+    rev: Vec<Vec<u32>>,
     timelines: Vec<Vec<(Time, u32)>>,
+}
+
+impl CollectSink {
+    fn new(num_objects: usize) -> Self {
+        Self {
+            nodes: Vec::new(),
+            fwd: Vec::new(),
+            rev: Vec::new(),
+            timelines: vec![Vec::new(); num_objects],
+        }
+    }
+
+    fn finish(self, num_nodes: usize, num_objects: usize, horizon: Time) -> DnGraph {
+        debug_assert_eq!(self.nodes.len(), num_nodes);
+        DnGraph {
+            nodes: self
+                .nodes
+                .into_iter()
+                .map(|n| n.expect("every dense id is sealed exactly once"))
+                .collect(),
+            fwd: Csr::from_lists(&self.fwd),
+            rev: Csr::from_lists(&self.rev),
+            timelines: self.timelines,
+            num_objects,
+            horizon,
+        }
+    }
+}
+
+impl DnSink for CollectSink {
+    fn node(&mut self, id: u32, node: DnNode, fwd: Vec<u32>, rev: Vec<u32>) {
+        let i = id as usize;
+        if self.nodes.len() <= i {
+            self.nodes.resize_with(i + 1, || None);
+            self.fwd.resize_with(i + 1, Vec::new);
+            self.rev.resize_with(i + 1, Vec::new);
+        }
+        self.nodes[i] = Some(node);
+        self.fwd[i] = fwd;
+        self.rev[i] = rev;
+    }
+
+    fn timeline_push(&mut self, o: ObjectId, start: Time, node: u32) {
+        self.timelines[o.index()].push((start, node));
+    }
+}
+
+/// One still-open run: its start tick, frozen member set, and the
+/// (complete-at-open) DN1 in-edges.
+struct OpenRun {
+    start: Time,
+    members: Vec<ObjectId>,
+    rev: Vec<u32>,
+}
+
+/// Incremental run-tracking builder over a sink. Resident state is the open
+/// runs only — their member sets partition the objects, so this is `O(|O|)`
+/// regardless of horizon or output size.
+struct Builder<'s, S: DnSink> {
+    sink: &'s mut S,
+    num_objects: usize,
+    horizon: Time,
+    next_id: u32,
+    sealed: usize,
+    /// Open run data by node id.
+    open: HashMap<u32, OpenRun>,
     /// Open run (node id) of each object.
     run_of: Vec<u32>,
     /// Open runs with ≥ 2 members (they must close on a silent tick).
@@ -386,33 +662,27 @@ struct Builder {
     uf: UnionFind,
 }
 
-impl Builder {
-    fn new(num_objects: usize, horizon: Time) -> Self {
+impl<'s, S: DnSink> Builder<'s, S> {
+    fn new(num_objects: usize, horizon: Time, sink: &'s mut S) -> Self {
         Self {
+            sink,
             num_objects,
             horizon,
-            nodes: Vec::new(),
-            edges: Vec::new(),
-            timelines: vec![Vec::new(); num_objects],
+            next_id: 0,
+            sealed: 0,
+            open: HashMap::with_capacity(num_objects.min(1 << 16)),
             run_of: vec![u32::MAX; num_objects],
             multi_open: HashMap::new(),
             uf: UnionFind::new(num_objects),
         }
     }
 
-    fn run<F>(mut self, mut events: F) -> DnGraph
+    fn run<F>(mut self, mut events: F) -> usize
     where
         F: FnMut(Time, &mut Vec<(u32, u32)>),
     {
         if self.num_objects == 0 || self.horizon == 0 {
-            return DnGraph {
-                nodes: Vec::new(),
-                fwd: Csr::from_pairs(0, Vec::new()),
-                rev: Csr::from_pairs(0, Vec::new()),
-                timelines: self.timelines,
-                num_objects: self.num_objects,
-                horizon: self.horizon,
-            };
+            return 0;
         }
         let mut buf: Vec<(u32, u32)> = Vec::new();
         events(0, &mut buf);
@@ -425,48 +695,55 @@ impl Builder {
             }
             self.step(t, &buf);
         }
-        // Close every open run at the horizon.
+        // Seal every run still open at the horizon (no out-edges).
         let horizon = self.horizon;
-        let mut open: Vec<u32> = self.run_of.clone();
-        open.sort_unstable();
-        open.dedup();
-        for r in open {
-            self.nodes[r as usize].interval.end = horizon - 1;
+        let mut remaining: Vec<u32> = self.open.keys().copied().collect();
+        remaining.sort_unstable();
+        for id in remaining {
+            let run = self.open.remove(&id).expect("run is open");
+            self.seal(id, run, horizon - 1, Vec::new());
         }
-        let n = self.nodes.len();
-        let fwd = Csr::from_pairs(n, self.edges.clone());
-        let rev = Csr::from_pairs(n, self.edges.iter().map(|&(a, b)| (b, a)).collect());
-        DnGraph {
-            nodes: self.nodes,
+        self.sealed
+    }
+
+    /// Emits one finished node to the sink.
+    fn seal(&mut self, id: u32, run: OpenRun, end: Time, mut fwd: Vec<u32>) {
+        // Out-edges were recorded in ascending-target order; keep the
+        // canonical CSR row shape explicit regardless.
+        fwd.sort_unstable();
+        fwd.dedup();
+        self.sealed += 1;
+        self.sink.node(
+            id,
+            DnNode {
+                interval: TimeInterval::new(run.start, end),
+                members: run.members,
+            },
             fwd,
-            rev,
-            timelines: self.timelines,
-            num_objects: self.num_objects,
-            horizon: self.horizon,
-        }
+            run.rev,
+        );
     }
 
     /// Opens a node for `members` (sorted) starting at `t`; returns its id.
-    fn open(&mut self, members: Vec<ObjectId>, t: Time) -> u32 {
-        let id = self.nodes.len() as u32;
+    fn open(&mut self, members: Vec<ObjectId>, t: Time, rev: Vec<u32>) -> u32 {
+        let id = self.next_id;
+        self.next_id += 1;
         for m in &members {
             self.run_of[m.index()] = id;
-            self.timelines[m.index()].push((t, id));
+            self.sink.timeline_push(*m, t, id);
         }
         if members.len() >= 2 {
             self.multi_open.insert(id, ());
         }
-        self.nodes.push(DnNode {
-            // `end` is provisional; fixed when the run closes.
-            interval: TimeInterval::new(t, t),
-            members,
-        });
+        self.open.insert(
+            id,
+            OpenRun {
+                start: t,
+                members,
+                rev,
+            },
+        );
         id
-    }
-
-    fn close(&mut self, run: u32, t_end: Time) {
-        self.nodes[run as usize].interval.end = t_end;
-        self.multi_open.remove(&run);
     }
 
     fn initial_tick(&mut self, pairs: &[(u32, u32)]) {
@@ -482,7 +759,7 @@ impl Builder {
         let mut ordered: Vec<Vec<ObjectId>> = groups.into_values().collect();
         ordered.sort_by_key(|g| g[0]);
         for g in ordered {
-            self.open(g, 0);
+            self.open(g, 0, Vec::new());
         }
     }
 
@@ -512,8 +789,8 @@ impl Builder {
             }
             let r = self.run_of[g[0].index()];
             let is_continuation = {
-                let node = &self.nodes[r as usize];
-                node.members == g && g.iter().all(|m| self.run_of[m.index()] == r)
+                let run = &self.open[&r];
+                run.members == g && g.iter().all(|m| self.run_of[m.index()] == r)
             };
             if is_continuation {
                 continued.insert(r, ());
@@ -540,8 +817,18 @@ impl Builder {
         if closing.is_empty() {
             return; // silent continuation everywhere
         }
+        // Pull closing runs out of the open set; they accumulate out-edges
+        // during this step and are sealed at its end. Every out-edge a run
+        // ever gets is created in the step that closes it, so sealing here
+        // loses nothing — this is what makes streaming construction
+        // possible.
+        let mut sealing: Vec<(u32, OpenRun, Vec<u32>)> = Vec::with_capacity(closing.len());
+        let mut seal_idx: HashMap<u32, usize> = HashMap::with_capacity(closing.len() * 2);
         for &r in &closing {
-            self.close(r, t - 1);
+            let run = self.open.remove(&r).expect("closing run is open");
+            self.multi_open.remove(&r);
+            seal_idx.insert(r, sealing.len());
+            sealing.push((r, run, Vec::new()));
         }
         // 4. Open new group nodes with edges from each member's old run.
         let mut pred_scratch: Vec<u32> = Vec::new();
@@ -550,21 +837,32 @@ impl Builder {
             pred_scratch.extend(g.iter().map(|m| self.run_of[m.index()]));
             pred_scratch.sort_unstable();
             pred_scratch.dedup();
-            let id = self.open(g, t);
+            let id = self.open(g, t, pred_scratch.clone());
             for &p in &pred_scratch {
-                self.edges.push((p, id));
+                sealing[seal_idx[&p]].2.push(id);
             }
         }
         // 5. Members of closed runs that did not join a new group become
-        //    fresh singletons.
-        for &r in &closing {
-            let members = self.nodes[r as usize].members.clone();
-            for m in members {
-                if self.run_of[m.index()] == r {
-                    let id = self.open(vec![m], t);
-                    self.edges.push((r, id));
-                }
-            }
+        //    fresh singletons. (Collect first: the membership test reads
+        //    `run_of` as left by phase 4, and singleton opens don't affect
+        //    other objects' entries.)
+        let singles: Vec<(usize, u32, ObjectId)> = sealing
+            .iter()
+            .enumerate()
+            .flat_map(|(si, (r, run, _))| {
+                run.members
+                    .iter()
+                    .filter(|m| self.run_of[m.index()] == *r)
+                    .map(move |&m| (si, *r, m))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        for (si, r, m) in singles {
+            let id = self.open(vec![m], t, vec![r]);
+            sealing[si].2.push(id);
+        }
+        for (r, run, out) in sealing {
+            self.seal(r, run, t - 1, out);
         }
     }
 }

@@ -10,6 +10,7 @@
 //! | [`extract`] | §4 | spatiotemporal join → contact events / contacts |
 //! | [`ingest`] | §3.1 (data model) | contact-trace loaders, format contract, trace writers, ReachGrid embedding |
 //! | [`dag`] | §5.1.2 | the reduced contact-network DAG `DN`, built run-merged from ticks, streams, or contacts |
+//! | [`dag_stream`] | §5.1.2 | [`StreamedDn`]: the same DAG staged in a budgeted spill pool, for builds larger than memory |
 //! | [`multires`] | §5.1.2.2 | the multi-resolution long edges of `HN` |
 //! | [`oracle`] | §3.2 (definition 3.4) | brute-force ground truth every index is tested against |
 //! | [`stats`] | §6.2.1.1 | TEN-vs-DN reduction statistics |
@@ -31,13 +32,15 @@
 #![forbid(unsafe_code)]
 
 pub mod dag;
+pub mod dag_stream;
 pub mod extract;
 pub mod ingest;
 pub mod multires;
 pub mod oracle;
 pub mod stats;
 
-pub use dag::{Csr, DnGraph, DnNode, GraphSize};
+pub use dag::{contact_sweep, Csr, DnAccess, DnEventStream, DnGraph, DnNode, DnSink, GraphSize};
+pub use dag_stream::StreamedDn;
 pub use extract::{count_events, events_by_tick, extract_contacts, extract_events, EventCounts};
 pub use ingest::{
     ContactSource, ContactTrace, EdgeListSource, ErrorMode, IngestError, IngestOptions,

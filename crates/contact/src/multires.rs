@@ -16,7 +16,7 @@
 //! level-`k` advance applied twice, because a node dying inside a half-window
 //! launches its stored level-`k` bundle at exactly that half-window boundary.
 
-use crate::dag::{Csr, DnGraph};
+use crate::dag::{Csr, DnAccess, DnGraph};
 use reach_core::{Time, TimeInterval};
 
 /// The resolutions used by the paper's final configuration
@@ -43,7 +43,13 @@ impl MultiRes {
     /// Builds bundles for a doubling chain of `levels` (e.g. `[2,4,8,16,32]`;
     /// must start at 2 and double). An empty slice yields a `DN_1`-only
     /// index.
-    pub fn build(dn: &DnGraph, levels: &[Time]) -> Self {
+    ///
+    /// Generic over [`DnAccess`], so bundles build identically from a
+    /// resident [`DnGraph`] and a spill-backed
+    /// [`StreamedDn`](crate::StreamedDn). The bundle CSRs themselves stay
+    /// resident — they are compact edge lists, small next to the decoded
+    /// node data the access trait bounds.
+    pub fn build<D: DnAccess>(mut dn: D, levels: &[Time]) -> Self {
         for (i, &l) in levels.iter().enumerate() {
             if i == 0 {
                 assert_eq!(l, 2, "first long-edge level must be 2");
@@ -60,16 +66,24 @@ impl MultiRes {
         let n = dn.num_nodes();
         let mut bundles: Vec<Csr> = Vec::with_capacity(levels.len());
         let mut scratch: Vec<u32> = Vec::new();
+        let mut fwd_buf: Vec<u32> = Vec::new();
         for (idx, &level) in levels.iter().enumerate() {
             let mut lists: Vec<Vec<u32>> = vec![Vec::new(); n];
             for v in 0..n as u32 {
-                let Some(ta) = launch_boundary(dn.node(v).interval, level, horizon) else {
+                let Some(ta) = launch_boundary(dn.interval(v), level, horizon) else {
                     continue;
                 };
                 let bundle = if idx == 0 {
-                    level2_bundle(dn, v, ta, &mut scratch)
+                    level2_bundle(&mut dn, v, ta, &mut scratch, &mut fwd_buf)
                 } else {
-                    compose(dn, &bundles[idx - 1], levels[idx - 1], v, ta, &mut scratch)
+                    compose(
+                        &mut dn,
+                        &bundles[idx - 1],
+                        levels[idx - 1],
+                        v,
+                        ta,
+                        &mut scratch,
+                    )
                 };
                 lists[v as usize] = bundle;
             }
@@ -121,22 +135,32 @@ impl MultiRes {
 
 /// Level-2 base case: the hold set two ticks after `ta`, starting from `v`
 /// alive at `ta` (with `v.end ∈ {ta, ta+1}` by launch-boundary construction).
-fn level2_bundle(dn: &DnGraph, v: u32, ta: Time, scratch: &mut Vec<u32>) -> Vec<u32> {
+fn level2_bundle<D: DnAccess>(
+    dn: &mut D,
+    v: u32,
+    ta: Time,
+    scratch: &mut Vec<u32>,
+    fwd_buf: &mut Vec<u32>,
+) -> Vec<u32> {
     scratch.clear();
-    let end = dn.node(v).interval.end;
+    let end = dn.interval(v).end;
     debug_assert!(end == ta || end == ta + 1, "launch window must contain end");
+    dn.fwd_into(v, fwd_buf);
     if end == ta + 1 {
         // Alive through ta+1; one DN1 dispersal lands exactly at ta+2.
-        scratch.extend_from_slice(dn.fwd(v));
+        scratch.extend_from_slice(fwd_buf);
     } else {
         // Dies at ta: successors live at ta+1; advance each one more tick.
-        for &w in dn.fwd(v) {
-            if dn.node(w).interval.end >= ta + 2 {
+        let succ: Vec<u32> = std::mem::take(fwd_buf);
+        for &w in &succ {
+            if dn.interval(w).end >= ta + 2 {
                 scratch.push(w);
             } else {
-                scratch.extend_from_slice(dn.fwd(w));
+                dn.fwd_into(w, fwd_buf);
+                scratch.extend_from_slice(fwd_buf);
             }
         }
+        *fwd_buf = succ;
     }
     scratch.sort_unstable();
     scratch.dedup();
@@ -145,8 +169,8 @@ fn level2_bundle(dn: &DnGraph, v: u32, ta: Time, scratch: &mut Vec<u32>) -> Vec<
 
 /// Doubling composition: the level-`2k` bundle of `v` at `ta` is the
 /// level-`k` advance applied at `ta` and again at `ta + k`.
-fn compose(
-    dn: &DnGraph,
+fn compose<D: DnAccess>(
+    dn: &mut D,
     lower: &Csr,
     k: Time,
     v: u32,
@@ -158,12 +182,12 @@ fn compose(
     // Hold set at ta + 2k.
     scratch.clear();
     for m in mid {
-        if dn.node(m).interval.end >= ta + 2 * k {
+        if dn.interval(m).end >= ta + 2 * k {
             scratch.push(m);
         } else {
             // m dies inside [ta+k, ta+2k) ⇒ its stored level-k launch is
             // exactly ta+k, so its bundle is the advance we need.
-            debug_assert_eq!((dn.node(m).interval.end / k) * k, ta + k);
+            debug_assert_eq!((dn.interval(m).end / k) * k, ta + k);
             scratch.extend_from_slice(lower.out(m));
         }
     }
@@ -172,11 +196,11 @@ fn compose(
     scratch.clone()
 }
 
-fn advance_one(dn: &DnGraph, lower: &Csr, k: Time, v: u32, ta: Time) -> Vec<u32> {
-    if dn.node(v).interval.end >= ta + k {
+fn advance_one<D: DnAccess>(dn: &mut D, lower: &Csr, k: Time, v: u32, ta: Time) -> Vec<u32> {
+    if dn.interval(v).end >= ta + k {
         vec![v]
     } else {
-        debug_assert_eq!((dn.node(v).interval.end / k) * k, ta);
+        debug_assert_eq!((dn.interval(v).end / k) * k, ta);
         lower.out(v).to_vec()
     }
 }

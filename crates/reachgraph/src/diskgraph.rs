@@ -25,7 +25,7 @@ use crate::params::{GraphParams, TraversalKind};
 use crate::placement::{partition, Partitioning};
 use crate::traverse::evaluate;
 use crate::vertex::{HnSource, VertexData};
-use reach_contact::{DnGraph, MultiRes};
+use reach_contact::{DnAccess, DnGraph, MultiRes};
 use reach_core::{IndexError, ObjectId, Query, QueryResult, QueryStats, ReachabilityIndex, Time};
 use reach_storage::{
     meta, read_record, BlockDevice, ByteReader, ByteWriter, IoStats, Pager, RecordPtr,
@@ -69,9 +69,17 @@ impl ReachGraph {
     /// Builds the disk layout from a DN and its long-edge bundles onto any
     /// block device. The device's page size must match
     /// `params.page_size`.
-    pub fn build_on(
+    ///
+    /// Generic over [`DnAccess`]: pass `&dn` for a resident
+    /// [`DnGraph`] (the classic path) or `&mut streamed` for a spill-backed
+    /// [`StreamedDn`](reach_contact::StreamedDn) built under a
+    /// [`BuildBudget`](reach_storage::BuildBudget) — the construction sweep
+    /// touches one partition's vertices at a time, so the whole DN never
+    /// needs to be resident, and the resulting pages are byte-identical
+    /// either way (asserted by `tests/streaming_build.rs`).
+    pub fn build_on<D: DnAccess>(
         mut device: Box<dyn BlockDevice>,
-        dn: &DnGraph,
+        mut dn: D,
         mr: &MultiRes,
         params: GraphParams,
     ) -> Result<Self, IndexError> {
@@ -87,31 +95,37 @@ impl ReachGraph {
             "device page size must match GraphParams page size"
         );
         let disk = device.as_mut();
+        let num_objects = dn.num_objects();
+        let horizon = dn.horizon();
+        let num_nodes = dn.num_nodes();
 
         // --- Timeline region ---------------------------------------------
-        let timelines: Vec<&[(Time, u32)]> = (0..dn.num_objects() as u32)
-            .map(|o| dn.timeline(ObjectId(o)))
-            .collect();
-        let timeline = TimelineRegion::build(disk, &timelines)?;
+        let timeline_total = dn.timeline_total();
+        let timeline =
+            TimelineRegion::build_streamed(disk, num_objects, timeline_total, |o, out| {
+                dn.timeline_into(ObjectId(o), out)
+            })?;
 
         // --- Partition region ----------------------------------------------
-        let parts: Partitioning = partition(dn, params.partition_depth);
+        let parts: Partitioning = partition(&mut dn, params.partition_depth);
         let mut writer = RecordWriter::new(disk)?;
         let mut partition_ptrs = Vec::with_capacity(parts.num_partitions as usize);
         for mine in &parts.members {
             let mut w = ByteWriter::with_capacity(64 * mine.len());
             w.put_u32(mine.len() as u32);
             for &v in mine {
-                let node = dn.node(v);
-                let vd = VertexData {
-                    interval: node.interval,
-                    members: node.members.iter().map(|m| m.0).collect(),
-                    fwd: dn.fwd(v).to_vec(),
-                    rev: dn.rev(v).to_vec(),
+                let mut vd = VertexData {
+                    interval: dn.interval(v),
+                    members: Vec::new(),
+                    fwd: Vec::new(),
+                    rev: Vec::new(),
                     bundles: (0..mr.levels().len())
                         .map(|idx| mr.bundle(idx, v).to_vec())
                         .collect(),
                 };
+                dn.members_into(v, &mut vd.members);
+                dn.fwd_into(v, &mut vd.fwd);
+                dn.rev_into(v, &mut vd.rev);
                 w.put_u32(v);
                 vd.encode(&mut w);
             }
@@ -123,9 +137,9 @@ impl ReachGraph {
         // --- Metadata footer ----------------------------------------------
         let meta_payload = encode_meta(
             &params,
-            dn.horizon(),
-            dn.num_objects(),
-            dn.num_nodes(),
+            horizon,
+            num_objects,
+            num_nodes,
             &parts.partition_of,
             &partition_ptrs,
             &timeline,
@@ -136,9 +150,9 @@ impl ReachGraph {
         Ok(Self {
             pager: Pager::new(device, 0), // partition buffer is the cache
             params,
-            horizon: dn.horizon(),
-            num_objects: dn.num_objects(),
-            num_nodes: dn.num_nodes(),
+            horizon,
+            num_objects,
+            num_nodes,
             partition_of: parts.partition_of,
             partition_ptrs,
             timeline,

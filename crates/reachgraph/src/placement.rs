@@ -7,7 +7,7 @@
 //! preserve temporal locality, exactly as the paper prescribes. Partitions
 //! are written to disk in creation order.
 
-use reach_contact::DnGraph;
+use reach_contact::DnAccess;
 use std::collections::VecDeque;
 
 /// Result of partitioning: assignment and partition count.
@@ -21,12 +21,16 @@ pub struct Partitioning {
     pub members: Vec<Vec<u32>>,
 }
 
-/// Partitions `dn` with depth `depth` (the paper's `d_p`).
-pub fn partition(dn: &DnGraph, depth: u32) -> Partitioning {
+/// Partitions `dn` with depth `depth` (the paper's `d_p`). Generic over
+/// [`DnAccess`], so the sweep runs identically on a resident `DnGraph` and
+/// a spill-backed `StreamedDn` (the assignment table and member lists — the
+/// in-memory page table the final index keeps anyway — stay resident).
+pub fn partition<D: DnAccess>(mut dn: D, depth: u32) -> Partitioning {
     let n = dn.num_nodes();
     let mut partition_of = vec![u32::MAX; n];
     let mut members: Vec<Vec<u32>> = Vec::new();
     let mut queue: VecDeque<(u32, u32)> = VecDeque::new();
+    let mut fwd_buf: Vec<u32> = Vec::new();
     for root in 0..n as u32 {
         if partition_of[root as usize] != u32::MAX {
             continue;
@@ -41,7 +45,8 @@ pub fn partition(dn: &DnGraph, depth: u32) -> Partitioning {
             if d == depth {
                 continue;
             }
-            for &w in dn.fwd(v) {
+            dn.fwd_into(v, &mut fwd_buf);
+            for &w in &fwd_buf {
                 if partition_of[w as usize] == u32::MAX {
                     partition_of[w as usize] = pid;
                     mine.push(w);
@@ -61,6 +66,7 @@ pub fn partition(dn: &DnGraph, depth: u32) -> Partitioning {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use reach_contact::DnGraph;
     use reach_core::Time;
 
     fn chain_world(links: usize) -> DnGraph {

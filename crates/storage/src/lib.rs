@@ -27,6 +27,9 @@
 //!   records;
 //! * [`RecordWriter`] / [`read_record`] — variable-length records spanning
 //!   pages, with page-aligned placement control;
+//! * [`SpillPool`] — the spillable decoded-segment buffer behind
+//!   memory-bounded ([`BuildBudget`]) index construction, with spill IO
+//!   accounted separately from index IO;
 //! * [`meta`] — self-describing metadata footers so file-backed indexes can
 //!   be dropped and reopened;
 //! * [`StorageConfig`] — the runtime factory selecting a backend from
@@ -46,6 +49,7 @@ pub mod meta;
 pub mod mmap;
 pub mod pager;
 pub mod sim;
+pub mod spill;
 pub mod timeline;
 
 pub use buffer::LruPool;
@@ -58,4 +62,5 @@ pub use layout::{read_record, RecordPtr, RecordWriter};
 pub use mmap::MmapDevice;
 pub use pager::Pager;
 pub use sim::SimDevice;
+pub use spill::{BuildBudget, SpillPool, SpillStats, Spillable};
 pub use timeline::TimelineRegion;

@@ -1,0 +1,478 @@
+//! The spillable decoded-segment buffer behind memory-bounded index
+//! construction.
+//!
+//! Building an index used to require the whole decoded DN in memory; the
+//! external-memory design this crate follows (Brito et al., *A Dynamic Data
+//! Structure for Representing Timed Transitive Closures on Disk*, 2023)
+//! instead keeps a **bounded** working set of decoded segments and writes
+//! cold ones back to scratch storage under pressure. [`SpillPool`] is that
+//! working set:
+//!
+//! * values are *decoded* segments (a [`Spillable`] type), so hot-path
+//!   access pays no codec cost;
+//! * a [`BuildBudget`] caps the total resident bytes; exceeding it evicts
+//!   the least-recently-used segments, encoding dirty ones onto a scratch
+//!   [`BlockDevice`] through a [`Pager`];
+//! * scratch traffic is accounted on the scratch device's own [`IoStats`],
+//!   kept strictly separate from the index device's counters — spill IO is
+//!   a *construction* cost and must never pollute the paper's query-cost
+//!   metrics (see [`SpillStats`]).
+//!
+//! Spilled segments are written page-aligned with the standard
+//! `[len][payload]` record framing, so reloads ride the shared
+//! [`read_record`] path. Rewrites of re-dirtied segments allocate fresh
+//! scratch pages (the scratch device is a temporary, discarded after the
+//! build; reclaiming holes would buy nothing).
+
+use crate::codec::{ByteReader, ByteWriter};
+use crate::device::BlockDevice;
+use crate::iostats::IoStats;
+use crate::layout::{read_record, RecordPtr};
+use crate::pager::Pager;
+use reach_core::IndexError;
+use std::collections::{BTreeSet, HashMap};
+
+/// Memory budget of one construction run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BuildBudget {
+    /// Maximum bytes of decoded segments resident at once. The pool always
+    /// keeps the segment being accessed resident, so a budget smaller than
+    /// one segment degrades to "one segment at a time" rather than failing.
+    pub max_resident_bytes: usize,
+}
+
+impl BuildBudget {
+    /// A budget of `max_resident_bytes` bytes.
+    pub fn bytes(max_resident_bytes: usize) -> Self {
+        Self { max_resident_bytes }
+    }
+
+    /// No effective bound (nothing ever spills).
+    pub fn unbounded() -> Self {
+        Self {
+            max_resident_bytes: usize::MAX,
+        }
+    }
+}
+
+/// A value the pool can encode to scratch pages and decode back.
+///
+/// `decode(encode(v))` must reproduce `v` exactly, and `resident_bytes`
+/// must be a *deterministic* function of the value (it feeds the
+/// budget accounting and the `peak_resident_bytes` counter reported to the
+/// perf-regression gate, so it must not depend on allocator state).
+pub trait Spillable: Sized {
+    /// Approximate decoded in-memory size, in bytes.
+    fn resident_bytes(&self) -> usize;
+    /// Serializes the value.
+    fn encode(&self, w: &mut ByteWriter);
+    /// Deserializes a value previously written by [`Spillable::encode`].
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, IndexError>;
+}
+
+/// Counters of one pool's spill activity (see [`SpillPool::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpillStats {
+    /// Segments encoded and written to scratch under memory pressure.
+    pub spilled: u64,
+    /// Segments read back and decoded from scratch.
+    pub reloaded: u64,
+    /// High-water mark of resident decoded bytes.
+    pub peak_resident_bytes: u64,
+    /// Scratch-device page IO (classified seq/random like any device;
+    /// strictly separate from the index device's counters).
+    pub io: IoStats,
+}
+
+impl SpillStats {
+    /// Total spill page IO (reads + writes) on the scratch device.
+    pub fn total_pages(&self) -> u64 {
+        self.io.total_reads() + self.io.total_writes()
+    }
+}
+
+#[derive(Debug)]
+struct Resident<V> {
+    value: V,
+    bytes: usize,
+    dirty: bool,
+    /// Clean copy on scratch, if one exists (skip rewriting on eviction).
+    on_scratch: Option<RecordPtr>,
+    last_used: u64,
+}
+
+#[derive(Debug)]
+enum Slot<V> {
+    Resident(Resident<V>),
+    Spilled(RecordPtr),
+}
+
+/// An LRU buffer of decoded segments with a byte budget and scratch
+/// spill-through (see the module docs).
+#[derive(Debug)]
+pub struct SpillPool<V: Spillable> {
+    pager: Pager,
+    budget: usize,
+    slots: HashMap<u64, Slot<V>>,
+    /// Resident keys ordered by recency stamp: `(last_used, key)`. Victim
+    /// selection pops from the front instead of scanning every slot, so a
+    /// tight-budget build stays `O(log segments)` per eviction.
+    lru: BTreeSet<(u64, u64)>,
+    resident_bytes: usize,
+    clock: u64,
+    spilled: u64,
+    reloaded: u64,
+    peak_resident_bytes: u64,
+}
+
+impl<V: Spillable> SpillPool<V> {
+    /// Creates a pool spilling to `scratch` when `budget` is exceeded. The
+    /// scratch device should be empty; the pool allocates from its end.
+    pub fn new(scratch: Box<dyn BlockDevice>, budget: BuildBudget) -> Self {
+        Self {
+            // Cacheless pager: the pool itself is the cache of decoded
+            // values; caching their encodings too would double-count the
+            // budget.
+            pager: Pager::new(scratch, 0),
+            budget: budget.max_resident_bytes,
+            slots: HashMap::new(),
+            lru: BTreeSet::new(),
+            resident_bytes: 0,
+            clock: 0,
+            spilled: 0,
+            reloaded: 0,
+            peak_resident_bytes: 0,
+        }
+    }
+
+    /// Number of segments tracked (resident + spilled).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the pool tracks no segments.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Whether `key` exists (resident or spilled).
+    pub fn contains(&self, key: u64) -> bool {
+        self.slots.contains_key(&key)
+    }
+
+    /// Spill counters so far.
+    pub fn stats(&self) -> SpillStats {
+        SpillStats {
+            spilled: self.spilled,
+            reloaded: self.reloaded,
+            peak_resident_bytes: self.peak_resident_bytes,
+            io: self.pager.stats(),
+        }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn note_peak(&mut self) {
+        self.peak_resident_bytes = self.peak_resident_bytes.max(self.resident_bytes as u64);
+    }
+
+    /// Stamps `key` most-recently-used (it must be resident).
+    fn touch(&mut self, key: u64, old_stamp: u64) -> u64 {
+        let stamp = self.tick();
+        self.lru.remove(&(old_stamp, key));
+        self.lru.insert((stamp, key));
+        stamp
+    }
+
+    /// Writes one encoded segment page-aligned onto fresh scratch pages.
+    fn write_segment(&mut self, bytes: &[u8]) -> Result<RecordPtr, IndexError> {
+        let page_size = self.pager.page_size();
+        let framed = 4 + bytes.len();
+        let pages = framed.div_ceil(page_size).max(1);
+        let first = self.pager.device_mut().allocate(pages)?;
+        let mut buf = Vec::with_capacity(page_size);
+        let mut page = first;
+        buf.extend_from_slice(
+            &u32::try_from(bytes.len())
+                .expect("segment fits u32")
+                .to_le_bytes(),
+        );
+        let mut rest = bytes;
+        loop {
+            let room = page_size - buf.len();
+            let n = room.min(rest.len());
+            buf.extend_from_slice(&rest[..n]);
+            rest = &rest[n..];
+            self.pager.write(page, &buf)?;
+            buf.clear();
+            if rest.is_empty() {
+                break;
+            }
+            page += 1;
+        }
+        Ok(RecordPtr {
+            page: first,
+            offset: 0,
+        })
+    }
+
+    /// Evicts least-recently-used resident segments (never `pin`) until the
+    /// budget holds or only the pinned segment remains.
+    fn enforce_budget(&mut self, pin: u64) -> Result<(), IndexError> {
+        while self.resident_bytes > self.budget {
+            let victim = self.lru.iter().find(|&&(_, k)| k != pin).copied();
+            let Some(entry @ (_, key)) = victim else {
+                return Ok(()); // only the pinned segment is resident
+            };
+            self.lru.remove(&entry);
+            let Some(Slot::Resident(res)) = self.slots.remove(&key) else {
+                unreachable!("victim was resident");
+            };
+            let ptr = match (res.dirty, res.on_scratch) {
+                (false, Some(ptr)) => ptr, // clean copy already on scratch
+                _ => {
+                    let mut w = ByteWriter::with_capacity(res.bytes.min(1 << 20));
+                    res.value.encode(&mut w);
+                    self.spilled += 1;
+                    self.write_segment(w.as_bytes())?
+                }
+            };
+            self.resident_bytes -= res.bytes;
+            self.slots.insert(key, Slot::Spilled(ptr));
+        }
+        Ok(())
+    }
+
+    /// Makes `key` resident (reloading from scratch if spilled), returning
+    /// whether it exists.
+    fn ensure_resident(&mut self, key: u64) -> Result<bool, IndexError> {
+        match self.slots.get(&key) {
+            None => return Ok(false),
+            Some(Slot::Resident(_)) => return Ok(true),
+            Some(Slot::Spilled(_)) => {}
+        }
+        let Some(Slot::Spilled(ptr)) = self.slots.remove(&key) else {
+            unreachable!("checked spilled above");
+        };
+        self.pager.break_sequence();
+        let bytes = read_record(&mut self.pager, ptr)?;
+        let mut r = ByteReader::new(&bytes);
+        let value = V::decode(&mut r)?;
+        self.reloaded += 1;
+        let size = value.resident_bytes();
+        self.resident_bytes += size;
+        let stamp = self.tick();
+        self.lru.insert((stamp, key));
+        self.slots.insert(
+            key,
+            Slot::Resident(Resident {
+                value,
+                bytes: size,
+                dirty: false,
+                on_scratch: Some(ptr),
+                last_used: stamp,
+            }),
+        );
+        self.note_peak();
+        self.enforce_budget(key)?;
+        Ok(true)
+    }
+
+    /// Read-only access to the segment at `key`. Errors if the key was
+    /// never inserted or scratch IO fails.
+    pub fn read<R>(&mut self, key: u64, f: impl FnOnce(&V) -> R) -> Result<R, IndexError> {
+        if !self.ensure_resident(key)? {
+            return Err(IndexError::Corrupt(format!(
+                "spill pool has no segment {key}"
+            )));
+        }
+        let old_stamp = match self.slots.get(&key) {
+            Some(Slot::Resident(res)) => res.last_used,
+            _ => unreachable!("ensure_resident returned true"),
+        };
+        let stamp = self.touch(key, old_stamp);
+        let Some(Slot::Resident(res)) = self.slots.get_mut(&key) else {
+            unreachable!("ensure_resident returned true");
+        };
+        res.last_used = stamp;
+        Ok(f(&res.value))
+    }
+
+    /// Mutable access to the segment at `key`, creating it with `default`
+    /// when absent. The segment is re-measured after `f` and marked dirty.
+    pub fn update<R>(
+        &mut self,
+        key: u64,
+        default: impl FnOnce() -> V,
+        f: impl FnOnce(&mut V) -> R,
+    ) -> Result<R, IndexError> {
+        if !self.ensure_resident(key)? {
+            let value = default();
+            let size = value.resident_bytes();
+            self.resident_bytes += size;
+            let stamp = self.tick();
+            self.lru.insert((stamp, key));
+            self.slots.insert(
+                key,
+                Slot::Resident(Resident {
+                    value,
+                    bytes: size,
+                    dirty: true,
+                    on_scratch: None,
+                    last_used: stamp,
+                }),
+            );
+        }
+        let old_stamp = match self.slots.get(&key) {
+            Some(Slot::Resident(res)) => res.last_used,
+            _ => unreachable!("ensured or inserted above"),
+        };
+        let stamp = self.touch(key, old_stamp);
+        let Some(Slot::Resident(res)) = self.slots.get_mut(&key) else {
+            unreachable!("ensured or inserted above");
+        };
+        res.last_used = stamp;
+        let out = f(&mut res.value);
+        res.dirty = true;
+        res.on_scratch = None;
+        let new_size = res.value.resident_bytes();
+        let old_size = res.bytes;
+        res.bytes = new_size;
+        self.resident_bytes = self.resident_bytes + new_size - old_size;
+        self.note_peak();
+        self.enforce_budget(key)?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::SimDevice;
+
+    /// Test segment: a vector of u32s.
+    #[derive(Clone, Debug, PartialEq)]
+    struct Seg(Vec<u32>);
+
+    impl Spillable for Seg {
+        fn resident_bytes(&self) -> usize {
+            4 * self.0.len() + 24
+        }
+        fn encode(&self, w: &mut ByteWriter) {
+            w.put_u32_slice(&self.0);
+        }
+        fn decode(r: &mut ByteReader<'_>) -> Result<Self, IndexError> {
+            Ok(Seg(r.get_u32_vec()?))
+        }
+    }
+
+    fn pool(budget: usize) -> SpillPool<Seg> {
+        SpillPool::new(Box::new(SimDevice::new(128)), BuildBudget::bytes(budget))
+    }
+
+    #[test]
+    fn unbounded_pool_never_spills() {
+        let mut p = pool(usize::MAX);
+        for k in 0..20u64 {
+            p.update(k, || Seg(Vec::new()), |s| s.0.extend(0..50))
+                .unwrap();
+        }
+        for k in 0..20u64 {
+            let len = p.read(k, |s| s.0.len()).unwrap();
+            assert_eq!(len, 50);
+        }
+        let s = p.stats();
+        assert_eq!((s.spilled, s.reloaded), (0, 0));
+        assert_eq!(s.io, IoStats::default());
+        assert!(s.peak_resident_bytes > 0);
+    }
+
+    #[test]
+    fn tight_budget_spills_and_reloads_exactly() {
+        // Each segment ≈ 224 bytes; budget of 500 holds two.
+        let mut p = pool(500);
+        for k in 0..6u64 {
+            p.update(
+                k,
+                || Seg(Vec::new()),
+                |s| s.0.extend((0..50).map(|i| i + k as u32)),
+            )
+            .unwrap();
+        }
+        let s = p.stats();
+        assert!(s.spilled >= 4, "expected spills, got {}", s.spilled);
+        assert!(s.io.total_writes() > 0, "spills must cost scratch writes");
+        // Everything reloads intact, costing scratch reads.
+        for k in 0..6u64 {
+            let first = p.read(k, |s| s.0[0]).unwrap();
+            assert_eq!(first, k as u32);
+        }
+        let s = p.stats();
+        assert!(s.reloaded >= 4);
+        assert!(s.io.total_reads() > 0);
+    }
+
+    #[test]
+    fn dirty_resegments_rewrite_but_clean_reloads_do_not() {
+        let mut p = pool(300);
+        p.update(0, || Seg(Vec::new()), |s| s.0.extend(0..60))
+            .unwrap();
+        p.update(1, || Seg(Vec::new()), |s| s.0.extend(0..60))
+            .unwrap(); // spills 0
+        let after_first = p.stats().spilled;
+        assert!(after_first >= 1);
+        p.read(0, |_| ()).unwrap(); // reload 0, spilling 1
+        p.read(1, |_| ()).unwrap(); // reload 1, spilling 0 again — clean, no rewrite
+        let s = p.stats();
+        assert_eq!(
+            s.spilled, 2,
+            "clean evictions must reuse the scratch copy (got {} spills)",
+            s.spilled
+        );
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut p = pool(10_000);
+        p.update(0, || Seg(Vec::new()), |s| s.0.extend(0..100))
+            .unwrap();
+        let peak1 = p.stats().peak_resident_bytes;
+        p.update(1, || Seg(Vec::new()), |s| s.0.extend(0..100))
+            .unwrap();
+        let peak2 = p.stats().peak_resident_bytes;
+        assert!(peak2 > peak1);
+    }
+
+    #[test]
+    fn missing_key_is_an_error() {
+        let mut p = pool(100);
+        assert!(p.read(42, |_| ()).is_err());
+    }
+
+    #[test]
+    fn budget_smaller_than_one_segment_still_works() {
+        let mut p = pool(1);
+        for k in 0..4u64 {
+            p.update(k, || Seg(Vec::new()), |s| s.0.extend(0..30))
+                .unwrap();
+        }
+        for k in 0..4u64 {
+            assert_eq!(p.read(k, |s| s.0.len()).unwrap(), 30);
+        }
+        assert!(p.stats().spilled >= 3);
+    }
+
+    #[test]
+    fn update_grows_accounting() {
+        let mut p = pool(usize::MAX);
+        p.update(7, || Seg(Vec::new()), |s| s.0.push(1)).unwrap();
+        let before = p.stats().peak_resident_bytes;
+        p.update(7, || unreachable!(), |s| s.0.extend(0..1000))
+            .unwrap();
+        assert!(p.stats().peak_resident_bytes > before);
+        assert_eq!(p.read(7, |s| s.0.len()).unwrap(), 1001);
+    }
+}

@@ -31,18 +31,38 @@ impl TimelineRegion {
         disk: &mut dyn BlockDevice,
         timelines: &[&[(Time, u32)]],
     ) -> Result<Self, IndexError> {
+        let total: u64 = timelines.iter().map(|tl| tl.len() as u64).sum();
+        Self::build_streamed(disk, timelines.len(), total, |o, out| {
+            out.clear();
+            out.extend_from_slice(timelines[o as usize]);
+        })
+    }
+
+    /// [`TimelineRegion::build`] without a materialized timeline table:
+    /// `fetch(o, out)` fills one object's `(start_tick, node)` runs at a
+    /// time, and `total_entries` (the exact sum of all run counts) sizes the
+    /// region up front. Writes byte-identical pages to
+    /// [`TimelineRegion::build`] — this is the streaming construction path,
+    /// where timelines come from a spill pool instead of resident vectors.
+    pub fn build_streamed(
+        disk: &mut dyn BlockDevice,
+        num_objects: usize,
+        total_entries: u64,
+        mut fetch: impl FnMut(u32, &mut Vec<(Time, u32)>),
+    ) -> Result<Self, IndexError> {
         let page_size = disk.page_size();
         let entries_per_page = page_size / Self::ENTRY_BYTES;
-        let total: u64 = timelines.iter().map(|tl| tl.len() as u64).sum();
-        let pages = total.div_ceil(entries_per_page as u64).max(1);
+        let pages = total_entries.div_ceil(entries_per_page as u64).max(1);
         let first_page = disk.allocate(pages as usize)?;
-        let mut index = Vec::with_capacity(timelines.len());
+        let mut index = Vec::with_capacity(num_objects);
         let mut buf = vec![0u8; page_size];
         let mut cur_page = 0u64;
         let mut entry_idx = 0u64;
-        for tl in timelines {
+        let mut tl: Vec<(Time, u32)> = Vec::new();
+        for o in 0..num_objects as u32 {
+            fetch(o, &mut tl);
             index.push((entry_idx, tl.len() as u32));
-            for &(t, node) in *tl {
+            for &(t, node) in &tl {
                 let page = entry_idx / entries_per_page as u64;
                 if page != cur_page {
                     disk.write_page(first_page + cur_page, &buf)?;
@@ -55,6 +75,10 @@ impl TimelineRegion {
                 entry_idx += 1;
             }
         }
+        debug_assert_eq!(
+            entry_idx, total_entries,
+            "declared total_entries must match the fetched entries"
+        );
         disk.write_page(first_page + cur_page, &buf)?;
         Ok(Self {
             first_page,

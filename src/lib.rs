@@ -143,6 +143,47 @@
 //! # let _ = std::fs::remove_file(&path);
 //! ```
 
+//! ## Memory-bounded index construction
+//!
+//! Building an index no longer requires the whole reduced DAG in memory:
+//! [`StreamedDn`](contact::StreamedDn) stages the DN in a spillable pool
+//! capped by a [`BuildBudget`](storage::BuildBudget), and every index
+//! builder accepts it through the [`DnAccess`](contact::DnAccess) trait —
+//! producing byte-identical pages to the in-memory build:
+//!
+//! ```
+//! use streach::prelude::*;
+//!
+//! let trace = ContactTrace::parse(
+//!     "#! streach-trace ids=numeric num_objects=4 horizon=4 origin=0\n\
+//!      0 1 0\n1 3 1\n2 3 1\n0 1 2 2\n2 3 2\n",
+//!     &IngestOptions::default(),
+//! )
+//! .expect("well-formed trace");
+//!
+//! // Stage the DN under a 4 KiB budget, spilling to a scratch device…
+//! let mut dn = StreamedDn::from_contacts(
+//!     trace.num_objects(),
+//!     trace.horizon(),
+//!     trace.contacts(),
+//!     BuildBudget::bytes(4 << 10),
+//!     StorageConfig::sim(256).create().expect("scratch device"),
+//! );
+//! // …and build exactly as with an in-memory DnGraph.
+//! let mr = MultiRes::build(&mut dn, &DEFAULT_LEVELS);
+//! let params = GraphParams { page_size: 256, ..GraphParams::default() };
+//! let mut graph = ReachGraph::build_on(
+//!     StorageConfig::sim(256).create().expect("device"),
+//!     &mut dn,
+//!     &mr,
+//!     params,
+//! )
+//! .expect("budgeted build succeeds");
+//!
+//! let q = Query::new(ObjectId(0), ObjectId(3), TimeInterval::new(0, 1));
+//! assert!(graph.evaluate(&q).expect("query evaluates").reachable());
+//! ```
+
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
@@ -160,8 +201,9 @@ pub use reach_traj as traj;
 pub mod prelude {
     pub use reach_baselines::{GrailDisk, GrailMem};
     pub use reach_contact::{
-        ContactSource, ContactTrace, DnGraph, EdgeListSource, ErrorMode, IngestError,
-        IngestOptions, IntervalSource, MultiRes, Oracle, TraceKind, DEFAULT_LEVELS,
+        ContactSource, ContactTrace, DnAccess, DnEventStream, DnGraph, DnSink, EdgeListSource,
+        ErrorMode, IngestError, IngestOptions, IntervalSource, MultiRes, Oracle, StreamedDn,
+        TraceKind, DEFAULT_LEVELS,
     };
     pub use reach_core::{
         Contact, ContactEvent, Environment, IndexError, Mbr, ObjectId, Point, Query, QueryOutcome,
@@ -172,8 +214,8 @@ pub mod prelude {
     pub use reach_grid::{GridParams, ReachGrid, Spj};
     pub use reach_mobility::{RoadNetwork, RwpConfig, VehicleConfig, WorkloadConfig};
     pub use reach_storage::{
-        BlockDevice, FileDevice, IoStats, MmapDevice, Pager, SimDevice, StorageBackend,
-        StorageConfig,
+        BlockDevice, BuildBudget, FileDevice, IoStats, MmapDevice, Pager, SimDevice, SpillStats,
+        StorageBackend, StorageConfig,
     };
     pub use reach_traj::{Trajectory, TrajectoryStore};
 }
