@@ -1,12 +1,16 @@
-//! The perf-regression comparator: `bench_diff baseline.json current.json
-//! [--max-regress=5%]`.
+//! The perf-regression comparator:
+//! `bench_diff <baseline.json> <current.json> [--max-regress=5%]`
+//! (or `--baseline=PATH --current=PATH` in any order).
 //!
 //! Compares two `bench_perf` reports counter by counter and exits nonzero
 //! if any deterministic IO counter regressed beyond the tolerance, if a
 //! baseline counter disappeared, or if the suites are not comparable
-//! (different tier/backend/schema). Improvements and new counters are
-//! reported but never fail the gate — regenerate the baseline
-//! (`bench_perf --out=BENCH_quick.json`) to lock them in.
+//! (different tier/backend/schema). **Improvements are first-class
+//! output**: every shrunken counter is printed with its percentage and
+//! summarized, so a PR claims its measured speedup straight from the diff
+//! (ROADMAP: "future PRs claim measured speedups … by pointing at the
+//! diff"). Improvements and new counters never fail the gate — regenerate
+//! the baseline (`bench_perf --out=BENCH_quick.json`) to lock them in.
 
 use reach_bench::perf::{diff, PerfReport};
 
@@ -16,7 +20,9 @@ fn load(path: &str) -> PerfReport {
 }
 
 fn main() {
-    let mut paths: Vec<String> = Vec::new();
+    let mut positional: Vec<String> = Vec::new();
+    let mut baseline: Option<String> = None;
+    let mut current: Option<String> = None;
     let mut max_regress = 0.05f64;
     for a in std::env::args().skip(1) {
         if let Some(v) = a.strip_prefix("--max-regress=") {
@@ -25,17 +31,45 @@ fn main() {
                 .parse()
                 .unwrap_or_else(|_| panic!("--max-regress expects a percentage, got {v:?}"));
             max_regress = pct / 100.0;
-        } else if !a.starts_with("--") {
-            paths.push(a);
+        } else if let Some(v) = a.strip_prefix("--baseline=") {
+            baseline = Some(v.to_string());
+        } else if let Some(v) = a.strip_prefix("--current=") {
+            current = Some(v.to_string());
+        } else if a.starts_with("--") {
+            // This binary is a CI gate: a misspelled flag silently falling
+            // back to defaults would loosen the gate, so unknown flags are
+            // hard errors (unlike the exp_* binaries, which ignore them).
+            eprintln!("bench_diff: unknown flag {a:?}");
+            std::process::exit(2);
+        } else {
+            positional.push(a);
         }
     }
-    let [baseline, current] = paths.as_slice() else {
-        eprintln!("usage: bench_diff <baseline.json> <current.json> [--max-regress=5%]");
+    // Explicit flags win; positionals fill whatever is left, in order.
+    let mut positional = positional.into_iter();
+    let baseline = baseline.or_else(|| positional.next());
+    let current = current.or_else(|| positional.next());
+    if let Some(extra) = positional.next() {
+        eprintln!("bench_diff: unexpected argument {extra:?}");
+        std::process::exit(2);
+    }
+    let (Some(baseline), Some(current)) = (baseline, current) else {
+        eprintln!(
+            "usage: bench_diff <baseline.json> <current.json> \
+             [--baseline=PATH] [--current=PATH] [--max-regress=5%]"
+        );
         std::process::exit(2);
     };
-    let outcome = diff(&load(baseline), &load(current), max_regress);
+    let outcome = diff(&load(&baseline), &load(&current), max_regress);
     for note in &outcome.notes {
         println!("note: {note}");
+    }
+    if outcome.improved + outcome.new_counters > 0 {
+        println!(
+            "summary: {} improvement(s), {} new counter(s) \
+             (regenerate the baseline to lock improvements in)",
+            outcome.improved, outcome.new_counters
+        );
     }
     if outcome.passed() {
         println!(

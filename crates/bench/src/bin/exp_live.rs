@@ -1,0 +1,16 @@
+//! Runs the live-ingestion experiment: a synthetic contact stream appended
+//! into a `LiveIndex` under a delta budget that forces mid-run watermark
+//! compactions, with append throughput, compaction-vs-rebuild cost, and
+//! cross-boundary query IO reported (and answers asserted identical to a
+//! batch-built ReachGraph).
+//!
+//! `--backend=sim|file|mmap` selects the storage backend for every device
+//! (log, bases, scratch); `--full` the recorded scales, as for every other
+//! experiment binary.
+
+fn main() {
+    let tier = reach_bench::Tier::from_args();
+    for table in reach_bench::experiments::exp_live(tier) {
+        table.print();
+    }
+}

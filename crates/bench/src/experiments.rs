@@ -790,6 +790,180 @@ fn exp_trace_budgeted(
     t
 }
 
+/// The live-ingestion experiment (ISSUE 5): a synthetic contact stream is
+/// appended record by record into a [`reach_live::LiveIndex`] — every
+/// device on the run's configured backend — with a delta budget sized to
+/// force mid-run watermark compactions. Reports append throughput,
+/// compaction cost vs a full batch rebuild, and cross-boundary query IO,
+/// and **asserts** along the way that at least one compaction fired and
+/// that every query answer matches a batch-built ReachGraph over the same
+/// records.
+pub fn exp_live(tier: Tier) -> Vec<Table> {
+    use reach_core::ReachabilityIndex as _;
+    use reach_live::{LiveConfig, LiveIndex};
+    use reach_storage::BuildBudget;
+
+    let backend = Backend::from_args();
+    let spec = match tier {
+        Tier::Quick => DatasetSpec::rwp("live-rwp", 400, 1200, 53),
+        Tier::Full => DatasetSpec::rwp("live-rwp", 1000, 4000, 53),
+    };
+    let store = spec.generate();
+    let mut contacts =
+        reach_contact::extract_contacts(&store, store.horizon_interval(), spec.threshold);
+    // Arrival order: ascending start with local shuffling — the
+    // out-of-order-within-a-window pattern the delta absorbs. Disjoint
+    // swaps displace each record by at most two positions (a cascading
+    // swap chain would carry the earliest record to the very end and make
+    // it unboundedly late).
+    contacts.sort_by_key(|c| (c.interval.start, c.a, c.b));
+    for i in (4..contacts.len()).step_by(4) {
+        contacts.swap(i, i - 2);
+    }
+
+    // Delta trigger ≈ a third of the stream's worst-case resident bytes:
+    // forces a few mid-run compactions without degenerating into one
+    // rebuild per append. The *rebuild* budget is independent
+    // (`--build-budget=BYTES` to bound it; generous default) and the
+    // lateness slack keeps the locally-shuffled arrivals inside the
+    // mutable window.
+    let delta_budget =
+        ((contacts.len() * reach_live::DeltaDn::MAX_RECORD_RESIDENT_BYTES) / 3).max(16 << 10);
+    let build_budget = crate::datasets::build_budget_from_args()
+        .map(BuildBudget::bytes)
+        .unwrap_or_else(BuildBudget::unbounded);
+    let params = graph_params_for(tier);
+    let page = params.page_size;
+    let mut live = LiveIndex::new(
+        backend.device(page),
+        Box::new(move || backend.device(page)),
+        store.num_objects(),
+        LiveConfig::graph(params.clone(), build_budget)
+            .with_delta_budget(delta_budget)
+            .with_lateness(16),
+    )
+    .expect("live index creates");
+
+    let (appended, append_dur) = timed(|| {
+        let mut n = 0u64;
+        for &c in &contacts {
+            let outcome = live.append(c).expect("lossy appends never error");
+            assert!(
+                outcome.compaction_error.is_none(),
+                "auto-compaction failed mid-run: {:?}",
+                outcome.compaction_error
+            );
+            n += u64::from(outcome.logged);
+        }
+        n
+    });
+    let stats = live.stats().clone();
+    assert!(
+        stats.compactions >= 1,
+        "the budget must force at least one mid-run compaction"
+    );
+
+    let mut inventory = Table::new(
+        "exp_live (inventory)",
+        "continuous ingestion into a LiveIndex (watermark compaction under a delta budget)",
+        &[
+            "stream",
+            "records",
+            "appended",
+            "clamped",
+            "dropped late",
+            "compactions",
+            "watermark",
+            "horizon",
+        ],
+    );
+    inventory.row(vec![
+        spec.name.clone(),
+        contacts.len().to_string(),
+        appended.to_string(),
+        stats.clamped.to_string(),
+        stats.dropped_late.to_string(),
+        stats.compactions.to_string(),
+        live.watermark().to_string(),
+        live.now().to_string(),
+    ]);
+
+    // Batch rebuild over the accepted records: the oracle for answers and
+    // the cost reference for compaction.
+    let accepted = live.replay_log().expect("log replays");
+    let horizon = live.now();
+    let (mut batch, rebuild_dur) = timed(|| {
+        let dn = reach_contact::DnGraph::from_contacts(store.num_objects(), horizon, &accepted);
+        let mr = MultiRes::build(&dn, &params.levels);
+        build_graph(&dn, &mr, params.clone())
+    });
+
+    let mut append_t = Table::new(
+        "exp_live (append + compaction)",
+        "append throughput and the cost of watermark compactions vs one batch rebuild",
+        &[
+            "records/s",
+            "log pages",
+            "log write pages",
+            "delta peak",
+            "compaction base-read pages",
+            "compaction spill pages",
+            "last compaction",
+            "batch rebuild",
+        ],
+    );
+    let last = stats.last_compaction.expect("compactions happened");
+    append_t.row(vec![
+        fnum(appended as f64 / append_dur.as_secs_f64().max(1e-9)),
+        live.log_pages().to_string(),
+        stats.append_io.total_writes().to_string(),
+        fbytes(stats.delta_peak_bytes),
+        (stats.compaction_read_io.total_reads()).to_string(),
+        (stats.compaction_spill_io.total_reads() + stats.compaction_spill_io.total_writes())
+            .to_string(),
+        fdur(last.duration),
+        fdur(rebuild_dur),
+    ]);
+
+    // Query comparison: live (cross-boundary) vs the batch index — and the
+    // answers must agree, query by query.
+    let queries = workload(&spec, tier, 0x1BEE);
+    for q in &queries {
+        let a = live.evaluate_query(q).expect("live query");
+        let b = batch.evaluate(q).expect("batch query");
+        assert_eq!(
+            a.reachable(),
+            b.reachable(),
+            "live and batch disagree on {q} (watermark {})",
+            live.watermark()
+        );
+    }
+    let mut query_t = Table::new(
+        "exp_live (queries)",
+        "query cost across the sealed/live boundary (answers asserted identical to batch)",
+        &[
+            "evaluator",
+            "mean normalized IO",
+            "mean CPU",
+            "reachable frac",
+        ],
+    );
+    let live_batch = run_batch(&mut live, &queries);
+    let batch_batch = run_batch(&mut batch, &queries);
+    for (name, r) in [
+        ("LiveIndex (base + delta)", live_batch),
+        ("batch ReachGraph", batch_batch),
+    ] {
+        query_t.row(vec![
+            name.to_string(),
+            fnum(r.mean_io),
+            fdur(r.mean_cpu),
+            format!("{:.2}", r.reachable_frac),
+        ]);
+    }
+    vec![inventory, append_t, query_t]
+}
+
 // ---------------------------------------------------------------------------
 // Ablations — design choices the paper motivates but does not sweep
 // ---------------------------------------------------------------------------
@@ -856,6 +1030,7 @@ pub fn all(tier: Tier) -> Vec<Table> {
     out.extend(exp_fig14_15(tier));
     out.extend(exp_table5(tier));
     out.extend(exp_trace(tier));
+    out.extend(exp_live(tier));
     out.extend(exp_ablation(tier));
     out
 }

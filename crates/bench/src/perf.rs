@@ -215,6 +215,11 @@ pub struct DiffOutcome {
     pub violations: Vec<String>,
     /// Counters that improved or appeared (informational).
     pub notes: Vec<String>,
+    /// How many counters improved (typed, so reporters never re-parse the
+    /// note strings).
+    pub improved: usize,
+    /// How many counters are new relative to the baseline.
+    pub new_counters: usize,
 }
 
 impl DiffOutcome {
@@ -262,11 +267,15 @@ pub fn diff(baseline: &PerfReport, current: &PerfReport, max_regress: f64) -> Di
                 100.0 * max_regress
             ));
         } else if cur < base {
-            out.notes.push(format!("{key}: improved {base} → {cur}"));
+            let pct = 100.0 * (1.0 - cur as f64 / base as f64);
+            out.improved += 1;
+            out.notes
+                .push(format!("{key}: improved {base} → {cur} (-{pct:.1}%)"));
         }
     }
     for key in current.counters.keys() {
         if !baseline.counters.contains_key(key) {
+            out.new_counters += 1;
             out.notes
                 .push(format!("{key}: new counter (not in baseline)"));
         }
@@ -490,6 +499,69 @@ pub fn quick_suite() -> (PerfReport, f64) {
             spill.peak_resident_bytes,
         );
 
+        // Live ingestion: the same contact set appended as a stream, with
+        // one forced mid-run compaction (deterministic schedule: first two
+        // thirds, seal, rest), then a cross-boundary query batch. Counted
+        // IO only — append-log writes, delta peak, compaction base-read
+        // and spill traffic, and query reads that span the watermark.
+        let mut live = reach_live::LiveIndex::new(
+            Box::new(SimDevice::new(PERF_PAGE)),
+            Box::new(|| Box::new(SimDevice::new(PERF_PAGE))),
+            store.num_objects(),
+            reach_live::LiveConfig::graph(
+                GraphParams {
+                    partition_depth: 8,
+                    page_size: PERF_PAGE,
+                    ..GraphParams::default()
+                },
+                BuildBudget::bytes(PERF_BUDGET_BYTES),
+            )
+            .manual_compaction(),
+        )
+        .expect("perf live index creates");
+        // Deterministic three-chunk schedule with two seals: the second
+        // compaction re-streams the first sealed base, so the base-read
+        // counter gates real chain-extraction IO (one compaction would
+        // leave it structurally zero), and the last chunk stays in the
+        // delta so the query batch crosses the watermark.
+        let (cut1, cut2) = (contacts.len() / 3, contacts.len() * 2 / 3);
+        let feed = |live: &mut reach_live::LiveIndex, span: &[reach_core::Contact]| {
+            for &c in span {
+                let o = live.append(c).expect("perf append accepted");
+                assert!(o.compaction_error.is_none(), "compaction must not fail");
+            }
+        };
+        feed(&mut live, &contacts[..cut1]);
+        live.compact().expect("perf compaction succeeds");
+        feed(&mut live, &contacts[cut1..cut2]);
+        live.compact().expect("perf recompaction succeeds");
+        feed(&mut live, &contacts[cut2..]);
+        let live_stats = live.stats().clone();
+        counters.insert("rwp/live/appended".into(), live_stats.appended);
+        counters.insert(
+            "rwp/live/clamped_or_dropped".into(),
+            live_stats.clamped + live_stats.dropped_late,
+        );
+        counters.insert("rwp/live/log_pages".into(), live.log_pages());
+        counters.insert(
+            "rwp/live/append_write_pages".into(),
+            live_stats.append_io.total_writes(),
+        );
+        counters.insert(
+            "rwp/live/delta_peak_bytes".into(),
+            live_stats.delta_peak_bytes,
+        );
+        counters.insert(
+            "rwp/live/compaction_base_read_pages".into(),
+            live_stats.compaction_read_io.total_reads(),
+        );
+        counters.insert(
+            "rwp/live/compaction_spill_pages".into(),
+            live_stats.compaction_spill_io.total_reads()
+                + live_stats.compaction_spill_io.total_writes(),
+        );
+        record_batch(&mut counters, "rwp/live", &mut live, &queries);
+
         PerfReport {
             schema: SCHEMA,
             tier: "quick".into(),
@@ -555,6 +627,17 @@ mod tests {
     }
 
     #[test]
+    fn improvements_are_reported_with_percentages() {
+        let base = report(&[("a", 100)]);
+        let cur = report(&[("a", 90)]);
+        let d = diff(&base, &cur, 0.05);
+        assert!(d.passed());
+        assert!(d.notes[0].contains("improved 100 → 90"), "{}", d.notes[0]);
+        assert!(d.notes[0].contains("-10.0%"), "{}", d.notes[0]);
+        assert_eq!((d.improved, d.new_counters), (1, 0));
+    }
+
+    #[test]
     fn diff_flags_missing_counters_and_notes_new_ones() {
         let base = report(&[("a", 10), ("gone", 5)]);
         let cur = report(&[("a", 9), ("new", 1)]);
@@ -562,6 +645,7 @@ mod tests {
         assert_eq!(d.violations.len(), 1);
         assert!(d.violations[0].contains("gone"));
         assert_eq!(d.notes.len(), 2, "improvement + new counter");
+        assert_eq!((d.improved, d.new_counters), (1, 1));
     }
 
     #[test]

@@ -561,6 +561,129 @@ pub fn contact_sweep(contacts: &[Contact]) -> impl FnMut(Time, &mut Vec<(u32, u3
     }
 }
 
+/// Extracts a *component-chain* contact set from a reduced DAG: for every
+/// multi-member hyper node `{m_0 < m_1 < … < m_k}@[s, e]`, the chain
+/// contacts `(m_0, m_1)@[s, e], …, (m_{k-1}, m_k)@[s, e]`.
+///
+/// The chain set is a lossless summary of the DN in the only sense DN
+/// construction cares about: at every tick its pairwise events induce
+/// **exactly the same connected components** as the original contact
+/// network's, so rebuilding through [`DnGraph::from_contacts`] (or
+/// [`crate::StreamedDn::from_contacts`]) reproduces the identical DAG —
+/// same nodes, ids, edges, and timelines. Because per-tick components of a
+/// union depend on each part only through its partition, the chains can
+/// also be **merged with later events**: building over
+/// `chain_contacts(dn) ∪ Δ` equals building over `original ∪ Δ` for any
+/// event set `Δ`. That is the algebra live watermark compaction runs on — a
+/// sealed index re-streams its DN as chains and merges the delta through
+/// the ordinary streaming builders (cf. Brito et al. 2021, PAPERS.md).
+///
+/// Size: one contact per adjacent member pair per node, i.e. `Σ_v (|v| - 1)`
+/// — never more than the node member total the DN already stores. Output
+/// order is node-id (topological) order; consumers that need the canonical
+/// `(start, a, b)` order must sort, but every `from_contacts` path accepts
+/// arbitrary order.
+pub fn chain_contacts<D: DnAccess>(mut dn: D) -> Vec<Contact> {
+    let mut out = Vec::new();
+    let mut members: Vec<u32> = Vec::new();
+    for v in 0..dn.num_nodes() as u32 {
+        dn.members_into(v, &mut members);
+        if members.len() < 2 {
+            continue;
+        }
+        let interval = dn.interval(v);
+        for w in members.windows(2) {
+            out.push(Contact::new(ObjectId(w[0]), ObjectId(w[1]), interval));
+        }
+    }
+    out
+}
+
+/// Streams a DN's component-chain events tick by tick — the memory-bounded
+/// counterpart of [`chain_contacts`].
+///
+/// Where `chain_contacts` materializes every chain contact up front (fine
+/// for resident-scale DNs, fatal for the larger-than-memory case the
+/// streaming builders exist for), `ChainSweep` activates nodes in id order
+/// (ids are start-sorted) and keeps only the *open* multi-member
+/// components resident — `O(|O|)`, the same bound as the DN construction
+/// sweep itself. Drive it like any per-tick event callback: call
+/// [`ChainSweep::emit`] once per tick, ascending from 0; the emitted pairs
+/// have exactly the original trace's per-tick connected components, so
+/// feeding them (optionally unioned with newer events) into the streaming
+/// builders reproduces the batch-built index byte for byte.
+pub struct ChainSweep<D: DnAccess> {
+    dn: D,
+    num_nodes: usize,
+    next: u32,
+    /// Interval of node `next`, if already fetched (avoids re-reading the
+    /// record on every silent tick).
+    pending: Option<TimeInterval>,
+    /// Open multi-member components: `(end_tick, members)`.
+    active: Vec<(Time, Vec<u32>)>,
+    chains: u64,
+}
+
+impl<D: DnAccess> ChainSweep<D> {
+    /// A sweep over `dn`, positioned before tick 0.
+    pub fn new(dn: D) -> Self {
+        let num_nodes = dn.num_nodes();
+        Self {
+            dn,
+            num_nodes,
+            next: 0,
+            pending: None,
+            active: Vec::new(),
+            chains: 0,
+        }
+    }
+
+    /// Appends tick `t`'s chain pairs to `buf`. Ticks must be visited in
+    /// ascending order starting at 0 (the `DnEventStream` contract).
+    pub fn emit(&mut self, t: Time, buf: &mut Vec<(u32, u32)>) {
+        loop {
+            let iv = match self.pending {
+                Some(iv) => iv,
+                None => {
+                    if self.next as usize >= self.num_nodes {
+                        break;
+                    }
+                    let iv = self.dn.interval(self.next);
+                    self.pending = Some(iv);
+                    iv
+                }
+            };
+            if iv.start > t {
+                break;
+            }
+            self.pending = None;
+            let mut members = Vec::new();
+            self.dn.members_into(self.next, &mut members);
+            self.next += 1;
+            if members.len() >= 2 {
+                self.chains += members.len() as u64 - 1;
+                self.active.push((iv.end, members));
+            }
+        }
+        self.active.retain(|(end, members)| {
+            if *end < t {
+                return false;
+            }
+            for w in members.windows(2) {
+                buf.push((w[0], w[1]));
+            }
+            true
+        });
+    }
+
+    /// Distinct chain contacts streamed so far (`Σ_v (|v| - 1)` over the
+    /// activated multi-member nodes) — the count [`chain_contacts`] would
+    /// have materialized.
+    pub fn chains(&self) -> u64 {
+        self.chains
+    }
+}
+
 /// The [`DnGraph::from_contacts`] input contract, shared with
 /// [`crate::StreamedDn::from_contacts`].
 ///
@@ -1125,6 +1248,84 @@ mod tests {
             interval: TimeInterval::new(0, 1),
         };
         let _ = DnGraph::from_contacts(2, 4, &[c]);
+    }
+
+    #[test]
+    fn chain_contacts_rebuild_the_identical_dn() {
+        type Script = Vec<Vec<(u32, u32)>>;
+        let scripts: Vec<(usize, Script)> = vec![
+            (
+                4,
+                vec![
+                    vec![(0, 1)],
+                    vec![(1, 3), (2, 3)],
+                    vec![(0, 1), (2, 3)],
+                    vec![(0, 1)],
+                ],
+            ),
+            // A 4-member star: chains must re-create the same component even
+            // though the original edges were a star, not a path.
+            (5, vec![vec![(0, 1), (0, 2), (0, 3)], vec![], vec![(2, 4)]]),
+            (3, vec![vec![], vec![], vec![]]),
+        ];
+        for (n, script) in scripts {
+            let dn = dn(n, script);
+            let chains = chain_contacts(&dn);
+            let rebuilt = DnGraph::from_contacts(n, dn.horizon(), &chains);
+            assert_same_dn(&dn, &rebuilt);
+        }
+    }
+
+    #[test]
+    fn chain_sweep_streams_what_chain_contacts_materializes() {
+        let script = vec![
+            vec![(0, 1), (0, 2), (3, 4)],
+            vec![(0, 1)],
+            vec![],
+            vec![(2, 3), (3, 4)],
+        ];
+        let g = dn(5, script);
+        let mut sweep = ChainSweep::new(&g);
+        let rebuilt = DnGraph::build_streaming(5, g.horizon(), |t, buf| sweep.emit(t, buf));
+        rebuilt.validate().expect("swept DN is valid");
+        assert_same_dn(&g, &rebuilt);
+        assert_eq!(
+            sweep.chains(),
+            chain_contacts(&g).len() as u64,
+            "streamed chain count matches the materialized extraction"
+        );
+    }
+
+    #[test]
+    fn chain_contacts_merge_transparently_with_later_events() {
+        // Build the full world two ways: directly, and as chains of a prefix
+        // DN merged with the suffix events — the DAGs must be identical.
+        let full_script = vec![
+            vec![(0, 1), (2, 3)],
+            vec![(1, 2)],
+            vec![],
+            vec![(0, 3), (1, 3)],
+            vec![(0, 3)],
+        ];
+        let n = 4;
+        let cut = 3usize; // prefix covers ticks [0, 3)
+        let full = dn(n, full_script.clone());
+        let prefix =
+            DnGraph::build_from_ticks(n, cut as Time, |t| full_script[t as usize].as_slice());
+        let mut merged = chain_contacts(&prefix);
+        let mut acc = reach_core::ContactAccumulator::new();
+        for (t, pairs) in full_script.iter().enumerate().skip(cut) {
+            for &(a, b) in pairs {
+                acc.push(reach_core::ContactEvent::new(
+                    t as Time,
+                    ObjectId(a),
+                    ObjectId(b),
+                ));
+            }
+        }
+        merged.extend(acc.finish());
+        let rebuilt = DnGraph::from_contacts(n, full_script.len() as Time, &merged);
+        assert_same_dn(&full, &rebuilt);
     }
 
     #[test]

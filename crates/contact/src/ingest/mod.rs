@@ -69,7 +69,10 @@ pub enum IngestError {
 }
 
 impl IngestError {
-    pub(crate) fn parse(line: u64, msg: impl Into<String>) -> Self {
+    /// A per-line parse error (1-based line number). Public so custom
+    /// [`ContactSource`] implementations — and the live append path — can
+    /// report record problems in the standard shape.
+    pub fn parse(line: u64, msg: impl Into<String>) -> Self {
         IngestError::Parse {
             line,
             msg: msg.into(),

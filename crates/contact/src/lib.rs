@@ -39,7 +39,10 @@ pub mod multires;
 pub mod oracle;
 pub mod stats;
 
-pub use dag::{contact_sweep, Csr, DnAccess, DnEventStream, DnGraph, DnNode, DnSink, GraphSize};
+pub use dag::{
+    chain_contacts, contact_sweep, ChainSweep, Csr, DnAccess, DnEventStream, DnGraph, DnNode,
+    DnSink, GraphSize,
+};
 pub use dag_stream::StreamedDn;
 pub use extract::{count_events, events_by_tick, extract_contacts, extract_events, EventCounts};
 pub use ingest::{

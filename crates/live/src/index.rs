@@ -1,0 +1,841 @@
+//! The live reachability index: sealed base + mutable delta + durable log,
+//! stitched by a watermark.
+//!
+//! ## Anatomy
+//!
+//! A [`LiveIndex`] partitions time at its **watermark** `W`:
+//!
+//! * `[0, W)` is served by a **sealed base** — an ordinary [`ReachGraph`]
+//!   or [`GrailDisk`], built by the ordinary streaming builders, bytes
+//!   indistinguishable from a batch build;
+//! * `[W, now)` is served by the mutable [`DeltaDn`], which absorbs
+//!   out-of-order appends within the bounded-lateness window;
+//! * every accepted record is first made durable in the [`AppendLog`], so
+//!   base and delta are both derived, recoverable state.
+//!
+//! ## Cross-boundary queries
+//!
+//! A query `o_i ~[t1, t2]~> o_j` spanning the watermark is answered in two
+//! legs: the base extracts the **earliest-arrival frontier** at the cut
+//! (`reachable_set` over `[t1, W-1]` — every object holding the item before
+//! the seal, with its exact arrival tick), and the delta continues exact
+//! propagation from that frontier through `[W, t2]`. Holding persists
+//! across the boundary by the paper's item model, so the composition is
+//! exact: any interleaving of appends and queries answers precisely as a
+//! batch rebuild over the full accepted trace would (tier-1
+//! `tests/live_reach.rs` asserts this on random schedules).
+//!
+//! ## Watermark compaction
+//!
+//! When the delta outgrows its [`BuildBudget`] (or on demand), the index
+//! **compacts**: the sealed base re-streams its DN as component-chain
+//! events ([`reach_contact::ChainSweep`] — a lossless summary whose
+//! per-tick connected components equal the original trace's, streamed with
+//! `O(|O|)` resident state), the delta contributes its sealed head, and
+//! the union flows tick by tick through the existing memory-bounded
+//! builders ([`StreamedDn`] under the same budget) into a *new* sealed
+//! base covering `[0, now - lateness)`. Because DN construction depends on
+//! the event stream only through per-tick components, the result is
+//! **byte-identical** to a from-scratch streaming build over the whole
+//! log — compaction is rebuild, minus ever needing the raw trace again,
+//! and without ever materializing the history in memory.
+
+use crate::delta::DeltaDn;
+use crate::log::{AppendLog, LogRecovery};
+use reach_baselines::GrailDisk;
+use reach_contact::{ChainSweep, ContactSource, ErrorMode, IngestError, MultiRes, StreamedDn};
+use reach_core::{
+    Contact, IndexError, ObjectId, Query, QueryOutcome, QueryResult, QueryStats, ReachabilityIndex,
+    Time, TimeInterval,
+};
+use reach_graph::{GraphParams, ReachGraph};
+use reach_storage::{BlockDevice, BuildBudget, IoSampler, IoStats, SpillStats};
+use std::time::{Duration, Instant};
+
+/// Produces a fresh block device whenever the live index needs one (a
+/// compaction scratch, a rebuilt base). Runtime-pluggable like everything
+/// else storage: hand in a closure over `StorageConfig`, a temp-file
+/// factory, or the bench harness's backend selector.
+pub type DeviceFactory = Box<dyn FnMut() -> Box<dyn BlockDevice>>;
+
+/// Which sealed index compaction builds over `[0, watermark)`.
+#[derive(Clone, Debug)]
+pub enum BaseKind {
+    /// The paper's ReachGraph (BM-BFS at query time) — the intended
+    /// production base.
+    Graph(GraphParams),
+    /// Disk-adopted GRAIL — the baseline base, mostly for comparisons.
+    Grail(GrailConfig),
+}
+
+/// Parameters of a [`BaseKind::Grail`] base.
+#[derive(Clone, Copy, Debug)]
+pub struct GrailConfig {
+    /// Label dimensions `d`.
+    pub d: usize,
+    /// Labeling seed.
+    pub seed: u64,
+    /// Device page size.
+    pub page_size: usize,
+    /// Query-time pager capacity.
+    pub cache_pages: usize,
+}
+
+impl BaseKind {
+    /// Page size the base's devices must have.
+    pub fn page_size(&self) -> usize {
+        match self {
+            BaseKind::Graph(p) => p.page_size,
+            BaseKind::Grail(g) => g.page_size,
+        }
+    }
+}
+
+/// Configuration of a [`LiveIndex`].
+#[derive(Clone, Debug)]
+pub struct LiveConfig {
+    /// What to do with records older than the watermark: `Strict` rejects
+    /// the append with [`LiveError::Late`]; `Lossy` clamps partially-late
+    /// records to the watermark and drops wholly-late ones, counting both.
+    pub mode: ErrorMode,
+    /// The sealed index rebuilt at every compaction.
+    pub base: BaseKind,
+    /// Spill-pool budget of the streaming rebuild (the
+    /// [`StreamedDn`] bound; independent of the delta trigger).
+    pub budget: BuildBudget,
+    /// Delta resident bytes that trigger a compaction (when `auto_compact`
+    /// is set). Defaults to the build budget's bound — pass something
+    /// smaller to compact more eagerly than the rebuild can spill.
+    pub delta_budget: usize,
+    /// Lateness slack in ticks: compaction seals to `now - lateness`
+    /// (never regressing), keeping that much history mutable so bounded
+    /// out-of-order arrivals keep landing in the window instead of being
+    /// clamped. `0` seals everything.
+    pub lateness: Time,
+    /// Compact automatically when the delta outgrows `delta_budget`.
+    pub auto_compact: bool,
+}
+
+impl LiveConfig {
+    /// A ReachGraph-based config with the given params and budget,
+    /// lossy lateness handling, and auto-compaction on.
+    pub fn graph(params: GraphParams, budget: BuildBudget) -> Self {
+        Self {
+            mode: ErrorMode::Lossy,
+            base: BaseKind::Graph(params),
+            budget,
+            delta_budget: budget.max_resident_bytes,
+            lateness: 0,
+            auto_compact: true,
+        }
+    }
+
+    /// A disk-GRAIL-based config (the baseline comparison).
+    pub fn grail(grail: GrailConfig, budget: BuildBudget) -> Self {
+        Self {
+            mode: ErrorMode::Lossy,
+            base: BaseKind::Grail(grail),
+            budget,
+            delta_budget: budget.max_resident_bytes,
+            lateness: 0,
+            auto_compact: true,
+        }
+    }
+
+    /// Returns the config with an explicit delta compaction trigger.
+    pub fn with_delta_budget(mut self, bytes: usize) -> Self {
+        self.delta_budget = bytes;
+        self
+    }
+
+    /// Returns the config with a lateness slack (see [`LiveConfig::lateness`]).
+    pub fn with_lateness(mut self, ticks: Time) -> Self {
+        self.lateness = ticks;
+        self
+    }
+
+    /// Returns the config with strict lateness handling.
+    pub fn strict(mut self) -> Self {
+        self.mode = ErrorMode::Strict;
+        self
+    }
+
+    /// Returns the config with auto-compaction disabled (compaction only
+    /// via [`LiveIndex::compact`]).
+    pub fn manual_compaction(mut self) -> Self {
+        self.auto_compact = false;
+        self
+    }
+}
+
+/// Errors surfaced by live appends (queries keep the workspace-wide
+/// [`IndexError`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum LiveError {
+    /// A storage or index failure underneath the live machinery.
+    Index(IndexError),
+    /// A source record failed to parse or convert.
+    Ingest(IngestError),
+    /// An appended contact references an object outside the universe.
+    UnknownObject(ObjectId),
+    /// An appended contact joins an object to itself.
+    SelfContact(ObjectId),
+    /// A strict-mode append arrived (wholly or partly) below the watermark.
+    Late {
+        /// The offending record.
+        record: Contact,
+        /// The watermark it fell behind.
+        watermark: Time,
+    },
+    /// An appended contact ends at `Time::MAX`, whose exclusive horizon
+    /// (`end + 1`) is unrepresentable in tick space.
+    HorizonOverflow {
+        /// The offending record.
+        record: Contact,
+    },
+}
+
+impl std::fmt::Display for LiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LiveError::Index(e) => write!(f, "live index: {e}"),
+            LiveError::Ingest(e) => write!(f, "live ingest: {e}"),
+            LiveError::UnknownObject(o) => write!(f, "append references unknown object {o}"),
+            LiveError::SelfContact(o) => write!(f, "append is a self-contact of {o}"),
+            LiveError::Late { record, watermark } => write!(
+                f,
+                "record {record:?} arrived behind the watermark {watermark} (strict mode)"
+            ),
+            LiveError::HorizonOverflow { record } => write!(
+                f,
+                "record {record:?} ends at the maximum tick; its horizon is unrepresentable"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LiveError {}
+
+impl From<IndexError> for LiveError {
+    fn from(e: IndexError) -> Self {
+        LiveError::Index(e)
+    }
+}
+
+impl From<IngestError> for LiveError {
+    fn from(e: IngestError) -> Self {
+        LiveError::Ingest(e)
+    }
+}
+
+/// What one [`LiveIndex::append`] did.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AppendOutcome {
+    /// Whether the record (possibly clamped) was accepted and logged.
+    pub logged: bool,
+    /// Whether a partially-late record was clamped to the watermark.
+    pub clamped: bool,
+    /// Whether this append triggered an automatic compaction.
+    pub compacted: bool,
+    /// A failure of the *automatic compaction* that ran after the record
+    /// was already durably logged and absorbed. Carried here instead of
+    /// `Err` so the append's own success is never misreported: compaction
+    /// is failure-atomic, the index stays consistent, and the caller can
+    /// retry [`LiveIndex::compact`] at leisure — re-appending the record
+    /// would duplicate it.
+    pub compaction_error: Option<IndexError>,
+}
+
+/// Cumulative accounting of one live index's lifetime, with IO attributed
+/// per phase through [`IoSampler`] — the numbers the perf gate's live
+/// counters are built from.
+#[derive(Clone, Debug, Default)]
+pub struct LiveStats {
+    /// Records accepted (and logged).
+    pub appended: u64,
+    /// Partially-late records clamped to the watermark (lossy mode).
+    pub clamped: u64,
+    /// Wholly-late records dropped (lossy mode).
+    pub dropped_late: u64,
+    /// Source records skipped for parse/convert errors (lossy mode).
+    pub skipped: u64,
+    /// Compactions performed.
+    pub compactions: u64,
+    /// High-water mark of the delta's resident bytes.
+    pub delta_peak_bytes: u64,
+    /// Base-device IO spent re-streaming sealed bases, summed over every
+    /// compaction.
+    pub compaction_read_io: IoStats,
+    /// Scratch-device IO of the budgeted rebuilds, summed over every
+    /// compaction.
+    pub compaction_spill_io: IoStats,
+    /// Append-log device IO (durable page writes, recovery reads).
+    pub append_io: IoStats,
+    /// Queries evaluated.
+    pub queries: u64,
+    /// Work summed over all queries (base IO included).
+    pub query: QueryStats,
+    /// The most recent compaction, if any.
+    pub last_compaction: Option<CompactionStats>,
+}
+
+/// Cost breakdown of one watermark compaction.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CompactionStats {
+    /// The new watermark (== the horizon the rebuilt base covers).
+    pub watermark: Time,
+    /// Chain contacts re-streamed out of the previous base.
+    pub base_chains: u64,
+    /// Maximal contacts contributed by the delta.
+    pub delta_contacts: u64,
+    /// IO spent reading the previous base (chain extraction).
+    pub base_read_io: IoStats,
+    /// Scratch traffic of the budgeted streaming rebuild.
+    pub spill: SpillStats,
+    /// Wall-clock duration (informational; never gated).
+    pub duration: Duration,
+}
+
+/// The sealed side of the watermark.
+enum Base {
+    /// No base yet: the watermark is 0 and the delta holds everything.
+    None,
+    /// A sealed ReachGraph over `[0, watermark)`.
+    Graph(Box<ReachGraph>),
+    /// A sealed disk GRAIL over `[0, watermark)`.
+    Grail(Box<GrailDisk>),
+}
+
+/// A continuously ingesting reachability index (see the module docs).
+pub struct LiveIndex {
+    log: AppendLog,
+    log_sampler: IoSampler,
+    delta: DeltaDn,
+    base: Base,
+    num_objects: usize,
+    config: LiveConfig,
+    devices: DeviceFactory,
+    stats: LiveStats,
+    /// Auto-compaction backoff: when a compaction cannot bring the delta
+    /// under budget (the backlog lives *inside* the lateness window),
+    /// retrying on every append would rebuild the full index per record.
+    /// Attempts are suppressed until the clock passes this tick — one full
+    /// lateness window of progress.
+    auto_resume_at: Time,
+}
+
+impl LiveIndex {
+    /// Creates an empty live index: the log goes to `log_device`, and
+    /// `devices` supplies every device compaction needs (bases + scratch;
+    /// base devices must match the configured page size).
+    pub fn new(
+        log_device: Box<dyn BlockDevice>,
+        devices: DeviceFactory,
+        num_objects: usize,
+        config: LiveConfig,
+    ) -> Result<Self, IndexError> {
+        let log = AppendLog::create(log_device, num_objects)?;
+        Ok(Self {
+            log,
+            log_sampler: IoSampler::new(),
+            delta: DeltaDn::new(0),
+            base: Base::None,
+            num_objects,
+            config,
+            devices,
+            stats: LiveStats::default(),
+            auto_resume_at: 0,
+        })
+    }
+
+    /// Recovers a live index from its append log alone: every surviving
+    /// record is replayed and the recovered world is compacted into a fresh
+    /// sealed base (base and delta are derived state; the log is the only
+    /// thing that had to survive). Returns the recovery report alongside.
+    pub fn open(
+        log_device: Box<dyn BlockDevice>,
+        devices: DeviceFactory,
+        config: LiveConfig,
+    ) -> Result<(Self, LogRecovery), IndexError> {
+        let (log, records, recovery) = AppendLog::open(log_device)?;
+        let num_objects = log.num_objects();
+        let mut live = Self {
+            log,
+            log_sampler: IoSampler::new(),
+            delta: DeltaDn::new(0),
+            base: Base::None,
+            num_objects,
+            config,
+            devices,
+            stats: LiveStats::default(),
+            auto_resume_at: 0,
+        };
+        for c in records {
+            live.delta.insert(c);
+        }
+        live.stats.delta_peak_bytes = live.delta.resident_bytes() as u64;
+        live.compact()?;
+        live.note_log_io();
+        Ok((live, recovery))
+    }
+
+    /// Universe size.
+    pub fn num_objects(&self) -> usize {
+        self.num_objects
+    }
+
+    /// The sealed boundary: ticks `< watermark` live in the base.
+    pub fn watermark(&self) -> Time {
+        self.delta.watermark()
+    }
+
+    /// The live horizon (one past the newest accepted tick).
+    pub fn now(&self) -> Time {
+        self.delta.now()
+    }
+
+    /// Lifetime accounting.
+    pub fn stats(&self) -> &LiveStats {
+        &self.stats
+    }
+
+    /// Runtime-tunable configuration (budgets, lateness, error mode,
+    /// auto-compaction). Changing the *base kind* only takes effect at the
+    /// next compaction; everything else applies immediately.
+    pub fn config_mut(&mut self) -> &mut LiveConfig {
+        &mut self.config
+    }
+
+    /// The delta's deterministic resident-byte estimate.
+    pub fn delta_bytes(&self) -> usize {
+        self.delta.resident_bytes()
+    }
+
+    /// Records in the durable log.
+    pub fn log_len(&self) -> u64 {
+        self.log.len()
+    }
+
+    /// Pages the durable log occupies.
+    pub fn log_pages(&self) -> u64 {
+        self.log.pages()
+    }
+
+    /// Flushes the log to durable storage.
+    pub fn sync(&mut self) -> Result<(), IndexError> {
+        self.log.sync()
+    }
+
+    /// The sealed base's device, if a base exists (byte-identity testing).
+    pub fn base_device_mut(&mut self) -> Option<&mut dyn BlockDevice> {
+        match &mut self.base {
+            Base::None => None,
+            Base::Graph(g) => Some(g.device_mut()),
+            Base::Grail(g) => Some(g.device_mut()),
+        }
+    }
+
+    /// Re-reads the full accepted record set from the log (the batch
+    /// rebuild input; what the equivalence tests compare against).
+    pub fn replay_log(&mut self) -> Result<Vec<Contact>, IndexError> {
+        let records = self.log.replay();
+        self.note_log_io();
+        records
+    }
+
+    /// Advances the live clock to `to` without appending (silent ticks
+    /// extend the queryable horizon).
+    pub fn advance(&mut self, to: Time) {
+        self.delta.advance(to);
+    }
+
+    fn note_log_io(&mut self) {
+        let sample = self.log_sampler.sample(self.log.io_stats());
+        self.stats.append_io = self.stats.append_io + sample;
+    }
+
+    /// Appends one contact record.
+    ///
+    /// Records whose every tick is `≥ watermark` are accepted in any
+    /// arrival order. Older ticks hit the lateness policy
+    /// ([`LiveConfig::mode`]): strict rejects with [`LiveError::Late`],
+    /// lossy clamps a straddling record to the watermark (counting it) and
+    /// drops a wholly-late one. Accepted records are durably logged before
+    /// they touch the delta. May trigger an automatic compaction.
+    pub fn append(&mut self, c: Contact) -> Result<AppendOutcome, LiveError> {
+        if c.a == c.b {
+            return Err(LiveError::SelfContact(c.a));
+        }
+        for o in [c.a, c.b] {
+            if o.index() >= self.num_objects {
+                return Err(LiveError::UnknownObject(o));
+            }
+        }
+        if c.interval.end == Time::MAX {
+            return Err(LiveError::HorizonOverflow { record: c });
+        }
+        let w = self.watermark();
+        let mut outcome = AppendOutcome::default();
+        let accepted = if c.interval.start >= w {
+            c
+        } else {
+            match self.config.mode {
+                ErrorMode::Strict => {
+                    return Err(LiveError::Late {
+                        record: c,
+                        watermark: w,
+                    })
+                }
+                ErrorMode::Lossy if c.interval.end < w => {
+                    self.stats.dropped_late += 1;
+                    return Ok(outcome);
+                }
+                ErrorMode::Lossy => {
+                    self.stats.clamped += 1;
+                    outcome.clamped = true;
+                    Contact::new(c.a, c.b, TimeInterval::new(w, c.interval.end))
+                }
+            }
+        };
+        self.log.append(accepted)?;
+        self.note_log_io();
+        self.stats.appended += 1;
+        outcome.logged = true;
+        self.delta.insert(accepted);
+        self.stats.delta_peak_bytes = self
+            .stats
+            .delta_peak_bytes
+            .max(self.delta.resident_bytes() as u64);
+        if self.config.auto_compact && self.delta.resident_bytes() > self.config.delta_budget {
+            let candidate = self
+                .now()
+                .saturating_sub(self.config.lateness)
+                .max(self.watermark());
+            // Attempt only when the watermark can actually advance and the
+            // backoff window has passed — otherwise a backlog living inside
+            // the lateness window would trigger a full rebuild per append
+            // (or a guaranteed no-op) forever.
+            if candidate > self.watermark() && self.now() >= self.auto_resume_at {
+                // The record is already durable and queryable; a compaction
+                // failure must not masquerade as an append failure (see
+                // [`AppendOutcome::compaction_error`]).
+                match self.compact() {
+                    Ok(done) => outcome.compacted = done.is_some(),
+                    Err(e) => outcome.compaction_error = Some(e),
+                }
+                if self.delta.resident_bytes() > self.config.delta_budget {
+                    self.auto_resume_at = self.now().saturating_add(self.config.lateness.max(1));
+                }
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Drains a [`ContactSource`] into the index — the ingestion layer's
+    /// parsers (and any custom feed implementing the trait) plug into the
+    /// live path unchanged. Records must use numeric labels; raw times are
+    /// rebased/scaled by `origin` and `time_scale` exactly as pinned batch
+    /// ingestion does. Parse and conversion failures follow
+    /// [`LiveConfig::mode`] (strict aborts with the offending line, lossy
+    /// counts and skips), as do late records.
+    pub fn append_source<S: ContactSource>(
+        &mut self,
+        mut source: S,
+        origin: u64,
+        time_scale: u64,
+    ) -> Result<SourceReport, LiveError> {
+        if time_scale == 0 {
+            return Err(LiveError::Ingest(IngestError::Inconsistent(
+                "time_scale must be ≥ 1".into(),
+            )));
+        }
+        let mut report = SourceReport::default();
+        while let Some(r) = source.next_record() {
+            let outcome = match self.convert_record(r, origin, time_scale) {
+                Ok(c) => self.append(c),
+                Err(e) => Err(e),
+            };
+            match outcome {
+                Ok(o) if o.logged => {
+                    report.appended += 1;
+                    report.clamped += u64::from(o.clamped);
+                    report.compactions += u64::from(o.compacted);
+                    if let Some(e) = o.compaction_error {
+                        // The record itself landed; the failed maintenance
+                        // still has to surface to the operator.
+                        return Err(LiveError::Index(e));
+                    }
+                }
+                Ok(_) => report.skipped += 1, // lossy-dropped late record
+                // Storage failures always propagate; *record* problems
+                // (parse, self-contact, unknown id, strict-late) follow the
+                // configured error mode.
+                Err(e @ LiveError::Index(_)) => return Err(e),
+                Err(e) => match self.config.mode {
+                    ErrorMode::Strict => return Err(e),
+                    ErrorMode::Lossy => {
+                        self.stats.skipped += 1;
+                        report.skipped += 1;
+                    }
+                },
+            }
+        }
+        Ok(report)
+    }
+
+    /// Parses one raw source record into a tick-space contact.
+    fn convert_record(
+        &self,
+        r: Result<reach_contact::ingest::RawRecord, IngestError>,
+        origin: u64,
+        time_scale: u64,
+    ) -> Result<Contact, LiveError> {
+        let rec = r.map_err(LiveError::Ingest)?;
+        let id = |label: &str| -> Result<u32, LiveError> {
+            label.parse::<u32>().map_err(|_| {
+                LiveError::Ingest(IngestError::parse(
+                    rec.line,
+                    format!("id {label:?} is not numeric (live appends require numeric ids)"),
+                ))
+            })
+        };
+        let (a, b) = (id(&rec.u)?, id(&rec.v)?);
+        if a == b {
+            return Err(LiveError::SelfContact(ObjectId(a)));
+        }
+        if rec.start < origin {
+            return Err(LiveError::Ingest(IngestError::parse(
+                rec.line,
+                format!("timestamp {} precedes the origin {origin}", rec.start),
+            )));
+        }
+        let tick = |raw: u64| -> Result<Time, LiveError> {
+            Time::try_from((raw - origin) / time_scale).map_err(|_| {
+                LiveError::Ingest(IngestError::parse(
+                    rec.line,
+                    format!("timestamp {raw} overflows the tick range"),
+                ))
+            })
+        };
+        Ok(Contact::new(
+            ObjectId(a),
+            ObjectId(b),
+            TimeInterval::new(tick(rec.start)?, tick(rec.end)?),
+        ))
+    }
+
+    /// Seals everything up to `now - lateness` into a fresh base (see the
+    /// module docs for the merge algebra); the lateness window's tail stays
+    /// mutable in the delta. No-op when the watermark cannot advance.
+    /// Returns the compaction's cost breakdown.
+    pub fn compact(&mut self) -> Result<Option<CompactionStats>, IndexError> {
+        let new_watermark = self
+            .now()
+            .saturating_sub(self.config.lateness)
+            .max(self.watermark());
+        if new_watermark == 0 || new_watermark == self.watermark() {
+            return Ok(None);
+        }
+        let started = Instant::now();
+        let mut stats = CompactionStats {
+            watermark: new_watermark,
+            ..CompactionStats::default()
+        };
+
+        // 1. Read the delta's sealed head — without draining it yet: the
+        //    build below is fallible, and a failed compaction must leave
+        //    base and delta exactly as they were. The head is bounded by
+        //    the delta budget; the *base* is not, so it is re-streamed
+        //    tick by tick below instead of materialized.
+        let sealed = self.delta.sealed_head(new_watermark);
+        stats.delta_contacts = sealed.len() as u64;
+
+        // 2. One pass through the memory-bounded streaming builders, fed
+        //    by the union of the base's chain sweep (O(|O|) resident) and
+        //    the sealed head's interval sweep. Per-tick connected
+        //    components equal the accepted trace's, so the staged DN — and
+        //    every page built from it — is byte-identical to a batch
+        //    rebuild over the whole log.
+        let scratch = (self.devices)();
+        let num_objects = self.num_objects;
+        let budget = self.config.budget;
+        let mut sdn = match &mut self.base {
+            Base::None => {
+                StreamedDn::from_contacts(num_objects, new_watermark, &sealed, budget, scratch)
+            }
+            Base::Graph(g) => {
+                let mut sampler = IoSampler::starting_at(g.io_stats());
+                let mut base_sweep = ChainSweep::new(&mut **g);
+                let mut delta_sweep = reach_contact::contact_sweep(&sealed);
+                let sdn = StreamedDn::build(
+                    num_objects,
+                    new_watermark,
+                    |t, buf| {
+                        base_sweep.emit(t, buf);
+                        delta_sweep(t, buf);
+                    },
+                    budget,
+                    scratch,
+                );
+                stats.base_chains = base_sweep.chains();
+                drop(base_sweep);
+                stats.base_read_io = sampler.sample(g.io_stats());
+                sdn
+            }
+            Base::Grail(g) => {
+                // The GRAIL baseline reconstructs members from its
+                // timeline region, which is O(DN) resident regardless —
+                // the materialized path costs nothing extra here.
+                let mut sampler = IoSampler::starting_at(g.device_mut().stats());
+                let mut merged = g.chain_contacts()?;
+                stats.base_chains = merged.len() as u64;
+                stats.base_read_io = sampler.sample(g.device_mut().stats());
+                merged.extend_from_slice(&sealed);
+                StreamedDn::from_contacts(num_objects, new_watermark, &merged, budget, scratch)
+            }
+        };
+        drop(sealed);
+        let device = (self.devices)();
+        assert_eq!(
+            device.page_size(),
+            self.config.base.page_size(),
+            "device factory page size must match the configured base"
+        );
+        let new_base = match &self.config.base {
+            BaseKind::Graph(params) => {
+                let mr = MultiRes::build(&mut sdn, &params.levels);
+                Base::Graph(Box::new(ReachGraph::build_on(
+                    device,
+                    &mut sdn,
+                    &mr,
+                    params.clone(),
+                )?))
+            }
+            BaseKind::Grail(cfg) => Base::Grail(Box::new(GrailDisk::build_on(
+                device,
+                &mut sdn,
+                cfg.d,
+                cfg.seed,
+                cfg.cache_pages,
+            )?)),
+        };
+        stats.spill = sdn.spill_stats();
+        stats.duration = started.elapsed();
+
+        // Commit point: everything above could fail without touching index
+        // state; everything below is infallible.
+        self.base = new_base;
+        self.delta.discard_below(new_watermark);
+        self.stats.compactions += 1;
+        self.stats.compaction_read_io = self.stats.compaction_read_io + stats.base_read_io;
+        self.stats.compaction_spill_io = self.stats.compaction_spill_io + stats.spill.io;
+        self.stats.last_compaction = Some(stats);
+        Ok(Some(stats))
+    }
+
+    /// Evaluates a time-respecting reachability query over the full live
+    /// horizon `[0, now)`, routing across the watermark as needed (see the
+    /// module docs). IO is attributed to the query via the underlying
+    /// indexes' counters.
+    pub fn evaluate_query(&mut self, q: &Query) -> Result<QueryResult, IndexError> {
+        let started = Instant::now();
+        let horizon = self.now();
+        for o in [q.source, q.dest] {
+            if o.index() >= self.num_objects {
+                return Err(IndexError::UnknownObject(o));
+            }
+        }
+        if q.interval.start >= horizon {
+            return Err(IndexError::IntervalOutOfRange {
+                requested: q.interval,
+                horizon,
+            });
+        }
+        let t1 = q.interval.start;
+        let t2 = q.interval.end.min(horizon - 1);
+        let result = if q.source == q.dest {
+            QueryResult {
+                outcome: QueryOutcome::reachable_at(t1),
+                stats: QueryStats::default(),
+            }
+        } else {
+            let w = self.watermark();
+            if t2 < w {
+                // Entirely sealed: the base alone answers.
+                match &mut self.base {
+                    Base::None => unreachable!("watermark > 0 implies a base"),
+                    Base::Graph(g) => g.evaluate(q)?,
+                    Base::Grail(g) => g.evaluate(q)?,
+                }
+            } else if t1 >= w {
+                // Entirely live: exact propagation inside the delta.
+                let when =
+                    self.delta
+                        .propagate(self.num_objects, &[(q.source, t1)], t2, Some(q.dest));
+                QueryResult {
+                    outcome: outcome_of(when[q.dest.index()]),
+                    stats: QueryStats::default(),
+                }
+            } else {
+                // Spanning: frontier at the cut, then the delta continues.
+                let cut = TimeInterval::new(t1, w - 1);
+                let (frontier, mut stats) = match &mut self.base {
+                    Base::None => unreachable!("watermark > 0 implies a base"),
+                    Base::Graph(g) => g.reachable_set(q.source, cut)?,
+                    Base::Grail(g) => g.reachable_set(q.source, cut)?,
+                };
+                let sealed_hit = frontier
+                    .binary_search_by_key(&q.dest, |&(o, _)| o)
+                    .ok()
+                    .map(|i| frontier[i].1);
+                let outcome = match sealed_hit {
+                    Some(ea) => QueryOutcome::reachable_at(ea),
+                    None => {
+                        let when =
+                            self.delta
+                                .propagate(self.num_objects, &frontier, t2, Some(q.dest));
+                        outcome_of(when[q.dest.index()])
+                    }
+                };
+                stats.cpu = Duration::ZERO; // replaced by the outer timing
+                QueryResult { outcome, stats }
+            }
+        };
+        let mut result = result;
+        result.stats.cpu = started.elapsed();
+        self.stats.queries += 1;
+        self.stats.query = self.stats.query.merged(&result.stats);
+        Ok(result)
+    }
+}
+
+/// Maps a propagation arrival to a query outcome.
+fn outcome_of(when: Option<Time>) -> QueryOutcome {
+    match when {
+        Some(t) => QueryOutcome::reachable_at(t),
+        None => QueryOutcome::UNREACHABLE,
+    }
+}
+
+impl ReachabilityIndex for LiveIndex {
+    fn name(&self) -> &'static str {
+        "LiveIndex"
+    }
+
+    fn evaluate(&mut self, query: &Query) -> Result<QueryResult, IndexError> {
+        self.evaluate_query(query)
+    }
+}
+
+/// Outcome of one [`LiveIndex::append_source`] drain.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SourceReport {
+    /// Records accepted and logged.
+    pub appended: u64,
+    /// Records skipped (parse errors, conversion errors, dropped-late).
+    pub skipped: u64,
+    /// Records clamped to the watermark.
+    pub clamped: u64,
+    /// Automatic compactions triggered while draining.
+    pub compactions: u64,
+}

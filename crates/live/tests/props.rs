@@ -1,0 +1,185 @@
+//! Property suite: random append/query/compaction schedules — including
+//! late, out-of-window, and self-contact records — are result-identical to
+//! a batch-built oracle over the accepted trace (ISSUE 5 acceptance
+//! criterion).
+
+use proptest::prelude::*;
+use reach_contact::Oracle;
+use reach_core::{Contact, ObjectId, Query, Time, TimeInterval};
+use reach_graph::GraphParams;
+use reach_live::{LiveConfig, LiveError, LiveIndex};
+use reach_storage::{BuildBudget, SimDevice};
+
+const HORIZON: Time = 48;
+
+/// One step of a live schedule.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Append `(a, b)` over `[start, start + len]` — possibly late or
+    /// wholly out of the lateness window by the time it executes.
+    Append {
+        a: u32,
+        b: u32,
+        start: Time,
+        len: Time,
+    },
+    /// Append a self-contact (must be rejected without corrupting state).
+    SelfContact { o: u32, t: Time },
+    /// Force a compaction.
+    Compact,
+    /// Evaluate `s ~[t1, t2]~> d` and check it against the oracle.
+    Query { s: u32, d: u32, t1: Time, t2: Time },
+}
+
+fn op_strategy(n: u32) -> impl Strategy<Value = Op> {
+    // Weighted choice by hand (the offline proptest shim has no
+    // `prop_oneof!`): 0..=4 append, 5 self-contact, 6 compact, else query.
+    (0u32..10, 0..n, 0..n, 0..HORIZON, 0..HORIZON).prop_filter_map(
+        "valid op",
+        |(kind, x, y, t, u)| match kind {
+            0..=4 => (x != y).then(|| Op::Append {
+                a: x.min(y),
+                b: x.max(y),
+                start: t,
+                len: (u % 4).min(HORIZON - 1 - t),
+            }),
+            5 => Some(Op::SelfContact { o: x, t }),
+            6 => Some(Op::Compact),
+            _ => (t <= u).then_some(Op::Query {
+                s: x,
+                d: y,
+                t1: t,
+                t2: u,
+            }),
+        },
+    )
+}
+
+fn oracle_of(n: usize, horizon: Time, contacts: &[Contact]) -> Oracle {
+    let mut per_tick: Vec<Vec<(u32, u32)>> = vec![Vec::new(); horizon as usize];
+    for c in contacts {
+        for t in c.interval.ticks() {
+            per_tick[t as usize].push((c.a.0, c.b.0));
+        }
+    }
+    Oracle::from_events(n, per_tick)
+}
+
+fn live_index(n: usize, budget: usize) -> LiveIndex {
+    LiveIndex::new(
+        Box::new(SimDevice::new(256)),
+        Box::new(|| Box::new(SimDevice::new(256))),
+        n,
+        LiveConfig::graph(
+            GraphParams {
+                partition_depth: 8,
+                page_size: 256,
+                ..GraphParams::default()
+            },
+            BuildBudget::bytes(budget),
+        ),
+    )
+    .expect("live index creates")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every query in a random schedule answers exactly as the batch
+    /// oracle over the records the live index accepted, and a final sweep
+    /// over all pairs confirms nothing drifted.
+    #[test]
+    fn schedules_are_result_identical_to_the_batch_oracle(
+        n in 3usize..6,
+        ops in prop::collection::vec(op_strategy(5), 1..60),
+        tiny_budget in any::<bool>(),
+    ) {
+        let n = n.min(5);
+        // A tiny budget forces frequent auto-compactions mid-schedule; a
+        // large one keeps everything in the delta — both must agree.
+        let mut live = live_index(n, if tiny_budget { 300 } else { 1 << 20 });
+        // Ids are drawn from 0..5 and folded into the actual universe.
+        let fold = |o: u32| o % n as u32;
+        for op in &ops {
+            match *op {
+                Op::Append { a, b, start, len } => {
+                    let (a, b) = (fold(a), fold(b));
+                    if a == b {
+                        continue;
+                    }
+                    let c = Contact::new(
+                        ObjectId(a),
+                        ObjectId(b),
+                        TimeInterval::new(start, start + len),
+                    );
+                    // Lossy mode: late records clamp or drop, never error.
+                    let outcome = live.append(c);
+                    prop_assert!(outcome.is_ok(), "append {c:?}: {outcome:?}");
+                }
+                Op::SelfContact { o, t } => {
+                    let o = fold(o);
+                    let bad = Contact {
+                        a: ObjectId(o),
+                        b: ObjectId(o),
+                        interval: TimeInterval::new(t, t),
+                    };
+                    prop_assert!(matches!(
+                        live.append(bad),
+                        Err(LiveError::SelfContact(_))
+                    ));
+                }
+                Op::Compact => {
+                    live.compact().expect("compaction succeeds");
+                }
+                Op::Query { s, d, t1, t2 } => {
+                    if live.now() == 0 {
+                        continue;
+                    }
+                    let (s, d) = (fold(s), fold(d));
+                    let t1 = t1.min(live.now() - 1);
+                    let t2 = t2.max(t1);
+                    let accepted = live.replay_log().expect("log replays");
+                    let oracle = oracle_of(n, live.now(), &accepted);
+                    let q = Query::new(ObjectId(s), ObjectId(d), TimeInterval::new(t1, t2));
+                    let got = live.evaluate_query(&q).expect("live query evaluates");
+                    let want = oracle.evaluate(&q);
+                    prop_assert_eq!(
+                        got.reachable(),
+                        want.reachable,
+                        "{} diverged (watermark {})", q, live.watermark()
+                    );
+                    if let (Some(gt), Some(wt)) = (got.outcome.earliest, want.earliest) {
+                        prop_assert_eq!(gt, wt, "{} arrival", q);
+                    }
+                }
+            }
+        }
+        // Final sweep: every pair, three interval shapes.
+        if live.now() > 0 {
+            let accepted = live.replay_log().expect("log replays");
+            let oracle = oracle_of(n, live.now(), &accepted);
+            let last = live.now() - 1;
+            let w = live.watermark();
+            let intervals = [
+                TimeInterval::new(0, last),
+                TimeInterval::new(last / 2, last),
+                // Hug the watermark so the frontier hand-off is exercised.
+                TimeInterval::new(w.saturating_sub(1).min(last), last),
+            ];
+            for s in 0..n as u32 {
+                for d in 0..n as u32 {
+                    for iv in intervals {
+                        let q = Query::new(ObjectId(s), ObjectId(d), iv);
+                        let got = live.evaluate_query(&q).expect("sweep query");
+                        let want = oracle.evaluate(&q);
+                        prop_assert_eq!(
+                            got.reachable(),
+                            want.reachable,
+                            "final sweep {} diverged (watermark {})", q, w
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -201,6 +201,18 @@ impl ReachGraph {
         self.num_nodes
     }
 
+    /// Number of objects in the indexed dataset. (Inherent so calls stay
+    /// unambiguous now that both [`HnSource`] and [`DnAccess`] expose the
+    /// same accessor.)
+    pub fn num_objects(&self) -> usize {
+        self.num_objects
+    }
+
+    /// Indexed horizon in ticks.
+    pub fn horizon(&self) -> Time {
+        self.horizon
+    }
+
     /// Index size on the device, bytes.
     pub fn size_bytes(&self) -> u64 {
         self.pager.device().size_bytes()
@@ -424,6 +436,67 @@ fn decode_meta(payload: &[u8]) -> Result<DecodedMeta, IndexError> {
         partition_of,
         partition_ptrs,
     })
+}
+
+/// [`DnAccess`] panics on device failure (see the trait docs: construction
+/// sweeps have no way to resume); this is the message re-streaming uses.
+const RESTREAM_IO: &str = "index device IO failed while re-streaming the DN of a sealed ReachGraph";
+
+/// A sealed ReachGraph can *re-stream* the DN it was built from: vertex
+/// records carry interval, members, and both DN1 edge directions, and the
+/// timeline region carries every object's runs — together exactly the
+/// [`DnAccess`] surface. This is what live watermark compaction consumes:
+/// the sealed base re-streams as a DN and merges with the delta through the
+/// ordinary streaming builders, no original trace required.
+///
+/// Reads are charged to the index device like any other access (partition
+/// fetches ride the partition buffer, timeline scans the pager), so
+/// compaction IO is honestly accounted. Device failure panics, per the
+/// [`DnAccess`] contract.
+impl DnAccess for ReachGraph {
+    fn num_objects(&self) -> usize {
+        self.num_objects
+    }
+
+    fn horizon(&self) -> Time {
+        self.horizon
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn interval(&mut self, v: u32) -> reach_core::TimeInterval {
+        self.vertex(v).expect(RESTREAM_IO).interval
+    }
+
+    fn members_into(&mut self, v: u32, out: &mut Vec<u32>) {
+        let vd = self.vertex(v).expect(RESTREAM_IO);
+        out.clear();
+        out.extend_from_slice(&vd.members);
+    }
+
+    fn fwd_into(&mut self, v: u32, out: &mut Vec<u32>) {
+        let vd = self.vertex(v).expect(RESTREAM_IO);
+        out.clear();
+        out.extend_from_slice(&vd.fwd);
+    }
+
+    fn rev_into(&mut self, v: u32, out: &mut Vec<u32>) {
+        let vd = self.vertex(v).expect(RESTREAM_IO);
+        out.clear();
+        out.extend_from_slice(&vd.rev);
+    }
+
+    fn timeline_into(&mut self, o: ObjectId, out: &mut Vec<(Time, u32)>) {
+        self.timeline
+            .timeline_into(&mut self.pager, o, out)
+            .expect(RESTREAM_IO);
+    }
+
+    fn timeline_total(&mut self) -> u64 {
+        self.timeline.total_entries()
+    }
 }
 
 impl HnSource for ReachGraph {
@@ -706,6 +779,50 @@ mod tests {
             decode_meta(&bad_table),
             Err(IndexError::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn sealed_graph_restreams_its_dn_exactly() {
+        let (dn, mr, _) = random_world(14, 6, 80, 0.05);
+        let mut rg = ReachGraph::build(&dn, &mr, params(256)).unwrap();
+        assert_eq!(DnAccess::num_nodes(&rg), dn.num_nodes());
+        assert_eq!(DnAccess::num_objects(&rg), dn.num_objects());
+        assert_eq!(DnAccess::horizon(&rg), dn.horizon());
+        let mut buf = Vec::new();
+        for v in 0..dn.num_nodes() as u32 {
+            assert_eq!(DnAccess::interval(&mut rg, v), dn.node(v).interval);
+            rg.members_into(v, &mut buf);
+            let expect: Vec<u32> = dn.node(v).members.iter().map(|m| m.0).collect();
+            assert_eq!(buf, expect, "members of {v}");
+            rg.fwd_into(v, &mut buf);
+            assert_eq!(buf.as_slice(), dn.fwd(v), "fwd of {v}");
+            rg.rev_into(v, &mut buf);
+            assert_eq!(buf.as_slice(), dn.rev(v), "rev of {v}");
+        }
+        let mut tl = Vec::new();
+        let mut total = 0u64;
+        for o in 0..dn.num_objects() as u32 {
+            DnAccess::timeline_into(&mut rg, ObjectId(o), &mut tl);
+            assert_eq!(tl.as_slice(), dn.timeline(ObjectId(o)), "timeline of {o}");
+            total += tl.len() as u64;
+        }
+        assert_eq!(rg.timeline_total(), total);
+        // The re-streamed DN rebuilds a byte-identical index: partitioning,
+        // multires, and serialization see the same DAG.
+        let mr2 = MultiRes::build(&mut rg, &reach_contact::DEFAULT_LEVELS);
+        assert_eq!(mr2.levels(), mr.levels());
+        let mut rebuilt =
+            ReachGraph::build_on(Box::new(SimDevice::new(256)), &mut rg, &mr2, params(256))
+                .unwrap();
+        let mut original = ReachGraph::build(&dn, &mr, params(256)).unwrap();
+        let (a, b) = (original.device_mut(), rebuilt.device_mut());
+        assert_eq!(a.len_pages(), b.len_pages());
+        let (mut pa, mut pb) = (vec![0u8; 256], vec![0u8; 256]);
+        for p in 0..a.len_pages() {
+            a.read_page_into(p, &mut pa).unwrap();
+            b.read_page_into(p, &mut pb).unwrap();
+            assert_eq!(pa, pb, "page {p} differs");
+        }
     }
 
     #[test]

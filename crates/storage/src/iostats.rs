@@ -71,6 +71,19 @@ impl IoStats {
         )
     }
 
+    /// Takes the accumulated counters, leaving zeros behind — the drain
+    /// primitive for *owned* `IoStats` aggregates (e.g. a service handing
+    /// off its per-phase totals to a reporter and starting fresh).
+    ///
+    /// Do **not** reach for this to attribute a live device's counters to
+    /// phases: draining would have to go through the device's reset, which
+    /// also wipes the head position and distorts the sequential/random
+    /// classification of whatever runs next. That job belongs to
+    /// [`IoSampler`], which diffs snapshots without ever resetting.
+    pub fn take(&mut self) -> IoStats {
+        std::mem::take(self)
+    }
+
     /// Counters accumulated since `earlier` (element-wise saturating
     /// difference); used to attribute IO to a single query.
     pub fn since(&self, earlier: &IoStats) -> IoStats {
@@ -162,6 +175,49 @@ impl IoTracker {
     }
 }
 
+/// Attributes a device's monotonically growing counters to *phases*.
+///
+/// Devices only accumulate ([`IoStats`] never shrinks while the device
+/// lives), which is the right model for the paper's build/query split but
+/// useless for a long-lived service that wants "IO of this query" and "IO of
+/// that compaction" out of one device. An `IoSampler` remembers the counter
+/// state at the previous sampling point; [`IoSampler::sample`] returns what
+/// accumulated since, without ever resetting the device (resets would also
+/// wipe the head position and distort the sequential/random classification
+/// of whatever runs next).
+#[derive(Clone, Copy, Default, Debug)]
+pub struct IoSampler {
+    last: IoStats,
+}
+
+impl IoSampler {
+    /// A sampler whose first [`IoSampler::sample`] reports everything the
+    /// device has ever counted.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A sampler that starts measuring at `baseline` (counters accumulated
+    /// before it are attributed to no phase).
+    pub fn starting_at(baseline: IoStats) -> Self {
+        Self { last: baseline }
+    }
+
+    /// Counters accumulated since the previous sample (or since
+    /// construction), advancing the sampling point to `current`.
+    pub fn sample(&mut self, current: IoStats) -> IoStats {
+        let delta = current.since(&self.last);
+        self.last = current;
+        delta
+    }
+
+    /// Moves the sampling point to `current` without reporting the
+    /// intervening counters (e.g. to exclude a warm-up phase).
+    pub fn skip_to(&mut self, current: IoStats) {
+        self.last = current;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,6 +297,53 @@ mod tests {
         assert_eq!(s.seq_writes, 0);
         assert_eq!(s.random_reads, 2);
         assert_eq!(s.random_writes, 2);
+    }
+
+    #[test]
+    fn take_drains_counters() {
+        let mut s = IoStats {
+            random_reads: 3,
+            seq_reads: 4,
+            random_writes: 5,
+            seq_writes: 6,
+            cache_hits: 7,
+        };
+        let taken = s.take();
+        assert_eq!(taken.random_reads, 3);
+        assert_eq!(taken.cache_hits, 7);
+        assert_eq!(s, IoStats::default());
+    }
+
+    #[test]
+    fn sampler_attributes_counters_to_phases() {
+        let mut t = IoTracker::new();
+        let mut sampler = IoSampler::new();
+        t.note_read(0);
+        t.note_read(1);
+        let phase1 = sampler.sample(t.stats());
+        assert_eq!((phase1.random_reads, phase1.seq_reads), (1, 1));
+        // Nothing happened: the next sample is empty.
+        assert_eq!(sampler.sample(t.stats()), IoStats::default());
+        t.note_write(9);
+        t.note_read(2);
+        let phase2 = sampler.sample(t.stats());
+        assert_eq!(phase2.random_writes, 1);
+        assert_eq!(phase2.seq_reads, 1, "head position survived sampling");
+        assert_eq!(phase2.random_reads, 0);
+        // The device itself was never reset.
+        assert_eq!(t.stats().total_reads(), 3);
+    }
+
+    #[test]
+    fn sampler_skip_to_discards_a_phase() {
+        let mut t = IoTracker::new();
+        t.note_read(0);
+        let mut sampler = IoSampler::starting_at(t.stats());
+        t.note_read(5);
+        sampler.skip_to(t.stats()); // warm-up excluded
+        t.note_read(9);
+        let s = sampler.sample(t.stats());
+        assert_eq!(s.total_reads(), 1);
     }
 
     #[test]

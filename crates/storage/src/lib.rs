@@ -57,7 +57,7 @@ pub use codec::{ByteReader, ByteWriter};
 pub use config::{StorageBackend, StorageConfig};
 pub use device::{BlockDevice, PageId, DEFAULT_PAGE_SIZE};
 pub use file::FileDevice;
-pub use iostats::IoStats;
+pub use iostats::{IoSampler, IoStats};
 pub use layout::{read_record, RecordPtr, RecordWriter};
 pub use mmap::MmapDevice;
 pub use pager::Pager;

@@ -123,6 +123,34 @@ impl TimelineRegion {
         })
     }
 
+    /// Replaces `out` with object `o`'s complete `(start_tick, node)` run
+    /// list, in ascending tick order — the read that lets a sealed index
+    /// *re-stream* its DN (live compaction, frontier reconstruction).
+    /// Entries are packed densely, so the scan is sequential on the device
+    /// apart from the first page of the object's range.
+    pub fn timeline_into(
+        &self,
+        pager: &mut Pager,
+        o: ObjectId,
+        out: &mut Vec<(Time, u32)>,
+    ) -> Result<(), IndexError> {
+        let &(first, count) = self
+            .index
+            .get(o.index())
+            .ok_or(IndexError::UnknownObject(o))?;
+        out.clear();
+        out.reserve(count as usize);
+        for i in 0..u64::from(count) {
+            out.push(self.read_entry(pager, first + i)?);
+        }
+        Ok(())
+    }
+
+    /// Total `(start_tick, node)` entries over all objects.
+    pub fn total_entries(&self) -> u64 {
+        self.index.iter().map(|&(_, count)| u64::from(count)).sum()
+    }
+
     /// The node containing `o` at tick `t`: binary search over the object's
     /// on-device run entries. Each probe touches exactly one page and rides
     /// the zero-copy [`Pager::with_page`] path.
@@ -182,6 +210,28 @@ mod tests {
         assert!(matches!(
             region.node_of(&mut pager, ObjectId(9), 0),
             Err(IndexError::UnknownObject(ObjectId(9)))
+        ));
+    }
+
+    #[test]
+    fn timeline_into_reads_back_whole_runs() {
+        let o0: &[(Time, u32)] = &[(0, 10), (5, 11), (9, 12)];
+        let o1: &[(Time, u32)] = &[(0, 20)];
+        let o2: &[(Time, u32)] = &[];
+        let (region, mut pager) = region_with(&[o0, o1, o2], 64, 4);
+        assert_eq!(region.total_entries(), 4);
+        let mut out = vec![(9, 9)];
+        region
+            .timeline_into(&mut pager, ObjectId(0), &mut out)
+            .unwrap();
+        assert_eq!(out.as_slice(), o0);
+        region
+            .timeline_into(&mut pager, ObjectId(2), &mut out)
+            .unwrap();
+        assert!(out.is_empty());
+        assert!(matches!(
+            region.timeline_into(&mut pager, ObjectId(9), &mut out),
+            Err(IndexError::UnknownObject(_))
         ));
     }
 

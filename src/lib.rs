@@ -18,6 +18,7 @@
 //! | [`grid`] | ReachGrid index + SPJ baseline |
 //! | [`graph`] | ReachGraph index + E-DFS/E-BFS/B-BFS/BM-BFS |
 //! | [`baselines`] | GRAIL (memory and disk) |
+//! | [`live`] | continuous ingestion: append log, delta DN, watermark compaction |
 //! | [`ext`] | uncertain contacts (U-ReachGraph), non-immediate contacts |
 //!
 //! ## Storage backends
@@ -184,6 +185,49 @@
 //! assert!(graph.evaluate(&q).expect("query evaluates").reachable());
 //! ```
 
+//! ## Live ingestion: appending to a running index
+//!
+//! Contact feeds are append-streams, not files. A
+//! [`LiveIndex`](live::LiveIndex) accepts out-of-order appends into a
+//! mutable delta, keeps every record durable in an
+//! [`AppendLog`](live::AppendLog), answers queries that span the sealed /
+//! live boundary, and — when the delta outgrows its budget — *compacts*:
+//! the sealed base re-streams its DN, merges with the delta through the
+//! memory-bounded streaming builders, and the result is byte-identical to
+//! a batch rebuild over the full history:
+//!
+//! ```
+//! use streach::prelude::*;
+//!
+//! let params = GraphParams { page_size: 256, ..GraphParams::default() };
+//! let mut live = LiveIndex::new(
+//!     StorageConfig::sim(256).create().expect("log device"),
+//!     Box::new(|| StorageConfig::sim(256).create().expect("device")),
+//!     4, // universe size
+//!     LiveConfig::graph(params, BuildBudget::bytes(64 << 10)),
+//! )
+//! .expect("live index creates");
+//!
+//! // The paper's Figure 1 contacts arrive as a stream (c1..c4)…
+//! live.append(Contact::new(ObjectId(0), ObjectId(1), TimeInterval::new(0, 0)))
+//!     .expect("append accepted");
+//! live.append(Contact::new(ObjectId(1), ObjectId(3), TimeInterval::new(1, 1)))
+//!     .expect("append accepted");
+//!
+//! // …and are queryable immediately: o4 reachable from o1 during [0, 1].
+//! let q = Query::new(ObjectId(0), ObjectId(3), TimeInterval::new(0, 1));
+//! assert!(live.evaluate_query(&q).expect("query evaluates").reachable());
+//!
+//! // Seal what we have, then keep appending: the next query spans the
+//! // watermark — the base extracts the arrival frontier at the cut and
+//! // the delta continues from there.
+//! live.compact().expect("compaction succeeds");
+//! live.append(Contact::new(ObjectId(2), ObjectId(3), TimeInterval::new(2, 2)))
+//!     .expect("append accepted");
+//! let q = Query::new(ObjectId(0), ObjectId(2), TimeInterval::new(0, 2));
+//! assert!(live.evaluate_query(&q).expect("query evaluates").reachable());
+//! ```
+
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
@@ -193,6 +237,7 @@ pub use reach_core as core;
 pub use reach_ext as ext;
 pub use reach_graph as graph;
 pub use reach_grid as grid;
+pub use reach_live as live;
 pub use reach_mobility as mobility;
 pub use reach_storage as storage;
 pub use reach_traj as traj;
@@ -212,10 +257,14 @@ pub mod prelude {
     pub use reach_ext::{NonImmediateIndex, UReachGraph, UncertainOracle};
     pub use reach_graph::{GraphParams, MemoryHn, ReachGraph, TraversalKind};
     pub use reach_grid::{GridParams, ReachGrid, Spj};
+    pub use reach_live::{
+        AppendLog, BaseKind, CompactionStats, DeltaDn, GrailConfig, LiveConfig, LiveError,
+        LiveIndex, LiveStats, LogRecovery,
+    };
     pub use reach_mobility::{RoadNetwork, RwpConfig, VehicleConfig, WorkloadConfig};
     pub use reach_storage::{
-        BlockDevice, BuildBudget, FileDevice, IoStats, MmapDevice, Pager, SimDevice, SpillStats,
-        StorageBackend, StorageConfig,
+        BlockDevice, BuildBudget, FileDevice, IoSampler, IoStats, MmapDevice, Pager, SimDevice,
+        SpillStats, StorageBackend, StorageConfig,
     };
     pub use reach_traj::{Trajectory, TrajectoryStore};
 }
