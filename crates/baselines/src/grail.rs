@@ -27,6 +27,7 @@ use reach_storage::{
     read_record, BlockDevice, ByteReader, ByteWriter, Pager, RecordPtr, RecordWriter, SimDevice,
     TimelineRegion,
 };
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The randomized interval labels of one DAG.
@@ -237,11 +238,14 @@ type DiskVertex = (Vec<u32>, Vec<(u32, u32)>);
 /// a pager.
 pub struct GrailDisk {
     pager: Pager,
-    node_ptrs: Vec<RecordPtr>,
+    /// Record address per vertex (shared by reader clones, see
+    /// [`GrailDisk::reader`]).
+    node_ptrs: Arc<Vec<RecordPtr>>,
     /// The `Ht` lookup region (shared layout with ReachGraph).
     timeline: TimelineRegion,
     horizon: Time,
     num_objects: usize,
+    cache_pages: usize,
 }
 
 impl GrailDisk {
@@ -303,16 +307,39 @@ impl GrailDisk {
         disk.reset_stats();
         Ok(Self {
             pager: Pager::new(device, cache_pages),
-            node_ptrs,
+            node_ptrs: Arc::new(node_ptrs),
             timeline,
             horizon,
             num_objects,
+            cache_pages,
         })
     }
 
     /// The underlying block device (diagnostics and equivalence testing).
     pub fn device_mut(&mut self) -> &mut dyn BlockDevice {
         self.pager.device_mut()
+    }
+
+    /// A private reader over the same index image: shares the in-memory
+    /// vertex directory and timeline (GRAIL keeps no metadata footer on
+    /// disk, so sharing happens through these `Arc`s rather than a reopen)
+    /// and starts with an empty pool and zeroed counters on `device`, which
+    /// must address the same pages this index was built on — typically
+    /// another [`SharedDevice`](reach_storage::SharedDevice) handle.
+    pub fn reader(&self, device: Box<dyn BlockDevice>) -> GrailDisk {
+        assert_eq!(
+            device.page_size(),
+            self.pager.page_size(),
+            "reader device page size must match the index page size"
+        );
+        GrailDisk {
+            pager: Pager::new(device, self.cache_pages),
+            node_ptrs: Arc::clone(&self.node_ptrs),
+            timeline: self.timeline.clone(),
+            horizon: self.horizon,
+            num_objects: self.num_objects,
+            cache_pages: self.cache_pages,
+        }
     }
 
     /// Number of DAG vertices on disk.

@@ -1,0 +1,15 @@
+//! Runs the concurrent-serving experiment: appends, a background watermark
+//! compaction, and a pooled multi-threaded query stream interleaved on one
+//! `ConcurrentLive` index, with service metrics reported (and answers
+//! asserted identical to a batch-built ReachGraph after quiescing).
+//!
+//! `--backend=sim|file|mmap` selects the storage backend for every device
+//! (log, bases, scratch); `--full` the recorded scales, as for every other
+//! experiment binary.
+
+fn main() {
+    let tier = reach_bench::Tier::from_args();
+    for table in reach_bench::experiments::exp_serve(tier) {
+        table.print();
+    }
+}

@@ -800,7 +800,7 @@ fn exp_trace_budgeted(
 /// records.
 pub fn exp_live(tier: Tier) -> Vec<Table> {
     use reach_core::ReachabilityIndex as _;
-    use reach_live::{LiveConfig, LiveIndex};
+    use reach_live::LiveConfig;
     use reach_storage::BuildBudget;
 
     let backend = Backend::from_args();
@@ -834,15 +834,16 @@ pub fn exp_live(tier: Tier) -> Vec<Table> {
         .unwrap_or_else(BuildBudget::unbounded);
     let params = graph_params_for(tier);
     let page = params.page_size;
-    let mut live = LiveIndex::new(
-        backend.device(page),
-        Box::new(move || backend.device(page)),
-        store.num_objects(),
-        LiveConfig::graph(params.clone(), build_budget)
-            .with_delta_budget(delta_budget)
-            .with_lateness(16),
-    )
-    .expect("live index creates");
+    let mut live = LiveConfig::graph(params.clone(), build_budget)
+        .with_delta_budget(delta_budget)
+        .with_lateness(16)
+        .builder()
+        .build_on(
+            backend.device(page),
+            Box::new(move || backend.device(page)),
+            store.num_objects(),
+        )
+        .expect("live index creates");
 
     let (appended, append_dur) = timed(|| {
         let mut n = 0u64;
@@ -965,6 +966,241 @@ pub fn exp_live(tier: Tier) -> Vec<Table> {
 }
 
 // ---------------------------------------------------------------------------
+// Concurrent serving — queries, appends, and compactions interleaved
+// ---------------------------------------------------------------------------
+
+/// exp_serve: concurrent query serving over a `ConcurrentLive` index —
+/// appends, a background watermark compaction, and a multi-threaded query
+/// stream (through the `reach_serve` admission queue and worker pool) all
+/// interleaved on one index.
+///
+/// **Asserts** along the way: at least one compaction committed; at least
+/// one query completed *while* a compaction was building (the
+/// non-blocking-readers contract); and, after quiescing, every workload
+/// query answers exactly as a batch-built ReachGraph over the accepted
+/// records.
+pub fn exp_serve(tier: Tier) -> Vec<Table> {
+    use crate::runner::run_batch_shared;
+    use reach_core::{ReachRequest, ReachabilityIndex as _};
+    use reach_live::LiveConfig;
+    use reach_serve::{ServeConfig, Server, SubmitError};
+    use reach_storage::BuildBudget;
+    use std::sync::Arc;
+
+    let backend = Backend::from_args();
+    let spec = match tier {
+        Tier::Quick => DatasetSpec::rwp("serve-rwp", 400, 1200, 57),
+        Tier::Full => DatasetSpec::rwp("serve-rwp", 1000, 4000, 57),
+    };
+    let store = spec.generate();
+    let mut contacts =
+        reach_contact::extract_contacts(&store, store.horizon_interval(), spec.threshold);
+    contacts.sort_by_key(|c| (c.interval.start, c.a, c.b));
+    for i in (4..contacts.len()).step_by(4) {
+        contacts.swap(i, i - 2);
+    }
+
+    let delta_budget =
+        ((contacts.len() * reach_live::DeltaDn::MAX_RECORD_RESIDENT_BYTES) / 3).max(16 << 10);
+    let build_budget = crate::datasets::build_budget_from_args()
+        .map(BuildBudget::bytes)
+        .unwrap_or_else(BuildBudget::unbounded);
+    let params = graph_params_for(tier);
+    let page = params.page_size;
+    let index = Arc::new(
+        LiveConfig::graph(params.clone(), build_budget)
+            .with_delta_budget(delta_budget)
+            .with_lateness(16)
+            .builder()
+            .serve_on(
+                backend.device(page),
+                Box::new(move || backend.device(page)),
+                store.num_objects(),
+            )
+            .expect("serving index creates"),
+    );
+
+    // Phase 1 — ingest the whole stream. Over-budget appends request
+    // background compactions; appends never wait for them.
+    let (appended, append_dur) = timed(|| {
+        let mut n = 0u64;
+        for &c in &contacts {
+            let outcome = index.append(c).expect("lossy appends never error");
+            n += u64::from(outcome.logged);
+        }
+        n
+    });
+
+    // Seal the ingested stream so the overlap phase's queries exercise the
+    // sealed base (and pay counted IO), not just the in-memory delta.
+    index.compact_now().expect("post-ingest compaction");
+
+    // Phase 2 — guaranteed overlap: stretch one compaction's build window
+    // and serve queries through the worker pool while it is in flight.
+    // `compact_now` runs on a helper thread (it waits out any in-flight
+    // background build first, then runs unconditionally); the pool answers
+    // same-source bursts the whole time.
+    if index.watermark() >= index.now().saturating_sub(16) {
+        // The stream's tail is already sealed; open fresh room so the
+        // overlap compaction has a cut to advance to.
+        index.advance(index.now() + 32);
+    }
+    index.set_compaction_pause_ms(80);
+    let server = Server::start(
+        Arc::clone(&index) as Arc<dyn reach_core::ReachIndex>,
+        ServeConfig {
+            workers: 4,
+            queue_capacity: 256,
+            max_batch: 32,
+        },
+    )
+    .expect("server starts");
+    let compaction_thread = {
+        let index = Arc::clone(&index);
+        std::thread::spawn(move || index.compact_now())
+    };
+    let overlap_deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    while !index.metrics().compacting {
+        assert!(
+            std::time::Instant::now() < overlap_deadline,
+            "overlap compaction never started"
+        );
+        std::thread::yield_now();
+    }
+    let burst_window = reach_core::TimeInterval::new(0, index.now() - 1);
+    let mut burst_source = 0u32;
+    while index.metrics().compacting {
+        // One same-source burst per loop: dest fan-out the pool coalesces.
+        let source = reach_core::ObjectId(burst_source % store.num_objects() as u32);
+        burst_source += 1;
+        let tickets: Vec<_> = (0..8u32)
+            .filter_map(|d| {
+                let dest =
+                    reach_core::ObjectId((burst_source + d * 7) % store.num_objects() as u32);
+                match server.submit(ReachRequest::reach(source, burst_window, dest)) {
+                    Ok(t) => Some(t),
+                    Err(SubmitError::QueueFull { .. }) => None,
+                    Err(SubmitError::ShuttingDown) => unreachable!("server is alive"),
+                }
+            })
+            .collect();
+        for t in tickets {
+            t.wait().expect("burst query answers");
+        }
+    }
+    index.set_compaction_pause_ms(0);
+    compaction_thread
+        .join()
+        .expect("compaction thread")
+        .expect("overlap compaction succeeds");
+
+    let live = index.metrics();
+    let serve_m = server.metrics();
+    drop(server);
+    assert!(live.compactions >= 1, "no compaction ever committed");
+    assert!(
+        live.overlapped_queries >= 1,
+        "no query overlapped a building compaction"
+    );
+
+    let mut inventory = Table::new(
+        "exp_serve (inventory)",
+        "concurrent serving: appends + background compaction + pooled queries on one index",
+        &[
+            "stream",
+            "records",
+            "appended",
+            "compactions",
+            "epoch",
+            "watermark",
+            "horizon",
+            "overlapped queries",
+        ],
+    );
+    inventory.row(vec![
+        spec.name.clone(),
+        contacts.len().to_string(),
+        appended.to_string(),
+        live.compactions.to_string(),
+        live.epoch.to_string(),
+        live.watermark.to_string(),
+        live.now.to_string(),
+        live.overlapped_queries.to_string(),
+    ]);
+
+    let mut service = Table::new(
+        "exp_serve (service)",
+        "the admission queue and worker pool during the overlap window",
+        &[
+            "append records/s",
+            "completed",
+            "failed",
+            "rejected",
+            "batched",
+            "p50 IO",
+            "p99 IO",
+        ],
+    );
+    service.row(vec![
+        fnum(appended as f64 / append_dur.as_secs_f64().max(1e-9)),
+        serve_m.completed.to_string(),
+        serve_m.failed.to_string(),
+        serve_m.rejected.to_string(),
+        serve_m.batched.to_string(),
+        fnum(serve_m.p50_normalized_io),
+        fnum(serve_m.p99_normalized_io),
+    ]);
+
+    // Phase 3 — quiesce and prove exactness: the concurrent index vs a
+    // batch ReachGraph over the accepted records, query by query.
+    let accepted = index.replay_log().expect("log replays");
+    let horizon = index.now();
+    let mut batch = {
+        let dn = reach_contact::DnGraph::from_contacts(store.num_objects(), horizon, &accepted);
+        let mr = MultiRes::build(&dn, &params.levels);
+        build_graph(&dn, &mr, params.clone())
+    };
+    let queries: Vec<Query> = workload(&spec, tier, 0x5E12E)
+        .into_iter()
+        .filter(|q| q.interval.start < horizon)
+        .collect();
+    for q in &queries {
+        let a = index.evaluate_query(q).expect("concurrent query");
+        let b = batch.evaluate(q).expect("batch query");
+        assert_eq!(
+            a.reachable(),
+            b.reachable(),
+            "concurrent and batch disagree on {q} (watermark {})",
+            index.watermark()
+        );
+    }
+    let mut query_t = Table::new(
+        "exp_serve (queries)",
+        "quiesced query cost (answers asserted identical to a batch ReachGraph)",
+        &[
+            "evaluator",
+            "mean normalized IO",
+            "mean CPU",
+            "reachable frac",
+        ],
+    );
+    let conc_batch = run_batch_shared(&*index, &queries);
+    let graph_batch = run_batch(&mut batch, &queries);
+    for (name, r) in [
+        ("ConcurrentLive (epoch + delta)", conc_batch),
+        ("batch ReachGraph", graph_batch),
+    ] {
+        query_t.row(vec![
+            name.to_string(),
+            fnum(r.mean_io),
+            fdur(r.mean_cpu),
+            format!("{:.2}", r.reachable_frac),
+        ]);
+    }
+    vec![inventory, service, query_t]
+}
+
+// ---------------------------------------------------------------------------
 // Ablations — design choices the paper motivates but does not sweep
 // ---------------------------------------------------------------------------
 
@@ -1031,6 +1267,7 @@ pub fn all(tier: Tier) -> Vec<Table> {
     out.extend(exp_table5(tier));
     out.extend(exp_trace(tier));
     out.extend(exp_live(tier));
+    out.extend(exp_serve(tier));
     out.extend(exp_ablation(tier));
     out
 }

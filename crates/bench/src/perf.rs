@@ -29,10 +29,10 @@ use reach_graph::{GraphParams, ReachGraph};
 use reach_grid::{GridParams, ReachGrid};
 use reach_mobility::WorkloadConfig;
 use reach_storage::{BlockDevice, BuildBudget, IoStats, PageId, SimDevice};
-use std::cell::RefCell;
+
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Schema version of the report format.
 pub const SCHEMA: u32 = 1;
@@ -289,16 +289,16 @@ pub fn diff(baseline: &PerfReport, current: &PerfReport, max_regress: f64) -> Di
 #[derive(Debug)]
 struct CountingDevice {
     inner: Box<dyn BlockDevice>,
-    accumulated: Rc<RefCell<IoStats>>,
+    accumulated: Arc<Mutex<IoStats>>,
 }
 
 impl CountingDevice {
-    fn wrap(inner: Box<dyn BlockDevice>) -> (Box<dyn BlockDevice>, Rc<RefCell<IoStats>>) {
-        let accumulated = Rc::new(RefCell::new(IoStats::default()));
+    fn wrap(inner: Box<dyn BlockDevice>) -> (Box<dyn BlockDevice>, Arc<Mutex<IoStats>>) {
+        let accumulated = Arc::new(Mutex::new(IoStats::default()));
         (
             Box::new(Self {
                 inner,
-                accumulated: Rc::clone(&accumulated),
+                accumulated: Arc::clone(&accumulated),
             }),
             accumulated,
         )
@@ -335,8 +335,8 @@ impl BlockDevice for CountingDevice {
     }
 
     fn reset_stats(&mut self) {
-        let total = *self.accumulated.borrow() + self.inner.stats();
-        *self.accumulated.borrow_mut() = total;
+        let mut acc = self.accumulated.lock().expect("perf counter lock");
+        *acc = *acc + self.inner.stats();
         self.inner.reset_stats();
     }
 
@@ -430,7 +430,7 @@ pub fn quick_suite() -> (PerfReport, f64) {
         record_build(
             &mut counters,
             "rwp/grid",
-            *build_io.borrow(),
+            *build_io.lock().expect("perf counter lock"),
             grid.size_bytes() / PERF_PAGE as u64,
         );
         record_batch(&mut counters, "rwp/grid", &mut grid, &queries);
@@ -451,7 +451,7 @@ pub fn quick_suite() -> (PerfReport, f64) {
         record_build(
             &mut counters,
             "rwp/graph",
-            *build_io.borrow(),
+            *build_io.lock().expect("perf counter lock"),
             graph.size_bytes() / PERF_PAGE as u64,
         );
         record_batch(&mut counters, "rwp/graph", &mut graph, &queries);
@@ -463,7 +463,12 @@ pub fn quick_suite() -> (PerfReport, f64) {
             let dev = grail.device_mut();
             dev.len_pages()
         };
-        record_build(&mut counters, "rwp/grail", *build_io.borrow(), grail_pages);
+        record_build(
+            &mut counters,
+            "rwp/grail",
+            *build_io.lock().expect("perf counter lock"),
+            grail_pages,
+        );
         record_batch(&mut counters, "rwp/grail", &mut grail, &queries);
 
         // Memory-bounded streaming build: spill counters + peak resident
@@ -504,19 +509,20 @@ pub fn quick_suite() -> (PerfReport, f64) {
         // thirds, seal, rest), then a cross-boundary query batch. Counted
         // IO only — append-log writes, delta peak, compaction base-read
         // and spill traffic, and query reads that span the watermark.
-        let mut live = reach_live::LiveIndex::new(
+        let mut live = reach_live::LiveConfig::graph(
+            GraphParams {
+                partition_depth: 8,
+                page_size: PERF_PAGE,
+                ..GraphParams::default()
+            },
+            BuildBudget::bytes(PERF_BUDGET_BYTES),
+        )
+        .manual_compaction()
+        .builder()
+        .build_on(
             Box::new(SimDevice::new(PERF_PAGE)),
             Box::new(|| Box::new(SimDevice::new(PERF_PAGE))),
             store.num_objects(),
-            reach_live::LiveConfig::graph(
-                GraphParams {
-                    partition_depth: 8,
-                    page_size: PERF_PAGE,
-                    ..GraphParams::default()
-                },
-                BuildBudget::bytes(PERF_BUDGET_BYTES),
-            )
-            .manual_compaction(),
         )
         .expect("perf live index creates");
         // Deterministic three-chunk schedule with two seals: the second
@@ -561,6 +567,78 @@ pub fn quick_suite() -> (PerfReport, f64) {
                 + live_stats.compaction_spill_io.total_writes(),
         );
         record_batch(&mut counters, "rwp/live", &mut live, &queries);
+
+        // Concurrent serving: the same stream and seal schedule through
+        // the shared-epoch index. Quiesced, per-query counted IO is a pure
+        // function of (epoch, query) — every reader gets a fresh device
+        // handle and a cold per-query cache — so the totals gate exactly,
+        // and they must match the single-threaded live totals above. A
+        // same-source batch is counted too: one expansion's IO, however
+        // many destinations ride it.
+        let serve = reach_live::LiveConfig::graph(
+            GraphParams {
+                partition_depth: 8,
+                page_size: PERF_PAGE,
+                ..GraphParams::default()
+            },
+            BuildBudget::bytes(PERF_BUDGET_BYTES),
+        )
+        .manual_compaction()
+        .builder()
+        .serve_on(
+            Box::new(SimDevice::new(PERF_PAGE)),
+            Box::new(|| Box::new(SimDevice::new(PERF_PAGE))),
+            store.num_objects(),
+        )
+        .expect("perf serving index creates");
+        let feed_shared = |serve: &reach_live::ConcurrentLive, span: &[reach_core::Contact]| {
+            for &c in span {
+                serve.append(c).expect("perf serve append accepted");
+            }
+        };
+        feed_shared(&serve, &contacts[..cut1]);
+        serve.compact_now().expect("perf serve compaction succeeds");
+        feed_shared(&serve, &contacts[cut1..cut2]);
+        serve
+            .compact_now()
+            .expect("perf serve recompaction succeeds");
+        feed_shared(&serve, &contacts[cut2..]);
+        let (mut random, mut seq, mut reachable) = (0u64, 0u64, 0u64);
+        for q in &queries {
+            let r = serve
+                .evaluate_query(q)
+                .unwrap_or_else(|e| panic!("perf serve query {q} failed: {e}"));
+            random += r.stats.random_ios;
+            seq += r.stats.seq_ios;
+            reachable += u64::from(r.reachable());
+        }
+        assert_eq!(
+            (random, seq),
+            (
+                counters["rwp/live/query/random_reads"],
+                counters["rwp/live/query/seq_reads"]
+            ),
+            "concurrent query IO must equal the single-threaded path's"
+        );
+        counters.insert("rwp/serve/query/random_reads".into(), random);
+        counters.insert("rwp/serve/query/seq_reads".into(), seq);
+        counters.insert("rwp/serve/query/reachable".into(), reachable);
+        counters.insert("rwp/serve/epoch".into(), serve.metrics().epoch);
+        let dests: Vec<reach_core::ObjectId> = (0..store.num_objects() as u32)
+            .map(reach_core::ObjectId)
+            .collect();
+        let window = reach_core::TimeInterval::new(0, serve.now() - 1);
+        let answers = serve
+            .evaluate_batch(reach_core::ObjectId(0), window, &dests)
+            .expect("perf serve batch evaluates");
+        let batch_random: u64 = answers.iter().map(|a| a.stats.random_ios).sum();
+        let batch_seq: u64 = answers.iter().map(|a| a.stats.seq_ios).sum();
+        counters.insert("rwp/serve/batch/random_reads".into(), batch_random);
+        counters.insert("rwp/serve/batch/seq_reads".into(), batch_seq);
+        counters.insert(
+            "rwp/serve/batch/reachable".into(),
+            answers.iter().map(|a| u64::from(a.reachable())).sum(),
+        );
 
         PerfReport {
             schema: SCHEMA,

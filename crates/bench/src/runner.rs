@@ -4,7 +4,7 @@
 //! runner executes a batch against any [`ReachabilityIndex`] and aggregates
 //! the paper's metrics (normalized IOs, CPU time) plus auxiliary counters.
 
-use reach_core::{Query, ReachabilityIndex};
+use reach_core::{Answer, Query, ReachIndex, ReachRequest, ReachabilityIndex};
 use reach_storage::BlockDevice;
 use std::time::Duration;
 
@@ -27,8 +27,29 @@ pub struct BatchResult {
     pub mean_visited: f64,
 }
 
-/// Runs `queries` against `index`, averaging the paper's metrics.
+/// Runs `queries` against `index`, averaging the paper's metrics. Every
+/// evaluator enters through the unified [`ReachRequest`] envelope — the
+/// harness has no per-index dispatch.
 pub fn run_batch<I: ReachabilityIndex + ?Sized>(index: &mut I, queries: &[Query]) -> BatchResult {
+    aggregate(queries, |q| {
+        let name = index.name();
+        index
+            .answer(&ReachRequest::from(*q))
+            .unwrap_or_else(|e| panic!("query {q} failed on {name}: {e}"))
+    })
+}
+
+/// [`run_batch`] for shared (`&self`) evaluators behind the concurrent
+/// [`ReachIndex`] trait — what the serving experiments aggregate with.
+pub fn run_batch_shared<I: ReachIndex + ?Sized>(index: &I, queries: &[Query]) -> BatchResult {
+    aggregate(queries, |q| {
+        index
+            .answer(&ReachRequest::from(*q))
+            .unwrap_or_else(|e| panic!("query {q} failed on {}: {e}", index.name()))
+    })
+}
+
+fn aggregate(queries: &[Query], mut answer: impl FnMut(&Query) -> Answer) -> BatchResult {
     let mut total_io = 0.0;
     let mut total_rand = 0u64;
     let mut total_seq = 0u64;
@@ -36,9 +57,7 @@ pub fn run_batch<I: ReachabilityIndex + ?Sized>(index: &mut I, queries: &[Query]
     let mut total_visited = 0u64;
     let mut reachable = 0usize;
     for q in queries {
-        let r = index
-            .evaluate(q)
-            .unwrap_or_else(|e| panic!("query {q} failed on {}: {e}", index.name()));
+        let r = answer(q);
         total_io += r.stats.normalized_io();
         total_rand += r.stats.random_ios;
         total_seq += r.stats.seq_ios;
@@ -127,6 +146,18 @@ mod tests {
         assert!((r.mean_random - 2.0).abs() < 1e-12);
         assert!((r.mean_visited - 5.0).abs() < 1e-12);
         assert_eq!(r.mean_cpu, Duration::from_micros(10));
+    }
+
+    #[test]
+    fn shared_batch_agrees_with_the_exclusive_path() {
+        let queries: Vec<Query> = (0..4)
+            .map(|i| Query::new(ObjectId(i), ObjectId(i + 10), TimeInterval::new(0, 5)))
+            .collect();
+        let exclusive = run_batch(&mut Fake, &queries);
+        let shared = run_batch_shared(&reach_core::Serial::new(Fake), &queries);
+        assert_eq!(shared.queries, exclusive.queries);
+        assert!((shared.mean_io - exclusive.mean_io).abs() < 1e-12);
+        assert!((shared.reachable_frac - exclusive.reachable_frac).abs() < 1e-12);
     }
 
     #[test]

@@ -24,6 +24,7 @@ pub mod error;
 pub mod geom;
 pub mod ids;
 pub mod query;
+pub mod request;
 pub mod time;
 pub mod unionfind;
 
@@ -32,6 +33,7 @@ pub use error::IndexError;
 pub use geom::{Coord, Environment, Mbr, Point};
 pub use ids::{NodeId, ObjectId};
 pub use query::{Query, QueryOutcome, QueryResult, QueryStats};
+pub use request::{Answer, QueryKind, ReachIndex, ReachRequest, Serial};
 pub use time::{Time, TimeInterval};
 pub use unionfind::UnionFind;
 
@@ -51,6 +53,18 @@ pub trait ReachabilityIndex {
 
     /// Evaluates one reachability query.
     fn evaluate(&mut self, query: &Query) -> Result<QueryResult, IndexError>;
+
+    /// Evaluates one typed [`ReachRequest`] — the unified entry point the
+    /// bench harness and service loop dispatch through. The default routes
+    /// [`QueryKind::Reach`] to [`ReachabilityIndex::evaluate`] and rejects
+    /// every other kind; indexes with richer semantics (the §7 extension
+    /// indexes) override it.
+    fn answer(&mut self, request: &ReachRequest) -> Result<Answer, IndexError> {
+        match request.kind {
+            QueryKind::Reach => self.evaluate(&request.query),
+            _ => Err(request.unsupported(self.name())),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,279 @@
+//! The unified query surface: typed requests and the shared-index trait.
+//!
+//! Five query entry points grew up across the workspace — `ReachGrid`,
+//! `ReachGraph`, the disk GRAIL baseline, `LiveIndex`, and the §7
+//! extension indexes each exposed their own signature. This module folds
+//! them into one surface with two layers:
+//!
+//! * [`ReachRequest`] / [`QueryKind`] — a typed request envelope. The
+//!   kind field is `#[non_exhaustive]` on purpose: decay and top-k
+//!   variants (Strzheletska & Tsotras, PAPERS.md) are expected to join
+//!   without breaking the trait.
+//! * [`ReachIndex`] — the *shared* query trait (`&self`, `Send + Sync`):
+//!   what a service loop holds. Single-threaded evaluators (everything
+//!   implementing [`ReachabilityIndex`]) enter
+//!   through the [`Serial`] adapter; natively concurrent indexes
+//!   implement it directly.
+//!
+//! The `&mut self` side lives on `ReachabilityIndex` itself: its provided
+//! `answer` method dispatches a [`ReachRequest`] to `evaluate` for
+//! [`QueryKind::Reach`] and rejects kinds the index does not speak, and
+//! indexes with richer semantics (the uncertain/non-immediate extensions)
+//! override it.
+
+use crate::error::IndexError;
+use crate::ids::ObjectId;
+use crate::query::{Query, QueryResult};
+use crate::time::TimeInterval;
+use crate::ReachabilityIndex;
+use std::sync::Mutex;
+
+/// What a [`ReachRequest`] asks of the index, beyond the source /
+/// destination / window triple.
+#[non_exhaustive]
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub enum QueryKind {
+    /// Plain spatiotemporal reachability (paper §3.2): does a contact path
+    /// exist inside the window?
+    #[default]
+    Reach,
+    /// Probabilistic reachability over uncertain contacts (paper §7.1):
+    /// reachable iff the best path probability is at least `threshold`.
+    Uncertain {
+        /// Minimum acceptable path probability in `[0, 1]`.
+        threshold: f64,
+    },
+    /// Reachability over non-immediate (latent) transmissions (paper §7.2).
+    NonImmediate,
+}
+
+impl QueryKind {
+    /// Short name for reports and error messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueryKind::Reach => "reach",
+            QueryKind::Uncertain { .. } => "uncertain",
+            QueryKind::NonImmediate => "non-immediate",
+        }
+    }
+}
+
+/// A typed reachability request: the classic query triple plus the
+/// [`QueryKind`] describing which semantics to evaluate it under.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ReachRequest {
+    /// Source, destination, and window.
+    pub query: Query,
+    /// Evaluation semantics.
+    pub kind: QueryKind,
+}
+
+/// What a request evaluates to. Alias of [`QueryResult`]: every kind
+/// reports the same outcome-plus-cost shape, which is what lets one
+/// harness aggregate them.
+pub type Answer = QueryResult;
+
+impl ReachRequest {
+    /// A plain reachability request.
+    pub fn reach(source: ObjectId, window: TimeInterval, dest: ObjectId) -> Self {
+        Self {
+            query: Query::new(source, dest, window),
+            kind: QueryKind::Reach,
+        }
+    }
+
+    /// The same triple under different semantics.
+    pub fn with_kind(mut self, kind: QueryKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// The error every index returns for a kind it does not implement.
+    pub fn unsupported(&self, index: &str) -> IndexError {
+        IndexError::Unsupported(format!(
+            "{index} does not evaluate {} requests",
+            self.kind.name()
+        ))
+    }
+}
+
+impl From<Query> for ReachRequest {
+    fn from(query: Query) -> Self {
+        Self {
+            query,
+            kind: QueryKind::Reach,
+        }
+    }
+}
+
+/// The shared query interface: what a multi-threaded service holds.
+///
+/// Implementations take `&self` and must be safe to call from many
+/// threads at once. Everything that only offers the single-threaded
+/// [`ReachabilityIndex`] contract participates
+/// through [`Serial`], which adds the (coarse) lock; natively concurrent
+/// indexes implement `ReachIndex` directly and run readers in parallel.
+pub trait ReachIndex: Send + Sync {
+    /// Short name used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Evaluates one typed request.
+    fn answer(&self, request: &ReachRequest) -> Result<Answer, IndexError>;
+
+    /// Evaluates one plain reachability query — the unified entry point
+    /// the ISSUE's five divergent signatures collapse into.
+    fn query(
+        &self,
+        source: ObjectId,
+        window: TimeInterval,
+        dest: ObjectId,
+    ) -> Result<Answer, IndexError> {
+        self.answer(&ReachRequest::reach(source, window, dest))
+    }
+
+    /// Evaluates many same-source queries. The default loops; indexes
+    /// that can expand the source frontier once and read many verdicts
+    /// out of it (the serving path's batching optimization) override
+    /// this.
+    fn query_batch(
+        &self,
+        source: ObjectId,
+        window: TimeInterval,
+        dests: &[ObjectId],
+    ) -> Result<Vec<Answer>, IndexError> {
+        dests
+            .iter()
+            .map(|&dest| self.query(source, window, dest))
+            .collect()
+    }
+}
+
+/// Adapter granting the shared [`ReachIndex`] interface to any
+/// single-threaded evaluator: requests serialize through a mutex.
+///
+/// This is the bridge for the build-once indexes (ReachGrid, ReachGraph,
+/// GRAIL, a single-threaded `LiveIndex`): correct under concurrency, one
+/// request at a time. The concurrent live index implements [`ReachIndex`]
+/// natively and does not pass through here.
+#[derive(Debug)]
+pub struct Serial<T> {
+    inner: Mutex<T>,
+}
+
+impl<T: ReachabilityIndex + Send> Serial<T> {
+    /// Wraps an evaluator for shared access.
+    pub fn new(inner: T) -> Self {
+        Self {
+            inner: Mutex::new(inner),
+        }
+    }
+
+    /// Exclusive access to the wrapped evaluator (e.g. to append into a
+    /// wrapped live index between query phases).
+    pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        self.inner.lock().expect("serial index lock poisoned")
+    }
+
+    /// Unwraps the evaluator.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().expect("serial index lock poisoned")
+    }
+}
+
+impl<T: ReachabilityIndex + Send> ReachIndex for Serial<T> {
+    fn name(&self) -> &'static str {
+        self.lock().name()
+    }
+
+    fn answer(&self, request: &ReachRequest) -> Result<Answer, IndexError> {
+        self.lock().answer(request)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{QueryOutcome, QueryStats};
+    use crate::time::Time;
+
+    /// Reachable iff source < dest; arrival at the window start.
+    struct Ladder;
+    impl ReachabilityIndex for Ladder {
+        fn name(&self) -> &'static str {
+            "Ladder"
+        }
+        fn evaluate(&mut self, q: &Query) -> Result<QueryResult, IndexError> {
+            Ok(QueryResult {
+                outcome: if q.source.0 < q.dest.0 {
+                    QueryOutcome::reachable_at(q.interval.start)
+                } else {
+                    QueryOutcome::UNREACHABLE
+                },
+                stats: QueryStats::default(),
+            })
+        }
+    }
+
+    #[test]
+    fn provided_answer_routes_reach_to_evaluate() {
+        let mut idx = Ladder;
+        let req = ReachRequest::reach(ObjectId(0), TimeInterval::new(2, 9), ObjectId(3));
+        let a = idx.answer(&req).expect("reach answers");
+        assert_eq!(a.outcome, QueryOutcome::reachable_at(2));
+    }
+
+    #[test]
+    fn provided_answer_rejects_foreign_kinds() {
+        let mut idx = Ladder;
+        let req = ReachRequest::reach(ObjectId(0), TimeInterval::new(0, 1), ObjectId(1))
+            .with_kind(QueryKind::Uncertain { threshold: 0.5 });
+        let err = idx.answer(&req).expect_err("kind not spoken");
+        assert!(matches!(err, IndexError::Unsupported(_)), "{err}");
+    }
+
+    #[test]
+    fn serial_adapter_shares_an_evaluator_across_threads() {
+        let shared = std::sync::Arc::new(Serial::new(Ladder));
+        assert_eq!(shared.name(), "Ladder");
+        let handles: Vec<_> = (0..4u32)
+            .map(|t| {
+                let shared = std::sync::Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    let w = TimeInterval::new(0, 10);
+                    for d in 1..20u32 {
+                        let a = shared.query(ObjectId(t), w, ObjectId(d)).unwrap();
+                        assert_eq!(a.reachable(), t < d);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn batch_default_loops_per_destination() {
+        let shared = Serial::new(Ladder);
+        let answers = shared
+            .query_batch(
+                ObjectId(2),
+                TimeInterval::new(0, 5),
+                &[ObjectId(0), ObjectId(2), ObjectId(7)],
+            )
+            .expect("batch answers");
+        assert_eq!(
+            answers.iter().map(|a| a.reachable()).collect::<Vec<_>>(),
+            vec![false, false, true]
+        );
+    }
+
+    #[test]
+    fn request_envelope_carries_kind_and_window() {
+        let req = ReachRequest::reach(ObjectId(1), TimeInterval::new(3, 4), ObjectId(2));
+        assert_eq!(req.kind, QueryKind::Reach);
+        assert_eq!(ReachRequest::from(req.query), req);
+        assert_eq!(QueryKind::NonImmediate.name(), "non-immediate");
+        let _t: Time = req.query.interval.start;
+    }
+}

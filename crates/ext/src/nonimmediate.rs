@@ -10,7 +10,10 @@
 //! smeared over the following `T_t` ticks — and the propagation sweep works
 //! on the resulting directed events.
 
-use reach_core::{Coord, ObjectId, Point, Time, TimeInterval};
+use reach_core::{
+    Answer, Coord, IndexError, ObjectId, Point, Query, QueryKind, QueryOutcome, QueryResult,
+    QueryStats, ReachRequest, Time, TimeInterval,
+};
 use reach_traj::{SpatialHash, TrajectoryStore};
 
 /// A directed non-immediate contact event: the item can pass from `from`
@@ -173,6 +176,38 @@ impl NonImmediateIndex {
         match when.get(dest.index()).copied().flatten() {
             Some(t) => (true, Some(t)),
             None => (false, None),
+        }
+    }
+}
+
+impl reach_core::ReachabilityIndex for NonImmediateIndex {
+    fn name(&self) -> &'static str {
+        "NonImmediate"
+    }
+
+    /// Non-immediate propagation *is* this index's native reachability
+    /// semantics, so both [`QueryKind::Reach`]
+    /// and [`QueryKind::NonImmediate`]
+    /// requests evaluate here.
+    fn evaluate(&mut self, query: &Query) -> Result<QueryResult, IndexError> {
+        let started = std::time::Instant::now();
+        let (ok, earliest) = self.reachable(query.source, query.dest, query.interval);
+        Ok(QueryResult {
+            outcome: QueryOutcome {
+                reachable: ok,
+                earliest,
+            },
+            stats: QueryStats {
+                cpu: started.elapsed(),
+                ..QueryStats::default()
+            },
+        })
+    }
+
+    fn answer(&mut self, request: &ReachRequest) -> Result<Answer, IndexError> {
+        match request.kind {
+            QueryKind::Reach | QueryKind::NonImmediate => self.evaluate(&request.query),
+            _ => Err(request.unsupported(self.name())),
         }
     }
 }

@@ -12,7 +12,10 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use reach_core::{Coord, ObjectId, Time, TimeInterval};
+use reach_core::{
+    Answer, Coord, IndexError, ObjectId, Query, QueryKind, QueryOutcome, QueryResult, QueryStats,
+    ReachRequest, Time, TimeInterval,
+};
 use reach_traj::TrajectoryStore;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -293,6 +296,46 @@ impl UReachGraph {
         p_threshold: f64,
     ) -> bool {
         self.best_probability(source, dest, interval, p_threshold) >= p_threshold
+    }
+}
+
+impl reach_core::ReachabilityIndex for UReachGraph {
+    fn name(&self) -> &'static str {
+        "U-ReachGraph"
+    }
+
+    /// Plain reachability has no meaning over uncertain contacts (a zero
+    /// threshold would make every connected pair "reachable"); queries must
+    /// arrive as [`QueryKind::Uncertain`]
+    /// requests through [`ReachabilityIndex::answer`](reach_core::ReachabilityIndex::answer).
+    fn evaluate(&mut self, query: &Query) -> Result<QueryResult, IndexError> {
+        Err(ReachRequest::from(*query)
+            .unsupported("U-ReachGraph (plain reach; send QueryKind::Uncertain instead)"))
+    }
+
+    fn answer(&mut self, request: &ReachRequest) -> Result<Answer, IndexError> {
+        let QueryKind::Uncertain { threshold } = request.kind else {
+            return Err(request.unsupported(self.name()));
+        };
+        if !(0.0..=1.0).contains(&threshold) {
+            return Err(IndexError::Unsupported(format!(
+                "probability threshold {threshold} outside [0, 1]"
+            )));
+        }
+        let started = std::time::Instant::now();
+        let q = &request.query;
+        let p = self.best_probability(q.source, q.dest, q.interval, threshold);
+        Ok(Answer {
+            outcome: if p >= threshold && p > 0.0 {
+                QueryOutcome::reachable()
+            } else {
+                QueryOutcome::UNREACHABLE
+            },
+            stats: QueryStats {
+                cpu: started.elapsed(),
+                ..QueryStats::default()
+            },
+        })
     }
 }
 

@@ -1,0 +1,1254 @@
+//! Concurrent query serving over the live index: epoch-swapped sealed
+//! bases, a lock-guarded delta, and a background compaction worker.
+//!
+//! ## Anatomy
+//!
+//! [`ConcurrentLive`] rearranges [`LiveIndex`](crate::LiveIndex)'s three
+//! components for many simultaneous readers:
+//!
+//! * the **sealed base** becomes an immutable `Epoch`: the index built at
+//!   the last compaction, its pages behind a
+//!   [`SharedDevice`] hub. Every query clones
+//!   a fresh device handle and a private reader over the shared pages, so
+//!   readers never contend on a pager and — because each handle carries
+//!   its own IO classification head — every query counts *exactly* the IO
+//!   the single-threaded path would (the paper's sequential/random model
+//!   is per-stream; see `reach_storage::shared`);
+//! * the **delta** sits under an `RwLock`: queries propagate under the
+//!   read lock (shared), appends insert under the write lock;
+//! * **compaction** moves to a background worker thread. It snapshots the
+//!   delta's sealed head, rebuilds the base entirely off-lock through its
+//!   own private reader, and commits by swapping in a new epoch — queries
+//!   keep flowing against the old epoch for the whole build (the
+//!   concurrent suite asserts this overlap).
+//!
+//! ## The reader protocol
+//!
+//! A query snapshots `(epoch, watermark, now)` under a brief read lock,
+//! does all base IO off-lock on its private reader, then re-acquires the
+//! read lock and **validates the epoch id** before touching the delta. A
+//! commit swaps the epoch under the *write* lock, so an unchanged id
+//! proves the watermark (and therefore the frontier cut) is still current;
+//! a changed id retries against the new epoch (bounded: after a few
+//! retries the query holds the read lock across the whole evaluation,
+//! which no commit can interrupt). Sealed-only queries skip validation
+//! entirely — ticks below a watermark are frozen forever.
+//!
+//! ## The admission barrier
+//!
+//! Appends race the background build: a record landing *below* the
+//! in-flight compaction's cut would be absent from the new base yet
+//! discarded from the delta at commit — silently lost. The worker
+//! therefore publishes its cut as `pending_cut` in the same critical
+//! section that snapshots the sealed head, and appends treat the
+//! *effective* watermark as `max(watermark, pending_cut)`: late records
+//! are clamped or rejected exactly as if the compaction had already
+//! committed. Every accepted record is thus either in the snapshot or at
+//! ticks the delta keeps, and any interleaving of appends, queries, and
+//! compactions answers exactly as the single-threaded path — the
+//! correctness anchor `tests/concurrent_serve.rs` asserts.
+
+use crate::delta::DeltaDn;
+use crate::index::{
+    build_sealed_base, evaluate_at, outcome_of, AppendOutcome, Base, CompactionStats,
+    DeviceFactory, LiveConfig, LiveError, LiveStats,
+};
+use crate::log::{AppendLog, LogRecovery};
+use reach_baselines::GrailDisk;
+use reach_contact::ErrorMode;
+use reach_core::{
+    Answer, Contact, IndexError, ObjectId, Query, QueryKind, QueryOutcome, QueryResult, QueryStats,
+    ReachIndex, ReachRequest, Time, TimeInterval,
+};
+use reach_graph::ReachGraph;
+use reach_storage::{IoSampler, SharedDevice};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::{Duration, Instant};
+
+/// Retries of the optimistic reader protocol before a query pins the read
+/// lock for its whole evaluation. Each retry means a compaction committed
+/// mid-query, so in practice one retry is already rare.
+const EPOCH_RETRIES: usize = 3;
+
+/// An immutable sealed-base snapshot, swapped whole at each compaction
+/// commit. Readers hold it by `Arc` and build private readers from it.
+struct Epoch {
+    /// Monotone id; the reader protocol's validation token.
+    id: u64,
+    base: SealedEpochBase,
+}
+
+/// The sealed index of one epoch, paired with a handle on the shared
+/// device hub its pages live behind.
+enum SealedEpochBase {
+    /// Watermark 0: no base yet.
+    None,
+    /// A sealed ReachGraph.
+    Graph {
+        index: Box<ReachGraph>,
+        device: SharedDevice,
+    },
+    /// A sealed disk GRAIL.
+    Grail {
+        index: Box<GrailDisk>,
+        device: SharedDevice,
+    },
+}
+
+impl Epoch {
+    /// A private reader over this epoch's pages: fresh device handle
+    /// (zeroed IO counters, no head position) + fresh pager, so per-query
+    /// counters are exact no matter how many readers interleave.
+    fn reader(&self) -> Base {
+        match &self.base {
+            SealedEpochBase::None => Base::None,
+            SealedEpochBase::Graph { index, device } => {
+                Base::Graph(Box::new(index.reader(Box::new(device.clone()))))
+            }
+            SealedEpochBase::Grail { index, device } => {
+                Base::Grail(Box::new(index.reader(Box::new(device.clone()))))
+            }
+        }
+    }
+}
+
+/// Everything the delta's `RwLock` protects: the mutable tail, the current
+/// epoch pointer, the in-flight compaction's admission barrier, and the
+/// durable log (appends must decide, log, and insert atomically).
+struct DeltaState {
+    delta: DeltaDn,
+    epoch: Arc<Epoch>,
+    /// The cut of an in-flight background compaction, if any: the
+    /// admission barrier appends clamp against (see the module docs).
+    pending_cut: Option<Time>,
+    log: AppendLog,
+    log_sampler: IoSampler,
+}
+
+/// Exclusive state of the compaction worker (also lockable by
+/// [`ConcurrentLive::compact_now`] for synchronous compaction).
+struct Compactor {
+    devices: DeviceFactory,
+    /// Backlog-aware backoff: when a compaction cannot bring the delta
+    /// under budget (the backlog lives inside the lateness window),
+    /// automatic attempts are suppressed until the clock passes this tick.
+    auto_resume_at: Time,
+}
+
+/// What the worker's condvar signals.
+struct WorkerInbox {
+    requested: bool,
+    shutdown: bool,
+}
+
+/// State shared between the handle, its readers, and the worker.
+struct LiveShared {
+    num_objects: usize,
+    config: LiveConfig,
+    state: RwLock<DeltaState>,
+    compactor: Mutex<Compactor>,
+    stats: Mutex<LiveStats>,
+    inbox: Mutex<WorkerInbox>,
+    signal: Condvar,
+    /// True while a background (or synchronous) compaction is building.
+    compacting: AtomicBool,
+    /// Queries that completed while a compaction was in flight — the
+    /// overlap gauge the concurrent suite asserts is non-zero.
+    overlapped_queries: AtomicU64,
+    /// Test hook: milliseconds the compactor sleeps between build and
+    /// commit, widening the overlap window deterministically.
+    pause_ms: AtomicU64,
+}
+
+impl LiveShared {
+    fn read(&self) -> RwLockReadGuard<'_, DeltaState> {
+        self.state.read().expect("live state lock poisoned")
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, DeltaState> {
+        self.state.write().expect("live state lock poisoned")
+    }
+
+    fn stats(&self) -> MutexGuard<'_, LiveStats> {
+        self.stats.lock().expect("live stats lock poisoned")
+    }
+}
+
+/// Point-in-time gauges of a serving index.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LiveMetrics {
+    /// Whether a compaction is building right now.
+    pub compacting: bool,
+    /// Compactions committed so far.
+    pub compactions: u64,
+    /// Current epoch id (0 = no compaction yet).
+    pub epoch: u64,
+    /// Queries that completed while a compaction was in flight.
+    pub overlapped_queries: u64,
+    /// The delta's resident bytes.
+    pub delta_bytes: usize,
+    /// The sealed boundary.
+    pub watermark: Time,
+    /// The live horizon.
+    pub now: Time,
+}
+
+/// A live reachability index serving many reader threads while a
+/// background worker compacts (see the module docs).
+///
+/// Shared by reference: queries take `&self` ([`ReachIndex`] is
+/// implemented natively), as do appends (internally write-locked). Drop
+/// joins the worker.
+pub struct ConcurrentLive {
+    shared: Arc<LiveShared>,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ConcurrentLive {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let m = self.metrics();
+        f.debug_struct("ConcurrentLive")
+            .field("num_objects", &self.shared.num_objects)
+            .field("watermark", &m.watermark)
+            .field("now", &m.now)
+            .field("epoch", &m.epoch)
+            .finish()
+    }
+}
+
+impl ConcurrentLive {
+    /// Creates an empty serving index (reached through
+    /// [`LiveBuilder::serve`](crate::LiveBuilder::serve)).
+    pub(crate) fn create(
+        log_device: Box<dyn reach_storage::BlockDevice>,
+        devices: DeviceFactory,
+        num_objects: usize,
+        config: LiveConfig,
+    ) -> Result<Self, IndexError> {
+        let log = AppendLog::create(log_device, num_objects)?;
+        Self::assemble(log, devices, num_objects, config)
+    }
+
+    /// Recovers a serving index from its append log (reached through
+    /// [`LiveBuilder::open_serving`](crate::LiveBuilder::open_serving)).
+    pub(crate) fn open(
+        log_device: Box<dyn reach_storage::BlockDevice>,
+        devices: DeviceFactory,
+        config: LiveConfig,
+    ) -> Result<(Self, LogRecovery), IndexError> {
+        let (log, records, recovery) = AppendLog::open(log_device)?;
+        let num_objects = log.num_objects();
+        let live = Self::assemble(log, devices, num_objects, config)?;
+        {
+            let mut st = live.shared.write();
+            for c in records {
+                st.delta.insert(c);
+            }
+            let peak = st.delta.resident_bytes() as u64;
+            drop(st);
+            live.shared.stats().delta_peak_bytes = peak;
+        }
+        live.compact_now()?;
+        live.note_log_io();
+        Ok((live, recovery))
+    }
+
+    fn assemble(
+        log: AppendLog,
+        devices: DeviceFactory,
+        num_objects: usize,
+        config: LiveConfig,
+    ) -> Result<Self, IndexError> {
+        let shared = Arc::new(LiveShared {
+            num_objects,
+            config,
+            state: RwLock::new(DeltaState {
+                delta: DeltaDn::new(0),
+                epoch: Arc::new(Epoch {
+                    id: 0,
+                    base: SealedEpochBase::None,
+                }),
+                pending_cut: None,
+                log,
+                log_sampler: IoSampler::new(),
+            }),
+            compactor: Mutex::new(Compactor {
+                devices,
+                auto_resume_at: 0,
+            }),
+            stats: Mutex::new(LiveStats::default()),
+            inbox: Mutex::new(WorkerInbox {
+                requested: false,
+                shutdown: false,
+            }),
+            signal: Condvar::new(),
+            compacting: AtomicBool::new(false),
+            overlapped_queries: AtomicU64::new(0),
+            pause_ms: AtomicU64::new(0),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("streach-compact".into())
+            .spawn(move || worker_loop(&worker_shared))
+            .map_err(|e| IndexError::Io(format!("spawn compaction worker: {e}")))?;
+        Ok(Self {
+            shared,
+            worker: Some(worker),
+        })
+    }
+
+    /// Universe size.
+    pub fn num_objects(&self) -> usize {
+        self.shared.num_objects
+    }
+
+    /// The sealed boundary: ticks `< watermark` live in the current epoch.
+    pub fn watermark(&self) -> Time {
+        self.shared.read().delta.watermark()
+    }
+
+    /// The live horizon (one past the newest accepted tick).
+    pub fn now(&self) -> Time {
+        self.shared.read().delta.now()
+    }
+
+    /// The delta's deterministic resident-byte estimate.
+    pub fn delta_bytes(&self) -> usize {
+        self.shared.read().delta.resident_bytes()
+    }
+
+    /// Records in the durable log.
+    pub fn log_len(&self) -> u64 {
+        self.shared.read().log.len()
+    }
+
+    /// Lifetime accounting (a clone: the live copy keeps moving).
+    pub fn stats(&self) -> LiveStats {
+        self.shared.stats().clone()
+    }
+
+    /// Point-in-time serving gauges.
+    pub fn metrics(&self) -> LiveMetrics {
+        let (epoch, delta_bytes, watermark, now) = {
+            let st = self.shared.read();
+            (
+                st.epoch.id,
+                st.delta.resident_bytes(),
+                st.delta.watermark(),
+                st.delta.now(),
+            )
+        };
+        LiveMetrics {
+            compacting: self.shared.compacting.load(Ordering::Acquire),
+            compactions: self.shared.stats().compactions,
+            epoch,
+            overlapped_queries: self.shared.overlapped_queries.load(Ordering::Relaxed),
+            delta_bytes,
+            watermark,
+            now,
+        }
+    }
+
+    /// Test hook: make the compactor sleep this long between build and
+    /// commit, deterministically widening the window in which queries and
+    /// an in-flight compaction overlap.
+    #[doc(hidden)]
+    pub fn set_compaction_pause_ms(&self, ms: u64) {
+        self.shared.pause_ms.store(ms, Ordering::Relaxed);
+    }
+
+    /// Advances the live clock to `to` without appending.
+    pub fn advance(&self, to: Time) {
+        self.shared.write().delta.advance(to);
+    }
+
+    /// Flushes the log to durable storage.
+    pub fn sync(&self) -> Result<(), IndexError> {
+        self.shared.write().log.sync()
+    }
+
+    /// Re-reads the full accepted record set from the log.
+    pub fn replay_log(&self) -> Result<Vec<Contact>, IndexError> {
+        let records = self.shared.write().log.replay();
+        self.note_log_io();
+        records
+    }
+
+    fn note_log_io(&self) {
+        let sample = {
+            let mut st = self.shared.write();
+            let io = st.log.io_stats();
+            st.log_sampler.sample(io)
+        };
+        let mut stats = self.shared.stats();
+        stats.append_io = stats.append_io + sample;
+    }
+
+    /// Appends one contact record; safe to call from any thread.
+    ///
+    /// Validation and the lateness policy are identical to
+    /// [`LiveIndex::append`](crate::LiveIndex::append), with one addition:
+    /// while a background compaction is building, its cut acts as the
+    /// effective watermark (the admission barrier of the module docs).
+    /// `compacted` in the outcome means a background compaction was
+    /// *requested*, not that one completed.
+    pub fn append(&self, c: Contact) -> Result<AppendOutcome, LiveError> {
+        if c.a == c.b {
+            return Err(LiveError::SelfContact(c.a));
+        }
+        for o in [c.a, c.b] {
+            if o.index() >= self.shared.num_objects {
+                return Err(LiveError::UnknownObject(o));
+            }
+        }
+        if c.interval.end == Time::MAX {
+            return Err(LiveError::HorizonOverflow { record: c });
+        }
+        let config = &self.shared.config;
+        let mut outcome = AppendOutcome::default();
+        let (sample, peak, trigger) = {
+            let mut st = self.shared.write();
+            let w = st.delta.watermark().max(st.pending_cut.unwrap_or(0));
+            let accepted = if c.interval.start >= w {
+                c
+            } else {
+                match config.mode {
+                    ErrorMode::Strict => {
+                        return Err(LiveError::Late {
+                            record: c,
+                            watermark: w,
+                        })
+                    }
+                    ErrorMode::Lossy if c.interval.end < w => {
+                        drop(st);
+                        self.shared.stats().dropped_late += 1;
+                        return Ok(outcome);
+                    }
+                    ErrorMode::Lossy => {
+                        outcome.clamped = true;
+                        Contact::new(c.a, c.b, TimeInterval::new(w, c.interval.end))
+                    }
+                }
+            };
+            st.log.append(accepted)?;
+            let io = st.log.io_stats();
+            let sample = st.log_sampler.sample(io);
+            st.delta.insert(accepted);
+            let bytes = st.delta.resident_bytes();
+            let candidate = st
+                .delta
+                .now()
+                .saturating_sub(config.lateness)
+                .max(st.delta.watermark());
+            let trigger = config.auto_compact
+                && bytes > config.delta_budget
+                && candidate > st.delta.watermark()
+                && st.pending_cut.is_none();
+            (sample, bytes as u64, trigger)
+        };
+        outcome.logged = true;
+        {
+            let mut stats = self.shared.stats();
+            stats.appended += 1;
+            stats.clamped += u64::from(outcome.clamped);
+            stats.append_io = stats.append_io + sample;
+            stats.delta_peak_bytes = stats.delta_peak_bytes.max(peak);
+        }
+        if trigger {
+            outcome.compacted = self.request_compact();
+        }
+        Ok(outcome)
+    }
+
+    /// Asks the background worker to compact soon (no-op if the backoff
+    /// window is still closed — see `Compactor::auto_resume_at` in the
+    /// source). Returns whether a request was enqueued.
+    pub fn request_compact(&self) -> bool {
+        let mut inbox = self.shared.inbox.lock().expect("worker inbox poisoned");
+        if inbox.shutdown {
+            return false;
+        }
+        inbox.requested = true;
+        self.shared.signal.notify_all();
+        true
+    }
+
+    /// Compacts synchronously on the calling thread (waiting out any
+    /// in-flight background compaction first) and returns its cost
+    /// breakdown. `None` when the watermark cannot advance. Ignores the
+    /// automatic-trigger backoff: an explicit request always runs.
+    pub fn compact_now(&self) -> Result<Option<CompactionStats>, IndexError> {
+        let mut compactor = self.shared.compactor.lock().expect("compactor poisoned");
+        run_compaction(&self.shared, &mut compactor)
+    }
+
+    /// Evaluates one reachability query; safe to call from many threads at
+    /// once, never blocked by an in-flight compaction (see the module docs
+    /// for the protocol).
+    pub fn evaluate_query(&self, q: &Query) -> Result<QueryResult, IndexError> {
+        let result = self.answer_reach(q);
+        if let Ok(r) = &result {
+            let mut stats = self.shared.stats();
+            stats.queries += 1;
+            stats.query = stats.query.merged(&r.stats);
+            drop(stats);
+            if self.shared.compacting.load(Ordering::Acquire) {
+                self.shared
+                    .overlapped_queries
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        result
+    }
+
+    /// The optimistic reader protocol (module docs): snapshot → base IO
+    /// off-lock → validate epoch under the read lock → delta propagation.
+    fn answer_reach(&self, q: &Query) -> Result<QueryResult, IndexError> {
+        let n = self.shared.num_objects;
+        for _ in 0..EPOCH_RETRIES {
+            let started = Instant::now();
+            let (epoch, now, w) = {
+                let st = self.shared.read();
+                (Arc::clone(&st.epoch), st.delta.now(), st.delta.watermark())
+            };
+            for o in [q.source, q.dest] {
+                if o.index() >= n {
+                    return Err(IndexError::UnknownObject(o));
+                }
+            }
+            if q.interval.start >= now {
+                return Err(IndexError::IntervalOutOfRange {
+                    requested: q.interval,
+                    horizon: now,
+                });
+            }
+            let t1 = q.interval.start;
+            let t2 = q.interval.end.min(now - 1);
+            if q.source == q.dest {
+                return Ok(QueryResult {
+                    outcome: QueryOutcome::reachable_at(t1),
+                    stats: QueryStats {
+                        cpu: started.elapsed(),
+                        ..QueryStats::default()
+                    },
+                });
+            }
+            if t2 < w {
+                // Entirely sealed: ticks below the watermark are frozen, so
+                // the snapshot's base answers exactly — no validation, no
+                // lock held during the IO.
+                let mut base = epoch.reader();
+                let mut result = base.evaluate(q)?;
+                result.stats.cpu = started.elapsed();
+                return Ok(result);
+            }
+            if t1 >= w {
+                // Entirely live: propagate under the read lock, valid only
+                // if no commit moved the watermark since the snapshot.
+                let st = self.shared.read();
+                if st.epoch.id != epoch.id {
+                    continue;
+                }
+                let when = st.delta.propagate(n, &[(q.source, t1)], t2, Some(q.dest));
+                return Ok(QueryResult {
+                    outcome: outcome_of(when[q.dest.index()]),
+                    stats: QueryStats {
+                        cpu: started.elapsed(),
+                        ..QueryStats::default()
+                    },
+                });
+            }
+            // Spanning: frontier at the cut off-lock, then validate and let
+            // the delta continue.
+            let mut base = epoch.reader();
+            let cut = TimeInterval::new(t1, w - 1);
+            let (frontier, mut stats) = base.reachable_set(q.source, cut)?;
+            let st = self.shared.read();
+            if st.epoch.id != epoch.id {
+                continue;
+            }
+            let sealed_hit = frontier
+                .binary_search_by_key(&q.dest, |&(o, _)| o)
+                .ok()
+                .map(|i| frontier[i].1);
+            let outcome = match sealed_hit {
+                Some(ea) => QueryOutcome::reachable_at(ea),
+                None => {
+                    let when = st.delta.propagate(n, &frontier, t2, Some(q.dest));
+                    outcome_of(when[q.dest.index()])
+                }
+            };
+            stats.cpu = started.elapsed();
+            return Ok(QueryResult { outcome, stats });
+        }
+        // Commits keep landing mid-query: pin the read lock (commits wait;
+        // other readers don't) and evaluate exactly like the
+        // single-threaded path.
+        let st = self.shared.read();
+        let mut base = st.epoch.reader();
+        evaluate_at(&mut base, &st.delta, n, q)
+    }
+
+    /// Evaluates many same-source queries through **one** frontier
+    /// expansion (the serving path's batching optimization): the sealed
+    /// base is expanded once and the delta propagated once without a stop
+    /// object, then every destination's verdict is read out of the shared
+    /// arrival arrays. Reachability verdicts are identical to evaluating
+    /// each query alone (earliest arrivals can be *more* precise: the
+    /// expansion always carries arrival times, while some sealed bases
+    /// answer point queries without one). The expansion's IO is attributed
+    /// to the *first* answer — subsequent answers in the batch cost no
+    /// additional IO, which is the point.
+    pub fn evaluate_batch(
+        &self,
+        source: ObjectId,
+        window: TimeInterval,
+        dests: &[ObjectId],
+    ) -> Result<Vec<Answer>, IndexError> {
+        let n = self.shared.num_objects;
+        if source.index() >= n {
+            return Err(IndexError::UnknownObject(source));
+        }
+        if let Some(&bad) = dests.iter().find(|d| d.index() >= n) {
+            return Err(IndexError::UnknownObject(bad));
+        }
+        if dests.is_empty() {
+            return Ok(Vec::new());
+        }
+        let result = self.batch_protocol(source, window, dests);
+        if let Ok(answers) = &result {
+            let mut stats = self.shared.stats();
+            stats.queries += answers.len() as u64;
+            for a in answers {
+                stats.query = stats.query.merged(&a.stats);
+            }
+            drop(stats);
+            if self.shared.compacting.load(Ordering::Acquire) {
+                self.shared
+                    .overlapped_queries
+                    .fetch_add(answers.len() as u64, Ordering::Relaxed);
+            }
+        }
+        result
+    }
+
+    fn batch_protocol(
+        &self,
+        source: ObjectId,
+        window: TimeInterval,
+        dests: &[ObjectId],
+    ) -> Result<Vec<Answer>, IndexError> {
+        let n = self.shared.num_objects;
+        for _ in 0..=EPOCH_RETRIES {
+            let started = Instant::now();
+            let (epoch, now, w) = {
+                let st = self.shared.read();
+                (Arc::clone(&st.epoch), st.delta.now(), st.delta.watermark())
+            };
+            if window.start >= now {
+                return Err(IndexError::IntervalOutOfRange {
+                    requested: window,
+                    horizon: now,
+                });
+            }
+            let t1 = window.start;
+            let t2 = window.end.min(now - 1);
+            // Earliest arrival per object, assembled from at most one
+            // frontier expansion and one delta propagation.
+            let arrivals: Vec<Option<Time>>;
+            let mut stats = QueryStats::default();
+            if t2 < w {
+                // Entirely sealed: one expansion over the whole window.
+                let mut base = epoch.reader();
+                let (frontier, s) = base.reachable_set(source, TimeInterval::new(t1, t2))?;
+                stats = s;
+                let mut when = vec![None; n];
+                for (o, ea) in frontier {
+                    when[o.index()] = Some(ea);
+                }
+                arrivals = when;
+            } else if t1 >= w {
+                // Entirely live: one propagation, no stop object.
+                let st = self.shared.read();
+                if st.epoch.id != epoch.id {
+                    continue;
+                }
+                arrivals = st.delta.propagate(n, &[(source, t1)], t2, None);
+            } else {
+                // Spanning: expansion to the cut off-lock, validated, then
+                // one continuation propagating every frontier object.
+                let mut base = epoch.reader();
+                let cut = TimeInterval::new(t1, w - 1);
+                let (frontier, s) = base.reachable_set(source, cut)?;
+                stats = s;
+                let st = self.shared.read();
+                if st.epoch.id != epoch.id {
+                    continue;
+                }
+                let mut when = st.delta.propagate(n, &frontier, t2, None);
+                // Sealed arrivals win: propagation seeds at the frontier
+                // times, but keep the exact sealed earliest for objects
+                // already reached below the cut.
+                for &(o, ea) in &frontier {
+                    let slot = &mut when[o.index()];
+                    *slot = Some(slot.map_or(ea, |t| t.min(ea)));
+                }
+                arrivals = when;
+            }
+            stats.cpu = started.elapsed();
+            let mut first = true;
+            let answers = dests
+                .iter()
+                .map(|&dest| {
+                    let outcome = if dest == source {
+                        QueryOutcome::reachable_at(t1)
+                    } else {
+                        outcome_of(arrivals[dest.index()])
+                    };
+                    let stats = if std::mem::take(&mut first) {
+                        stats
+                    } else {
+                        QueryStats {
+                            cpu: Duration::ZERO,
+                            ..QueryStats::default()
+                        }
+                    };
+                    Answer { outcome, stats }
+                })
+                .collect();
+            return Ok(answers);
+        }
+        unreachable!("batch protocol retries are bounded by held-lock fallback");
+    }
+}
+
+impl ReachIndex for ConcurrentLive {
+    fn name(&self) -> &'static str {
+        "ConcurrentLive"
+    }
+
+    fn answer(&self, request: &ReachRequest) -> Result<Answer, IndexError> {
+        match request.kind {
+            QueryKind::Reach => self.evaluate_query(&request.query),
+            _ => Err(request.unsupported(self.name())),
+        }
+    }
+
+    fn query_batch(
+        &self,
+        source: ObjectId,
+        window: TimeInterval,
+        dests: &[ObjectId],
+    ) -> Result<Vec<Answer>, IndexError> {
+        self.evaluate_batch(source, window, dests)
+    }
+}
+
+impl Drop for ConcurrentLive {
+    fn drop(&mut self) {
+        {
+            let mut inbox = self.shared.inbox.lock().expect("worker inbox poisoned");
+            inbox.shutdown = true;
+            self.shared.signal.notify_all();
+        }
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// The background worker: sleep until signalled, then compact (unless the
+/// backlog backoff says the attempt would be futile).
+fn worker_loop(shared: &LiveShared) {
+    loop {
+        {
+            let mut inbox = shared.inbox.lock().expect("worker inbox poisoned");
+            while !inbox.requested && !inbox.shutdown {
+                inbox = shared.signal.wait(inbox).expect("worker inbox poisoned");
+            }
+            if inbox.shutdown {
+                return;
+            }
+            inbox.requested = false;
+        }
+        let mut compactor = shared.compactor.lock().expect("compactor poisoned");
+        let now = shared.read().delta.now();
+        if now < compactor.auto_resume_at {
+            continue;
+        }
+        // A failed background compaction is failure-atomic (state
+        // untouched) and will be retried at the next trigger; the error
+        // itself is surfaced through `LiveStats` only as a non-advancing
+        // compaction count, matching AppendOutcome::compaction_error's
+        // "maintenance failure must not fail the append" stance.
+        let _ = run_compaction(shared, &mut compactor);
+    }
+}
+
+/// One compaction: admission barrier + snapshot under the write lock, the
+/// whole rebuild off-lock through a private epoch reader, then a
+/// failure-atomic commit that swaps the epoch and discards the sealed
+/// delta head. Caller holds the compactor mutex (exclusive compaction).
+fn run_compaction(
+    shared: &LiveShared,
+    compactor: &mut Compactor,
+) -> Result<Option<CompactionStats>, IndexError> {
+    let config = &shared.config;
+    // Phase 1: publish the cut and snapshot the sealed head atomically.
+    let (epoch, sealed, cut) = {
+        let mut st = shared.write();
+        let cut = st
+            .delta
+            .now()
+            .saturating_sub(config.lateness)
+            .max(st.delta.watermark());
+        if cut == 0 || cut == st.delta.watermark() {
+            return Ok(None);
+        }
+        st.pending_cut = Some(cut);
+        let sealed = st.delta.sealed_head(cut);
+        (Arc::clone(&st.epoch), sealed, cut)
+    };
+    shared.compacting.store(true, Ordering::Release);
+
+    // Phase 2: build entirely off-lock. The old base is re-streamed
+    // through a *private* reader, so queries on other handles proceed
+    // untouched for the whole build.
+    let built = (|| {
+        let scratch = (compactor.devices)();
+        let hub = SharedDevice::new((compactor.devices)());
+        let handle = hub.clone();
+        let mut old = epoch.reader();
+        let (new_base, stats) = build_sealed_base(
+            &mut old,
+            &sealed,
+            shared.num_objects,
+            cut,
+            config,
+            scratch,
+            Box::new(hub),
+        )?;
+        let sealed_base = match new_base {
+            Base::None => unreachable!("compaction always builds a base"),
+            Base::Graph(g) => SealedEpochBase::Graph {
+                index: g,
+                device: handle,
+            },
+            Base::Grail(g) => SealedEpochBase::Grail {
+                index: g,
+                device: handle,
+            },
+        };
+        Ok::<_, IndexError>((sealed_base, stats))
+    })();
+
+    let pause = shared.pause_ms.load(Ordering::Relaxed);
+    if pause > 0 {
+        std::thread::sleep(Duration::from_millis(pause));
+    }
+
+    match built {
+        Err(e) => {
+            // Failure-atomic: withdraw the admission barrier, keep the old
+            // epoch and the full delta.
+            shared.write().pending_cut = None;
+            shared.compacting.store(false, Ordering::Release);
+            Err(e)
+        }
+        Ok((sealed_base, stats)) => {
+            // Phase 3: commit — the only point that changes reader-visible
+            // state, and it is infallible.
+            let still_over = {
+                let mut st = shared.write();
+                st.delta.discard_below(cut);
+                st.epoch = Arc::new(Epoch {
+                    id: st.epoch.id + 1,
+                    base: sealed_base,
+                });
+                st.pending_cut = None;
+                st.delta.resident_bytes() > config.delta_budget
+            };
+            shared.compacting.store(false, Ordering::Release);
+            {
+                let mut s = shared.stats();
+                s.compactions += 1;
+                s.compaction_read_io = s.compaction_read_io + stats.base_read_io;
+                s.compaction_spill_io = s.compaction_spill_io + stats.spill.io;
+                s.last_compaction = Some(stats);
+            }
+            if still_over {
+                // The backlog lives inside the lateness window; retrying on
+                // every append would rebuild the index per record. Back off
+                // a full window.
+                let now = shared.read().delta.now();
+                compactor.auto_resume_at = now.saturating_add(config.lateness.max(1));
+            } else {
+                compactor.auto_resume_at = 0;
+            }
+            Ok(Some(stats))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LiveIndex;
+    use reach_contact::Oracle;
+    use reach_graph::GraphParams;
+    use reach_storage::{BuildBudget, SimDevice};
+
+    const PAGE: usize = 256;
+    const HORIZON: Time = 48;
+
+    fn graph_config(budget: usize) -> LiveConfig {
+        LiveConfig::graph(
+            GraphParams {
+                partition_depth: 8,
+                page_size: PAGE,
+                ..GraphParams::default()
+            },
+            BuildBudget::bytes(budget),
+        )
+    }
+
+    fn serve(config: LiveConfig, n: usize) -> ConcurrentLive {
+        config
+            .builder()
+            .serve_on(
+                Box::new(SimDevice::new(PAGE)),
+                Box::new(|| Box::new(SimDevice::new(PAGE))),
+                n,
+            )
+            .expect("serving index creates")
+    }
+
+    fn single(config: LiveConfig, n: usize) -> LiveIndex {
+        config
+            .builder()
+            .build_on(
+                Box::new(SimDevice::new(PAGE)),
+                Box::new(|| Box::new(SimDevice::new(PAGE))),
+                n,
+            )
+            .expect("live index creates")
+    }
+
+    /// Deterministic xorshift contact stream over `n` objects, start times
+    /// non-decreasing so lossy clamping never kicks in.
+    fn stream(seed: u64, n: u32, count: usize) -> Vec<Contact> {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let mut out = Vec::with_capacity(count);
+        for i in 0..count {
+            let a = (next() % u64::from(n)) as u32;
+            let mut b = (next() % u64::from(n)) as u32;
+            if a == b {
+                b = (b + 1) % n;
+            }
+            let start = (i as Time * (HORIZON - 4)) / count as Time;
+            let len = (next() % 3) as Time;
+            out.push(Contact::new(
+                ObjectId(a),
+                ObjectId(b),
+                TimeInterval::new(start, (start + len).min(HORIZON - 1)),
+            ));
+        }
+        out
+    }
+
+    fn oracle_of(n: usize, horizon: Time, contacts: &[Contact]) -> Oracle {
+        let mut per_tick: Vec<Vec<(u32, u32)>> = vec![Vec::new(); horizon as usize];
+        for c in contacts {
+            for t in c.interval.ticks() {
+                per_tick[t as usize].push((c.a.0, c.b.0));
+            }
+        }
+        Oracle::from_events(n, per_tick)
+    }
+
+    fn wait_until(what: &str, mut done: impl FnMut() -> bool) {
+        let t0 = Instant::now();
+        while !done() {
+            assert!(t0.elapsed() < Duration::from_secs(20), "timed out: {what}");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Interleaving compactions with queries must answer exactly — outcome
+    /// *and* counted IO — as the single-threaded `LiveIndex` driven through
+    /// the same schedule (the PR's correctness anchor).
+    #[test]
+    fn answers_and_io_match_the_single_threaded_path() {
+        let n = 6;
+        let contacts = stream(0x5eed, n as u32, 90);
+        let conc = serve(graph_config(1 << 20).manual_compaction(), n);
+        let mut solo = single(graph_config(1 << 20).manual_compaction(), n);
+        for (i, c) in contacts.iter().enumerate() {
+            conc.append(*c).expect("concurrent append");
+            solo.append(*c).expect("single append");
+            if i == 30 || i == 60 {
+                conc.compact_now().expect("concurrent compaction");
+                solo.compact().expect("single compaction");
+            }
+        }
+        assert_eq!(conc.watermark(), solo.watermark());
+        assert!(conc.watermark() > 0, "compactions advanced the watermark");
+        let last = conc.now() - 1;
+        let w = conc.watermark();
+        let windows = [
+            TimeInterval::new(0, last),
+            TimeInterval::new(w.saturating_sub(1), last),
+            TimeInterval::new(w.min(last), last),
+            TimeInterval::new(0, w.saturating_sub(1)),
+        ];
+        for s in 0..n as u32 {
+            for d in 0..n as u32 {
+                for iv in windows {
+                    let q = Query::new(ObjectId(s), ObjectId(d), iv);
+                    let got = conc.evaluate_query(&q).expect("concurrent query");
+                    let want = solo.evaluate_query(&q).expect("single query");
+                    assert_eq!(got.outcome, want.outcome, "{q} outcome diverged");
+                    assert_eq!(
+                        (got.stats.random_ios, got.stats.seq_ios),
+                        (want.stats.random_ios, want.stats.seq_ios),
+                        "{q} counted IO diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    /// While a compaction is building, its cut acts as the effective
+    /// watermark for admission: a record straddling the cut is clamped *to
+    /// the cut* (not the stale watermark), so nothing accepted mid-build is
+    /// lost when `discard_below(cut)` commits.
+    #[test]
+    fn appends_during_a_build_respect_the_pending_cut() {
+        let n = 4;
+        let conc = serve(graph_config(1 << 20).manual_compaction(), n);
+        for c in stream(7, n as u32, 40) {
+            conc.append(c).expect("append");
+        }
+        let now = conc.now();
+        assert!(now > 4);
+        conc.set_compaction_pause_ms(150);
+        assert!(conc.request_compact());
+        wait_until("compaction starts", || conc.metrics().compacting);
+        // The cut is `now` (lateness 0). A straddling record must clamp to
+        // it even though the committed watermark is still 0.
+        let straddling = Contact::new(ObjectId(0), ObjectId(1), TimeInterval::new(0, HORIZON - 1));
+        let outcome = conc.append(straddling).expect("straddling append");
+        assert!(outcome.logged && outcome.clamped);
+        // A wholly-below-cut record is dropped outright.
+        let late = Contact::new(ObjectId(2), ObjectId(3), TimeInterval::new(0, 1));
+        let dropped = conc.append(late).expect("late append");
+        assert!(!dropped.logged && !dropped.clamped);
+        wait_until("compaction commits", || conc.metrics().compactions == 1);
+        assert_eq!(conc.watermark(), now);
+        // The clamped record survived the commit: it reaches from the cut on.
+        let q = Query::new(
+            ObjectId(0),
+            ObjectId(1),
+            TimeInterval::new(now, HORIZON - 1),
+        );
+        assert!(conc.evaluate_query(&q).expect("query").reachable());
+        // And the log agrees with what the index holds.
+        let accepted = conc.replay_log().expect("log replays");
+        assert!(accepted
+            .iter()
+            .any(|c| c.a == ObjectId(0) && c.b == ObjectId(1) && c.interval.start == now));
+        let oracle = oracle_of(n, conc.now(), &accepted);
+        for s in 0..n as u32 {
+            for d in 0..n as u32 {
+                let q = Query::new(ObjectId(s), ObjectId(d), TimeInterval::new(0, HORIZON - 1));
+                assert_eq!(
+                    conc.evaluate_query(&q).expect("sweep").reachable(),
+                    oracle.evaluate(&q).reachable,
+                    "{q} diverged after mid-build appends"
+                );
+            }
+        }
+    }
+
+    /// Queries keep being served while the worker is mid-build, and the
+    /// overlap gauge proves they genuinely interleaved.
+    #[test]
+    fn queries_are_not_blocked_by_a_background_compaction() {
+        let n = 5;
+        let conc = serve(graph_config(1 << 20).manual_compaction(), n);
+        for c in stream(11, n as u32, 60) {
+            conc.append(c).expect("append");
+        }
+        conc.set_compaction_pause_ms(120);
+        assert!(conc.request_compact());
+        wait_until("compaction starts", || conc.metrics().compacting);
+        let q = Query::new(
+            ObjectId(0),
+            ObjectId(1),
+            TimeInterval::new(0, conc.now() - 1),
+        );
+        let mut served = 0u64;
+        while conc.metrics().compacting {
+            conc.evaluate_query(&q).expect("query during build");
+            served += 1;
+        }
+        assert!(served > 0, "no query completed during the build window");
+        assert!(conc.metrics().overlapped_queries > 0);
+        wait_until("compaction commits", || conc.metrics().compactions == 1);
+        assert!(conc.watermark() > 0);
+    }
+
+    /// Appending past the delta budget triggers a *background* compaction:
+    /// the append returns immediately with `compacted = true` and the
+    /// worker advances the watermark shortly after.
+    #[test]
+    fn over_budget_appends_trigger_the_worker() {
+        let n = 5;
+        let conc = serve(
+            graph_config(1 << 20)
+                .with_delta_budget(600)
+                .with_lateness(2),
+            n,
+        );
+        let mut requested = false;
+        for c in stream(23, n as u32, 80) {
+            requested |= conc.append(c).expect("append").compacted;
+        }
+        assert!(
+            requested,
+            "no append ever requested a background compaction"
+        );
+        wait_until("worker compacts", || conc.metrics().compactions > 0);
+        assert!(conc.watermark() > 0);
+        // The answers still match the oracle over the accepted trace.
+        let accepted = conc.replay_log().expect("log replays");
+        let oracle = oracle_of(n, conc.now(), &accepted);
+        for s in 0..n as u32 {
+            for d in 0..n as u32 {
+                let q = Query::new(
+                    ObjectId(s),
+                    ObjectId(d),
+                    TimeInterval::new(0, conc.now() - 1),
+                );
+                assert_eq!(
+                    conc.evaluate_query(&q).expect("sweep").reachable(),
+                    oracle.evaluate(&q).reachable,
+                    "{q} diverged after background compaction"
+                );
+            }
+        }
+    }
+
+    /// A batch over every destination answers identically to the same
+    /// queries evaluated one at a time, with the expansion's IO attributed
+    /// to the first answer only.
+    #[test]
+    fn batches_answer_identically_to_single_queries() {
+        let n = 6;
+        let conc = serve(graph_config(1 << 20).manual_compaction(), n);
+        let contacts = stream(0xba7c4, n as u32, 70);
+        for (i, c) in contacts.iter().enumerate() {
+            conc.append(*c).expect("append");
+            if i == 35 {
+                conc.compact_now().expect("compaction");
+            }
+        }
+        let w = conc.watermark();
+        assert!(w > 0);
+        let dests: Vec<ObjectId> = (0..n as u32).map(ObjectId).collect();
+        // Spanning, sealed-only, and delta-only windows all batch exactly.
+        let last = conc.now() - 1;
+        let windows = [
+            TimeInterval::new(0, last),
+            TimeInterval::new(0, w - 1),
+            TimeInterval::new(w.min(last), last),
+        ];
+        for iv in windows {
+            for src in 0..n as u32 {
+                let source = ObjectId(src);
+                let batch = conc
+                    .evaluate_batch(source, iv, &dests)
+                    .expect("batch evaluates");
+                assert_eq!(batch.len(), dests.len());
+                for (d, got) in dests.iter().zip(&batch) {
+                    let q = Query::new(source, *d, iv);
+                    let want = conc.evaluate_query(&q).expect("single query");
+                    assert_eq!(
+                        got.outcome.reachable, want.outcome.reachable,
+                        "{q} batch verdict diverged"
+                    );
+                    // The batch may know an arrival the point query does
+                    // not (sealed bases answer without one); when both
+                    // know it, they must agree.
+                    if let (Some(g), Some(w)) = (got.outcome.earliest, want.outcome.earliest) {
+                        assert_eq!(g, w, "{q} batch arrival diverged");
+                    }
+                    if want.outcome.earliest.is_some() {
+                        assert!(got.outcome.earliest.is_some(), "{q} batch lost the arrival");
+                    }
+                }
+                // All IO rides on the first answer.
+                for (d, got) in dests.iter().zip(&batch).skip(1) {
+                    assert_eq!(
+                        (got.stats.random_ios, got.stats.seq_ios),
+                        (0, 0),
+                        "batch answer for {d:?} re-paid IO"
+                    );
+                }
+            }
+        }
+        // Empty destination list short-circuits.
+        assert!(conc
+            .evaluate_batch(ObjectId(0), windows[0], &[])
+            .expect("empty batch")
+            .is_empty());
+    }
+
+    /// The `ReachIndex` implementation routes `Reach` requests to the
+    /// concurrent path and rejects other kinds.
+    #[test]
+    fn reach_index_dispatch() {
+        let n = 4;
+        let conc = serve(graph_config(1 << 20).manual_compaction(), n);
+        for c in stream(3, n as u32, 30) {
+            conc.append(c).expect("append");
+        }
+        assert_eq!(conc.name(), "ConcurrentLive");
+        let q = Query::new(
+            ObjectId(0),
+            ObjectId(1),
+            TimeInterval::new(0, conc.now() - 1),
+        );
+        let via_trait = conc.answer(&ReachRequest::from(q)).expect("trait answer");
+        let direct = conc.evaluate_query(&q).expect("direct answer");
+        assert_eq!(via_trait.outcome, direct.outcome);
+    }
+
+    /// Strict mode refuses pre-cut records even while the cut is only
+    /// pending (the admission barrier again, on the error path).
+    #[test]
+    fn strict_mode_rejects_below_the_pending_cut() {
+        let n = 4;
+        let conc = serve(graph_config(1 << 20).manual_compaction().strict(), n);
+        for c in stream(5, n as u32, 40) {
+            conc.append(c).expect("append");
+        }
+        let now = conc.now();
+        conc.set_compaction_pause_ms(150);
+        assert!(conc.request_compact());
+        wait_until("compaction starts", || conc.metrics().compacting);
+        let late = Contact::new(ObjectId(0), ObjectId(1), TimeInterval::new(0, HORIZON - 1));
+        match conc.append(late) {
+            Err(LiveError::Late { watermark, .. }) => assert_eq!(watermark, now),
+            other => panic!("expected Late against the pending cut, got {other:?}"),
+        }
+        wait_until("compaction commits", || conc.metrics().compactions == 1);
+    }
+}

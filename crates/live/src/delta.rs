@@ -20,6 +20,7 @@
 
 use reach_core::{Contact, ObjectId, Time, TimeInterval, UnionFind};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
 
 /// Deterministic per-pair overhead in the resident-byte accounting
 /// (key + vec header + map node); element cost is 8 bytes per run.
@@ -28,7 +29,7 @@ const PAIR_BYTES: usize = 48;
 const RUN_BYTES: usize = 8;
 
 /// A mutable DN fragment over `[watermark, now)` (see the module docs).
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct DeltaDn {
     watermark: Time,
     now: Time,
@@ -41,8 +42,23 @@ pub struct DeltaDn {
     /// sweeps — rebuilt lazily after a mutation, so a query-heavy phase
     /// pays the materialization once, not per query. Not part of the
     /// budget: it duplicates `runs` only between a query and the next
-    /// insert.
-    sweep_cache: Option<Vec<Contact>>,
+    /// insert. Interior-mutable (and `Arc`-shared with in-flight sweeps)
+    /// so concurrent readers can propagate under a shared borrow.
+    sweep_cache: Mutex<Option<Arc<Vec<Contact>>>>,
+}
+
+impl Clone for DeltaDn {
+    fn clone(&self) -> Self {
+        Self {
+            watermark: self.watermark,
+            now: self.now,
+            runs: self.runs.clone(),
+            run_count: self.run_count,
+            records: self.records,
+            resident_bytes: self.resident_bytes,
+            sweep_cache: Mutex::new(None),
+        }
+    }
 }
 
 impl DeltaDn {
@@ -61,7 +77,7 @@ impl DeltaDn {
             run_count: 0,
             records: 0,
             resident_bytes: 0,
-            sweep_cache: None,
+            sweep_cache: Mutex::new(None),
         }
     }
 
@@ -122,7 +138,10 @@ impl DeltaDn {
             c.interval.end < Time::MAX,
             "contact {c:?} ends at Time::MAX; its horizon is unrepresentable"
         );
-        self.sweep_cache = None;
+        *self
+            .sweep_cache
+            .get_mut()
+            .expect("sweep cache lock poisoned") = None;
         self.records += 1;
         self.now = self.now.max(c.interval.end + 1);
         let runs = self.runs.entry((c.a.0, c.b.0)).or_insert_with(|| {
@@ -211,7 +230,10 @@ impl DeltaDn {
         self.records = run_count; // what's left is what was re-admitted
         self.watermark = cut;
         self.now = self.now.max(cut);
-        self.sweep_cache = None;
+        *self
+            .sweep_cache
+            .get_mut()
+            .expect("sweep cache lock poisoned") = None;
     }
 
     /// The delta's contacts in canonical maximal-run form, sorted by
@@ -234,7 +256,7 @@ impl DeltaDn {
     /// transitivity). Returns each object's earliest hold tick, stopping
     /// early once `stop_at` is infected.
     pub fn propagate(
-        &mut self,
+        &self,
         num_objects: usize,
         seeds: &[(ObjectId, Time)],
         until: Time,
@@ -255,13 +277,18 @@ impl DeltaDn {
         }
         // Interval sweep over the stored runs, restricted to the window.
         // The start-sorted contact list is cached across queries and only
-        // rebuilt after a mutation.
-        if self.sweep_cache.is_none() {
-            let mut contacts = self.contacts();
-            contacts.sort_unstable_by_key(|c| c.interval.start);
-            self.sweep_cache = Some(contacts);
-        }
-        let contacts = self.sweep_cache.as_deref().expect("cache just filled");
+        // rebuilt after a mutation; concurrent readers share one build
+        // through the `Arc`.
+        let contacts = {
+            let mut cache = self.sweep_cache.lock().expect("sweep cache lock poisoned");
+            if cache.is_none() {
+                let mut contacts = self.contacts();
+                contacts.sort_unstable_by_key(|c| c.interval.start);
+                *cache = Some(Arc::new(contacts));
+            }
+            Arc::clone(cache.as_ref().expect("cache just filled"))
+        };
+        let contacts = contacts.as_slice();
         let mut uf = UnionFind::new(num_objects);
         let mut buf: Vec<(u32, u32)> = Vec::new();
         let mut groups: HashMap<u32, Vec<u32>> = HashMap::new();

@@ -55,8 +55,10 @@ use std::time::{Duration, Instant};
 /// Produces a fresh block device whenever the live index needs one (a
 /// compaction scratch, a rebuilt base). Runtime-pluggable like everything
 /// else storage: hand in a closure over `StorageConfig`, a temp-file
-/// factory, or the bench harness's backend selector.
-pub type DeviceFactory = Box<dyn FnMut() -> Box<dyn BlockDevice>>;
+/// factory, or the bench harness's backend selector. `Send` so the
+/// concurrent index can carry the factory onto its background compaction
+/// worker.
+pub type DeviceFactory = Box<dyn FnMut() -> Box<dyn BlockDevice> + Send>;
 
 /// Which sealed index compaction builds over `[0, watermark)`.
 #[derive(Clone, Debug)]
@@ -296,14 +298,194 @@ pub struct CompactionStats {
     pub duration: Duration,
 }
 
-/// The sealed side of the watermark.
-enum Base {
+/// The sealed side of the watermark. `pub(crate)` so the concurrent index
+/// can hand per-reader instances (built from [`SharedDevice`] handles) to
+/// the shared evaluation path.
+pub(crate) enum Base {
     /// No base yet: the watermark is 0 and the delta holds everything.
     None,
     /// A sealed ReachGraph over `[0, watermark)`.
     Graph(Box<ReachGraph>),
     /// A sealed disk GRAIL over `[0, watermark)`.
     Grail(Box<GrailDisk>),
+}
+
+impl Base {
+    /// Evaluates a fully-sealed query (`t2 < watermark`). Panics on
+    /// [`Base::None`]: a positive watermark implies a base.
+    pub(crate) fn evaluate(&mut self, q: &Query) -> Result<QueryResult, IndexError> {
+        match self {
+            Base::None => unreachable!("watermark > 0 implies a base"),
+            Base::Graph(g) => g.evaluate(q),
+            Base::Grail(g) => g.evaluate(q),
+        }
+    }
+
+    /// Earliest-arrival frontier of `source` over the sealed window (the
+    /// spanning query's first leg). Panics on [`Base::None`].
+    pub(crate) fn reachable_set(
+        &mut self,
+        source: ObjectId,
+        window: TimeInterval,
+    ) -> Result<(Vec<(ObjectId, Time)>, QueryStats), IndexError> {
+        match self {
+            Base::None => unreachable!("watermark > 0 implies a base"),
+            Base::Graph(g) => g.reachable_set(source, window),
+            Base::Grail(g) => g.reachable_set(source, window),
+        }
+    }
+}
+
+/// Everything fallible about one compaction: re-streams `old_base`'s DN as
+/// component chains, merges the delta's sealed head, and flows the union
+/// through the memory-bounded streaming builders into a new sealed base on
+/// `device` (spilling to `scratch`). Touches **no** live state — the caller
+/// commits (base swap + [`DeltaDn::discard_below`]) only on `Ok`, which is
+/// what makes compaction failure-atomic in both the single-threaded and
+/// the background-worker paths.
+pub(crate) fn build_sealed_base(
+    old_base: &mut Base,
+    sealed: &[Contact],
+    num_objects: usize,
+    new_watermark: Time,
+    config: &LiveConfig,
+    scratch: Box<dyn BlockDevice>,
+    device: Box<dyn BlockDevice>,
+) -> Result<(Base, CompactionStats), IndexError> {
+    let started = Instant::now();
+    let mut stats = CompactionStats {
+        watermark: new_watermark,
+        ..CompactionStats::default()
+    };
+    stats.delta_contacts = sealed.len() as u64;
+    let budget = config.budget;
+    let mut sdn = match old_base {
+        Base::None => {
+            StreamedDn::from_contacts(num_objects, new_watermark, sealed, budget, scratch)
+        }
+        Base::Graph(g) => {
+            let mut sampler = IoSampler::starting_at(g.io_stats());
+            let mut base_sweep = ChainSweep::new(&mut **g);
+            let mut delta_sweep = reach_contact::contact_sweep(sealed);
+            let sdn = StreamedDn::build(
+                num_objects,
+                new_watermark,
+                |t, buf| {
+                    base_sweep.emit(t, buf);
+                    delta_sweep(t, buf);
+                },
+                budget,
+                scratch,
+            );
+            stats.base_chains = base_sweep.chains();
+            drop(base_sweep);
+            stats.base_read_io = sampler.sample(g.io_stats());
+            sdn
+        }
+        Base::Grail(g) => {
+            // The GRAIL baseline reconstructs members from its timeline
+            // region, which is O(DN) resident regardless — the materialized
+            // path costs nothing extra here.
+            let mut sampler = IoSampler::starting_at(g.device_mut().stats());
+            let mut merged = g.chain_contacts()?;
+            stats.base_chains = merged.len() as u64;
+            stats.base_read_io = sampler.sample(g.device_mut().stats());
+            merged.extend_from_slice(sealed);
+            StreamedDn::from_contacts(num_objects, new_watermark, &merged, budget, scratch)
+        }
+    };
+    assert_eq!(
+        device.page_size(),
+        config.base.page_size(),
+        "device factory page size must match the configured base"
+    );
+    let new_base = match &config.base {
+        BaseKind::Graph(params) => {
+            let mr = MultiRes::build(&mut sdn, &params.levels);
+            Base::Graph(Box::new(ReachGraph::build_on(
+                device,
+                &mut sdn,
+                &mr,
+                params.clone(),
+            )?))
+        }
+        BaseKind::Grail(cfg) => Base::Grail(Box::new(GrailDisk::build_on(
+            device,
+            &mut sdn,
+            cfg.d,
+            cfg.seed,
+            cfg.cache_pages,
+        )?)),
+    };
+    stats.spill = sdn.spill_stats();
+    stats.duration = started.elapsed();
+    Ok((new_base, stats))
+}
+
+/// Evaluates one live query against a base/delta pair stitched at the
+/// delta's watermark (see the module docs for the three legs). Takes the
+/// base by `&mut` (readers mutate their pager) and the delta by `&self`
+/// (propagation is shareable) — exactly the shape both the single-threaded
+/// index and each concurrent reader hold.
+pub(crate) fn evaluate_at(
+    base: &mut Base,
+    delta: &DeltaDn,
+    num_objects: usize,
+    q: &Query,
+) -> Result<QueryResult, IndexError> {
+    let started = Instant::now();
+    let horizon = delta.now();
+    for o in [q.source, q.dest] {
+        if o.index() >= num_objects {
+            return Err(IndexError::UnknownObject(o));
+        }
+    }
+    if q.interval.start >= horizon {
+        return Err(IndexError::IntervalOutOfRange {
+            requested: q.interval,
+            horizon,
+        });
+    }
+    let t1 = q.interval.start;
+    let t2 = q.interval.end.min(horizon - 1);
+    let mut result = if q.source == q.dest {
+        QueryResult {
+            outcome: QueryOutcome::reachable_at(t1),
+            stats: QueryStats::default(),
+        }
+    } else {
+        let w = delta.watermark();
+        if t2 < w {
+            // Entirely sealed: the base alone answers.
+            base.evaluate(q)?
+        } else if t1 >= w {
+            // Entirely live: exact propagation inside the delta.
+            let when = delta.propagate(num_objects, &[(q.source, t1)], t2, Some(q.dest));
+            QueryResult {
+                outcome: outcome_of(when[q.dest.index()]),
+                stats: QueryStats::default(),
+            }
+        } else {
+            // Spanning: frontier at the cut, then the delta continues.
+            let cut = TimeInterval::new(t1, w - 1);
+            let (frontier, mut stats) = base.reachable_set(q.source, cut)?;
+            let sealed_hit = frontier
+                .binary_search_by_key(&q.dest, |&(o, _)| o)
+                .ok()
+                .map(|i| frontier[i].1);
+            let outcome = match sealed_hit {
+                Some(ea) => QueryOutcome::reachable_at(ea),
+                None => {
+                    let when = delta.propagate(num_objects, &frontier, t2, Some(q.dest));
+                    outcome_of(when[q.dest.index()])
+                }
+            };
+            stats.cpu = Duration::ZERO; // replaced by the outer timing
+            QueryResult { outcome, stats }
+        }
+    };
+    result.stats.cpu = started.elapsed();
+    Ok(result)
 }
 
 /// A continuously ingesting reachability index (see the module docs).
@@ -328,7 +510,20 @@ impl LiveIndex {
     /// Creates an empty live index: the log goes to `log_device`, and
     /// `devices` supplies every device compaction needs (bases + scratch;
     /// base devices must match the configured page size).
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct through the builder: `config.builder().build_on(log_device, devices, num_objects)`"
+    )]
     pub fn new(
+        log_device: Box<dyn BlockDevice>,
+        devices: DeviceFactory,
+        num_objects: usize,
+        config: LiveConfig,
+    ) -> Result<Self, IndexError> {
+        Self::create_inner(log_device, devices, num_objects, config)
+    }
+
+    pub(crate) fn create_inner(
         log_device: Box<dyn BlockDevice>,
         devices: DeviceFactory,
         num_objects: usize,
@@ -352,7 +547,19 @@ impl LiveIndex {
     /// record is replayed and the recovered world is compacted into a fresh
     /// sealed base (base and delta are derived state; the log is the only
     /// thing that had to survive). Returns the recovery report alongside.
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct through the builder: `config.builder().open_on(log_device, devices)`"
+    )]
     pub fn open(
+        log_device: Box<dyn BlockDevice>,
+        devices: DeviceFactory,
+        config: LiveConfig,
+    ) -> Result<(Self, LogRecovery), IndexError> {
+        Self::open_inner(log_device, devices, config)
+    }
+
+    pub(crate) fn open_inner(
         log_device: Box<dyn BlockDevice>,
         devices: DeviceFactory,
         config: LiveConfig,
@@ -636,19 +843,13 @@ impl LiveIndex {
         if new_watermark == 0 || new_watermark == self.watermark() {
             return Ok(None);
         }
-        let started = Instant::now();
-        let mut stats = CompactionStats {
-            watermark: new_watermark,
-            ..CompactionStats::default()
-        };
 
         // 1. Read the delta's sealed head — without draining it yet: the
         //    build below is fallible, and a failed compaction must leave
         //    base and delta exactly as they were. The head is bounded by
         //    the delta budget; the *base* is not, so it is re-streamed
-        //    tick by tick below instead of materialized.
+        //    tick by tick instead of materialized.
         let sealed = self.delta.sealed_head(new_watermark);
-        stats.delta_contacts = sealed.len() as u64;
 
         // 2. One pass through the memory-bounded streaming builders, fed
         //    by the union of the base's chain sweep (O(|O|) resident) and
@@ -657,70 +858,16 @@ impl LiveIndex {
         //    every page built from it — is byte-identical to a batch
         //    rebuild over the whole log.
         let scratch = (self.devices)();
-        let num_objects = self.num_objects;
-        let budget = self.config.budget;
-        let mut sdn = match &mut self.base {
-            Base::None => {
-                StreamedDn::from_contacts(num_objects, new_watermark, &sealed, budget, scratch)
-            }
-            Base::Graph(g) => {
-                let mut sampler = IoSampler::starting_at(g.io_stats());
-                let mut base_sweep = ChainSweep::new(&mut **g);
-                let mut delta_sweep = reach_contact::contact_sweep(&sealed);
-                let sdn = StreamedDn::build(
-                    num_objects,
-                    new_watermark,
-                    |t, buf| {
-                        base_sweep.emit(t, buf);
-                        delta_sweep(t, buf);
-                    },
-                    budget,
-                    scratch,
-                );
-                stats.base_chains = base_sweep.chains();
-                drop(base_sweep);
-                stats.base_read_io = sampler.sample(g.io_stats());
-                sdn
-            }
-            Base::Grail(g) => {
-                // The GRAIL baseline reconstructs members from its
-                // timeline region, which is O(DN) resident regardless —
-                // the materialized path costs nothing extra here.
-                let mut sampler = IoSampler::starting_at(g.device_mut().stats());
-                let mut merged = g.chain_contacts()?;
-                stats.base_chains = merged.len() as u64;
-                stats.base_read_io = sampler.sample(g.device_mut().stats());
-                merged.extend_from_slice(&sealed);
-                StreamedDn::from_contacts(num_objects, new_watermark, &merged, budget, scratch)
-            }
-        };
-        drop(sealed);
         let device = (self.devices)();
-        assert_eq!(
-            device.page_size(),
-            self.config.base.page_size(),
-            "device factory page size must match the configured base"
-        );
-        let new_base = match &self.config.base {
-            BaseKind::Graph(params) => {
-                let mr = MultiRes::build(&mut sdn, &params.levels);
-                Base::Graph(Box::new(ReachGraph::build_on(
-                    device,
-                    &mut sdn,
-                    &mr,
-                    params.clone(),
-                )?))
-            }
-            BaseKind::Grail(cfg) => Base::Grail(Box::new(GrailDisk::build_on(
-                device,
-                &mut sdn,
-                cfg.d,
-                cfg.seed,
-                cfg.cache_pages,
-            )?)),
-        };
-        stats.spill = sdn.spill_stats();
-        stats.duration = started.elapsed();
+        let (new_base, stats) = build_sealed_base(
+            &mut self.base,
+            &sealed,
+            self.num_objects,
+            new_watermark,
+            &self.config,
+            scratch,
+            device,
+        )?;
 
         // Commit point: everything above could fail without touching index
         // state; everything below is infallible.
@@ -738,71 +885,7 @@ impl LiveIndex {
     /// module docs). IO is attributed to the query via the underlying
     /// indexes' counters.
     pub fn evaluate_query(&mut self, q: &Query) -> Result<QueryResult, IndexError> {
-        let started = Instant::now();
-        let horizon = self.now();
-        for o in [q.source, q.dest] {
-            if o.index() >= self.num_objects {
-                return Err(IndexError::UnknownObject(o));
-            }
-        }
-        if q.interval.start >= horizon {
-            return Err(IndexError::IntervalOutOfRange {
-                requested: q.interval,
-                horizon,
-            });
-        }
-        let t1 = q.interval.start;
-        let t2 = q.interval.end.min(horizon - 1);
-        let result = if q.source == q.dest {
-            QueryResult {
-                outcome: QueryOutcome::reachable_at(t1),
-                stats: QueryStats::default(),
-            }
-        } else {
-            let w = self.watermark();
-            if t2 < w {
-                // Entirely sealed: the base alone answers.
-                match &mut self.base {
-                    Base::None => unreachable!("watermark > 0 implies a base"),
-                    Base::Graph(g) => g.evaluate(q)?,
-                    Base::Grail(g) => g.evaluate(q)?,
-                }
-            } else if t1 >= w {
-                // Entirely live: exact propagation inside the delta.
-                let when =
-                    self.delta
-                        .propagate(self.num_objects, &[(q.source, t1)], t2, Some(q.dest));
-                QueryResult {
-                    outcome: outcome_of(when[q.dest.index()]),
-                    stats: QueryStats::default(),
-                }
-            } else {
-                // Spanning: frontier at the cut, then the delta continues.
-                let cut = TimeInterval::new(t1, w - 1);
-                let (frontier, mut stats) = match &mut self.base {
-                    Base::None => unreachable!("watermark > 0 implies a base"),
-                    Base::Graph(g) => g.reachable_set(q.source, cut)?,
-                    Base::Grail(g) => g.reachable_set(q.source, cut)?,
-                };
-                let sealed_hit = frontier
-                    .binary_search_by_key(&q.dest, |&(o, _)| o)
-                    .ok()
-                    .map(|i| frontier[i].1);
-                let outcome = match sealed_hit {
-                    Some(ea) => QueryOutcome::reachable_at(ea),
-                    None => {
-                        let when =
-                            self.delta
-                                .propagate(self.num_objects, &frontier, t2, Some(q.dest));
-                        outcome_of(when[q.dest.index()])
-                    }
-                };
-                stats.cpu = Duration::ZERO; // replaced by the outer timing
-                QueryResult { outcome, stats }
-            }
-        };
-        let mut result = result;
-        result.stats.cpu = started.elapsed();
+        let result = evaluate_at(&mut self.base, &self.delta, self.num_objects, q)?;
         self.stats.queries += 1;
         self.stats.query = self.stats.query.merged(&result.stats);
         Ok(result)
@@ -810,7 +893,7 @@ impl LiveIndex {
 }
 
 /// Maps a propagation arrival to a query outcome.
-fn outcome_of(when: Option<Time>) -> QueryOutcome {
+pub(crate) fn outcome_of(when: Option<Time>) -> QueryOutcome {
     match when {
         Some(t) => QueryOutcome::reachable_at(t),
         None => QueryOutcome::UNREACHABLE,

@@ -17,6 +17,8 @@
 //! | [`log`] | [`AppendLog`] — durable, crash-recoverable record log on any [`BlockDevice`](reach_storage::BlockDevice) |
 //! | [`delta`] | [`DeltaDn`] — mutable DN fragment over `[watermark, now)`, absorbing out-of-order appends |
 //! | [`index`] | [`LiveIndex`] — cross-boundary queries + watermark compaction through the streaming builders |
+//! | [`builder`] | [`LiveBuilder`] — fluent construction of both index flavours over any storage backend |
+//! | [`concurrent`] | [`ConcurrentLive`] — epoch-swapped shared queries with background compaction |
 //!
 //! ## The three guarantees
 //!
@@ -34,10 +36,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod builder;
+pub mod concurrent;
 pub mod delta;
 pub mod index;
 pub mod log;
 
+pub use builder::LiveBuilder;
+pub use concurrent::{ConcurrentLive, LiveMetrics};
 pub use delta::DeltaDn;
 pub use index::{
     AppendOutcome, BaseKind, CompactionStats, DeviceFactory, GrailConfig, LiveConfig, LiveError,
@@ -69,13 +75,14 @@ mod tests {
     }
 
     fn sim_live(num_objects: usize, config: LiveConfig) -> LiveIndex {
-        LiveIndex::new(
-            Box::new(SimDevice::new(256)),
-            Box::new(|| Box::new(SimDevice::new(256))),
-            num_objects,
-            config,
-        )
-        .expect("live index creates")
+        config
+            .builder()
+            .build_on(
+                Box::new(SimDevice::new(256)),
+                Box::new(|| Box::new(SimDevice::new(256))),
+                num_objects,
+            )
+            .expect("live index creates")
     }
 
     fn q(s: u32, d: u32, a: Time, b: Time) -> Query {
@@ -162,14 +169,14 @@ mod tests {
     /// watermark untouched (failure atomicity).
     #[test]
     fn failed_compaction_leaves_the_index_consistent() {
-        use std::cell::Cell;
-        use std::rc::Rc;
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
         // A sim device whose writes can be poisoned at will, so the rebuild
         // fails mid-build through the ordinary error path.
         #[derive(Debug)]
         struct FailingDevice {
             inner: reach_storage::SimDevice,
-            fail: Rc<Cell<bool>>,
+            fail: Arc<AtomicBool>,
         }
         impl reach_storage::BlockDevice for FailingDevice {
             fn backend(&self) -> &'static str {
@@ -189,7 +196,7 @@ mod tests {
                 id: reach_storage::PageId,
                 data: &[u8],
             ) -> Result<(), IndexError> {
-                if self.fail.get() {
+                if self.fail.load(Ordering::Relaxed) {
                     return Err(IndexError::Io("injected write failure".into()));
                 }
                 self.inner.write_page(id, data)
@@ -215,24 +222,26 @@ mod tests {
             }
         }
         use reach_core::IndexError;
-        let fail = Rc::new(Cell::new(false));
-        let fail_factory = Rc::clone(&fail);
-        let mut live = LiveIndex::new(
-            Box::new(SimDevice::new(256)),
-            Box::new(move || {
-                Box::new(FailingDevice {
-                    inner: reach_storage::SimDevice::new(256),
-                    fail: Rc::clone(&fail_factory),
-                })
-            }),
-            4,
-            graph_config(1 << 20).manual_compaction(),
-        )
-        .unwrap();
+        let fail = Arc::new(AtomicBool::new(false));
+        let fail_factory = Arc::clone(&fail);
+        let mut live = graph_config(1 << 20)
+            .manual_compaction()
+            .builder()
+            .build_on(
+                Box::new(SimDevice::new(256)),
+                Box::new(move || {
+                    Box::new(FailingDevice {
+                        inner: reach_storage::SimDevice::new(256),
+                        fail: Arc::clone(&fail_factory),
+                    })
+                }),
+                4,
+            )
+            .unwrap();
         live.append(c(0, 1, 0, 2)).unwrap();
         live.append(c(1, 2, 4, 5)).unwrap();
         // Poison every future device: the rebuild must fail…
-        fail.set(true);
+        fail.store(true, Ordering::Relaxed);
         let err = live.compact().unwrap_err();
         assert!(matches!(err, IndexError::Io(_)), "{err}");
         // …and the index must be exactly as before: watermark unmoved,
@@ -242,7 +251,7 @@ mod tests {
         let r = live.evaluate_query(&q(0, 2, 0, 5)).unwrap();
         assert_eq!(r.outcome, QueryOutcome::reachable_at(4));
         // Heal the devices: the retried compaction succeeds and agrees.
-        fail.set(false);
+        fail.store(false, Ordering::Relaxed);
         live.compact().unwrap().unwrap();
         assert_eq!(live.watermark(), 6);
         assert!(live.evaluate_query(&q(0, 2, 0, 5)).unwrap().reachable());
@@ -250,7 +259,7 @@ mod tests {
         // failure: the record lands, the error rides the outcome.
         live.config_mut().auto_compact = true;
         live.config_mut().delta_budget = 1;
-        fail.set(true);
+        fail.store(true, Ordering::Relaxed);
         let o = live.append(c(2, 3, 8, 9)).unwrap();
         assert!(o.logged);
         assert!(o.compaction_error.is_some());
@@ -467,25 +476,22 @@ mod tests {
         let records = [c(0, 1, 0, 2), c(1, 2, 3, 4), c(2, 3, 6, 6)];
         {
             let dev = FileDevice::create(&path, 256).unwrap();
-            let mut live = LiveIndex::new(
-                Box::new(dev),
-                Box::new(|| Box::new(SimDevice::new(256))),
-                4,
-                graph_config(1 << 20).manual_compaction(),
-            )
-            .unwrap();
+            let mut live = graph_config(1 << 20)
+                .manual_compaction()
+                .builder()
+                .build_on(Box::new(dev), Box::new(|| Box::new(SimDevice::new(256))), 4)
+                .unwrap();
             for &r in &records {
                 live.append(r).unwrap();
             }
             live.sync().unwrap();
         } // crash: base and delta evaporate; only the log file remains
         let dev = FileDevice::open(&path, 256).unwrap();
-        let (mut live, recovery) = LiveIndex::open(
-            Box::new(dev),
-            Box::new(|| Box::new(SimDevice::new(256))),
-            graph_config(1 << 20).manual_compaction(),
-        )
-        .unwrap();
+        let (mut live, recovery) = graph_config(1 << 20)
+            .manual_compaction()
+            .builder()
+            .open_on(Box::new(dev), Box::new(|| Box::new(SimDevice::new(256))))
+            .unwrap();
         assert_eq!(recovery.records, 3);
         assert_eq!(live.watermark(), 7, "recovery sealed the replayed world");
         // Entirely sealed now: answered by BM-BFS on the rebuilt base

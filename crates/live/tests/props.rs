@@ -66,18 +66,19 @@ fn oracle_of(n: usize, horizon: Time, contacts: &[Contact]) -> Oracle {
 }
 
 fn live_index(n: usize, budget: usize) -> LiveIndex {
-    LiveIndex::new(
+    LiveConfig::graph(
+        GraphParams {
+            partition_depth: 8,
+            page_size: 256,
+            ..GraphParams::default()
+        },
+        BuildBudget::bytes(budget),
+    )
+    .builder()
+    .build_on(
         Box::new(SimDevice::new(256)),
         Box::new(|| Box::new(SimDevice::new(256))),
         n,
-        LiveConfig::graph(
-            GraphParams {
-                partition_depth: 8,
-                page_size: 256,
-                ..GraphParams::default()
-            },
-            BuildBudget::bytes(budget),
-        ),
     )
     .expect("live index creates")
 }

@@ -32,7 +32,7 @@ use reach_storage::{
     RecordWriter, SimDevice, TimelineRegion,
 };
 use std::collections::{HashMap, VecDeque};
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A decoded partition, shared by the partition buffer.
@@ -48,14 +48,15 @@ pub struct ReachGraph {
     horizon: Time,
     num_objects: usize,
     num_nodes: usize,
-    /// Partition id per vertex (in-memory page table, tiny next to data).
-    partition_of: Vec<u32>,
-    /// Record address per partition.
-    partition_ptrs: Vec<RecordPtr>,
+    /// Partition id per vertex (in-memory page table, tiny next to data;
+    /// shared by reader clones, see [`ReachGraph::reader`]).
+    partition_of: Arc<Vec<u32>>,
+    /// Record address per partition (shared by reader clones).
+    partition_ptrs: Arc<Vec<RecordPtr>>,
     /// The `Ht` lookup region (shared layout with disk GRAIL).
     timeline: TimelineRegion,
     /// Decoded-partition buffer (bounded, FIFO eviction).
-    buffer: HashMap<u32, Rc<DecodedPartition>>,
+    buffer: HashMap<u32, Arc<DecodedPartition>>,
     buffer_order: VecDeque<u32>,
 }
 
@@ -153,8 +154,8 @@ impl ReachGraph {
             horizon,
             num_objects,
             num_nodes,
-            partition_of: parts.partition_of,
-            partition_ptrs,
+            partition_of: Arc::new(parts.partition_of),
+            partition_ptrs: Arc::new(partition_ptrs),
             timeline,
             buffer: HashMap::new(),
             buffer_order: VecDeque::new(),
@@ -183,8 +184,8 @@ impl ReachGraph {
             horizon: decoded.horizon,
             num_objects: decoded.num_objects,
             num_nodes: decoded.num_nodes,
-            partition_of: decoded.partition_of,
-            partition_ptrs: decoded.partition_ptrs,
+            partition_of: Arc::new(decoded.partition_of),
+            partition_ptrs: Arc::new(decoded.partition_ptrs),
             timeline: decoded.timeline,
             buffer: HashMap::new(),
             buffer_order: VecDeque::new(),
@@ -236,9 +237,37 @@ impl ReachGraph {
         self.buffer_order.clear();
     }
 
-    fn fetch_partition(&mut self, pid: u32) -> Result<Rc<DecodedPartition>, IndexError> {
+    /// A private reader over the same index image: shares the in-memory
+    /// metadata (`Arc`-backed page table, partition directory, timeline)
+    /// and starts with empty buffers and zeroed counters on `device` —
+    /// which must address the same pages this graph was built on
+    /// (typically another [`SharedDevice`](reach_storage::SharedDevice)
+    /// handle). Concurrent query serving hands every reader thread its own
+    /// reader, so per-query IO counters are exactly the single-threaded
+    /// numbers.
+    pub fn reader(&self, device: Box<dyn BlockDevice>) -> ReachGraph {
+        assert_eq!(
+            device.page_size(),
+            self.params.page_size,
+            "reader device page size must match the index page size"
+        );
+        ReachGraph {
+            pager: Pager::new(device, 0),
+            params: self.params.clone(),
+            horizon: self.horizon,
+            num_objects: self.num_objects,
+            num_nodes: self.num_nodes,
+            partition_of: Arc::clone(&self.partition_of),
+            partition_ptrs: Arc::clone(&self.partition_ptrs),
+            timeline: self.timeline.clone(),
+            buffer: HashMap::new(),
+            buffer_order: VecDeque::new(),
+        }
+    }
+
+    fn fetch_partition(&mut self, pid: u32) -> Result<Arc<DecodedPartition>, IndexError> {
         if let Some(p) = self.buffer.get(&pid) {
-            return Ok(Rc::clone(p));
+            return Ok(Arc::clone(p));
         }
         let bytes = read_record(&mut self.pager, self.partition_ptrs[pid as usize])?;
         let mut r = ByteReader::new(&bytes);
@@ -248,13 +277,13 @@ impl ReachGraph {
             let id = r.get_u32()?;
             vertices.insert(id, VertexData::decode(&mut r)?);
         }
-        let decoded = Rc::new(DecodedPartition { vertices });
+        let decoded = Arc::new(DecodedPartition { vertices });
         if self.buffer.len() >= self.params.partition_cache.max(1) {
             if let Some(old) = self.buffer_order.pop_front() {
                 self.buffer.remove(&old);
             }
         }
-        self.buffer.insert(pid, Rc::clone(&decoded));
+        self.buffer.insert(pid, Arc::clone(&decoded));
         self.buffer_order.push_back(pid);
         Ok(decoded)
     }
@@ -734,8 +763,8 @@ mod tests {
         assert_eq!(decoded.horizon, rg.horizon);
         assert_eq!(decoded.num_objects, rg.num_objects);
         assert_eq!(decoded.num_nodes, rg.num_nodes);
-        assert_eq!(decoded.partition_of, rg.partition_of);
-        assert_eq!(decoded.partition_ptrs, rg.partition_ptrs);
+        assert_eq!(decoded.partition_of, *rg.partition_of);
+        assert_eq!(decoded.partition_ptrs, *rg.partition_ptrs);
         assert_eq!(decoded.timeline.index(), rg.timeline.index());
         assert_eq!(decoded.timeline.first_page(), rg.timeline.first_page());
         // Truncations decode to errors, not panics.
@@ -764,7 +793,7 @@ mod tests {
             Err(IndexError::Corrupt(_))
         ));
         // …and a page-table entry pointing past the partition directory.
-        let mut poisoned = rg.partition_of.clone();
+        let mut poisoned = (*rg.partition_of).clone();
         poisoned[0] = u32::MAX;
         let bad_table = encode_meta(
             &rg.params,

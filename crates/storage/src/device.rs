@@ -32,7 +32,15 @@ pub type PageId = u64;
 /// trait is object-safe on purpose: backends are selected at runtime (see
 /// [`StorageConfig`](crate::StorageConfig)) and erased behind
 /// `Box<dyn BlockDevice>` inside the [`Pager`](crate::Pager).
-pub trait BlockDevice: std::fmt::Debug {
+///
+/// `Send + Sync` are supertraits so indexes built over any device can be
+/// handed to worker threads and *snapshots* of sealed indexes can be
+/// shared behind an `Arc` (all page traffic still takes `&mut self`, so
+/// `Sync` costs implementations nothing). Devices whose pages must be
+/// shared between threads go through
+/// [`SharedDevice`](crate::SharedDevice), which serializes the page
+/// traffic while keeping per-handle IO classification exact.
+pub trait BlockDevice: std::fmt::Debug + Send + Sync {
     /// Short backend name for reports ("sim" / "file" / "mmap").
     fn backend(&self) -> &'static str;
 

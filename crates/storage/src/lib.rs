@@ -48,6 +48,7 @@ pub mod layout;
 pub mod meta;
 pub mod mmap;
 pub mod pager;
+pub mod shared;
 pub mod sim;
 pub mod spill;
 pub mod timeline;
@@ -61,6 +62,7 @@ pub use iostats::{IoSampler, IoStats};
 pub use layout::{read_record, RecordPtr, RecordWriter};
 pub use mmap::MmapDevice;
 pub use pager::Pager;
+pub use shared::SharedDevice;
 pub use sim::SimDevice;
 pub use spill::{BuildBudget, SpillPool, SpillStats, Spillable};
 pub use timeline::TimelineRegion;

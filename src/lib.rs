@@ -200,13 +200,10 @@
 //! use streach::prelude::*;
 //!
 //! let params = GraphParams { page_size: 256, ..GraphParams::default() };
-//! let mut live = LiveIndex::new(
-//!     StorageConfig::sim(256).create().expect("log device"),
-//!     Box::new(|| StorageConfig::sim(256).create().expect("device")),
-//!     4, // universe size
-//!     LiveConfig::graph(params, BuildBudget::bytes(64 << 10)),
-//! )
-//! .expect("live index creates");
+//! let mut live = LiveConfig::graph(params, BuildBudget::bytes(64 << 10))
+//!     .builder() // knobs: .lateness(..), .strict(), .delta_budget(..), .backend(..)
+//!     .build(4 /* universe size */)
+//!     .expect("live index creates");
 //!
 //! // The paper's Figure 1 contacts arrive as a stream (c1..c4)…
 //! live.append(Contact::new(ObjectId(0), ObjectId(1), TimeInterval::new(0, 0)))
@@ -228,6 +225,52 @@
 //! assert!(live.evaluate_query(&q).expect("query evaluates").reachable());
 //! ```
 
+//! ## Concurrent serving: shared queries, background compaction
+//!
+//! [`LiveBuilder::serve`](live::LiveBuilder::serve) produces a
+//! [`ConcurrentLive`](live::ConcurrentLive) instead: queries take `&self`
+//! through the unified [`ReachIndex`](core::ReachIndex) trait (every index
+//! in the workspace answers through it — single-threaded ones via the
+//! [`Serial`](core::Serial) adapter),
+//! appends are write-locked, and compaction runs on a background worker
+//! that swaps in the rebuilt base as a new epoch without ever blocking
+//! readers. Per-query counted IO stays exact under any interleaving
+//! because each query reads the sealed base through a private
+//! [`SharedDevice`](storage::SharedDevice) handle:
+//!
+//! ```
+//! use streach::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let params = GraphParams { page_size: 256, ..GraphParams::default() };
+//! let live = LiveConfig::graph(params, BuildBudget::bytes(64 << 10))
+//!     .builder()
+//!     .serve(4)
+//!     .expect("serving index creates");
+//! live.append(Contact::new(ObjectId(0), ObjectId(1), TimeInterval::new(0, 0)))
+//!     .expect("append accepted");
+//! live.append(Contact::new(ObjectId(1), ObjectId(3), TimeInterval::new(1, 1)))
+//!     .expect("append accepted");
+//! live.compact_now().expect("synchronous compaction");
+//!
+//! // Shared by Arc: any number of threads may query concurrently.
+//! let shared: Arc<dyn ReachIndex> = Arc::new(live);
+//! let handles: Vec<_> = (0..2)
+//!     .map(|_| {
+//!         let shared = Arc::clone(&shared);
+//!         std::thread::spawn(move || {
+//!             let a = shared
+//!                 .query(ObjectId(0), TimeInterval::new(0, 1), ObjectId(3))
+//!                 .expect("query evaluates");
+//!             assert!(a.reachable());
+//!         })
+//!     })
+//!     .collect();
+//! for h in handles {
+//!     h.join().expect("reader thread");
+//! }
+//! ```
+
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
@@ -239,6 +282,7 @@ pub use reach_graph as graph;
 pub use reach_grid as grid;
 pub use reach_live as live;
 pub use reach_mobility as mobility;
+pub use reach_serve as serve;
 pub use reach_storage as storage;
 pub use reach_traj as traj;
 
@@ -251,20 +295,22 @@ pub mod prelude {
         TraceKind, DEFAULT_LEVELS,
     };
     pub use reach_core::{
-        Contact, ContactEvent, Environment, IndexError, Mbr, ObjectId, Point, Query, QueryOutcome,
-        QueryResult, ReachabilityIndex, Time, TimeInterval,
+        Answer, Contact, ContactEvent, Environment, IndexError, Mbr, ObjectId, Point, Query,
+        QueryKind, QueryOutcome, QueryResult, ReachIndex, ReachRequest, ReachabilityIndex, Serial,
+        Time, TimeInterval,
     };
     pub use reach_ext::{NonImmediateIndex, UReachGraph, UncertainOracle};
     pub use reach_graph::{GraphParams, MemoryHn, ReachGraph, TraversalKind};
     pub use reach_grid::{GridParams, ReachGrid, Spj};
     pub use reach_live::{
-        AppendLog, BaseKind, CompactionStats, DeltaDn, GrailConfig, LiveConfig, LiveError,
-        LiveIndex, LiveStats, LogRecovery,
+        AppendLog, BaseKind, CompactionStats, ConcurrentLive, DeltaDn, GrailConfig, LiveBuilder,
+        LiveConfig, LiveError, LiveIndex, LiveMetrics, LiveStats, LogRecovery,
     };
     pub use reach_mobility::{RoadNetwork, RwpConfig, VehicleConfig, WorkloadConfig};
+    pub use reach_serve::{ServeConfig, ServeMetrics, Server, SubmitError, Ticket};
     pub use reach_storage::{
-        BlockDevice, BuildBudget, FileDevice, IoSampler, IoStats, MmapDevice, Pager, SimDevice,
-        SpillStats, StorageBackend, StorageConfig,
+        BlockDevice, BuildBudget, FileDevice, IoSampler, IoStats, MmapDevice, Pager, SharedDevice,
+        SimDevice, SpillStats, StorageBackend, StorageConfig,
     };
     pub use reach_traj::{Trajectory, TrajectoryStore};
 }

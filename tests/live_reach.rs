@@ -25,13 +25,10 @@ fn graph_params() -> GraphParams {
 }
 
 fn live_on(backend: &'static str, budget: usize, num_objects: usize) -> LiveIndex {
-    LiveIndex::new(
-        device_for(backend),
-        factory_for(backend),
-        num_objects,
-        LiveConfig::graph(graph_params(), BuildBudget::bytes(budget)),
-    )
-    .expect("live index creates")
+    LiveConfig::graph(graph_params(), BuildBudget::bytes(budget))
+        .builder()
+        .build_on(device_for(backend), factory_for(backend), num_objects)
+        .expect("live index creates")
 }
 
 /// A fresh device of the named backend. File-backed devices are unlinked
@@ -58,7 +55,7 @@ fn device_for(backend: &str) -> Box<dyn BlockDevice> {
     }
 }
 
-fn factory_for(backend: &'static str) -> Box<dyn FnMut() -> Box<dyn BlockDevice>> {
+fn factory_for(backend: &'static str) -> Box<dyn FnMut() -> Box<dyn BlockDevice> + Send> {
     Box::new(move || device_for(backend))
 }
 
@@ -226,13 +223,10 @@ fn compacted_grail_base_is_byte_identical() {
         page_size: PAGE,
         cache_pages: 32,
     };
-    let mut live = LiveIndex::new(
-        device_for("sim"),
-        factory_for("sim"),
-        n,
-        LiveConfig::grail(grail, BuildBudget::bytes(1 << 20)),
-    )
-    .expect("live index creates");
+    let mut live = LiveConfig::grail(grail, BuildBudget::bytes(1 << 20))
+        .builder()
+        .build_on(device_for("sim"), factory_for("sim"), n)
+        .expect("live index creates");
     for (i, &c) in records.iter().enumerate() {
         live.append(c).expect("append accepted");
         if i == 30 {
@@ -328,13 +322,10 @@ fn append_log_recovers_after_a_crash() {
     let records = stream(3, n as u32, 50, 40);
     {
         let dev = StorageConfig::file(&path, PAGE).create().expect("log file");
-        let mut live = LiveIndex::new(
-            dev,
-            factory_for("sim"),
-            n,
-            LiveConfig::graph(graph_params(), BuildBudget::bytes(1 << 20)),
-        )
-        .expect("live index creates");
+        let mut live = LiveConfig::graph(graph_params(), BuildBudget::bytes(1 << 20))
+            .builder()
+            .build_on(dev, factory_for("sim"), n)
+            .expect("live index creates");
         for &c in &records {
             live.append(c).expect("append accepted");
         }
@@ -357,12 +348,10 @@ fn append_log_recovers_after_a_crash() {
     let dev = StorageConfig::file(&path, PAGE)
         .open()
         .expect("log reopens");
-    let (mut live, recovery) = LiveIndex::open(
-        dev,
-        factory_for("sim"),
-        LiveConfig::graph(graph_params(), BuildBudget::bytes(1 << 20)),
-    )
-    .expect("recovery succeeds");
+    let (mut live, recovery) = LiveConfig::graph(graph_params(), BuildBudget::bytes(1 << 20))
+        .builder()
+        .open_on(dev, factory_for("sim"))
+        .expect("recovery succeeds");
     assert!(recovery.torn_tail, "torn page must be detected");
     assert!(recovery.records < records.len() as u64);
     assert!(
