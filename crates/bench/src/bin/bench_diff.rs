@@ -60,9 +60,29 @@ fn main() {
         );
         std::process::exit(2);
     };
-    let outcome = diff(&load(&baseline), &load(&current), max_regress);
+    let (base_report, cur_report) = (load(&baseline), load(&current));
+    let outcome = diff(&base_report, &cur_report, max_regress);
     for note in &outcome.notes {
         println!("note: {note}");
+    }
+    // Warm-cache tier, when the suite carries one: the shared-cache hit
+    // rate of the repeated-serve workload, straight from the counters.
+    let c = &cur_report.counters;
+    if let (Some(&hits), Some(&pf_hits), Some(&misses)) = (
+        c.get("rwp/cache/hits"),
+        c.get("rwp/cache/prefetch_hits"),
+        c.get("rwp/cache/misses"),
+    ) {
+        let total = hits + pf_hits + misses;
+        if total > 0 {
+            println!(
+                "cache: {:.1}% hit rate ({} hits + {} prefetch hits / {} lookups)",
+                100.0 * (hits + pf_hits) as f64 / total as f64,
+                hits,
+                pf_hits,
+                total
+            );
+        }
     }
     if outcome.improved + outcome.new_counters > 0 {
         println!(

@@ -1197,7 +1197,98 @@ pub fn exp_serve(tier: Tier) -> Vec<Table> {
             format!("{:.2}", r.reachable_frac),
         ]);
     }
-    vec![inventory, service, query_t]
+    let mut tables = vec![inventory, service, query_t];
+
+    // Phase 4 (`--warm-cache`) — the full deterministic stream through two
+    // *fresh* serving indexes: a cold reference, and one whose epoch hubs
+    // carry a shared PageCache with readahead. Manual compaction means no
+    // timing-dependent lateness drops, so (unlike the concurrent phases
+    // above) every counter in this table is identical run to run and
+    // backend to backend. The workload is evaluated twice on both: the
+    // cold index pays the base reads every round, the warm one absorbs
+    // the repeats as shared residency. Answers are asserted identical
+    // query by query.
+    if std::env::args().any(|a| a == "--warm-cache") {
+        let replay = |cache_pages: usize, window: usize| {
+            let mut cfg = LiveConfig::graph(params.clone(), build_budget).manual_compaction();
+            if cache_pages > 0 {
+                cfg = cfg.with_shared_cache(cache_pages).with_readahead(window);
+            }
+            let idx = cfg
+                .builder()
+                .serve_on(
+                    backend.device(page),
+                    Box::new(move || backend.device(page)),
+                    store.num_objects(),
+                )
+                .expect("replay serving index creates");
+            for &c in &contacts {
+                idx.append(c).expect("replay append accepted");
+            }
+            idx.advance(store.horizon());
+            idx.compact_now().expect("replay compaction succeeds");
+            idx
+        };
+        let cold = replay(0, 0);
+        let warm = replay(8192, 8);
+        let warm_queries: Vec<Query> = workload(&spec, tier, 0x5E12E)
+            .into_iter()
+            .filter(|q| q.interval.start < store.horizon())
+            .collect();
+        let (mut cold_reads, mut warm_reads) = (0u64, 0u64);
+        for _round in 0..2 {
+            for q in &warm_queries {
+                let a = cold.evaluate_query(q).expect("cold query");
+                let b = warm.evaluate_query(q).expect("warm query");
+                assert_eq!(
+                    a.reachable(),
+                    b.reachable(),
+                    "warm shared cache changed the answer of {q}"
+                );
+                cold_reads += a.stats.random_ios + a.stats.seq_ios;
+                warm_reads += b.stats.random_ios + b.stats.seq_ios;
+            }
+        }
+        assert!(
+            warm_reads < cold_reads,
+            "warm shared cache must reduce repeated-serve device reads \
+             (cold {cold_reads}, warm {warm_reads})"
+        );
+        let cache = warm.cache_stats().expect("warm index carries a cache");
+        let lookups = cache.total_hits() + cache.misses;
+        let mut warm_t = Table::new(
+            "exp_serve (warm cache)",
+            "repeated workload: cold per-query pools vs one shared cache with readahead",
+            &[
+                "backend",
+                "cold reads",
+                "warm reads",
+                "reduction",
+                "hit rate",
+                "prefetched",
+                "prefetch hits",
+                "evictions",
+            ],
+        );
+        warm_t.row(vec![
+            backend.name().to_string(),
+            cold_reads.to_string(),
+            warm_reads.to_string(),
+            format!(
+                "{:.1}%",
+                100.0 * (1.0 - warm_reads as f64 / cold_reads.max(1) as f64)
+            ),
+            format!(
+                "{:.1}%",
+                100.0 * cache.total_hits() as f64 / lookups.max(1) as f64
+            ),
+            cache.prefetched.to_string(),
+            cache.prefetch_hits.to_string(),
+            cache.evictions.to_string(),
+        ]);
+        tables.push(warm_t);
+    }
+    tables
 }
 
 // ---------------------------------------------------------------------------

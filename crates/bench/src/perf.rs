@@ -348,6 +348,18 @@ impl BlockDevice for CountingDevice {
         self.inner.note_cache_hit();
     }
 
+    fn note_prefetched(&mut self) {
+        self.inner.note_prefetched();
+    }
+
+    fn note_prefetch_hit(&mut self) {
+        self.inner.note_prefetch_hit();
+    }
+
+    fn shared_cache(&self) -> Option<std::sync::Arc<reach_storage::PageCache>> {
+        self.inner.shared_cache()
+    }
+
     fn sync(&mut self) -> Result<(), IndexError> {
         self.inner.sync()
     }
@@ -358,6 +370,13 @@ const PERF_PAGE: usize = 512;
 /// Streaming-build budget: tight enough to force spills on the perf
 /// dataset, so the spill counters stay live numbers the gate watches.
 const PERF_BUDGET_BYTES: usize = 96 * 1024;
+/// Shared-cache capacity of the warm serving tier (pages): big enough to
+/// hold the perf base, so the repeat rounds measure pure cross-query reuse.
+const WARM_CACHE_PAGES: usize = 4096;
+/// Readahead window of the warm serving tier (pages).
+const WARM_READAHEAD: usize = 8;
+/// Times the warm tier repeats the query workload.
+const WARM_ROUNDS: usize = 3;
 
 fn perf_queries(spec: &DatasetSpec, n: usize) -> Vec<Query> {
     WorkloadConfig {
@@ -639,6 +658,78 @@ pub fn quick_suite() -> (PerfReport, f64) {
             "rwp/serve/batch/reachable".into(),
             answers.iter().map(|a| u64::from(a.reachable())).sum(),
         );
+
+        // Warm shared cache: the same stream and seal schedule through a
+        // serving index whose epoch hubs carry a shared PageCache with
+        // readahead, then a *repeated* query workload on both indexes. The
+        // cold index re-reads the base every round (fresh handle, cold
+        // per-query pool); the warm one absorbs the repeats as cache hits.
+        // Everything is single-threaded and the cache's sharding and LRU
+        // are deterministic, so the warm counters gate exactly. The cold
+        // tiers above never see a cache (default hubs carry none), so all
+        // pre-existing counters are byte-identical.
+        let warm = reach_live::LiveConfig::graph(
+            GraphParams {
+                partition_depth: 8,
+                page_size: PERF_PAGE,
+                ..GraphParams::default()
+            },
+            BuildBudget::bytes(PERF_BUDGET_BYTES),
+        )
+        .manual_compaction()
+        .with_shared_cache(WARM_CACHE_PAGES)
+        .with_readahead(WARM_READAHEAD)
+        .builder()
+        .serve_on(
+            Box::new(SimDevice::new(PERF_PAGE)),
+            Box::new(|| Box::new(SimDevice::new(PERF_PAGE))),
+            store.num_objects(),
+        )
+        .expect("perf warm serving index creates");
+        feed_shared(&warm, &contacts[..cut1]);
+        warm.compact_now().expect("perf warm compaction succeeds");
+        feed_shared(&warm, &contacts[cut1..cut2]);
+        warm.compact_now().expect("perf warm recompaction succeeds");
+        feed_shared(&warm, &contacts[cut2..]);
+        let (mut cold_reads, mut warm_reads) = (0u64, 0u64);
+        for _round in 0..WARM_ROUNDS {
+            for q in &queries {
+                let cold = serve
+                    .evaluate_query(q)
+                    .unwrap_or_else(|e| panic!("perf cold query {q} failed: {e}"));
+                let hot = warm
+                    .evaluate_query(q)
+                    .unwrap_or_else(|e| panic!("perf warm query {q} failed: {e}"));
+                assert_eq!(
+                    cold.reachable(),
+                    hot.reachable(),
+                    "warm cache changed the answer of {q}"
+                );
+                cold_reads += cold.stats.random_ios + cold.stats.seq_ios;
+                warm_reads += hot.stats.random_ios + hot.stats.seq_ios;
+            }
+        }
+        let cache = warm
+            .cache_stats()
+            .expect("warm serving index carries a cache");
+        assert!(
+            warm_reads * 100 <= cold_reads * 70,
+            "warm shared cache must cut repeated-serve device reads by ≥30% \
+             (cold {cold_reads}, warm {warm_reads})"
+        );
+        assert!(
+            warm_reads + cache.total_hits() >= cold_reads,
+            "cache hits must absorb the saved reads \
+             (cold {cold_reads}, warm {warm_reads}, hits {})",
+            cache.total_hits()
+        );
+        counters.insert("rwp/cache/hits".into(), cache.hits);
+        counters.insert("rwp/cache/misses".into(), cache.misses);
+        counters.insert("rwp/cache/prefetched".into(), cache.prefetched);
+        counters.insert("rwp/cache/prefetch_hits".into(), cache.prefetch_hits);
+        counters.insert("rwp/cache/evictions".into(), cache.evictions);
+        counters.insert("rwp/cache/warm_read_pages".into(), warm_reads);
+        counters.insert("rwp/cache/cold_read_pages".into(), cold_reads);
 
         PerfReport {
             schema: SCHEMA,

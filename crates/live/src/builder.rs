@@ -83,6 +83,21 @@ impl LiveBuilder {
         self.auto_compact(false)
     }
 
+    /// Shared page-cache capacity for every sealed epoch's device hub
+    /// (see [`LiveConfig::shared_cache_pages`]; 0, the default, keeps the
+    /// cold-cache measurement model).
+    pub fn shared_cache(mut self, pages: usize) -> Self {
+        self.config.shared_cache_pages = pages;
+        self
+    }
+
+    /// Readahead window in pages for the shared cache's pagers (see
+    /// [`LiveConfig::readahead`]).
+    pub fn readahead(mut self, pages: usize) -> Self {
+        self.config.readahead = pages;
+        self
+    }
+
     /// Where the index lives: the simulator (default), or a directory of
     /// real files for the `file`/`mmap` backends. The storage page size
     /// must match the configured base's.

@@ -61,7 +61,7 @@ use reach_core::{
     ReachIndex, ReachRequest, Time, TimeInterval,
 };
 use reach_graph::ReachGraph;
-use reach_storage::{IoSampler, SharedDevice};
+use reach_storage::{CacheStats, IoSampler, PageCache, SharedDevice};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
@@ -99,7 +99,9 @@ enum SealedEpochBase {
 impl Epoch {
     /// A private reader over this epoch's pages: fresh device handle
     /// (zeroed IO counters, no head position) + fresh pager, so per-query
-    /// counters are exact no matter how many readers interleave.
+    /// counters are exact no matter how many readers interleave. When the
+    /// hub carries a shared [`PageCache`], the reader's pager attaches to
+    /// it automatically and residency pools across every reader.
     fn reader(&self) -> Base {
         match &self.base {
             SealedEpochBase::None => Base::None,
@@ -108,6 +110,16 @@ impl Epoch {
             }
             SealedEpochBase::Grail { index, device } => {
                 Base::Grail(Box::new(index.reader(Box::new(device.clone()))))
+            }
+        }
+    }
+
+    /// The shared page cache of this epoch's device hub, if configured.
+    fn cache(&self) -> Option<Arc<PageCache>> {
+        match &self.base {
+            SealedEpochBase::None => None,
+            SealedEpochBase::Graph { device, .. } | SealedEpochBase::Grail { device, .. } => {
+                device.cache().cloned()
             }
         }
     }
@@ -348,6 +360,16 @@ impl ConcurrentLive {
             watermark,
             now,
         }
+    }
+
+    /// Counters of the current epoch's shared page cache, or `None` when
+    /// the config leaves the cache off (or no base has been built yet).
+    /// Hits/misses/prefetch numbers aggregate over every reader of the
+    /// epoch; the per-handle [`IoStats`](reach_storage::IoStats) remain
+    /// the per-query accounting surface.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        let epoch = Arc::clone(&self.shared.read().epoch);
+        epoch.cache().map(|c| c.stats())
     }
 
     /// Test hook: make the compactor sleep this long between build and
@@ -817,7 +839,16 @@ fn run_compaction(
     // untouched for the whole build.
     let built = (|| {
         let scratch = (compactor.devices)();
-        let hub = SharedDevice::new((compactor.devices)());
+        // Each epoch gets a fresh hub; with a shared cache configured the
+        // hub carries one, so residency starts empty per epoch and every
+        // reader of this epoch pools pages in it.
+        let hub = match config.shared_cache_pages {
+            0 => SharedDevice::new((compactor.devices)()),
+            pages => SharedDevice::with_cache(
+                (compactor.devices)(),
+                Arc::new(PageCache::new(pages).with_readahead(config.readahead)),
+            ),
+        };
         let handle = hub.clone();
         let mut old = epoch.reader();
         let (new_base, stats) = build_sealed_base(
@@ -859,16 +890,24 @@ fn run_compaction(
         Ok((sealed_base, stats)) => {
             // Phase 3: commit — the only point that changes reader-visible
             // state, and it is infallible.
-            let still_over = {
+            let (still_over, old_cache) = {
                 let mut st = shared.write();
                 st.delta.discard_below(cut);
+                let old_cache = st.epoch.cache();
                 st.epoch = Arc::new(Epoch {
                     id: st.epoch.id + 1,
                     base: sealed_base,
                 });
                 st.pending_cut = None;
-                st.delta.resident_bytes() > config.delta_budget
+                (st.delta.resident_bytes() > config.delta_budget, old_cache)
             };
+            // The superseded epoch's pages can never be served again (the
+            // reader protocol discards results from a stale epoch id);
+            // dropping its cached residency frees the memory immediately
+            // even while late readers still hold the old epoch's Arc.
+            if let Some(cache) = old_cache {
+                cache.invalidate_all();
+            }
             shared.compacting.store(false, Ordering::Release);
             {
                 let mut s = shared.stats();

@@ -116,6 +116,15 @@ pub struct LiveConfig {
     pub lateness: Time,
     /// Compact automatically when the delta outgrows `delta_budget`.
     pub auto_compact: bool,
+    /// Shared page-cache capacity (pages) for the sealed base's device hub.
+    /// `0` (the default) keeps the paper's cold-cache measurement model;
+    /// non-zero makes every epoch's hub carry a
+    /// [`PageCache`](reach_storage::PageCache), pooling residency across
+    /// queries and serving threads (concurrent mode only).
+    pub shared_cache_pages: usize,
+    /// Readahead window (pages) the shared cache hands to its pagers; `0`
+    /// disables prefetch. Only meaningful with `shared_cache_pages > 0`.
+    pub readahead: usize,
 }
 
 impl LiveConfig {
@@ -129,6 +138,8 @@ impl LiveConfig {
             delta_budget: budget.max_resident_bytes,
             lateness: 0,
             auto_compact: true,
+            shared_cache_pages: 0,
+            readahead: 0,
         }
     }
 
@@ -141,6 +152,8 @@ impl LiveConfig {
             delta_budget: budget.max_resident_bytes,
             lateness: 0,
             auto_compact: true,
+            shared_cache_pages: 0,
+            readahead: 0,
         }
     }
 
@@ -166,6 +179,21 @@ impl LiveConfig {
     /// via [`LiveIndex::compact`]).
     pub fn manual_compaction(mut self) -> Self {
         self.auto_compact = false;
+        self
+    }
+
+    /// Returns the config with a shared page cache of `pages` pages on
+    /// every sealed epoch's device hub (see
+    /// [`LiveConfig::shared_cache_pages`]).
+    pub fn with_shared_cache(mut self, pages: usize) -> Self {
+        self.shared_cache_pages = pages;
+        self
+    }
+
+    /// Returns the config with a readahead window of `pages` pages (see
+    /// [`LiveConfig::readahead`]).
+    pub fn with_readahead(mut self, pages: usize) -> Self {
+        self.readahead = pages;
         self
     }
 }

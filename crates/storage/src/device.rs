@@ -16,8 +16,10 @@
 //! simulator, which is what makes the backend-equivalence suite able to
 //! assert identical stats.
 
+use crate::cache::PageCache;
 use crate::iostats::IoStats;
 use reach_core::IndexError;
+use std::sync::Arc;
 
 /// Default page size, matching the paper's experimental system (Table 3).
 pub const DEFAULT_PAGE_SIZE: usize = 4096;
@@ -78,6 +80,25 @@ pub trait BlockDevice: std::fmt::Debug + Send + Sync {
     /// when a read is served from the buffer pool without touching the
     /// device.
     fn note_cache_hit(&mut self);
+
+    /// Adds to the prefetched-page counter. Called by the pager when
+    /// readahead fills a page (the classified device read is counted
+    /// separately). Default: not tracked.
+    fn note_prefetched(&mut self) {}
+
+    /// Adds to the prefetch-hit counter (a cache hit landing on a
+    /// readahead-filled page; called in addition to
+    /// [`BlockDevice::note_cache_hit`]). Default: not tracked.
+    fn note_prefetch_hit(&mut self) {}
+
+    /// The shared [`PageCache`] this device advertises, if any. The
+    /// [`Pager`](crate::Pager) attaches to it automatically on
+    /// construction, switching from its private pool to the cross-query
+    /// shared pool. Default: none — private devices keep the paper's
+    /// cold-cache measurement model.
+    fn shared_cache(&self) -> Option<Arc<PageCache>> {
+        None
+    }
 
     /// Flushes buffered writes to durable storage (no-op for memory-backed
     /// devices).

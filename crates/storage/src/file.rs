@@ -163,6 +163,14 @@ impl BlockDevice for FileDevice {
         self.tracker.note_cache_hit();
     }
 
+    fn note_prefetched(&mut self) {
+        self.tracker.note_prefetched();
+    }
+
+    fn note_prefetch_hit(&mut self) {
+        self.tracker.note_prefetch_hit();
+    }
+
     fn sync(&mut self) -> Result<(), IndexError> {
         self.file
             .sync_all()

@@ -31,6 +31,13 @@ pub struct IoStats {
     pub seq_writes: u64,
     /// Reads served from the buffer pool without touching the device.
     pub cache_hits: u64,
+    /// Pages this handle filled by readahead prefetch (each is also counted
+    /// as a classified device read above — prefetch batches the fetch, it
+    /// never changes what the device is charged).
+    pub prefetched: u64,
+    /// The subset of [`IoStats::cache_hits`] that landed on a
+    /// readahead-prefetched page (its first demand access).
+    pub prefetch_hits: u64,
 }
 
 impl IoStats {
@@ -56,11 +63,23 @@ impl IoStats {
         self.random_writes as f64 + self.seq_writes as f64 / SEQ_PER_RANDOM as f64
     }
 
+    /// Fraction of page requests (device reads + cache hits) served from
+    /// cache; 0 when nothing was read at all.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let requests = self.total_reads() + self.cache_hits;
+        if requests == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / requests as f64
+        }
+    }
+
     /// Human-readable one-liner surfacing both the read and the write
-    /// classification plus cache hits.
+    /// classification plus cache hits (with their hit rate) and prefetch
+    /// activity.
     pub fn summary(&self) -> String {
-        format!(
-            "reads {} random + {} seq (norm {:.2}), writes {} random + {} seq (norm {:.2}), {} cache hits",
+        let mut s = format!(
+            "reads {} random + {} seq (norm {:.2}), writes {} random + {} seq (norm {:.2}), {} cache hits ({:.1}% hit rate)",
             self.random_reads,
             self.seq_reads,
             self.normalized(),
@@ -68,7 +87,15 @@ impl IoStats {
             self.seq_writes,
             self.normalized_writes(),
             self.cache_hits,
-        )
+            self.cache_hit_rate() * 100.0,
+        );
+        if self.prefetched > 0 || self.prefetch_hits > 0 {
+            s.push_str(&format!(
+                ", {} prefetched / {} prefetch hits",
+                self.prefetched, self.prefetch_hits
+            ));
+        }
+        s
     }
 
     /// Takes the accumulated counters, leaving zeros behind — the drain
@@ -93,6 +120,8 @@ impl IoStats {
             random_writes: self.random_writes.saturating_sub(earlier.random_writes),
             seq_writes: self.seq_writes.saturating_sub(earlier.seq_writes),
             cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            prefetched: self.prefetched.saturating_sub(earlier.prefetched),
+            prefetch_hits: self.prefetch_hits.saturating_sub(earlier.prefetch_hits),
         }
     }
 }
@@ -106,6 +135,8 @@ impl Add for IoStats {
             random_writes: self.random_writes + rhs.random_writes,
             seq_writes: self.seq_writes + rhs.seq_writes,
             cache_hits: self.cache_hits + rhs.cache_hits,
+            prefetched: self.prefetched + rhs.prefetched,
+            prefetch_hits: self.prefetch_hits + rhs.prefetch_hits,
         }
     }
 }
@@ -156,6 +187,18 @@ impl IoTracker {
     /// Counts one buffer-pool hit.
     pub fn note_cache_hit(&mut self) {
         self.stats.cache_hits += 1;
+    }
+
+    /// Counts one page filled by readahead prefetch (the classified device
+    /// read is counted separately through [`IoTracker::note_read`]).
+    pub fn note_prefetched(&mut self) {
+        self.stats.prefetched += 1;
+    }
+
+    /// Counts one cache hit that landed on a prefetched page (call *in
+    /// addition* to [`IoTracker::note_cache_hit`]).
+    pub fn note_prefetch_hit(&mut self) {
+        self.stats.prefetch_hits += 1;
     }
 
     /// Cumulative counters.
@@ -230,6 +273,7 @@ mod tests {
             random_writes: 1,
             seq_writes: 40,
             cache_hits: 100,
+            ..IoStats::default()
         };
         assert!((s.normalized() - 5.0).abs() < 1e-12);
         assert!((s.normalized_writes() - 3.0).abs() < 1e-12);
@@ -245,6 +289,8 @@ mod tests {
             random_writes: 30,
             seq_writes: 31,
             cache_hits: 40,
+            prefetched: 12,
+            prefetch_hits: 9,
         };
         let b = IoStats {
             random_reads: 4,
@@ -252,6 +298,8 @@ mod tests {
             random_writes: 6,
             seq_writes: 2,
             cache_hits: 7,
+            prefetched: 3,
+            prefetch_hits: 1,
         };
         let d = a.since(&b);
         assert_eq!(
@@ -262,6 +310,8 @@ mod tests {
                 random_writes: 24,
                 seq_writes: 29,
                 cache_hits: 33,
+                prefetched: 9,
+                prefetch_hits: 8,
             }
         );
         assert_eq!(a - b, d);
@@ -307,6 +357,7 @@ mod tests {
             random_writes: 5,
             seq_writes: 6,
             cache_hits: 7,
+            ..IoStats::default()
         };
         let taken = s.take();
         assert_eq!(taken.random_reads, 3);
@@ -356,5 +407,33 @@ mod tests {
         assert!(s.contains("reads 1 random"));
         assert!(s.contains("writes 1 random"));
         assert!(s.contains("1 cache hits"));
+        assert!(s.contains("50.0% hit rate"), "{s}");
+        assert!(!s.contains("prefetched"), "quiet when prefetch is idle");
+    }
+
+    #[test]
+    fn summary_surfaces_prefetch_activity() {
+        let mut t = IoTracker::new();
+        t.note_read(0);
+        t.note_prefetched();
+        t.note_cache_hit();
+        t.note_prefetch_hit();
+        let stats = t.stats();
+        assert_eq!(stats.prefetched, 1);
+        assert_eq!(stats.prefetch_hits, 1);
+        let s = stats.summary();
+        assert!(s.contains("1 prefetched / 1 prefetch hits"), "{s}");
+    }
+
+    #[test]
+    fn cache_hit_rate_counts_hits_against_all_requests() {
+        assert_eq!(IoStats::default().cache_hit_rate(), 0.0);
+        let s = IoStats {
+            random_reads: 1,
+            seq_reads: 2,
+            cache_hits: 3,
+            ..IoStats::default()
+        };
+        assert!((s.cache_hit_rate() - 0.5).abs() < 1e-12);
     }
 }

@@ -168,6 +168,7 @@ pub fn read_record(pager: &mut Pager, ptr: RecordPtr) -> Result<Vec<u8>, IndexEr
     let mut len_filled = 0usize;
     let mut total: Option<usize> = None;
     let mut out: Vec<u8> = Vec::new();
+    let mut prefetched = false;
     loop {
         if off == page_size {
             page_id += 1;
@@ -209,6 +210,15 @@ pub fn read_record(pager: &mut Pager, ptr: RecordPtr) -> Result<Vec<u8>, IndexEr
             }
             if out.len() == len {
                 return Ok(out);
+            }
+            // The record continues on the pages that follow; with readahead
+            // enabled, pull a window of them in ahead of the scan. (The
+            // record always resumes at the next page: the closure drains the
+            // current page before leaving the payload short.)
+            if !prefetched {
+                prefetched = true;
+                let span = (len - out.len()).div_ceil(page_size);
+                pager.prefetch(page_id + 1, span)?;
             }
         }
     }

@@ -23,6 +23,10 @@
 //! * [`LruPool`] / [`Pager`] — the buffer pool both indexes use at query
 //!   time (the pager owns its device as `Box<dyn BlockDevice>`; see
 //!   [`pager`] for why erasure beats genericity here);
+//! * [`PageCache`] — the sharded, concurrency-safe page cache a
+//!   [`SharedDevice`] hub can carry, pooling residency across queries and
+//!   serving threads, with readahead prefetch (see [`cache`]); off by
+//!   default so the paper's cold-cache counters stay the reference tier;
 //! * [`ByteWriter`] / [`ByteReader`] — the checked binary codec for on-page
 //!   records;
 //! * [`RecordWriter`] / [`read_record`] — variable-length records spanning
@@ -39,6 +43,7 @@
 #![forbid(unsafe_code)]
 
 pub mod buffer;
+pub mod cache;
 pub mod codec;
 pub mod config;
 pub mod device;
@@ -54,6 +59,7 @@ pub mod spill;
 pub mod timeline;
 
 pub use buffer::LruPool;
+pub use cache::{CacheStats, PageCache};
 pub use codec::{ByteReader, ByteWriter};
 pub use config::{StorageBackend, StorageConfig};
 pub use device::{BlockDevice, PageId, DEFAULT_PAGE_SIZE};

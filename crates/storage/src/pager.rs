@@ -4,6 +4,32 @@
 //! cost nothing and misses are charged to the device with sequential/random
 //! classification. Construction writes go straight to the device.
 //!
+//! ## Private pool vs. shared cache
+//!
+//! By default the pager fronts its device with a *private* [`LruPool`] —
+//! the paper's per-query buffer, cleared at query boundaries so every
+//! measured query starts cold. When the device advertises a shared
+//! [`PageCache`] (a [`SharedDevice`](crate::shared::SharedDevice) hub
+//! built `with_cache`), the pager attaches to it instead: residency is
+//! then pooled across every pager on the same hub — repeated queries and
+//! concurrent serving threads reuse each other's fetches. Accounting stays
+//! exact either way: a hit is charged to *this* pager's device handle as a
+//! cache hit ([`IoStats::cache_hits`]), never as a read, and the
+//! sequential/random classification of the misses that do reach the device
+//! is untouched.
+//!
+//! ## Readahead
+//!
+//! [`Pager::prefetch`] declares that a run of consecutive pages is about to
+//! be scanned. With a readahead window configured
+//! ([`Pager::set_readahead`], or inherited from the shared cache), the
+//! pager fetches up to one window of not-yet-resident pages ahead of the
+//! scan, charging each fetch as a normal classified device read plus a
+//! `prefetched` mark; when the scan later lands on a prefetched page the
+//! hit is counted as a `prefetch_hit` (a subset of `cache_hits`). With the
+//! default window of 0 the call is a no-op, so cold-tier counters are
+//! byte-identical with the feature compiled in.
+//!
 //! ## Why type erasure, not genericity
 //!
 //! The pager owns its device as `Box<dyn BlockDevice>` rather than a type
@@ -17,23 +43,43 @@
 //! fronts, and the hot cache-hit path never reaches the device at all.
 
 use crate::buffer::LruPool;
+use crate::cache::PageCache;
 use crate::device::{BlockDevice, PageId};
 use crate::iostats::IoStats;
 use reach_core::IndexError;
+use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Buffer-pool-fronted page store over an erased [`BlockDevice`].
 #[derive(Debug)]
 pub struct Pager {
     device: Box<dyn BlockDevice>,
     pool: LruPool,
+    /// Cross-query shared cache, when the device advertises one. Replaces
+    /// the private pool entirely: one residency, many pagers.
+    shared: Option<Arc<PageCache>>,
+    /// Readahead window in pages; 0 disables prefetch.
+    readahead: usize,
+    /// Private-mode bookkeeping: pages the pool holds because readahead
+    /// fetched them and no query access has landed on them yet. (Shared
+    /// mode keeps this flag inside the cache entries instead.)
+    prefetched: HashSet<PageId>,
 }
 
 impl Pager {
-    /// Wraps a device with an LRU pool of `cache_pages` pages.
+    /// Wraps a device with an LRU pool of `cache_pages` pages. If the
+    /// device advertises a shared [`PageCache`], the pager attaches to it
+    /// instead of the private pool and inherits the cache's readahead
+    /// window.
     pub fn new(device: Box<dyn BlockDevice>, cache_pages: usize) -> Self {
+        let shared = device.shared_cache();
+        let readahead = shared.as_ref().map_or(0, |c| c.readahead());
         Self {
             device,
             pool: LruPool::new(cache_pages),
+            shared,
+            readahead,
+            prefetched: HashSet::new(),
         }
     }
 
@@ -57,6 +103,21 @@ impl Pager {
         self.device
     }
 
+    /// Whether this pager serves reads from a shared cross-query cache.
+    pub fn is_shared(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// Current readahead window in pages (0 = prefetch disabled).
+    pub fn readahead(&self) -> usize {
+        self.readahead
+    }
+
+    /// Sets the readahead window in pages (0 disables prefetch).
+    pub fn set_readahead(&mut self, window: usize) {
+        self.readahead = window;
+    }
+
     /// Reads a page through the pool. Hits cost nothing; misses hit the
     /// device and populate the pool.
     ///
@@ -77,37 +138,115 @@ impl Pager {
         page: PageId,
         f: impl FnOnce(&[u8]) -> R,
     ) -> Result<R, IndexError> {
+        if let Some(cache) = &self.shared {
+            if let Some((bytes, was_prefetched)) = cache.lookup(page) {
+                self.device.note_cache_hit();
+                if was_prefetched {
+                    self.device.note_prefetch_hit();
+                }
+                return Ok(f(&bytes));
+            }
+            let mut buf = vec![0u8; self.device.page_size()];
+            self.device.read_page_into(page, &mut buf)?;
+            cache.insert(page, &buf);
+            return Ok(f(&buf));
+        }
         if let Some(bytes) = self.pool.get(page) {
             self.device.note_cache_hit();
+            if self.prefetched.remove(&page) {
+                self.device.note_prefetch_hit();
+            }
             return Ok(f(bytes));
         }
+        self.prefetched.remove(&page);
         let mut buf = vec![0u8; self.device.page_size()];
         self.device.read_page_into(page, &mut buf)?;
         self.pool.insert(page, &buf);
         Ok(f(&buf))
     }
 
-    /// Whether a page is currently cached (no recency side effect).
-    pub fn is_cached(&self, page: PageId) -> bool {
-        self.pool.contains(page)
-    }
-
-    /// Write-through page update (keeps the pool coherent).
-    pub fn write(&mut self, page: PageId, data: &[u8]) -> Result<(), IndexError> {
-        self.device.write_page(page, data)?;
-        self.pool.remove(page);
+    /// Declares that the `count` consecutive pages starting at `start` are
+    /// about to be scanned, and fetches up to one readahead window of the
+    /// not-yet-resident ones into the cache ahead of the scan.
+    ///
+    /// Each fetched page is charged as a normal classified device read plus
+    /// a `prefetched` mark; pages already resident, beyond `count`, or past
+    /// the end of the device are skipped. A no-op when the readahead window
+    /// is 0 (the default), which keeps cold-tier counters byte-identical.
+    pub fn prefetch(&mut self, start: PageId, count: usize) -> Result<(), IndexError> {
+        if self.readahead == 0 || count == 0 {
+            return Ok(());
+        }
+        let window = count.min(self.readahead);
+        let end = (start + window as u64).min(self.device.len_pages());
+        let mut buf = vec![0u8; self.device.page_size()];
+        for page in start..end {
+            let resident = match &self.shared {
+                Some(cache) => cache.contains(page),
+                None => self.pool.contains(page),
+            };
+            if resident {
+                continue;
+            }
+            self.device.read_page_into(page, &mut buf)?;
+            self.device.note_prefetched();
+            match &self.shared {
+                Some(cache) => cache.insert_prefetched(page, &buf),
+                None => {
+                    if let Some(evicted) = self.pool.insert(page, &buf) {
+                        self.prefetched.remove(&evicted);
+                    }
+                    self.prefetched.insert(page);
+                }
+            }
+        }
         Ok(())
     }
 
-    /// Drops all cached pages (e.g. at a query boundary, to model a cold
-    /// cache, or at ReachGrid chunk boundaries which discard their buffers).
-    pub fn clear_cache(&mut self) {
-        self.pool.clear();
+    /// Whether a page is currently cached (no recency side effect).
+    pub fn is_cached(&self, page: PageId) -> bool {
+        match &self.shared {
+            Some(cache) => cache.contains(page),
+            None => self.pool.contains(page),
+        }
     }
 
-    /// Resizes the pool (drops current contents).
+    /// Write-through page update. The cached copy — private pool or shared
+    /// cache — is rewritten in place when resident, so subsequent reads see
+    /// the new bytes without a device round-trip.
+    pub fn write(&mut self, page: PageId, data: &[u8]) -> Result<(), IndexError> {
+        self.device.write_page(page, data)?;
+        let page_size = self.device.page_size();
+        if let Some(cache) = &self.shared {
+            // A SharedDevice hub already updated its cache inside
+            // write_page; calling update again is idempotent and covers
+            // devices that advertise a cache without hub write-through.
+            cache.update(page, data, page_size);
+        } else if self.pool.contains(page) {
+            let mut padded = vec![0u8; page_size];
+            padded[..data.len()].copy_from_slice(data);
+            self.pool.insert(page, &padded);
+            self.prefetched.remove(&page);
+        }
+        Ok(())
+    }
+
+    /// Drops this pager's *private* cached pages (e.g. at a query boundary,
+    /// to model a cold cache, or at ReachGrid chunk boundaries which
+    /// discard their buffers). A shared cache is deliberately untouched —
+    /// cross-query residency surviving query boundaries is its whole point;
+    /// use [`PageCache::invalidate_all`](crate::PageCache::invalidate_all)
+    /// to drop it explicitly.
+    pub fn clear_cache(&mut self) {
+        self.pool.clear();
+        self.prefetched.clear();
+    }
+
+    /// Resizes the private pool (drops current contents). No effect on a
+    /// shared cache's capacity.
     pub fn set_cache_pages(&mut self, pages: usize) {
         self.pool = LruPool::new(pages);
+        self.prefetched.clear();
     }
 
     /// Device counters.
@@ -129,16 +268,27 @@ impl Pager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::shared::SharedDevice;
     use crate::sim::SimDevice;
 
-    fn pager_with_pages(n: usize, cache: usize) -> Pager {
+    fn device_with_pages(n: usize) -> SimDevice {
         let mut d = SimDevice::new(128);
         let first = d.allocate(n).unwrap();
         for i in 0..n {
             d.write_page(first + i as u64, &[i as u8; 4]).unwrap();
         }
         d.reset_stats();
-        Pager::new(Box::new(d), cache)
+        d
+    }
+
+    fn pager_with_pages(n: usize, cache: usize) -> Pager {
+        Pager::new(Box::new(device_with_pages(n)), cache)
+    }
+
+    fn shared_pager(n: usize, cache_pages: usize, readahead: usize) -> (Pager, Arc<PageCache>) {
+        let cache = Arc::new(PageCache::new(cache_pages).with_readahead(readahead));
+        let hub = SharedDevice::with_cache(Box::new(device_with_pages(n)), cache.clone());
+        (Pager::new(Box::new(hub), 8), cache)
     }
 
     #[test]
@@ -202,11 +352,24 @@ mod tests {
     }
 
     #[test]
-    fn write_through_invalidates_cache() {
+    fn write_through_updates_cached_copy_in_place() {
         let mut p = pager_with_pages(2, 2);
         assert_eq!(p.read(0).unwrap()[0], 0);
         p.write(0, &[9, 9]).unwrap();
+        let s_before = p.stats();
         assert_eq!(p.read(0).unwrap()[0], 9);
+        // The re-read was served from the refreshed cached copy, not the
+        // device (the old code dropped the page and re-read it).
+        assert_eq!(p.stats().total_reads(), s_before.total_reads());
+        assert_eq!(p.stats().cache_hits, s_before.cache_hits + 1);
+    }
+
+    #[test]
+    fn write_to_uncached_page_does_not_populate_the_pool() {
+        let mut p = pager_with_pages(2, 2);
+        p.write(1, &[7]).unwrap();
+        assert!(!p.is_cached(1), "write alone must not warm the pool");
+        assert_eq!(p.read(1).unwrap()[0], 7);
     }
 
     #[test]
@@ -222,5 +385,110 @@ mod tests {
     fn out_of_bounds_propagates() {
         let mut p = pager_with_pages(1, 1);
         assert!(p.read(7).is_err());
+    }
+
+    #[test]
+    fn prefetch_is_a_no_op_without_a_window() {
+        let mut p = pager_with_pages(4, 4);
+        p.prefetch(0, 4).unwrap();
+        assert_eq!(p.stats(), IoStats::default());
+        assert!(!p.is_cached(0));
+    }
+
+    #[test]
+    fn private_prefetch_fills_pool_and_counts_prefetch_hits() {
+        let mut p = pager_with_pages(8, 8);
+        p.set_readahead(4);
+        p.prefetch(0, 8).unwrap();
+        let s = p.stats();
+        assert_eq!(s.total_reads(), 4, "window caps the prefetch");
+        assert_eq!(s.prefetched, 4);
+        assert_eq!(s.random_reads, 1);
+        assert_eq!(s.seq_reads, 3, "prefetch run is sequential");
+        for i in 0..4 {
+            assert_eq!(p.read(i).unwrap()[0], i as u8);
+        }
+        let s = p.stats();
+        assert_eq!(s.total_reads(), 4, "scan served from pool");
+        assert_eq!(s.cache_hits, 4);
+        assert_eq!(s.prefetch_hits, 4);
+        // A second touch of a prefetched page is a plain hit.
+        p.read(0).unwrap();
+        assert_eq!(p.stats().prefetch_hits, 4);
+        assert_eq!(p.stats().cache_hits, 5);
+    }
+
+    #[test]
+    fn prefetch_skips_resident_pages_and_clamps_to_device_end() {
+        let mut p = pager_with_pages(3, 4);
+        p.set_readahead(8);
+        p.read(1).unwrap();
+        p.prefetch(0, 8).unwrap();
+        let s = p.stats();
+        // Page 1 was resident; pages 0 and 2 fetched; nothing past page 2.
+        assert_eq!(s.total_reads(), 3);
+        assert_eq!(s.prefetched, 2);
+        assert!(p.is_cached(0) && p.is_cached(2));
+    }
+
+    #[test]
+    fn shared_pager_attaches_and_inherits_readahead() {
+        let (p, _cache) = shared_pager(4, 4, 2);
+        assert!(p.is_shared());
+        assert_eq!(p.readahead(), 2);
+    }
+
+    #[test]
+    fn shared_cache_hits_span_pagers() {
+        let cache = Arc::new(PageCache::new(8));
+        let hub = SharedDevice::with_cache(Box::new(device_with_pages(4)), cache.clone());
+        let handle = hub.clone();
+        let mut a = Pager::new(Box::new(hub), 8);
+        let mut b = Pager::new(Box::new(handle), 8);
+        assert_eq!(a.read(2).unwrap()[0], 2);
+        assert_eq!(b.read(2).unwrap()[0], 2, "b reuses a's fetch");
+        assert_eq!(a.stats().total_reads(), 1);
+        assert_eq!(b.stats().total_reads(), 0);
+        assert_eq!(b.stats().cache_hits, 1);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn shared_prefetch_hits_are_counted_once_per_page() {
+        let (mut p, cache) = shared_pager(8, 8, 4);
+        p.prefetch(0, 4).unwrap();
+        assert_eq!(p.stats().prefetched, 4);
+        for i in 0..4 {
+            p.read(i).unwrap();
+        }
+        let s = p.stats();
+        assert_eq!(s.cache_hits, 4);
+        assert_eq!(s.prefetch_hits, 4);
+        assert_eq!(cache.stats().prefetch_hits, 4);
+        p.read(0).unwrap();
+        assert_eq!(p.stats().prefetch_hits, 4, "flag cleared on first hit");
+    }
+
+    #[test]
+    fn clear_cache_leaves_shared_residency_alone() {
+        let (mut p, cache) = shared_pager(4, 4, 0);
+        p.read(0).unwrap();
+        p.clear_cache();
+        assert!(p.is_cached(0), "shared residency survives query boundary");
+        p.read(0).unwrap();
+        assert_eq!(p.stats().total_reads(), 1);
+        assert_eq!(p.stats().cache_hits, 1);
+        cache.invalidate_all();
+        assert!(!p.is_cached(0));
+    }
+
+    #[test]
+    fn shared_write_through_is_coherent() {
+        let (mut p, _cache) = shared_pager(2, 4, 0);
+        assert_eq!(p.read(0).unwrap()[0], 0);
+        p.write(0, &[9, 9]).unwrap();
+        assert_eq!(p.read(0).unwrap()[0], 9);
+        assert_eq!(p.stats().total_reads(), 1, "served from updated cache");
     }
 }

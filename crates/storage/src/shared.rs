@@ -18,7 +18,23 @@
 //! the same query on a private device, no matter how many other threads are
 //! reading concurrently — which is what lets the concurrent serving path
 //! report the same per-query counted IO as the single-threaded harness.
+//!
+//! ## One cache per hub
+//!
+//! A hub may additionally carry a shared [`PageCache`]
+//! ([`SharedDevice::with_cache`]). Every handle advertises it through
+//! [`BlockDevice::shared_cache`], so every [`Pager`](crate::Pager) built
+//! over a handle — each `reach_serve` worker, each `ConcurrentLive` epoch
+//! reader — attaches to the *same* residency automatically. The cache
+//! carries bytes only; accounting stays per handle: a cache hit is noted on
+//! the handle's private tracker ([`IoStats::cache_hits`], plus the new
+//! prefetch fields) and never disturbs the sequential/random classification
+//! of the reads the handle does issue. Writes through any handle update the
+//! cached copy in place, so no handle can observe a stale page. Hubs built
+//! by [`SharedDevice::new`] carry no cache — that is the default, and it is
+//! what keeps the paper's cold-cache counters the regression-gated tier.
 
+use crate::cache::PageCache;
 use crate::device::{BlockDevice, PageId};
 use crate::iostats::{IoStats, IoTracker};
 use reach_core::IndexError;
@@ -33,6 +49,7 @@ use std::sync::{Arc, Mutex};
 #[derive(Debug)]
 pub struct SharedDevice {
     hub: Arc<Mutex<Box<dyn BlockDevice>>>,
+    cache: Option<Arc<PageCache>>,
     tracker: IoTracker,
     backend: &'static str,
     page_size: usize,
@@ -40,15 +57,33 @@ pub struct SharedDevice {
 
 impl SharedDevice {
     /// Wraps a device for shared access and returns the first handle.
+    /// No cache: pagers over the handles keep their private pools.
     pub fn new(inner: Box<dyn BlockDevice>) -> Self {
+        Self::assemble(inner, None)
+    }
+
+    /// Wraps a device for shared access with a hub-wide [`PageCache`]:
+    /// every pager built over any handle of this hub shares residency (see
+    /// the module docs).
+    pub fn with_cache(inner: Box<dyn BlockDevice>, cache: Arc<PageCache>) -> Self {
+        Self::assemble(inner, Some(cache))
+    }
+
+    fn assemble(inner: Box<dyn BlockDevice>, cache: Option<Arc<PageCache>>) -> Self {
         let backend = inner.backend();
         let page_size = inner.page_size();
         Self {
             hub: Arc::new(Mutex::new(inner)),
+            cache,
             tracker: IoTracker::new(),
             backend,
             page_size,
         }
+    }
+
+    /// The hub-wide page cache, if this hub carries one.
+    pub fn cache(&self) -> Option<&Arc<PageCache>> {
+        self.cache.as_ref()
     }
 
     /// Number of handles alive on this hub (including this one).
@@ -66,9 +101,13 @@ impl SharedDevice {
 
     /// Recovers the inner device if this is the last handle; otherwise
     /// returns `self` unchanged.
+    // The Err variant hands the whole handle back by design — callers
+    // keep using it when other handles are still alive.
+    #[allow(clippy::result_large_err)]
     pub fn try_unwrap(self) -> Result<Box<dyn BlockDevice>, SharedDevice> {
         let SharedDevice {
             hub,
+            cache,
             tracker,
             backend,
             page_size,
@@ -77,6 +116,7 @@ impl SharedDevice {
             Ok(mutex) => Ok(mutex.into_inner().expect("shared device lock poisoned")),
             Err(hub) => Err(SharedDevice {
                 hub,
+                cache,
                 tracker,
                 backend,
                 page_size,
@@ -94,6 +134,7 @@ impl Clone for SharedDevice {
     fn clone(&self) -> Self {
         Self {
             hub: Arc::clone(&self.hub),
+            cache: self.cache.clone(),
             tracker: IoTracker::new(),
             backend: self.backend,
             page_size: self.page_size,
@@ -120,6 +161,11 @@ impl BlockDevice for SharedDevice {
 
     fn write_page(&mut self, id: PageId, data: &[u8]) -> Result<(), IndexError> {
         self.lock().write_page(id, data)?;
+        // Keep the shared residency coherent: a resident copy of the page is
+        // rewritten in place, so no handle's pager can serve stale bytes.
+        if let Some(cache) = &self.cache {
+            cache.update(id, data, self.page_size);
+        }
         self.tracker.note_write(id);
         Ok(())
     }
@@ -144,6 +190,18 @@ impl BlockDevice for SharedDevice {
 
     fn note_cache_hit(&mut self) {
         self.tracker.note_cache_hit();
+    }
+
+    fn note_prefetched(&mut self) {
+        self.tracker.note_prefetched();
+    }
+
+    fn note_prefetch_hit(&mut self) {
+        self.tracker.note_prefetch_hit();
+    }
+
+    fn shared_cache(&self) -> Option<Arc<PageCache>> {
+        self.cache.clone()
     }
 
     fn sync(&mut self) -> Result<(), IndexError> {
@@ -224,6 +282,29 @@ mod tests {
         drop(b);
         let inner = a.try_unwrap().expect("last handle unwraps");
         assert_eq!(inner.len_pages(), 1);
+    }
+
+    #[test]
+    fn handles_share_the_hub_cache_and_writes_update_it() {
+        let mut inner = SimDevice::new(128);
+        inner.allocate(4).unwrap();
+        inner.reset_stats();
+        let cache = Arc::new(PageCache::new(4));
+        let mut a = SharedDevice::with_cache(Box::new(inner), cache.clone());
+        let b = a.clone();
+        assert!(b.shared_cache().is_some(), "clones advertise the cache");
+        cache.insert(2, b"stale");
+        a.write_page(2, b"fresh").unwrap();
+        let (bytes, _) = cache.lookup(2).expect("still resident");
+        assert_eq!(&bytes[..5], b"fresh");
+        assert!(bytes[5..].iter().all(|&x| x == 0), "tail zero-padded");
+    }
+
+    #[test]
+    fn plain_hubs_advertise_no_cache() {
+        let a = shared(1);
+        assert!(a.shared_cache().is_none());
+        assert!(a.cache().is_none());
     }
 
     #[test]

@@ -103,6 +103,14 @@ impl BlockDevice for SimDevice {
     fn note_cache_hit(&mut self) {
         self.tracker.note_cache_hit();
     }
+
+    fn note_prefetched(&mut self) {
+        self.tracker.note_prefetched();
+    }
+
+    fn note_prefetch_hit(&mut self) {
+        self.tracker.note_prefetch_hit();
+    }
 }
 
 #[cfg(test)]

@@ -140,6 +140,14 @@ impl TimelineRegion {
             .ok_or(IndexError::UnknownObject(o))?;
         out.clear();
         out.reserve(count as usize);
+        if count > 0 {
+            // The object's entries span a known page range; with readahead
+            // enabled, pull a window in ahead of the dense scan below.
+            let first_page = self.first_page + first / self.entries_per_page as u64;
+            let last_page =
+                self.first_page + (first + u64::from(count) - 1) / self.entries_per_page as u64;
+            pager.prefetch(first_page, (last_page - first_page + 1) as usize)?;
+        }
         for i in 0..u64::from(count) {
             out.push(self.read_entry(pager, first + i)?);
         }

@@ -309,8 +309,8 @@ pub mod prelude {
     pub use reach_mobility::{RoadNetwork, RwpConfig, VehicleConfig, WorkloadConfig};
     pub use reach_serve::{ServeConfig, ServeMetrics, Server, SubmitError, Ticket};
     pub use reach_storage::{
-        BlockDevice, BuildBudget, FileDevice, IoSampler, IoStats, MmapDevice, Pager, SharedDevice,
-        SimDevice, SpillStats, StorageBackend, StorageConfig,
+        BlockDevice, BuildBudget, CacheStats, FileDevice, IoSampler, IoStats, MmapDevice,
+        PageCache, Pager, SharedDevice, SimDevice, SpillStats, StorageBackend, StorageConfig,
     };
     pub use reach_traj::{Trajectory, TrajectoryStore};
 }
