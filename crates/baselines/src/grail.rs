@@ -458,6 +458,51 @@ impl GrailDisk {
         ))
     }
 
+    /// Frontier-seeded variant of [`GrailDisk::reachable_set`]: expands
+    /// from a whole earliest-arrival frontier (the sealed leg of a
+    /// cross-shard handoff — see `reach_core::FrontierHandoff`). Rides the
+    /// same `GrailHnView` as the single-source path, so the relaxation
+    /// semantics are shared with ReachGraph and cannot drift apart.
+    pub fn reachable_set_from(
+        &mut self,
+        seeds: &[(ObjectId, Time)],
+        interval: reach_core::TimeInterval,
+    ) -> Result<(Vec<(ObjectId, Time)>, QueryStats), IndexError> {
+        let started = Instant::now();
+        for &(o, _) in seeds {
+            if o.index() >= self.num_objects {
+                return Err(IndexError::UnknownObject(o));
+            }
+        }
+        if interval.start >= self.horizon {
+            return Err(IndexError::IntervalOutOfRange {
+                requested: interval,
+                horizon: self.horizon,
+            });
+        }
+        self.pager.clear_cache();
+        self.pager.break_sequence();
+        let before = self.pager.stats();
+        let (intervals, members) = self.reconstruct_components()?;
+        let mut view = GrailHnView {
+            disk: self,
+            intervals: &intervals,
+            members: &members,
+        };
+        let (set, tstats) = reach_graph::reachable_set_seeded(&mut view, seeds, interval)?;
+        let io = self.pager.stats().since(&before);
+        Ok((
+            set,
+            QueryStats {
+                random_ios: io.random_reads,
+                seq_ios: io.seq_reads,
+                visited: tstats.visited,
+                examined: tstats.examined,
+                cpu: started.elapsed(),
+            },
+        ))
+    }
+
     /// The component-chain contact set of the indexed DAG (the
     /// [`reach_contact::chain_contacts`] extraction, reconstructed from
     /// disk) — what live compaction merges with a delta when the sealed

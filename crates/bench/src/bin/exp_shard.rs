@@ -1,0 +1,18 @@
+//! Runs the epoch-sharding experiment: the same contact stream appended
+//! into epoch-sharded live timelines at varying epoch sizes, contrasted
+//! with the monolithic live index — seal cost vs epoch size, seal cost vs
+//! history length (sharded seals read zero sealed pages), and cross-shard
+//! query IO before/after `merge_epochs` (answers asserted against a batch
+//! oracle throughout).
+//!
+//! `--backend=sim|file|mmap` selects the storage backend for every device
+//! (log, shard bases, epoch directory, scratch); `--full` the recorded
+//! scales; `--epoch-records=N` overrides the per-epoch record target in
+//! the other live experiments.
+
+fn main() {
+    let tier = reach_bench::Tier::from_args();
+    for table in reach_bench::experiments::exp_shard(tier) {
+        table.print();
+    }
+}

@@ -309,6 +309,31 @@ impl Backend {
         }
     }
 
+    /// A [`StorageConfig`] rooted in a fresh per-call scratch path, for
+    /// subsystems that manage a whole *directory* of named devices (the
+    /// epoch-sharded live timeline keeps one device per sealed shard plus
+    /// a log and an epoch directory). Unlike [`Backend::device`], the
+    /// files must keep their names (shards are reopened by name), so the
+    /// caller removes the directory when done.
+    pub fn storage_config(self, page_size: usize) -> StorageConfig {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        match self {
+            Backend::Sim => StorageConfig::sim(page_size),
+            Backend::File | Backend::Mmap => {
+                let dir = std::env::temp_dir().join(format!(
+                    "streach-bench-shard-{}-{}",
+                    std::process::id(),
+                    NEXT.fetch_add(1, Ordering::Relaxed)
+                ));
+                if self == Backend::File {
+                    StorageConfig::file(&dir, page_size)
+                } else {
+                    StorageConfig::mmap(&dir, page_size)
+                }
+            }
+        }
+    }
+
     /// Creates a fresh device for one index build. File-backed devices land
     /// in a per-process directory under the system temp dir, one uniquely
     /// named file per build. On Unix the path (and the then-empty directory)
@@ -372,6 +397,21 @@ pub fn build_budget_from_args() -> Option<usize> {
         .parse()
         .unwrap_or_else(|_| panic!("--build-budget expects BYTES[k|m], got {raw:?}"));
     Some(n * mult)
+}
+
+/// Parses `--epoch-records=N` from process args (falling back to the
+/// `STREACH_EPOCH_RECORDS` environment variable): the target number of
+/// delta-resident contact records per sealed epoch in the live
+/// experiments. `None` means the tier default.
+pub fn epoch_records_from_args() -> Option<usize> {
+    let raw = std::env::args()
+        .find_map(|a| a.strip_prefix("--epoch-records=").map(String::from))
+        .or_else(|| std::env::var("STREACH_EPOCH_RECORDS").ok())?;
+    let n: usize = raw
+        .trim()
+        .parse()
+        .unwrap_or_else(|_| panic!("--epoch-records expects a count, got {raw:?}"));
+    Some(n.max(1))
 }
 
 /// The three RWP sizes of the tier (paper: RWP10k/20k/40k).

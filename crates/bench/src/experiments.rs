@@ -89,6 +89,24 @@ fn graph_params_for(tier: Tier) -> GraphParams {
     }
 }
 
+/// Delta trigger sized to one target *epoch* of records — not to the
+/// whole stream. The previous formula (a third of `contacts.len()`
+/// worth of resident bytes) grew the auto-compaction trigger with the
+/// entire history, so longer runs compacted less often while each
+/// compaction still re-streamed everything: compaction cost scaled with
+/// the timeline, not with the new data. Fixing the budget to a
+/// per-epoch record count (override with `--epoch-records=N` /
+/// `STREACH_EPOCH_RECORDS`) keeps each seal proportional to one epoch
+/// and lets seal *frequency* scale with stream length instead — the
+/// scaling exp_shard measures directly.
+fn epoch_delta_budget(tier: Tier) -> usize {
+    let records = crate::datasets::epoch_records_from_args().unwrap_or(match tier {
+        Tier::Quick => 1500,
+        Tier::Full => 4000,
+    });
+    (records * reach_live::DeltaDn::MAX_RECORD_RESIDENT_BYTES).max(16 << 10)
+}
+
 // ---------------------------------------------------------------------------
 // Table 2 — dataset inventory
 // ---------------------------------------------------------------------------
@@ -821,14 +839,13 @@ pub fn exp_live(tier: Tier) -> Vec<Table> {
         contacts.swap(i, i - 2);
     }
 
-    // Delta trigger ≈ a third of the stream's worst-case resident bytes:
-    // forces a few mid-run compactions without degenerating into one
-    // rebuild per append. The *rebuild* budget is independent
+    // Delta trigger = one epoch of records (see `epoch_delta_budget`):
+    // forces mid-run compactions at a rate set by the epoch size, not by
+    // the stream length. The *rebuild* budget is independent
     // (`--build-budget=BYTES` to bound it; generous default) and the
     // lateness slack keeps the locally-shuffled arrivals inside the
     // mutable window.
-    let delta_budget =
-        ((contacts.len() * reach_live::DeltaDn::MAX_RECORD_RESIDENT_BYTES) / 3).max(16 << 10);
+    let delta_budget = epoch_delta_budget(tier);
     let build_budget = crate::datasets::build_budget_from_args()
         .map(BuildBudget::bytes)
         .unwrap_or_else(BuildBudget::unbounded);
@@ -1000,8 +1017,7 @@ pub fn exp_serve(tier: Tier) -> Vec<Table> {
         contacts.swap(i, i - 2);
     }
 
-    let delta_budget =
-        ((contacts.len() * reach_live::DeltaDn::MAX_RECORD_RESIDENT_BYTES) / 3).max(16 << 10);
+    let delta_budget = epoch_delta_budget(tier);
     let build_budget = crate::datasets::build_budget_from_args()
         .map(BuildBudget::bytes)
         .unwrap_or_else(BuildBudget::unbounded);
@@ -1292,6 +1308,260 @@ pub fn exp_serve(tier: Tier) -> Vec<Table> {
 }
 
 // ---------------------------------------------------------------------------
+// exp_shard — the epoch-sharded live timeline
+// ---------------------------------------------------------------------------
+
+/// The sharding experiment (ISSUE 8): the same contact stream is
+/// appended into epoch-sharded live timelines ([`reach_live::ShardedLive`])
+/// at varying target epoch sizes, and the costs are contrasted with the
+/// monolithic [`reach_live::LiveIndex`] whose every compaction re-streams
+/// the whole sealed history. Reports seal cost per epoch size, seal cost
+/// vs history length (the headline: sharded seals read **zero** sealed
+/// pages and their scratch traffic tracks the epoch, while monolithic
+/// compaction re-reads grow with the timeline), and cross-shard query IO
+/// before and after `merge_epochs`. **Asserts** along the way that every
+/// probed sharded answer matches a batch oracle over the accepted trace.
+pub fn exp_shard(tier: Tier) -> Vec<Table> {
+    use reach_live::{LiveConfig, ShardedLive};
+    use reach_storage::{BuildBudget, StorageBackend};
+
+    let backend = Backend::from_args();
+    let spec = match tier {
+        Tier::Quick => DatasetSpec::rwp("shard-rwp", 400, 1200, 59),
+        Tier::Full => DatasetSpec::rwp("shard-rwp", 1000, 4000, 59),
+    };
+    let store = spec.generate();
+    let mut contacts =
+        reach_contact::extract_contacts(&store, store.horizon_interval(), spec.threshold);
+    contacts.sort_by_key(|c| (c.interval.start, c.a, c.b));
+    for i in (4..contacts.len()).step_by(4) {
+        contacts.swap(i, i - 2);
+    }
+    let total = contacts.len();
+    let params = graph_params_for(tier);
+    // Unlike the other live experiments, the rebuild budget defaults to a
+    // *bounded* value here: seal cost then shows up as scratch (spill)
+    // traffic, which is what the epoch-size sweep measures. Override with
+    // `--build-budget=BYTES`.
+    let build_budget =
+        BuildBudget::bytes(crate::datasets::build_budget_from_args().unwrap_or(96 << 10));
+
+    // One sharded timeline over a stream prefix, auto-sealing whenever
+    // the delta holds ~`epoch_records`, with a final flush seal so the
+    // whole prefix is sealed. Returns the index plus its scratch
+    // directory (real backends only; removed by the caller).
+    let sharded_over = |count: usize, epoch_records: usize| {
+        let storage = backend.storage_config(params.page_size);
+        let dir = match &storage.backend {
+            StorageBackend::File(p) | StorageBackend::Mmap(p) => Some(p.clone()),
+            StorageBackend::Sim => None,
+        };
+        let live = LiveConfig::graph(params.clone(), build_budget)
+            .with_delta_budget(epoch_records * reach_live::DeltaDn::MAX_RECORD_RESIDENT_BYTES)
+            .with_lateness(16)
+            .builder()
+            .backend(storage)
+            .build_sharded(store.num_objects())
+            .expect("sharded index creates");
+        for &c in &contacts[..count] {
+            live.append(c).expect("lossy appends never error");
+        }
+        live.seal_now().expect("flush seal succeeds");
+        (live, dir)
+    };
+    let scrap = |live: ShardedLive, dir: Option<std::path::PathBuf>| {
+        drop(live);
+        if let Some(dir) = dir {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    };
+
+    // Table 1 — seal cost vs epoch size, full history. Scratch traffic
+    // per seal tracks the epoch; no seal reads sealed history.
+    let mut by_epoch = Table::new(
+        "exp_shard (seal cost vs epoch size)",
+        "auto-sealing epoch shards: per-seal cost is set by the epoch, never by history",
+        &[
+            "epoch records",
+            "seals",
+            "shards",
+            "scratch pages/seal",
+            "sealed-history pages read",
+        ],
+    );
+    for divisor in [8usize, 4, 2] {
+        let epoch_records = (total / divisor).max(1);
+        let (live, dir) = sharded_over(total, epoch_records);
+        let stats = live.stats().clone();
+        assert!(stats.compactions >= 1, "at least the flush seal ran");
+        assert_eq!(
+            stats.compaction_read_io.total_reads(),
+            0,
+            "sealing must never re-read sealed history"
+        );
+        let spill =
+            stats.compaction_spill_io.total_reads() + stats.compaction_spill_io.total_writes();
+        by_epoch.row(vec![
+            epoch_records.to_string(),
+            stats.compactions.to_string(),
+            live.shard_count().to_string(),
+            fnum(spill as f64 / stats.compactions as f64),
+            stats.compaction_read_io.total_reads().to_string(),
+        ]);
+        scrap(live, dir);
+    }
+
+    // Table 2 — seal cost vs history length at a fixed epoch size,
+    // against the monolithic index at the same delta trigger. The
+    // monolithic compaction re-streams its whole sealed base every time,
+    // so its last compaction's read traffic grows with the prefix; the
+    // sharded seal touches only the delta.
+    let epoch_records = (total / 4).max(1);
+    let mut by_history = Table::new(
+        "exp_shard (seal cost vs history length)",
+        "fixed epoch size: sharded seal cost is flat in history; monolithic compaction is not",
+        &[
+            "records",
+            "sharded scratch pages/seal",
+            "sharded history pages read",
+            "monolithic base pages read (last compaction)",
+        ],
+    );
+    let mut mono_last_reads = Vec::new();
+    let mut sharded_per_seal = Vec::new();
+    for count in [total / 2, total] {
+        let (live, dir) = sharded_over(count, epoch_records);
+        let stats = live.stats().clone();
+        let spill =
+            stats.compaction_spill_io.total_reads() + stats.compaction_spill_io.total_writes();
+        let per_seal = spill as f64 / stats.compactions.max(1) as f64;
+        sharded_per_seal.push(per_seal);
+        scrap(live, dir);
+
+        let mut mono = LiveConfig::graph(params.clone(), build_budget)
+            .with_delta_budget(epoch_records * reach_live::DeltaDn::MAX_RECORD_RESIDENT_BYTES)
+            .with_lateness(16)
+            .builder()
+            .build_on(
+                backend.device(params.page_size),
+                Box::new(move || backend.device(params.page_size)),
+                store.num_objects(),
+            )
+            .expect("monolithic live index creates");
+        for &c in &contacts[..count] {
+            mono.append(c).expect("lossy appends never error");
+        }
+        mono.compact().expect("flush compaction succeeds");
+        let last_reads = mono
+            .stats()
+            .last_compaction
+            .expect("at least the flush compaction ran")
+            .base_read_io
+            .total_reads();
+        mono_last_reads.push(last_reads);
+        by_history.row(vec![
+            count.to_string(),
+            fnum(per_seal),
+            stats.compaction_read_io.total_reads().to_string(),
+            last_reads.to_string(),
+        ]);
+    }
+    assert!(
+        mono_last_reads[1] > mono_last_reads[0],
+        "monolithic compaction re-reads must grow with history \
+         ({} !> {})",
+        mono_last_reads[1],
+        mono_last_reads[0]
+    );
+    assert!(
+        sharded_per_seal[1] <= sharded_per_seal[0] * 2.0,
+        "sharded per-seal cost must stay flat as history doubles \
+         ({} vs {})",
+        sharded_per_seal[1],
+        sharded_per_seal[0]
+    );
+
+    // Table 3 — cross-shard queries and epoch merging. Every probe is
+    // asserted against a batch oracle over the accepted trace; merging
+    // epochs changes layout and IO, never answers.
+    let (live, dir) = sharded_over(total, (total / 8).max(1));
+    let accepted = live.replay_log().expect("log replays");
+    let horizon = live.now();
+    let mut per_tick: Vec<Vec<(u32, u32)>> = vec![Vec::new(); horizon as usize];
+    for c in &accepted {
+        for t in c.interval.ticks() {
+            per_tick[t as usize].push((c.a.0, c.b.0));
+        }
+    }
+    let oracle = reach_contact::Oracle::from_events(store.num_objects(), per_tick);
+    let queries: Vec<Query> = workload(&spec, tier, 0x5A)
+        .into_iter()
+        .map(|q| {
+            let end = q.interval.end.min(horizon - 1);
+            Query::new(
+                q.source,
+                q.dest,
+                reach_core::TimeInterval::new(q.interval.start.min(end), end),
+            )
+        })
+        .collect();
+    let probe = |live: &ShardedLive, tag: &str| -> (f64, f64) {
+        let (mut random, mut seq) = (0u64, 0u64);
+        for q in &queries {
+            let got = live.evaluate_query(q).expect("sharded query evaluates");
+            let want = oracle.evaluate(q);
+            assert_eq!(
+                got.reachable(),
+                want.reachable,
+                "{tag}: sharded answer diverged from the batch oracle on {q}"
+            );
+            random += got.stats.random_ios;
+            seq += got.stats.seq_ios;
+        }
+        let n = queries.len() as f64;
+        (
+            (random as f64 + seq as f64 / 20.0) / n,
+            seq as f64 / (random + seq).max(1) as f64,
+        )
+    };
+    let mut merged_table = Table::new(
+        "exp_shard (cross-shard queries, epoch merge)",
+        "frontier handoff across shard boundaries; merge_epochs coalesces without changing answers",
+        &[
+            "layout",
+            "shards",
+            "mean IO",
+            "seq fraction",
+            "merge pages read",
+        ],
+    );
+    let (io, seqf) = probe(&live, "pre-merge");
+    merged_table.row(vec![
+        "epoch shards".into(),
+        live.shard_count().to_string(),
+        fnum(io),
+        fnum(seqf),
+        "-".into(),
+    ]);
+    let before = live.stats().compaction_read_io.total_reads();
+    while live.shard_count() > 1 {
+        live.merge_epochs(0, 1).expect("merge succeeds");
+    }
+    let merge_reads = live.stats().compaction_read_io.total_reads() - before;
+    let (io, seqf) = probe(&live, "post-merge");
+    merged_table.row(vec![
+        "merged to one".into(),
+        live.shard_count().to_string(),
+        fnum(io),
+        fnum(seqf),
+        merge_reads.to_string(),
+    ]);
+    scrap(live, dir);
+
+    vec![by_epoch, by_history, merged_table]
+}
+
+// ---------------------------------------------------------------------------
 // Ablations — design choices the paper motivates but does not sweep
 // ---------------------------------------------------------------------------
 
@@ -1359,6 +1629,7 @@ pub fn all(tier: Tier) -> Vec<Table> {
     out.extend(exp_trace(tier));
     out.extend(exp_live(tier));
     out.extend(exp_serve(tier));
+    out.extend(exp_shard(tier));
     out.extend(exp_ablation(tier));
     out
 }

@@ -731,6 +731,116 @@ pub fn quick_suite() -> (PerfReport, f64) {
         counters.insert("rwp/cache/warm_read_pages".into(), warm_reads);
         counters.insert("rwp/cache/cold_read_pages".into(), cold_reads);
 
+        // Epoch-sharded timeline: the same stream sealed into three
+        // epochs plus a live delta. Two properties gate here. First,
+        // sealing reads *zero* sealed-history pages — the delta alone
+        // feeds the new shard, so seal cost scales with the epoch, not
+        // the timeline (contrast rwp/live/compaction_base_read_pages,
+        // which re-streams the whole base every compaction). Second,
+        // cross-shard queries hand the arrival frontier between shard
+        // readers with per-query exact counted IO: the serve layer's
+        // worker pool must count identical IO to the single-threaded
+        // walk below, query for query.
+        let shard = reach_live::LiveConfig::graph(
+            GraphParams {
+                partition_depth: 8,
+                page_size: PERF_PAGE,
+                ..GraphParams::default()
+            },
+            BuildBudget::bytes(PERF_BUDGET_BYTES),
+        )
+        .manual_compaction()
+        .builder()
+        .build_sharded(store.num_objects())
+        .expect("perf sharded index creates");
+        let feed_sharded = |shard: &reach_live::ShardedLive, span: &[reach_core::Contact]| {
+            for &c in span {
+                shard.append(c).expect("perf sharded append accepted");
+            }
+        };
+        feed_sharded(&shard, &contacts[..cut1]);
+        shard.seal_now().expect("perf first seal succeeds");
+        feed_sharded(&shard, &contacts[cut1..cut2]);
+        shard.seal_now().expect("perf second seal succeeds");
+        feed_sharded(&shard, &contacts[cut2..]);
+        shard.seal_now().expect("perf third seal succeeds");
+        let sealed = shard.stats().clone();
+        assert_eq!(
+            sealed.compaction_read_io.total_reads(),
+            0,
+            "sealing must never re-read sealed history"
+        );
+        counters.insert("rwp/shard/epochs".into(), shard.shard_count() as u64);
+        counters.insert(
+            "rwp/shard/seal_spill_pages".into(),
+            sealed.compaction_spill_io.total_reads() + sealed.compaction_spill_io.total_writes(),
+        );
+        counters.insert("rwp/shard/delta_peak_bytes".into(), sealed.delta_peak_bytes);
+        let (mut srandom, mut sseq, mut sreachable) = (0u64, 0u64, 0u64);
+        for q in &queries {
+            let r = shard
+                .evaluate_query(q)
+                .unwrap_or_else(|e| panic!("perf sharded query {q} failed: {e}"));
+            srandom += r.stats.random_ios;
+            sseq += r.stats.seq_ios;
+            sreachable += u64::from(r.reachable());
+        }
+        counters.insert("rwp/shard/query/random_reads".into(), srandom);
+        counters.insert("rwp/shard/query/seq_reads".into(), sseq);
+        counters.insert("rwp/shard/query/reachable".into(), sreachable);
+        // Coalescing two adjacent epochs reads exactly those two shards.
+        shard.merge_epochs(0, 1).expect("perf merge succeeds");
+        let merged = shard.stats().clone();
+        counters.insert(
+            "rwp/shard/merge_read_pages".into(),
+            merged.compaction_read_io.total_reads(),
+        );
+        counters.insert(
+            "rwp/shard/epochs_after_merge".into(),
+            shard.shard_count() as u64,
+        );
+        // Single-threaded reference over the merged layout…
+        let (mut mrandom, mut mseq) = (0u64, 0u64);
+        for q in &queries {
+            let r = shard
+                .evaluate_query(q)
+                .unwrap_or_else(|e| panic!("perf merged query {q} failed: {e}"));
+            mrandom += r.stats.random_ios;
+            mseq += r.stats.seq_ios;
+        }
+        // …then the same queries through the serve layer's worker pool:
+        // concurrency must not change one counted read.
+        let pool = reach_serve::Server::start(
+            std::sync::Arc::new(shard),
+            reach_serve::ServeConfig {
+                workers: 4,
+                queue_capacity: queries.len().max(1),
+                max_batch: 1,
+            },
+        )
+        .expect("perf shard server starts");
+        let tickets: Vec<_> = queries
+            .iter()
+            .map(|q| {
+                pool.submit(reach_core::ReachRequest::from(*q))
+                    .expect("perf shard submit accepted")
+            })
+            .collect();
+        let (mut prandom, mut pseq) = (0u64, 0u64);
+        for t in tickets {
+            let r = t.wait().expect("perf shard served query");
+            prandom += r.stats.random_ios;
+            pseq += r.stats.seq_ios;
+        }
+        drop(pool);
+        assert_eq!(
+            (prandom, pseq),
+            (mrandom, mseq),
+            "sharded serve IO must equal the single-threaded sharded walk"
+        );
+        counters.insert("rwp/shard/serve/random_reads".into(), prandom);
+        counters.insert("rwp/shard/serve/seq_reads".into(), pseq);
+
         PerfReport {
             schema: SCHEMA,
             tier: "quick".into(),

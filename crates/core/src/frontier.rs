@@ -1,0 +1,135 @@
+//! The earliest-arrival frontier handed across shard boundaries.
+//!
+//! An epoch-sharded timeline evaluates one query as a relay: each sealed
+//! shard expands the frontier over its own clipped window and hands the
+//! result to the next shard, exactly like the live system's base→delta
+//! handoff at the watermark. [`FrontierHandoff`] is the exchanged value —
+//! per-object earliest *hold* ticks, kept sorted by object id so the next
+//! leg can seed from it and destinations can be probed by binary search.
+//!
+//! The merge rule is a per-object `min`: once an object holds the item at
+//! tick `t`, a later leg can only confirm or improve that (arrivals are
+//! monotone along the timeline), never lose it. A seed whose arrival
+//! precedes a shard's window start "holds from the window start" — the same
+//! semantics the delta applies to pre-watermark frontier seeds — so
+//! composing shard legs in timeline order is exactly one monolithic
+//! earliest-arrival expansion.
+
+use crate::ids::ObjectId;
+use crate::time::Time;
+
+/// A per-object earliest-arrival frontier, sorted by object id (see the
+/// module docs). `cut` records the exclusive tick up to which the frontier
+/// has been expanded — the next leg's window starts there.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FrontierHandoff {
+    /// One past the last tick the frontier accounts for.
+    pub cut: Time,
+    arrivals: Vec<(ObjectId, Time)>,
+}
+
+impl FrontierHandoff {
+    /// The frontier at a query's start: the source alone, holding from
+    /// `t1`.
+    pub fn seeded(source: ObjectId, t1: Time) -> Self {
+        Self {
+            cut: t1,
+            arrivals: vec![(source, t1)],
+        }
+    }
+
+    /// The seeds the next leg expands from, sorted by object id.
+    pub fn seeds(&self) -> &[(ObjectId, Time)] {
+        &self.arrivals
+    }
+
+    /// Objects currently on the frontier.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Whether the frontier is empty (it never is for a seeded query).
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// The earliest hold tick of `o`, if it is on the frontier.
+    pub fn arrival_of(&self, o: ObjectId) -> Option<Time> {
+        self.arrivals
+            .binary_search_by_key(&o, |&(id, _)| id)
+            .ok()
+            .map(|i| self.arrivals[i].1)
+    }
+
+    /// Absorbs one leg's expansion result (sorted by object id, as the
+    /// `reachable_set` family returns): per-object `min` merge, advancing
+    /// `cut` to one past the leg's window end.
+    pub fn absorb(&mut self, leg: &[(ObjectId, Time)], leg_end: Time) {
+        debug_assert!(leg.windows(2).all(|w| w[0].0 < w[1].0), "leg is sorted");
+        let mut merged = Vec::with_capacity(self.arrivals.len() + leg.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.arrivals.len() && j < leg.len() {
+            let (a, ta) = self.arrivals[i];
+            let (b, tb) = leg[j];
+            match a.cmp(&b) {
+                std::cmp::Ordering::Less => {
+                    merged.push((a, ta));
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push((b, tb));
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push((a, ta.min(tb)));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&self.arrivals[i..]);
+        merged.extend_from_slice(&leg[j..]);
+        self.arrivals = merged;
+        self.cut = self.cut.max(leg_end.saturating_add(1));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(id: u32) -> ObjectId {
+        ObjectId(id)
+    }
+
+    #[test]
+    fn seeded_frontier_holds_the_source() {
+        let f = FrontierHandoff::seeded(o(3), 7);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.arrival_of(o(3)), Some(7));
+        assert_eq!(f.arrival_of(o(4)), None);
+        assert_eq!(f.cut, 7);
+    }
+
+    #[test]
+    fn absorb_is_a_per_object_min_merge() {
+        let mut f = FrontierHandoff::seeded(o(2), 5);
+        f.absorb(&[(o(1), 9), (o(2), 8), (o(4), 6)], 9);
+        assert_eq!(f.seeds(), &[(o(1), 9), (o(2), 5), (o(4), 6)]);
+        assert_eq!(f.cut, 10);
+        // A later leg can improve nothing it already holds earlier.
+        f.absorb(&[(o(1), 12), (o(5), 11)], 12);
+        assert_eq!(f.arrival_of(o(1)), Some(9));
+        assert_eq!(f.arrival_of(o(5)), Some(11));
+        assert_eq!(f.len(), 4);
+        assert_eq!(f.cut, 13);
+    }
+
+    #[test]
+    fn absorb_keeps_object_order() {
+        let mut f = FrontierHandoff::seeded(o(10), 0);
+        f.absorb(&[(o(0), 1), (o(20), 2)], 4);
+        let ids: Vec<u32> = f.seeds().iter().map(|&(id, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 10, 20]);
+    }
+}

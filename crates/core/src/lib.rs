@@ -21,6 +21,7 @@
 
 pub mod contact;
 pub mod error;
+pub mod frontier;
 pub mod geom;
 pub mod ids;
 pub mod query;
@@ -30,6 +31,7 @@ pub mod unionfind;
 
 pub use contact::{Contact, ContactAccumulator, ContactEvent};
 pub use error::IndexError;
+pub use frontier::FrontierHandoff;
 pub use geom::{Coord, Environment, Mbr, Point};
 pub use ids::{NodeId, ObjectId};
 pub use query::{Query, QueryOutcome, QueryResult, QueryStats};

@@ -16,14 +16,18 @@
 //!   [`DeviceFactory`] for harnesses that wrap devices (IO counting,
 //!   fault injection, byte-identity probes);
 //! * [`LiveBuilder::serve`] and friends produce the concurrent
-//!   [`ConcurrentLive`] instead of the single-threaded [`LiveIndex`].
+//!   [`ConcurrentLive`] instead of the single-threaded [`LiveIndex`];
+//! * [`LiveBuilder::build_sharded`] / [`LiveBuilder::open_sharded`]
+//!   produce the epoch-sharded [`ShardedLive`] over a
+//!   [`DeviceDirectory`] derived from the same backend.
 
 use crate::concurrent::ConcurrentLive;
 use crate::index::{DeviceFactory, LiveConfig, LiveIndex};
 use crate::log::LogRecovery;
+use crate::shard::{ShardRecovery, ShardedLive};
 use reach_contact::ErrorMode;
 use reach_core::{IndexError, Time};
-use reach_storage::{BlockDevice, StorageBackend, StorageConfig};
+use reach_storage::{BlockDevice, DeviceDirectory, StorageBackend, StorageConfig};
 use std::path::PathBuf;
 
 /// Builder for [`LiveIndex`] and [`ConcurrentLive`] (see the module docs).
@@ -184,6 +188,21 @@ impl LiveBuilder {
         ConcurrentLive::open(log_device, devices, self.config)
     }
 
+    /// Creates an empty epoch-sharded live index on the configured
+    /// backend (see [`ShardedLive`]): the timeline seals into independent
+    /// per-epoch shards instead of one monolithic base.
+    pub fn build_sharded(self, num_objects: usize) -> Result<ShardedLive, IndexError> {
+        let directory = DeviceDirectory::from_storage(&self.storage);
+        ShardedLive::create(directory, num_objects, self.config)
+    }
+
+    /// Recovers an epoch-sharded live index from the configured backend's
+    /// epoch directory, shard devices, and append log.
+    pub fn open_sharded(self) -> Result<(ShardedLive, ShardRecovery), IndexError> {
+        let directory = DeviceDirectory::from_storage(&self.storage);
+        ShardedLive::open(directory, self.config)
+    }
+
     /// Derives the log device and the base/scratch factory from the
     /// storage backend (reopening the log instead of truncating it when
     /// `reopen` is set).
@@ -295,6 +314,41 @@ mod tests {
         let q = Query::new(ObjectId(0), ObjectId(3), TimeInterval::new(0, 8));
         assert!(reopened.evaluate_query(&q).expect("query").reachable());
         drop(reopened);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sharded_file_backend_round_trips_through_its_directory() {
+        let dir = scratch_dir("sharded");
+        let contacts = [
+            Contact::new(ObjectId(0), ObjectId(1), TimeInterval::new(0, 2)),
+            Contact::new(ObjectId(1), ObjectId(2), TimeInterval::new(3, 5)),
+            Contact::new(ObjectId(2), ObjectId(3), TimeInterval::new(6, 8)),
+        ];
+        {
+            let live = config()
+                .manual_compaction()
+                .builder()
+                .backend(StorageConfig::file(&dir, 256))
+                .build_sharded(4)
+                .expect("sharded file-backed index creates");
+            for c in contacts {
+                live.append(c).expect("append");
+            }
+            live.seal(5).expect("seal");
+            live.sync().expect("sync");
+        }
+        let (live, recovery) = config()
+            .manual_compaction()
+            .builder()
+            .backend(StorageConfig::file(&dir, 256))
+            .open_sharded()
+            .expect("sharded file-backed index reopens");
+        assert_eq!(recovery.shards, 1);
+        assert_eq!(recovery.top_cut, 5);
+        let q = Query::new(ObjectId(0), ObjectId(3), TimeInterval::new(0, 8));
+        assert!(live.evaluate_query(&q).expect("query").reachable());
+        drop(live);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

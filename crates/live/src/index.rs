@@ -362,6 +362,41 @@ impl Base {
             Base::Grail(g) => g.reachable_set(source, window),
         }
     }
+
+    /// Multi-seed frontier expansion — the cross-shard handoff leg, where
+    /// the frontier arriving from an earlier epoch shard re-enters this
+    /// base's window at each object's held arrival tick. Panics on
+    /// [`Base::None`].
+    pub(crate) fn reachable_set_from(
+        &mut self,
+        seeds: &[(ObjectId, Time)],
+        window: TimeInterval,
+    ) -> Result<(Vec<(ObjectId, Time)>, QueryStats), IndexError> {
+        match self {
+            Base::None => unreachable!("a sealed shard implies a base"),
+            Base::Graph(g) => g.reachable_set_from(seeds, window),
+            Base::Grail(g) => g.reachable_set_from(seeds, window),
+        }
+    }
+
+    /// Syncs the base's device (the sharded seal's phase-1 durability
+    /// point). A no-op for [`Base::None`].
+    pub(crate) fn device_sync(&mut self) -> Result<(), IndexError> {
+        match self {
+            Base::None => Ok(()),
+            Base::Graph(g) => g.device_mut().sync(),
+            Base::Grail(g) => g.device_mut().sync(),
+        }
+    }
+
+    /// Cumulative IO of the base's device handle.
+    pub(crate) fn device_stats(&mut self) -> IoStats {
+        match self {
+            Base::None => IoStats::default(),
+            Base::Graph(g) => g.device_mut().stats(),
+            Base::Grail(g) => g.device_mut().stats(),
+        }
+    }
 }
 
 /// Everything fallible about one compaction: re-streams `old_base`'s DN as

@@ -19,6 +19,7 @@
 //! | [`index`] | [`LiveIndex`] — cross-boundary queries + watermark compaction through the streaming builders |
 //! | [`builder`] | [`LiveBuilder`] — fluent construction of both index flavours over any storage backend |
 //! | [`concurrent`] | [`ConcurrentLive`] — epoch-swapped shared queries with background compaction |
+//! | [`shard`] | [`ShardedLive`] — epoch-sharded timeline with cross-shard frontier handoff |
 //!
 //! ## The three guarantees
 //!
@@ -41,6 +42,7 @@ pub mod concurrent;
 pub mod delta;
 pub mod index;
 pub mod log;
+pub mod shard;
 
 pub use builder::LiveBuilder;
 pub use concurrent::{ConcurrentLive, LiveMetrics};
@@ -50,6 +52,7 @@ pub use index::{
     LiveIndex, LiveStats, SourceReport,
 };
 pub use log::{AppendLog, LogRecovery};
+pub use shard::{ShardCrashPoint, ShardRecovery, ShardedLive};
 
 #[cfg(test)]
 mod tests {

@@ -322,6 +322,34 @@ impl ReachGraph {
         ))
     }
 
+    /// Frontier-seeded variant of [`ReachGraph::reachable_set`]: the
+    /// expansion starts from a whole earliest-arrival frontier (sorted or
+    /// not; per-seed "hold from the window start" semantics) instead of a
+    /// single source. This is the sealed leg of a cross-shard handoff —
+    /// see `reach_core::FrontierHandoff`.
+    pub fn reachable_set_from(
+        &mut self,
+        seeds: &[(ObjectId, Time)],
+        interval: reach_core::TimeInterval,
+    ) -> Result<(Vec<(ObjectId, Time)>, QueryStats), IndexError> {
+        let started = Instant::now();
+        self.reset_io();
+        self.pager.break_sequence();
+        let before = self.pager.stats();
+        let (set, tstats) = crate::traverse::reachable_set_seeded(self, seeds, interval)?;
+        let io = self.pager.stats().since(&before);
+        Ok((
+            set,
+            QueryStats {
+                random_ios: io.random_reads,
+                seq_ios: io.seq_reads,
+                visited: tstats.visited,
+                examined: tstats.examined,
+                cpu: started.elapsed(),
+            },
+        ))
+    }
+
     /// Evaluates with an explicit traversal strategy.
     pub fn evaluate_with(
         &mut self,

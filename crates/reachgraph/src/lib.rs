@@ -25,5 +25,5 @@ pub use diskgraph::ReachGraph;
 pub use memory::MemoryHn;
 pub use params::{GraphParams, TraversalKind};
 pub use placement::{partition, Partitioning};
-pub use traverse::{reachable_set, TraversalStats};
+pub use traverse::{reachable_set, reachable_set_seeded, TraversalStats};
 pub use vertex::{HnSource, VertexData};

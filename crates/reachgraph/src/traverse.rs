@@ -95,10 +95,29 @@ pub fn reachable_set<S: HnSource>(
     source: reach_core::ObjectId,
     interval: TimeInterval,
 ) -> Result<(Vec<(reach_core::ObjectId, Time)>, TraversalStats), IndexError> {
+    reachable_set_seeded(src, &[(source, interval.start)], interval)
+}
+
+/// Multi-seed generalization of [`reachable_set`]: the earliest-arrival
+/// expansion starts from a whole frontier instead of one source. Each seed
+/// `(o, t)` holds the item from `max(t, interval.start)` on — a seed whose
+/// arrival precedes the window "holds from the window start", exactly the
+/// semantics the live delta applies to pre-watermark frontier seeds — and
+/// seeds arriving after the (clamped) window end cannot contribute inside
+/// it and are skipped. With a single seed `(source, interval.start)` this
+/// is byte-for-byte the single-source expansion, so the sealed→delta and
+/// shard→shard handoffs share one relaxation rule and cannot drift apart.
+pub fn reachable_set_seeded<S: HnSource>(
+    src: &mut S,
+    seeds: &[(reach_core::ObjectId, Time)],
+    interval: TimeInterval,
+) -> Result<(Vec<(reach_core::ObjectId, Time)>, TraversalStats), IndexError> {
     let mut stats = TraversalStats::default();
     let horizon = src.horizon();
-    if source.index() >= src.num_objects() {
-        return Err(IndexError::UnknownObject(source));
+    for &(o, _) in seeds {
+        if o.index() >= src.num_objects() {
+            return Err(IndexError::UnknownObject(o));
+        }
     }
     if interval.start >= horizon {
         return Err(IndexError::IntervalOutOfRange {
@@ -108,13 +127,28 @@ pub fn reachable_set<S: HnSource>(
     }
     let interval = TimeInterval::new(interval.start, interval.end.min(horizon - 1));
     let (t1, t2) = (interval.start, interval.end);
-    let v1 = src.node_of(source, t1)?;
 
     let mut ea: HashMap<u32, Time> = HashMap::new();
     let mut best: HashMap<u32, Time> = HashMap::new();
     let mut heap: BinaryHeap<Reverse<(Time, u32)>> = BinaryHeap::new();
-    best.insert(v1, t1);
-    heap.push(Reverse((t1, v1)));
+    for &(o, t) in seeds {
+        let entry = t.max(t1);
+        if entry > t2 {
+            continue;
+        }
+        let v = src.node_of(o, entry)?;
+        match best.entry(v) {
+            Entry::Occupied(mut e) if *e.get() > entry => {
+                e.insert(entry);
+                heap.push(Reverse((entry, v)));
+            }
+            Entry::Vacant(e) => {
+                e.insert(entry);
+                heap.push(Reverse((entry, v)));
+            }
+            _ => {}
+        }
+    }
     while let Some(Reverse((a, v))) = heap.pop() {
         if best.get(&v).copied() != Some(a) {
             continue;

@@ -3,7 +3,7 @@
 //! ```text
 //! streach_serve [--backend=sim|file=DIR|mmap=DIR] [--workers=N]
 //!               [--clients=N] [--queries=N] [--objects=N]
-//!               [--contacts=N] [--queue=N]
+//!               [--contacts=N] [--queue=N] [--sharded=EPOCHS]
 //! ```
 //!
 //! The binary builds a `ConcurrentLive` index on the chosen backend,
@@ -12,10 +12,15 @@
 //! query stream from `--clients` submitter threads through the
 //! `reach_serve::Server` worker pool — appends, queries, and compactions
 //! all overlap. It exits with a metrics table.
+//!
+//! `--sharded=EPOCHS` serves an epoch-sharded `ShardedLive` instead: the
+//! ingested timeline is sealed into ~EPOCHS epoch shards (one device
+//! each), queries hand their frontier across shard boundaries, and the
+//! exit report shows the shard layout.
 
 use reach_core::{ObjectId, ReachIndex, ReachRequest, Time, TimeInterval};
 use reach_graph::GraphParams;
-use reach_live::{ConcurrentLive, LiveConfig};
+use reach_live::{ConcurrentLive, LiveConfig, ShardedLive};
 use reach_serve::{ServeConfig, Server, SubmitError};
 use reach_storage::{BuildBudget, StorageConfig};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -32,6 +37,7 @@ struct Args {
     objects: usize,
     contacts: usize,
     queue: usize,
+    sharded: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -44,6 +50,7 @@ fn parse_args() -> Result<Args, String> {
         objects: 64,
         contacts: 4000,
         queue: 256,
+        sharded: 0,
     };
     for arg in std::env::args().skip(1) {
         let (key, value) = arg
@@ -75,6 +82,7 @@ fn parse_args() -> Result<Args, String> {
             "--objects" => args.objects = number()?.max(2) as usize,
             "--contacts" => args.contacts = number()? as usize,
             "--queue" => args.queue = number()?.max(1) as usize,
+            "--sharded" => args.sharded = number()?.max(1) as usize,
             _ => return Err(format!("unknown flag `{key}`")),
         }
     }
@@ -139,54 +147,17 @@ fn build_index(args: &Args) -> Result<ConcurrentLive, reach_core::IndexError> {
     .serve(args.objects)
 }
 
-fn main() {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("streach_serve: {e}");
-            std::process::exit(2);
-        }
-    };
-    let horizon: Time = 1 << 12;
-    let index = match build_index(&args) {
-        Ok(i) => Arc::new(i),
-        Err(e) => {
-            eprintln!("streach_serve: building the index failed: {e}");
-            std::process::exit(1);
-        }
-    };
-    let stream = contact_stream(0x5eed_cafe, args.objects, args.contacts, horizon);
-
-    // Warm up with a third of the stream and seal it, so queries exercise
-    // the sealed base (and pay real counted IO), not just the delta.
-    let warmup = stream.len() / 3;
-    for c in &stream[..warmup] {
-        index.append(*c).expect("warmup append");
-    }
-    index.compact_now().expect("warmup compaction");
-
-    let server = Server::start(
-        Arc::clone(&index) as Arc<dyn ReachIndex>,
-        ServeConfig {
-            workers: args.workers,
-            queue_capacity: args.queue,
-            max_batch: 64,
-        },
-    )
-    .expect("server starts");
-
-    // Clients submit queries over the already-ingested prefix while the
-    // main thread keeps appending (and the worker keeps compacting).
-    let submitted = Arc::new(AtomicU64::new(0));
-    let shed = Arc::new(AtomicU64::new(0));
+/// Runs the client submitter threads against the server while `ingest`
+/// keeps appending on the calling thread; returns how many submissions
+/// the clients shed at admission.
+fn drive_clients<F: FnOnce()>(server: &Server, args: &Args, safe_horizon: Time, ingest: F) -> u64 {
+    let submitted = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
     let queries = args.queries;
     let objects = args.objects as u64;
-    let safe_horizon = index.now().saturating_sub(1).max(1);
     std::thread::scope(|scope| {
         for client in 0..args.clients {
-            let server = &server;
-            let submitted = Arc::clone(&submitted);
-            let shed = Arc::clone(&shed);
+            let (submitted, shed) = (&submitted, &shed);
             scope.spawn(move || {
                 // Each iteration submits a same-source burst (one object
                 // asking about many peers — the access pattern the serving
@@ -221,6 +192,157 @@ fn main() {
                 }
             });
         }
+        ingest();
+    });
+    shed.load(Ordering::Relaxed)
+}
+
+/// The `--sharded=EPOCHS` mode: an epoch-sharded timeline served through
+/// the same worker pool — ingestion seals an epoch shard every
+/// `contacts / EPOCHS` appends, queries walk the shards with a frontier
+/// handoff, and the report shows the final shard layout.
+fn run_sharded(args: &Args, horizon: Time) {
+    let epochs = args.sharded.max(1);
+    let index = match LiveConfig::graph(
+        GraphParams {
+            partition_depth: 8,
+            page_size: PAGE,
+            ..GraphParams::default()
+        },
+        BuildBudget::bytes(1 << 20),
+    )
+    .with_lateness(8)
+    .builder()
+    .manual_compaction()
+    .backend(args.backend.clone())
+    .build_sharded(args.objects)
+    {
+        Ok(i) => Arc::new(i),
+        Err(e) => {
+            eprintln!("streach_serve: building the sharded index failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let stream = contact_stream(0x5eed_cafe, args.objects, args.contacts, horizon);
+    let chunk = (stream.len() / epochs).max(1);
+    let seal_boundary = |i: usize, index: &ShardedLive| {
+        if (i + 1).is_multiple_of(chunk) {
+            index.seal_now().expect("epoch seal");
+        }
+    };
+
+    // Warm up with a third of the stream (sealing epoch shards along the
+    // way) so queries walk real sealed shards, then serve while the rest
+    // of the stream appends and seals concurrently.
+    let warmup = stream.len() / 3;
+    for (i, c) in stream[..warmup].iter().enumerate() {
+        index.append(*c).expect("warmup append");
+        seal_boundary(i, &index);
+    }
+    let server = Server::start(
+        Arc::clone(&index) as Arc<dyn ReachIndex>,
+        ServeConfig {
+            workers: args.workers,
+            queue_capacity: args.queue,
+            max_batch: 64,
+        },
+    )
+    .expect("server starts");
+    let safe_horizon = index.now().saturating_sub(1).max(1);
+    let shed = drive_clients(&server, args, safe_horizon, || {
+        for (i, c) in stream[warmup..].iter().enumerate() {
+            index.append(*c).expect("live append");
+            seal_boundary(warmup + i, &index);
+        }
+    });
+    index.seal_now().expect("final seal");
+    index.sync().expect("log sync");
+    let stats = index.stats();
+    let serve = server.metrics();
+    drop(server);
+
+    println!(
+        "streach_serve: {} workers, {} clients, queue {}, backend {} (sharded)",
+        args.workers, args.clients, args.queue, args.backend_name
+    );
+    println!(
+        "  ingested       {} contacts -> watermark {} / horizon {} ({} seals, generation {})",
+        args.contacts,
+        index.watermark(),
+        index.now(),
+        stats.compactions,
+        index.generation()
+    );
+    let spans = index.shard_spans();
+    println!(
+        "  shards         {} epochs: {}",
+        spans.len(),
+        spans
+            .iter()
+            .map(|(lo, hi)| format!("[{lo},{hi})"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    println!(
+        "  queries        {} completed, {} failed, {} rejected at admission, {} shed by clients",
+        serve.completed, serve.failed, serve.rejected, shed
+    );
+    println!(
+        "  batching       {} answers served off a shared frontier expansion",
+        serve.batched
+    );
+    println!(
+        "  normalized IO  p50 {:.2}, p99 {:.2} (random + seq/{})",
+        serve.p50_normalized_io,
+        serve.p99_normalized_io,
+        reach_core::SEQ_PER_RANDOM
+    );
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("streach_serve: {e}");
+            std::process::exit(2);
+        }
+    };
+    let horizon: Time = 1 << 12;
+    if args.sharded > 0 {
+        run_sharded(&args, horizon);
+        return;
+    }
+    let index = match build_index(&args) {
+        Ok(i) => Arc::new(i),
+        Err(e) => {
+            eprintln!("streach_serve: building the index failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let stream = contact_stream(0x5eed_cafe, args.objects, args.contacts, horizon);
+
+    // Warm up with a third of the stream and seal it, so queries exercise
+    // the sealed base (and pay real counted IO), not just the delta.
+    let warmup = stream.len() / 3;
+    for c in &stream[..warmup] {
+        index.append(*c).expect("warmup append");
+    }
+    index.compact_now().expect("warmup compaction");
+
+    let server = Server::start(
+        Arc::clone(&index) as Arc<dyn ReachIndex>,
+        ServeConfig {
+            workers: args.workers,
+            queue_capacity: args.queue,
+            max_batch: 64,
+        },
+    )
+    .expect("server starts");
+
+    // Clients submit queries over the already-ingested prefix while the
+    // main thread keeps appending (and the worker keeps compacting).
+    let safe_horizon = index.now().saturating_sub(1).max(1);
+    let shed = drive_clients(&server, &args, safe_horizon, || {
         for c in &stream[warmup..] {
             index.append(*c).expect("live append");
         }
@@ -244,10 +366,7 @@ fn main() {
     );
     println!(
         "  queries        {} completed, {} failed, {} rejected at admission, {} shed by clients",
-        serve.completed,
-        serve.failed,
-        serve.rejected,
-        shed.load(Ordering::Relaxed)
+        serve.completed, serve.failed, serve.rejected, shed
     );
     println!(
         "  batching       {} answers served off a shared frontier expansion",

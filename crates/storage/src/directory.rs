@@ -1,0 +1,257 @@
+//! Named-device planning for multi-file subsystems.
+//!
+//! A sharded live timeline owns a whole *family* of devices — one append
+//! log, one epoch-directory, one base file per sealed shard, scratch for
+//! every rebuild — and must be able to recreate exactly the same family
+//! after a restart. [`DeviceDirectory`] is the factory that maps stable
+//! device *names* to concrete backends:
+//!
+//! * under the simulator every name is a fresh [`SimDevice`](crate::SimDevice) (nothing
+//!   persists, so `open` is [`IndexError::Unsupported`]);
+//! * under the `file`/`mmap` backends a name maps to `<root>/<name>.pages`,
+//!   so a reopened directory finds every shard where the sealing run left
+//!   it. Durable roots (logs, directories) always use positioned file IO
+//!   even under `mmap`, mirroring the live builder's log policy; only
+//!   sealed, read-heavy bases get the mapped device.
+//!
+//! [`DeviceDirectory::hub`] wraps a device into the [`SharedDevice`]
+//! multi-handle hub every sealed shard serves queries through, attaching a
+//! per-shard [`PageCache`] (with readahead) when a capacity is configured —
+//! the per-shard cache plumbing the sharded index builds on.
+
+use crate::cache::PageCache;
+use crate::config::StorageConfig;
+use crate::device::BlockDevice;
+use crate::shared::SharedDevice;
+use reach_core::IndexError;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Which concrete backend a [`DeviceDirectory`] hands out.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DirectoryBackend {
+    /// Memory-backed simulator devices; nothing persists.
+    Sim,
+    /// Positioned file IO under the given root directory.
+    File(PathBuf),
+    /// Memory-mapped-style devices under the given root directory
+    /// (durable roots still use positioned file IO; see the module docs).
+    Mmap(PathBuf),
+}
+
+/// A named-device factory (see the module docs).
+#[derive(Clone, Debug)]
+pub struct DeviceDirectory {
+    backend: DirectoryBackend,
+    page_size: usize,
+}
+
+impl DeviceDirectory {
+    /// A directory handing out simulator devices.
+    pub fn sim(page_size: usize) -> Self {
+        Self {
+            backend: DirectoryBackend::Sim,
+            page_size,
+        }
+    }
+
+    /// A directory of real files under `root` (created on demand).
+    pub fn file(root: impl Into<PathBuf>, page_size: usize) -> Self {
+        Self {
+            backend: DirectoryBackend::File(root.into()),
+            page_size,
+        }
+    }
+
+    /// A directory of mapped devices under `root` (created on demand).
+    pub fn mmap(root: impl Into<PathBuf>, page_size: usize) -> Self {
+        Self {
+            backend: DirectoryBackend::Mmap(root.into()),
+            page_size,
+        }
+    }
+
+    /// Builds a directory from a [`StorageConfig`], treating a `file`/
+    /// `mmap` path as the root directory (the live builder's convention).
+    pub fn from_storage(storage: &StorageConfig) -> Self {
+        match &storage.backend {
+            crate::config::StorageBackend::Sim => Self::sim(storage.page_size),
+            crate::config::StorageBackend::File(p) => Self::file(p, storage.page_size),
+            crate::config::StorageBackend::Mmap(p) => Self::mmap(p, storage.page_size),
+        }
+    }
+
+    /// Device page size every handed-out device uses.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Whether devices from this directory survive a process restart.
+    pub fn is_durable(&self) -> bool {
+        !matches!(self.backend, DirectoryBackend::Sim)
+    }
+
+    /// Short backend name for reports ("sim" / "file" / "mmap").
+    pub fn backend_name(&self) -> &'static str {
+        match self.backend {
+            DirectoryBackend::Sim => "sim",
+            DirectoryBackend::File(_) => "file",
+            DirectoryBackend::Mmap(_) => "mmap",
+        }
+    }
+
+    fn path_of(&self, name: &str) -> Option<PathBuf> {
+        let root = match &self.backend {
+            DirectoryBackend::Sim => return None,
+            DirectoryBackend::File(p) | DirectoryBackend::Mmap(p) => p,
+        };
+        Some(root.join(format!("{name}.pages")))
+    }
+
+    /// Creates a fresh, empty device under `name` (truncating any existing
+    /// file). `durable_root` forces positioned file IO even under the
+    /// `mmap` backend — for write-heavy roots whose torn-write semantics
+    /// recovery depends on.
+    pub fn create(
+        &self,
+        name: &str,
+        durable_root: bool,
+    ) -> Result<Box<dyn BlockDevice>, IndexError> {
+        match self.path_of(name) {
+            None => StorageConfig::sim(self.page_size).create(),
+            Some(path) => {
+                if let Some(parent) = path.parent() {
+                    std::fs::create_dir_all(parent)
+                        .map_err(|e| IndexError::io("create device directory root", &e))?;
+                }
+                self.config_for(&path, durable_root).create()
+            }
+        }
+    }
+
+    /// Opens the existing device under `name`. The simulator has nothing
+    /// durable and returns [`IndexError::Unsupported`].
+    pub fn open(&self, name: &str, durable_root: bool) -> Result<Box<dyn BlockDevice>, IndexError> {
+        match self.path_of(name) {
+            None => Err(IndexError::Unsupported(
+                "the sim backend is memory-only; nothing persists to reopen".into(),
+            )),
+            Some(path) => self.config_for(&path, durable_root).open(),
+        }
+    }
+
+    /// Removes the device under `name` if it exists (a no-op on the
+    /// simulator). Used to garbage-collect superseded shard bases after a
+    /// merge commits.
+    pub fn remove(&self, name: &str) -> Result<(), IndexError> {
+        if let Some(path) = self.path_of(name) {
+            match std::fs::remove_file(&path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(IndexError::io("remove directory device", &e)),
+            }
+        }
+        Ok(())
+    }
+
+    fn config_for(&self, path: &std::path::Path, durable_root: bool) -> StorageConfig {
+        match (&self.backend, durable_root) {
+            (DirectoryBackend::Mmap(_), false) => StorageConfig::mmap(path, self.page_size),
+            _ => StorageConfig::file(path, self.page_size),
+        }
+    }
+
+    /// Wraps a device into the multi-handle [`SharedDevice`] hub a sealed
+    /// shard serves queries through, attaching a per-shard [`PageCache`]
+    /// with `readahead` when `cache_pages > 0` (0 keeps the paper's
+    /// cold-cache measurement model).
+    pub fn hub(device: Box<dyn BlockDevice>, cache_pages: usize, readahead: usize) -> SharedDevice {
+        if cache_pages == 0 {
+            SharedDevice::new(device)
+        } else {
+            SharedDevice::with_cache(
+                device,
+                Arc::new(PageCache::new(cache_pages).with_readahead(readahead)),
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("streach-devdir-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn sim_directory_creates_but_never_reopens() {
+        let d = DeviceDirectory::sim(128);
+        assert!(!d.is_durable());
+        let dev = d.create("anything", true).expect("sim device");
+        assert_eq!(dev.backend(), "sim");
+        assert!(matches!(
+            d.open("anything", true),
+            Err(IndexError::Unsupported(_))
+        ));
+        d.remove("anything").expect("sim remove is a no-op");
+    }
+
+    #[test]
+    fn file_directory_round_trips_by_name() {
+        let root = scratch_root("file");
+        let d = DeviceDirectory::file(&root, 128);
+        assert!(d.is_durable());
+        {
+            let mut dev = d.create("shard-base-3", false).expect("creates");
+            let p = dev.allocate(1).expect("allocate");
+            dev.write_page(p, b"epoch").expect("write");
+            dev.sync().expect("sync");
+        }
+        assert!(root.join("shard-base-3.pages").is_file());
+        let mut reopened = d.open("shard-base-3", false).expect("reopens");
+        let mut buf = vec![0u8; 128];
+        reopened.read_page_into(0, &mut buf).expect("read");
+        assert_eq!(&buf[..5], b"epoch");
+        d.remove("shard-base-3").expect("removes");
+        assert!(!root.join("shard-base-3.pages").is_file());
+        d.remove("shard-base-3").expect("idempotent");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn mmap_directory_keeps_durable_roots_on_file_io() {
+        let root = scratch_root("mmap");
+        let d = DeviceDirectory::mmap(&root, 128);
+        {
+            let mut log = d.create("shard-log", true).expect("creates");
+            assert_eq!(log.backend(), "file", "durable roots use positioned IO");
+            log.allocate(1).expect("allocate");
+            log.sync().expect("sync");
+        }
+        {
+            let mut base = d.create("shard-base-1", false).expect("creates");
+            assert_eq!(base.backend(), "mmap");
+            base.allocate(1).expect("allocate");
+            base.sync().expect("sync");
+        }
+        assert_eq!(d.open("shard-log", true).expect("log").backend(), "file");
+        assert_eq!(
+            d.open("shard-base-1", false).expect("base").backend(),
+            "mmap"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn hub_carries_a_cache_only_when_asked() {
+        let d = DeviceDirectory::sim(128);
+        let plain = DeviceDirectory::hub(d.create("a", false).expect("dev"), 0, 4);
+        assert!(plain.cache().is_none());
+        let cached = DeviceDirectory::hub(d.create("b", false).expect("dev"), 16, 4);
+        assert!(cached.cache().is_some());
+    }
+}

@@ -37,7 +37,9 @@
 //! * [`meta`] — self-describing metadata footers so file-backed indexes can
 //!   be dropped and reopened;
 //! * [`StorageConfig`] — the runtime factory selecting a backend from
-//!   configuration.
+//!   configuration;
+//! * [`DeviceDirectory`] — a named-device factory for multi-file subsystems
+//!   (the epoch-sharded live timeline keeps one device per sealed shard).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -47,6 +49,7 @@ pub mod cache;
 pub mod codec;
 pub mod config;
 pub mod device;
+pub mod directory;
 pub mod file;
 pub mod iostats;
 pub mod layout;
@@ -63,6 +66,7 @@ pub use cache::{CacheStats, PageCache};
 pub use codec::{ByteReader, ByteWriter};
 pub use config::{StorageBackend, StorageConfig};
 pub use device::{BlockDevice, PageId, DEFAULT_PAGE_SIZE};
+pub use directory::{DeviceDirectory, DirectoryBackend};
 pub use file::FileDevice;
 pub use iostats::{IoSampler, IoStats};
 pub use layout::{read_record, RecordPtr, RecordWriter};

@@ -18,7 +18,7 @@
 //! | [`grid`] | ReachGrid index + SPJ baseline |
 //! | [`graph`] | ReachGraph index + E-DFS/E-BFS/B-BFS/BM-BFS |
 //! | [`baselines`] | GRAIL (memory and disk) |
-//! | [`live`] | continuous ingestion: append log, delta DN, watermark compaction |
+//! | [`live`] | continuous ingestion: append log, delta DN, watermark compaction, epoch-sharded timeline |
 //! | [`ext`] | uncertain contacts (U-ReachGraph), non-immediate contacts |
 //!
 //! ## Storage backends
@@ -304,13 +304,15 @@ pub mod prelude {
     pub use reach_grid::{GridParams, ReachGrid, Spj};
     pub use reach_live::{
         AppendLog, BaseKind, CompactionStats, ConcurrentLive, DeltaDn, GrailConfig, LiveBuilder,
-        LiveConfig, LiveError, LiveIndex, LiveMetrics, LiveStats, LogRecovery,
+        LiveConfig, LiveError, LiveIndex, LiveMetrics, LiveStats, LogRecovery, ShardCrashPoint,
+        ShardRecovery, ShardedLive,
     };
     pub use reach_mobility::{RoadNetwork, RwpConfig, VehicleConfig, WorkloadConfig};
     pub use reach_serve::{ServeConfig, ServeMetrics, Server, SubmitError, Ticket};
     pub use reach_storage::{
-        BlockDevice, BuildBudget, CacheStats, FileDevice, IoSampler, IoStats, MmapDevice,
-        PageCache, Pager, SharedDevice, SimDevice, SpillStats, StorageBackend, StorageConfig,
+        BlockDevice, BuildBudget, CacheStats, DeviceDirectory, FileDevice, IoSampler, IoStats,
+        MmapDevice, PageCache, Pager, SharedDevice, SimDevice, SpillStats, StorageBackend,
+        StorageConfig,
     };
     pub use reach_traj::{Trajectory, TrajectoryStore};
 }

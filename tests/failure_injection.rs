@@ -176,3 +176,161 @@ fn queries_are_deterministic_across_repeats_and_cache_states() {
         assert_eq!(r1, r2, "grid outcome changed across repeats on {q}");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Epoch-directory crash recovery (sharded live timeline).
+// ---------------------------------------------------------------------------
+
+/// A file-backed sharded index in a scratch directory.
+fn sharded_rig(tag: &str) -> (ShardedLive, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!("streach-shardcrash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let live = LiveConfig::graph(
+        GraphParams {
+            partition_depth: 8,
+            page_size: 256,
+            ..GraphParams::default()
+        },
+        BuildBudget::bytes(64 << 10),
+    )
+    .builder()
+    .manual_compaction()
+    .backend(StorageConfig::file(&dir, 256))
+    .build_sharded(6)
+    .expect("sharded index creates");
+    (live, dir)
+}
+
+fn reopen_sharded(dir: &std::path::Path) -> (ShardedLive, ShardRecovery) {
+    LiveConfig::graph(
+        GraphParams {
+            partition_depth: 8,
+            page_size: 256,
+            ..GraphParams::default()
+        },
+        BuildBudget::bytes(64 << 10),
+    )
+    .builder()
+    .manual_compaction()
+    .backend(StorageConfig::file(dir, 256))
+    .open_sharded()
+    .expect("sharded index reopens")
+}
+
+/// The batch oracle over the accepted trace, plus an all-pairs sweep.
+fn check_sharded_against_oracle(live: &ShardedLive, tag: &str) {
+    if live.now() == 0 {
+        return;
+    }
+    let accepted = live.replay_log().expect("log replays");
+    let mut per_tick: Vec<Vec<(u32, u32)>> = vec![Vec::new(); live.now() as usize];
+    for c in &accepted {
+        for t in c.interval.ticks() {
+            per_tick[t as usize].push((c.a.0, c.b.0));
+        }
+    }
+    let oracle = Oracle::from_events(live.num_objects(), per_tick);
+    let last = live.now() - 1;
+    for s in 0..live.num_objects() as u32 {
+        for d in 0..live.num_objects() as u32 {
+            for iv in [
+                TimeInterval::new(0, last),
+                TimeInterval::new(last / 2, last),
+            ] {
+                let q = Query::new(ObjectId(s), ObjectId(d), iv);
+                let got = live.evaluate_query(&q).expect("query evaluates");
+                let want = oracle.evaluate(&q);
+                assert_eq!(got.reachable(), want.reachable, "{tag}: {q}");
+                if let (Some(gt), Some(wt)) = (got.outcome.earliest, want.earliest) {
+                    assert_eq!(gt, wt, "{tag}: {q} arrival");
+                }
+            }
+        }
+    }
+}
+
+fn shard_contacts() -> Vec<Contact> {
+    vec![
+        Contact::new(ObjectId(0), ObjectId(1), TimeInterval::new(0, 2)),
+        Contact::new(ObjectId(1), ObjectId(2), TimeInterval::new(4, 6)),
+        Contact::new(ObjectId(2), ObjectId(3), TimeInterval::new(8, 9)),
+        Contact::new(ObjectId(3), ObjectId(4), TimeInterval::new(12, 14)),
+        Contact::new(ObjectId(4), ObjectId(5), TimeInterval::new(16, 18)),
+        Contact::new(ObjectId(0), ObjectId(5), TimeInterval::new(21, 22)),
+    ]
+}
+
+/// A crash between any two phases of a seal commit recovers to exactly
+/// the pre-commit or post-commit shard set — never a torn mixture — and
+/// the recovered index answers exactly as the batch oracle.
+#[test]
+fn seal_crashes_recover_to_pre_or_post_commit_shard_sets() {
+    use streach::live::ShardCrashPoint::*;
+    for (point, expect_shards, expect_cut) in [
+        (BeforeDirectory, 1, 10),
+        (TornDirectory, 1, 10),
+        (AfterDirectory, 2, 20),
+    ] {
+        let tag = format!("{point:?}");
+        let (live, dir) = sharded_rig(&tag);
+        for c in shard_contacts() {
+            live.append(c).expect("append accepted");
+        }
+        live.seal(10).expect("clean seal");
+        live.inject_crash(point);
+        assert!(live.seal(20).is_err(), "{tag}: injected crash surfaces");
+        drop(live);
+
+        let (recovered, recovery) = reopen_sharded(&dir);
+        assert_eq!(recovery.shards, expect_shards, "{tag}: shard count");
+        assert_eq!(recovery.top_cut, expect_cut, "{tag}: top cut");
+        assert_eq!(recovered.watermark(), expect_cut, "{tag}: watermark");
+        check_sharded_against_oracle(&recovered, &tag);
+        // Recovery leaves a fully functional index: the interrupted seal
+        // can simply be retried.
+        recovered.seal(20).expect("post-recovery seal");
+        assert_eq!(recovered.watermark(), 20, "{tag}: retried seal lands");
+        check_sharded_against_oracle(&recovered, &tag);
+        drop(recovered);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// The same contract for `merge_epochs`: a crash between commit phases
+/// leaves either the original adjacent shards or the coalesced one.
+#[test]
+fn merge_crashes_recover_to_pre_or_post_commit_shard_sets() {
+    use streach::live::ShardCrashPoint::*;
+    for (point, expect_spans) in [
+        (BeforeDirectory, vec![(0, 10), (10, 20)]),
+        (TornDirectory, vec![(0, 10), (10, 20)]),
+        (AfterDirectory, vec![(0, 20)]),
+    ] {
+        let tag = format!("merge-{point:?}");
+        let (live, dir) = sharded_rig(&tag);
+        for c in shard_contacts() {
+            live.append(c).expect("append accepted");
+        }
+        live.seal(10).expect("first seal");
+        live.seal(20).expect("second seal");
+        live.inject_crash(point);
+        assert!(
+            live.merge_epochs(0, 1).is_err(),
+            "{tag}: injected crash surfaces"
+        );
+        drop(live);
+
+        let (recovered, recovery) = reopen_sharded(&dir);
+        assert_eq!(recovered.shard_spans(), expect_spans, "{tag}: shard spans");
+        assert_eq!(recovery.top_cut, 20, "{tag}: merge never moves the top cut");
+        check_sharded_against_oracle(&recovered, &tag);
+        // And the interrupted merge can be retried (or is already done).
+        if recovered.shard_count() == 2 {
+            recovered.merge_epochs(0, 1).expect("post-recovery merge");
+        }
+        assert_eq!(recovered.shard_spans(), vec![(0, 20)], "{tag}: coalesced");
+        check_sharded_against_oracle(&recovered, &tag);
+        drop(recovered);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,433 @@
+//! Tier-1 suite for the epoch-sharded live timeline (ISSUE 8 acceptance
+//! criteria):
+//!
+//! 1. **Equivalence** — randomized interleavings of appends, seals, epoch
+//!    merges, and queries are result-identical to the monolithic batch
+//!    oracle over the accepted trace, on sim, file, and mmap backends;
+//! 2. **Cross-shard handoff** — query windows spanning three or more
+//!    epoch boundaries, and windows straddling the sealed/delta frontier,
+//!    return the exact monolithic answer *and* arrival tick;
+//! 3. **IO exactness** — per-query counted IO under concurrent serving
+//!    equals the single-threaded sharded walk, query for query.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use streach::prelude::*;
+
+const PAGE: usize = 256;
+const HORIZON: Time = 48;
+const BACKENDS: [&str; 3] = ["sim", "file", "mmap"];
+
+fn graph_params() -> GraphParams {
+    GraphParams {
+        partition_depth: 8,
+        page_size: PAGE,
+        ..GraphParams::default()
+    }
+}
+
+/// A sharded live index on the named backend, plus the scratch directory
+/// to remove once the index is dropped (`None` for the simulator).
+fn sharded_on(backend: &str, num_objects: usize) -> (ShardedLive, Option<PathBuf>) {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let storage = match backend {
+        "sim" => StorageConfig::sim(PAGE),
+        _ => {
+            let dir = std::env::temp_dir().join(format!(
+                "streach-shardtest-{}-{}",
+                std::process::id(),
+                NEXT.fetch_add(1, Ordering::Relaxed)
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            if backend == "file" {
+                StorageConfig::file(&dir, PAGE)
+            } else {
+                StorageConfig::mmap(&dir, PAGE)
+            }
+        }
+    };
+    let dir = match backend {
+        "sim" => None,
+        _ => match &storage.backend {
+            StorageBackend::File(p) | StorageBackend::Mmap(p) => Some(p.clone()),
+            StorageBackend::Sim => None,
+        },
+    };
+    let live = LiveConfig::graph(graph_params(), BuildBudget::bytes(64 << 10))
+        .builder()
+        .manual_compaction()
+        .backend(storage)
+        .build_sharded(num_objects)
+        .expect("sharded index creates");
+    (live, dir)
+}
+
+fn cleanup(live: ShardedLive, dir: Option<PathBuf>) {
+    drop(live);
+    if let Some(dir) = dir {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A deterministic synthetic append stream (same recipe as
+/// `tests/live_reach.rs`): roughly time-ordered with local shuffling.
+fn stream(seed: u64, n: u32, horizon: u32, count: usize) -> Vec<Contact> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut contacts: Vec<Contact> = (0..count)
+        .map(|_| {
+            let a = rng.gen_range(0..n);
+            let b = (a + rng.gen_range(1..n)) % n;
+            let s = rng.gen_range(0..horizon);
+            let e = (s + rng.gen_range(0..5u32)).min(horizon - 1);
+            Contact::new(
+                ObjectId(a.min(b)),
+                ObjectId(a.max(b)),
+                TimeInterval::new(s, e),
+            )
+        })
+        .collect();
+    contacts.sort_by_key(|c| c.interval.start);
+    for i in (4..contacts.len()).step_by(4) {
+        contacts.swap(i - 1, i);
+    }
+    contacts
+}
+
+/// The monolithic batch oracle over everything the index accepted.
+fn oracle_of(live: &ShardedLive) -> Oracle {
+    let accepted = live.replay_log().expect("log replays");
+    let horizon = live.now();
+    let mut per_tick: Vec<Vec<(u32, u32)>> = vec![Vec::new(); horizon as usize];
+    for c in &accepted {
+        for t in c.interval.ticks() {
+            per_tick[t as usize].push((c.a.0, c.b.0));
+        }
+    }
+    Oracle::from_events(live.num_objects(), per_tick)
+}
+
+/// Asserts one query against the oracle: verdict and arrival tick.
+fn check_query(live: &ShardedLive, oracle: &Oracle, q: &Query, tag: &str) {
+    let got = live.evaluate_query(q).expect("sharded query evaluates");
+    let want = oracle.evaluate(q);
+    assert_eq!(
+        got.reachable(),
+        want.reachable,
+        "{tag}: {q} diverged (shards {:?}, watermark {})",
+        live.shard_spans(),
+        live.watermark()
+    );
+    if let (Some(gt), Some(wt)) = (got.outcome.earliest, want.earliest) {
+        assert_eq!(gt, wt, "{tag}: {q} arrival tick");
+    }
+}
+
+/// Every pair, window shapes chosen to cross every shard boundary and to
+/// straddle the sealed/delta frontier.
+fn check_all_pairs(live: &ShardedLive, tag: &str) {
+    if live.now() == 0 {
+        return;
+    }
+    let oracle = oracle_of(live);
+    let last = live.now() - 1;
+    let w = live.watermark();
+    let n = live.num_objects() as u32;
+    let intervals = [
+        TimeInterval::new(0, last),
+        TimeInterval::new(last / 2, last),
+        // Hug the top cut so the base→delta handoff is exercised.
+        TimeInterval::new(w.saturating_sub(1).min(last), last),
+    ];
+    for s in 0..n {
+        for d in 0..n {
+            for iv in intervals {
+                check_query(
+                    live,
+                    &oracle,
+                    &Query::new(ObjectId(s), ObjectId(d), iv),
+                    tag,
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized interleavings (the shard-oracle gate).
+// ---------------------------------------------------------------------------
+
+/// One step of a sharded schedule.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Append `(a, b)` over `[start, start + len]` — possibly late; lossy
+    /// admission clamps at the top cut or drops, never errors.
+    Append {
+        a: u32,
+        b: u32,
+        start: Time,
+        len: Time,
+    },
+    /// Seal the delta below `cut`, creating a new epoch shard (no-op when
+    /// `cut` is at or below the current top cut).
+    Seal { cut: Time },
+    /// Coalesce two adjacent shards (no-op when fewer than two exist).
+    Merge { at: usize },
+    /// Evaluate `s ~[t1, t2]~> d` and check it against the oracle.
+    Query { s: u32, d: u32, t1: Time, t2: Time },
+}
+
+fn op_strategy(n: u32) -> impl Strategy<Value = Op> {
+    // Weighted choice by hand (the offline proptest shim has no
+    // `prop_oneof!`): 0..=5 append, 6..=7 seal, 8 merge, else query.
+    (0u32..12, 0..n, 0..n, 0..HORIZON, 0..HORIZON).prop_filter_map(
+        "valid op",
+        |(kind, x, y, t, u)| match kind {
+            0..=5 => (x != y).then(|| Op::Append {
+                a: x.min(y),
+                b: x.max(y),
+                start: t,
+                len: (u % 4).min(HORIZON - 1 - t),
+            }),
+            6..=7 => Some(Op::Seal { cut: t }),
+            8 => Some(Op::Merge { at: x as usize }),
+            _ => (t <= u).then_some(Op::Query {
+                s: x,
+                d: y,
+                t1: t,
+                t2: u,
+            }),
+        },
+    )
+}
+
+/// Drives one schedule on one backend and asserts every query plus a
+/// final all-pairs sweep against the monolithic oracle.
+fn run_schedule(backend: &str, n: usize, ops: &[Op]) {
+    let (live, dir) = sharded_on(backend, n);
+    let fold = |o: u32| o % n as u32;
+    for op in ops {
+        match *op {
+            Op::Append { a, b, start, len } => {
+                let (a, b) = (fold(a), fold(b));
+                if a == b {
+                    continue;
+                }
+                let c = Contact::new(
+                    ObjectId(a.min(b)),
+                    ObjectId(a.max(b)),
+                    TimeInterval::new(start, start + len),
+                );
+                live.append(c).expect("lossy append never errors");
+            }
+            Op::Seal { cut } => {
+                live.seal(cut).expect("seal succeeds");
+            }
+            Op::Merge { at } => {
+                let count = live.shard_count();
+                if count >= 2 {
+                    let i = at % (count - 1);
+                    live.merge_epochs(i, i + 1).expect("merge succeeds");
+                }
+            }
+            Op::Query { s, d, t1, t2 } => {
+                if live.now() == 0 {
+                    continue;
+                }
+                let (s, d) = (fold(s), fold(d));
+                let t1 = t1.min(live.now() - 1);
+                let t2 = t2.max(t1);
+                let q = Query::new(ObjectId(s), ObjectId(d), TimeInterval::new(t1, t2));
+                check_query(&live, &oracle_of(&live), &q, backend);
+            }
+        }
+    }
+    check_all_pairs(&live, backend);
+    cleanup(live, dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random append/seal/merge/query interleavings on the simulator are
+    /// result-identical to the monolithic batch oracle.
+    #[test]
+    fn sim_schedules_match_the_monolithic_oracle(
+        n in 3usize..6,
+        ops in prop::collection::vec(op_strategy(5), 1..70),
+    ) {
+        run_schedule("sim", n.min(5), &ops);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The same gate on the file backend (real positioned IO, real epoch
+    /// directory commits).
+    #[test]
+    fn file_schedules_match_the_monolithic_oracle(
+        n in 3usize..6,
+        ops in prop::collection::vec(op_strategy(5), 1..50),
+    ) {
+        run_schedule("file", n.min(5), &ops);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// And on the mmap backend (write-through image shards).
+    #[test]
+    fn mmap_schedules_match_the_monolithic_oracle(
+        n in 3usize..6,
+        ops in prop::collection::vec(op_strategy(5), 1..50),
+    ) {
+        run_schedule("mmap", n.min(5), &ops);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic cross-shard walks.
+// ---------------------------------------------------------------------------
+
+/// Windows spanning three or more epoch boundaries — and straddling the
+/// delta — agree with the oracle on verdicts *and* arrival ticks, on all
+/// three backends.
+#[test]
+fn windows_spanning_three_epochs_and_the_delta_match_the_oracle() {
+    for backend in BACKENDS {
+        let n = 8u32;
+        let (live, dir) = sharded_on(backend, n as usize);
+        for c in stream(0xEB0C, n, 40, 120) {
+            live.append(c).expect("append accepted");
+        }
+        for cut in [10, 20, 30] {
+            live.seal(cut).expect("seal succeeds");
+        }
+        assert_eq!(
+            live.shard_spans(),
+            vec![(0, 10), (10, 20), (20, 30)],
+            "{backend}: three sealed epochs"
+        );
+        assert!(
+            live.now() > 30,
+            "{backend}: the delta should hold live ticks past the top cut"
+        );
+        let oracle = oracle_of(&live);
+        let last = live.now() - 1;
+        // Every window below crosses at least three shard legs; the first
+        // two also straddle the sealed/delta frontier.
+        let windows = [
+            TimeInterval::new(0, last),
+            TimeInterval::new(5, last),
+            TimeInterval::new(2, 29),
+        ];
+        for s in 0..n {
+            for d in 0..n {
+                for iv in windows {
+                    let q = Query::new(ObjectId(s), ObjectId(d), iv);
+                    check_query(&live, &oracle, &q, backend);
+                }
+            }
+        }
+        cleanup(live, dir);
+    }
+}
+
+/// Merging adjacent epochs changes the shard layout but not one answer:
+/// after coalescing 4 shards down to 1, the all-pairs sweep still matches
+/// the monolithic oracle exactly.
+#[test]
+fn merging_epochs_down_to_one_preserves_every_answer() {
+    for backend in BACKENDS {
+        let n = 7u32;
+        let (live, dir) = sharded_on(backend, n as usize);
+        for c in stream(0x3A6E, n, 44, 110) {
+            live.append(c).expect("append accepted");
+        }
+        for cut in [8, 16, 28, 38] {
+            live.seal(cut).expect("seal succeeds");
+        }
+        assert_eq!(live.shard_count(), 4, "{backend}: four sealed epochs");
+        check_all_pairs(&live, backend);
+        // Coalesce middle, then front, then the remainder.
+        live.merge_epochs(1, 2).expect("merge middle");
+        assert_eq!(live.shard_spans(), vec![(0, 8), (8, 28), (28, 38)]);
+        check_all_pairs(&live, backend);
+        live.merge_epochs(0, 1).expect("merge front");
+        live.merge_epochs(0, 1).expect("merge rest");
+        assert_eq!(live.shard_spans(), vec![(0, 38)]);
+        check_all_pairs(&live, backend);
+        cleanup(live, dir);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// IO exactness under concurrent serving.
+// ---------------------------------------------------------------------------
+
+/// Per-query counted IO through the serve layer's worker pool equals the
+/// single-threaded sharded walk, query for query, on every backend: each
+/// query reads the sealed shards through a private zeroed device handle,
+/// so concurrency never bleeds IO across queries.
+#[test]
+fn serving_io_equals_the_single_threaded_sharded_walk() {
+    for backend in BACKENDS {
+        let n = 8usize;
+        let (live, dir) = sharded_on(backend, n);
+        for c in stream(0x0010_EAC7, n as u32, 40, 130) {
+            live.append(c).expect("append accepted");
+        }
+        for cut in [12, 24] {
+            live.seal(cut).expect("seal succeeds");
+        }
+        let queries = WorkloadConfig {
+            num_queries: 48,
+            interval_len_min: 10,
+            interval_len_max: 38,
+        }
+        .generate(n, live.now(), 0x5EED);
+
+        // Single-threaded reference pass.
+        let single: Vec<(u64, u64, u64)> = queries
+            .iter()
+            .map(|q| {
+                let a = live.evaluate_query(q).expect("reference query");
+                (a.stats.random_ios, a.stats.seq_ios, a.stats.visited)
+            })
+            .collect();
+
+        // The same queries through the concurrent worker pool
+        // (max_batch = 1 so every query is individually accounted).
+        let server = Server::start(
+            Arc::new(live) as Arc<dyn ReachIndex>,
+            ServeConfig {
+                workers: 4,
+                queue_capacity: 256,
+                max_batch: 1,
+            },
+        )
+        .expect("server starts");
+        let tickets: Vec<Ticket> = queries
+            .iter()
+            .map(|q| server.submit(ReachRequest::from(*q)).expect("submit"))
+            .collect();
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            let a = ticket.wait().expect("served query");
+            assert_eq!(
+                (a.stats.random_ios, a.stats.seq_ios, a.stats.visited),
+                single[i],
+                "{backend}: served IO for {} diverged from the single-threaded walk",
+                queries[i]
+            );
+        }
+        drop(server);
+        if let Some(dir) = dir {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
