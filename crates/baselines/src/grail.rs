@@ -443,6 +443,7 @@ impl GrailDisk {
             disk: self,
             intervals: &intervals,
             members: &members,
+            rev: None,
         };
         let (set, tstats) = reach_graph::reachable_set(&mut view, source, interval)?;
         let io = self.pager.stats().since(&before);
@@ -488,6 +489,7 @@ impl GrailDisk {
             disk: self,
             intervals: &intervals,
             members: &members,
+            rev: None,
         };
         let (set, tstats) = reach_graph::reachable_set_seeded(&mut view, seeds, interval)?;
         let io = self.pager.stats().since(&before);
@@ -501,6 +503,131 @@ impl GrailDisk {
                 cpu: started.elapsed(),
             },
         ))
+    }
+
+    /// Derives the DN₁ *reverse* adjacency from a reconstruction: an
+    /// object's consecutive timeline runs are exactly the DN₁ edges it
+    /// witnesses, so transposing the member relation again (this time in
+    /// memory — the reconstruction already paid the IO) yields every
+    /// predecessor list. GRAIL's disk records store no reverse edges; the
+    /// reverse top-k walk needs them.
+    fn derive_rev(
+        intervals: &[TimeInterval],
+        members: &[Vec<u32>],
+        num_objects: usize,
+    ) -> Vec<Vec<u32>> {
+        let mut per_obj: Vec<Vec<(Time, u32)>> = vec![Vec::new(); num_objects];
+        for (v, ms) in members.iter().enumerate() {
+            for &o in ms {
+                per_obj[o as usize].push((intervals[v].start, v as u32));
+            }
+        }
+        let mut rev: Vec<Vec<u32>> = vec![Vec::new(); intervals.len()];
+        for chain in &mut per_obj {
+            chain.sort_unstable();
+            for w in chain.windows(2) {
+                let (u, v) = (w[0].1, w[1].1);
+                if intervals[v as usize].start == intervals[u as usize].end + 1 {
+                    rev[v as usize].push(u);
+                }
+            }
+        }
+        for r in &mut rev {
+            r.sort_unstable();
+            r.dedup();
+        }
+        rev
+    }
+
+    /// Runs one decay traversal through a reconstructed [`GrailHnView`]
+    /// under the standard cold-cache accounting. `with_rev` additionally
+    /// derives the reverse adjacency (reverse top-k needs it).
+    fn decay_accounted<T>(
+        &mut self,
+        with_rev: bool,
+        run: impl FnOnce(&mut GrailHnView<'_>) -> Result<(T, reach_graph::TraversalStats), IndexError>,
+    ) -> Result<(T, QueryStats), IndexError> {
+        let started = Instant::now();
+        self.pager.clear_cache();
+        self.pager.break_sequence();
+        let before = self.pager.stats();
+        let (intervals, members) = self.reconstruct_components()?;
+        let rev = with_rev.then(|| Self::derive_rev(&intervals, &members, self.num_objects));
+        let mut view = GrailHnView {
+            disk: self,
+            intervals: &intervals,
+            members: &members,
+            rev: rev.as_deref(),
+        };
+        let (value, tstats) = run(&mut view)?;
+        let io = self.pager.stats().since(&before);
+        Ok((
+            value,
+            QueryStats {
+                random_ios: io.random_reads,
+                seq_ios: io.seq_reads,
+                visited: tstats.visited,
+                examined: tstats.examined,
+                cpu: started.elapsed(),
+            },
+        ))
+    }
+
+    /// One decay-weighted frontier leg (the weighted sibling of
+    /// [`GrailDisk::reachable_set_from`]); see
+    /// `reach_graph::DecayLeg` and `reach_core::WeightedFrontier`.
+    pub fn decay_states_from(
+        &mut self,
+        seeds: &[reach_core::frontier::WeightedSeed],
+        carry: &[reach_core::frontier::CarryGroup],
+        interval: reach_core::TimeInterval,
+        origin: Time,
+        model: &reach_core::DecayModel,
+        floor: f64,
+    ) -> Result<(reach_graph::DecayLeg, QueryStats), IndexError> {
+        self.decay_accounted(false, |view| {
+            reach_graph::decay_states_seeded(view, seeds, carry, interval, origin, model, floor)
+        })
+    }
+
+    /// Point decay query (see [`reach_graph::decay_reachable`]): the
+    /// member relation is reconstructed by inverting the timeline region,
+    /// then the shared weighted expansion runs over the view — GRAIL pays
+    /// its layout price on decay queries exactly as it does on frontier
+    /// extraction.
+    pub fn decay_reachable(
+        &mut self,
+        source: ObjectId,
+        dest: ObjectId,
+        interval: reach_core::TimeInterval,
+        model: &reach_core::DecayModel,
+        theta: f64,
+    ) -> Result<(Option<(f64, Time)>, QueryStats), IndexError> {
+        self.decay_accounted(false, |view| {
+            reach_graph::decay_reachable(view, source, dest, interval, model, theta)
+        })
+    }
+
+    /// Top-k ranked decay query in either direction. The reverse walk
+    /// additionally derives DN₁ predecessor lists from the reconstruction
+    /// (GRAIL stores none on disk).
+    pub fn top_k(
+        &mut self,
+        anchor: ObjectId,
+        interval: reach_core::TimeInterval,
+        k: usize,
+        model: &reach_core::DecayModel,
+        direction: reach_core::RankDirection,
+    ) -> Result<(Vec<reach_core::Ranked>, QueryStats), IndexError> {
+        let reaching = direction == reach_core::RankDirection::Reaching;
+        self.decay_accounted(reaching, |view| match direction {
+            reach_core::RankDirection::Reachable => {
+                reach_graph::top_k_reachable(view, anchor, interval, k, model)
+            }
+            reach_core::RankDirection::Reaching => {
+                reach_graph::top_k_reaching(view, anchor, interval, k, model)
+            }
+        })
     }
 
     /// The component-chain contact set of the indexed DAG (the
@@ -608,12 +735,14 @@ impl GrailDisk {
 /// exactly the surface [`reach_graph::reachable_set`] traverses (members,
 /// validity interval, DN1 out-edges, `Ht` lookup), so the frontier
 /// extraction runs the same code as ReachGraph's. GRAIL has no reverse
-/// edges or long-edge bundles on disk; the view reports them empty, which
-/// the forward-only expansion never touches.
+/// edges or long-edge bundles on disk; forward-only walks get them empty
+/// (they never look), while the reverse top-k walk passes predecessor
+/// lists derived in memory from the reconstruction (`rev`).
 struct GrailHnView<'a> {
     disk: &'a mut GrailDisk,
     intervals: &'a [TimeInterval],
     members: &'a [Vec<u32>],
+    rev: Option<&'a [Vec<u32>]>,
 }
 
 impl HnSource for GrailHnView<'_> {
@@ -643,7 +772,7 @@ impl HnSource for GrailHnView<'_> {
             interval,
             members: self.members[v as usize].clone(),
             fwd,
-            rev: Vec::new(),
+            rev: self.rev.map(|r| r[v as usize].clone()).unwrap_or_default(),
             bundles: Vec::new(),
         })
     }
@@ -660,6 +789,31 @@ impl ReachabilityIndex for GrailDisk {
 
     fn evaluate(&mut self, query: &Query) -> Result<QueryResult, IndexError> {
         self.evaluate_query(query)
+    }
+
+    fn answer(
+        &mut self,
+        request: &reach_core::ReachRequest,
+    ) -> Result<reach_core::Answer, IndexError> {
+        use reach_core::{Answer, QueryKind};
+        let q = &request.query;
+        match request.kind {
+            QueryKind::Reach => self.evaluate(q).map(Answer::from),
+            QueryKind::Decay { theta, model } => {
+                let (hit, stats) =
+                    self.decay_reachable(q.source, q.dest, q.interval, &model, theta)?;
+                Ok(Answer::decay(q.dest, hit, stats))
+            }
+            QueryKind::TopK {
+                k,
+                model,
+                direction,
+            } => {
+                let (ranking, stats) = self.top_k(q.source, q.interval, k, &model, direction)?;
+                Ok(Answer::ranked(ranking, stats))
+            }
+            _ => Err(request.unsupported(self.name())),
+        }
     }
 }
 

@@ -1,0 +1,15 @@
+//! Runs the decay-weighted reachability experiment: the threshold sweep,
+//! the top-k vs full-enumeration IO contrast (the running kth-best-weight
+//! floor prunes expansion), and forward/reverse ranking costs — with every
+//! verdict and ranking asserted against the exhaustive path-enumeration
+//! oracle (`reach_ext::DecayOracle`).
+//!
+//! `--backend=sim|file|mmap` selects the storage backend; `--full` the
+//! recorded scales.
+
+fn main() {
+    let tier = reach_bench::Tier::from_args();
+    for table in reach_bench::experiments::exp_decay(tier) {
+        table.print();
+    }
+}

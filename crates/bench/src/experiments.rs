@@ -1562,6 +1562,177 @@ pub fn exp_shard(tier: Tier) -> Vec<Table> {
 }
 
 // ---------------------------------------------------------------------------
+// exp_decay — decay-weighted and top-k reachability workloads
+// ---------------------------------------------------------------------------
+
+/// The decay experiment (ISSUE 9): decay-weighted point queries and top-k
+/// rankings (Strzheletska & Tsotras, PAPERS.md) on a ReachGraph over the
+/// run's configured backend. Reports the threshold sweep (verdict mix and
+/// IO vs θ), the top-k vs full-enumeration contrast (the running
+/// kth-best-weight floor prunes expansion — the headline, asserted
+/// strictly), and forward vs reverse ranking cost. **Asserts** every
+/// verdict and ranking against the exhaustive path-enumeration oracle
+/// ([`reach_ext::DecayOracle`]), so running this under
+/// `--backend=sim|file|mmap` revalidates the decay semantics on each
+/// storage backend.
+pub fn exp_decay(tier: Tier) -> Vec<Table> {
+    use reach_core::{DecayModel, ObjectId, RankDirection, TimeInterval};
+    use reach_ext::DecayOracle;
+
+    let spec = match tier {
+        Tier::Quick => DatasetSpec::rwp("decay-rwp", 120, 600, 37),
+        Tier::Full => DatasetSpec::rwp("decay-rwp", 300, 1500, 37),
+    };
+    let store = spec.generate();
+    let dn = spec.build_dn(&store);
+    let mr = spec.build_multires(&dn);
+    let oracle = DecayOracle::new(&dn);
+    // Shorter windows than the boolean workload: elapsed-time decay makes
+    // wide windows near-worthless anyway, and the oracle enumerates every
+    // in-window path.
+    let queries: Vec<Query> = WorkloadConfig {
+        num_queries: num_queries(tier),
+        interval_len_min: 60,
+        interval_len_max: 160,
+    }
+    .generate(spec.num_objects, spec.horizon, 0xDC);
+    let model = DecayModel::new(0.7, 0.99).expect("factors lie in (0, 1]");
+
+    // One oracle enumeration per query point; every θ row filters it.
+    let best: Vec<_> = queries
+        .iter()
+        .map(|q| oracle.best_weights(q.source, q.interval, &model))
+        .collect();
+
+    let mut sweep = Table::new(
+        "exp_decay (threshold sweep)",
+        "point decay verdicts vs θ; every verdict asserted against the path-enumeration oracle",
+        &["theta", "reachable", "mean IO", "mean visited"],
+    );
+    let mut rg = build_graph(&dn, &mr, graph_params_for(tier));
+    for theta in [0.05, 0.2, 0.5, 0.8] {
+        let (mut random, mut seq, mut visited, mut hits) = (0u64, 0u64, 0u64, 0u64);
+        for (q, best) in queries.iter().zip(&best) {
+            let (got, stats) = rg
+                .decay_reachable(q.source, q.dest, q.interval, &model, theta)
+                .expect("decay query evaluates");
+            let want = oracle.lookup(best, q.dest).filter(|&(w, _)| w >= theta);
+            assert_eq!(
+                got, want,
+                "decay verdict diverged from the oracle on {q} at θ={theta}"
+            );
+            random += stats.random_ios;
+            seq += stats.seq_ios;
+            visited += stats.visited;
+            hits += u64::from(got.is_some());
+        }
+        let n = queries.len() as f64;
+        sweep.row(vec![
+            format!("{theta:.2}"),
+            hits.to_string(),
+            fnum((random as f64 + seq as f64 / 20.0) / n),
+            fnum(visited as f64 / n),
+        ]);
+    }
+
+    // Top-k vs full enumeration: same anchors, same windows. "Full" ranks
+    // every object (k = n), which the dynamic floor can never prune, so
+    // the IO gap is exactly what threshold pruning buys.
+    let anchors: Vec<(ObjectId, TimeInterval)> = queries
+        .iter()
+        .take(40)
+        .map(|q| (q.source, q.interval))
+        .collect();
+    let io_of = |stats: &reach_core::QueryStats| stats.random_ios + stats.seq_ios;
+    let mut full_io = 0u64;
+    let mut full_lists = Vec::new();
+    for &(a, iv) in &anchors {
+        let (list, stats) = rg
+            .top_k(a, iv, store.num_objects(), &model, RankDirection::Reachable)
+            .expect("full enumeration evaluates");
+        full_io += io_of(&stats);
+        full_lists.push(list);
+    }
+    let mut topk = Table::new(
+        "exp_decay (top-k vs full enumeration)",
+        "the running kth-best weight prunes expansion; full enumeration ranks every object",
+        &[
+            "k",
+            "mean top-k IO pages",
+            "mean full-enum IO pages",
+            "saved",
+        ],
+    );
+    for k in [1usize, 5, 20] {
+        let mut k_io = 0u64;
+        for (i, &(a, iv)) in anchors.iter().enumerate() {
+            let (list, stats) = rg
+                .top_k(a, iv, k, &model, RankDirection::Reachable)
+                .expect("top-k evaluates");
+            k_io += io_of(&stats);
+            assert_eq!(
+                list,
+                oracle.top_k_reachable(a, iv, k, &model),
+                "top-{k} ranking diverged from the oracle at anchor {a:?} {iv}"
+            );
+            assert_eq!(
+                list.as_slice(),
+                &full_lists[i][..k.min(full_lists[i].len())],
+                "top-{k} must be a prefix of the full ranking at anchor {a:?} {iv}"
+            );
+        }
+        assert!(
+            k_io < full_io,
+            "top-{k} counted IO must stay strictly below full enumeration ({k_io} !< {full_io})"
+        );
+        let n = anchors.len() as f64;
+        topk.row(vec![
+            k.to_string(),
+            fnum(k_io as f64 / n),
+            fnum(full_io as f64 / n),
+            format!("{:.0}%", 100.0 * (1.0 - k_io as f64 / full_io as f64)),
+        ]);
+    }
+
+    // Ranking direction: the native backward walk against the oracle's
+    // quadratic per-candidate specification.
+    let mut rev = Table::new(
+        "exp_decay (ranking direction)",
+        "forward expansion vs the native backward walk, k = 5",
+        &["direction", "mean IO pages", "mean visited"],
+    );
+    for direction in [RankDirection::Reachable, RankDirection::Reaching] {
+        let (mut io, mut visited) = (0u64, 0u64);
+        let probes = &anchors[..8.min(anchors.len())];
+        for &(a, iv) in probes {
+            let (list, stats) = rg
+                .top_k(a, iv, 5, &model, direction)
+                .expect("ranked query evaluates");
+            io += io_of(&stats);
+            visited += stats.visited;
+            let want = match direction {
+                RankDirection::Reachable => oracle.top_k_reachable(a, iv, 5, &model),
+                RankDirection::Reaching => oracle.top_k_reaching(a, iv, 5, &model),
+            };
+            assert_eq!(
+                list,
+                want,
+                "{} ranking diverged from the oracle at {a:?} {iv}",
+                direction.name()
+            );
+        }
+        let n = probes.len() as f64;
+        rev.row(vec![
+            direction.name().into(),
+            fnum(io as f64 / n),
+            fnum(visited as f64 / n),
+        ]);
+    }
+
+    vec![sweep, topk, rev]
+}
+
+// ---------------------------------------------------------------------------
 // Ablations — design choices the paper motivates but does not sweep
 // ---------------------------------------------------------------------------
 
@@ -1630,6 +1801,7 @@ pub fn all(tier: Tier) -> Vec<Table> {
     out.extend(exp_live(tier));
     out.extend(exp_serve(tier));
     out.extend(exp_shard(tier));
+    out.extend(exp_decay(tier));
     out.extend(exp_ablation(tier));
     out
 }

@@ -475,6 +475,63 @@ pub fn quick_suite() -> (PerfReport, f64) {
         );
         record_batch(&mut counters, "rwp/graph", &mut graph, &queries);
 
+        // Decay-weighted workloads on the same graph: point verdicts at a
+        // fixed θ, then the top-k vs full-enumeration contrast the decay
+        // experiment measures. The counters gate both the verdict mix and
+        // the pruning advantage — the suite itself asserts top-k counted
+        // reads stay strictly below ranking every object.
+        // θ sits low enough that some perf-workload verdicts stay positive
+        // under elapsed-time decay over the 100-300 tick windows, keeping
+        // the verdict-mix counter a live number.
+        let decay_model = reach_core::DecayModel::new(0.7, 0.99).expect("factors lie in (0, 1]");
+        let (mut drandom, mut dseq, mut dreachable) = (0u64, 0u64, 0u64);
+        for q in &queries {
+            let (hit, stats) = graph
+                .decay_reachable(q.source, q.dest, q.interval, &decay_model, 0.02)
+                .unwrap_or_else(|e| panic!("perf decay query {q} failed: {e}"));
+            drandom += stats.random_ios;
+            dseq += stats.seq_ios;
+            dreachable += u64::from(hit.is_some());
+        }
+        counters.insert("rwp/decay/point/random_reads".into(), drandom);
+        counters.insert("rwp/decay/point/seq_reads".into(), dseq);
+        counters.insert("rwp/decay/point/reachable".into(), dreachable);
+        let (mut topk_reads, mut full_reads) = (0u64, 0u64);
+        for q in queries.iter().take(20) {
+            let (short, stats) = graph
+                .top_k(
+                    q.source,
+                    q.interval,
+                    5,
+                    &decay_model,
+                    reach_core::RankDirection::Reachable,
+                )
+                .unwrap_or_else(|e| panic!("perf top-k query failed: {e}"));
+            topk_reads += stats.random_ios + stats.seq_ios;
+            let (full, stats) = graph
+                .top_k(
+                    q.source,
+                    q.interval,
+                    store.num_objects(),
+                    &decay_model,
+                    reach_core::RankDirection::Reachable,
+                )
+                .unwrap_or_else(|e| panic!("perf full-enumeration query failed: {e}"));
+            full_reads += stats.random_ios + stats.seq_ios;
+            assert_eq!(
+                short.as_slice(),
+                &full[..5.min(full.len())],
+                "perf top-k must be a prefix of the full ranking for {q}"
+            );
+        }
+        assert!(
+            topk_reads < full_reads,
+            "top-k counted reads must stay strictly below full enumeration \
+             ({topk_reads} !< {full_reads})"
+        );
+        counters.insert("rwp/decay/topk_read_pages".into(), topk_reads);
+        counters.insert("rwp/decay/full_enum_read_pages".into(), full_reads);
+
         // Disk GRAIL.
         let (device, build_io) = CountingDevice::wrap(Box::new(SimDevice::new(PERF_PAGE)));
         let mut grail = GrailDisk::build_on(device, &dn, 5, 0xF1, 64).expect("perf grail builds");

@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 
 pub mod contact;
+pub mod decay;
 pub mod error;
 pub mod frontier;
 pub mod geom;
@@ -30,8 +31,9 @@ pub mod time;
 pub mod unionfind;
 
 pub use contact::{Contact, ContactAccumulator, ContactEvent};
+pub use decay::{DecayModel, RankDirection, Ranked};
 pub use error::IndexError;
-pub use frontier::FrontierHandoff;
+pub use frontier::{FrontierHandoff, WeightedFrontier};
 pub use geom::{Coord, Environment, Mbr, Point};
 pub use ids::{NodeId, ObjectId};
 pub use query::{Query, QueryOutcome, QueryResult, QueryStats};
@@ -63,7 +65,7 @@ pub trait ReachabilityIndex {
     /// indexes) override it.
     fn answer(&mut self, request: &ReachRequest) -> Result<Answer, IndexError> {
         match request.kind {
-            QueryKind::Reach => self.evaluate(&request.query),
+            QueryKind::Reach => self.evaluate(&request.query).map(Answer::from),
             _ => Err(request.unsupported(self.name())),
         }
     }

@@ -6,9 +6,11 @@
 //! them into one surface with two layers:
 //!
 //! * [`ReachRequest`] / [`QueryKind`] — a typed request envelope. The
-//!   kind field is `#[non_exhaustive]` on purpose: decay and top-k
-//!   variants (Strzheletska & Tsotras, PAPERS.md) are expected to join
-//!   without breaking the trait.
+//!   kind field is `#[non_exhaustive]` on purpose: the decay and top-k
+//!   variants (Strzheletska & Tsotras, PAPERS.md) joined after the
+//!   boolean kinds without breaking the trait, and future kinds are
+//!   expected to do the same. The full semantics contract for every
+//!   kind lives in the repository's `QUERIES.md`.
 //! * [`ReachIndex`] — the *shared* query trait (`&self`, `Send + Sync`):
 //!   what a service loop holds. Single-threaded evaluators (everything
 //!   implementing [`ReachabilityIndex`]) enter
@@ -21,9 +23,10 @@
 //! indexes with richer semantics (the uncertain/non-immediate extensions)
 //! override it.
 
+use crate::decay::{DecayModel, RankDirection, Ranked};
 use crate::error::IndexError;
 use crate::ids::ObjectId;
-use crate::query::{Query, QueryResult};
+use crate::query::{Query, QueryResult, QueryStats};
 use crate::time::TimeInterval;
 use crate::ReachabilityIndex;
 use std::sync::Mutex;
@@ -45,6 +48,26 @@ pub enum QueryKind {
     },
     /// Reachability over non-immediate (latent) transmissions (paper §7.2).
     NonImmediate,
+    /// Decay-weighted reachability (Strzheletska & Tsotras, PAPERS.md):
+    /// reachable iff the best path weight under `model` is at least
+    /// `theta`.
+    Decay {
+        /// Minimum acceptable path weight in `(0, 1]`.
+        theta: f64,
+        /// The decay model weighting each path.
+        model: DecayModel,
+    },
+    /// Top-k ranked decay reachability: the `k` objects with the highest
+    /// best-path weight from (or to) the request's source. The request's
+    /// `dest` field is ignored; [`Answer::ranking`] carries the result.
+    TopK {
+        /// How many objects to rank.
+        k: usize,
+        /// The decay model weighting each path.
+        model: DecayModel,
+        /// Forward (`reachable`) or reverse (`reaching`) ranking.
+        direction: RankDirection,
+    },
 }
 
 impl QueryKind {
@@ -54,6 +77,8 @@ impl QueryKind {
             QueryKind::Reach => "reach",
             QueryKind::Uncertain { .. } => "uncertain",
             QueryKind::NonImmediate => "non-immediate",
+            QueryKind::Decay { .. } => "decay",
+            QueryKind::TopK { .. } => "top-k",
         }
     }
 }
@@ -68,10 +93,66 @@ pub struct ReachRequest {
     pub kind: QueryKind,
 }
 
-/// What a request evaluates to. Alias of [`QueryResult`]: every kind
-/// reports the same outcome-plus-cost shape, which is what lets one
-/// harness aggregate them.
-pub type Answer = QueryResult;
+/// What a request evaluates to: the boolean outcome-plus-cost shape every
+/// kind reports (which is what lets one harness aggregate them), plus an
+/// optional ranked list that only [`QueryKind::TopK`] requests populate.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Answer {
+    /// The boolean verdict and its arrival tick (for ranked kinds:
+    /// whether the ranking is non-empty, with its best arrival).
+    pub outcome: crate::query::QueryOutcome,
+    /// IO and traversal cost of evaluating the request.
+    pub stats: QueryStats,
+    /// Ranked objects, best weight first. Empty for every non-ranked
+    /// kind.
+    pub ranking: Vec<Ranked>,
+}
+
+impl Answer {
+    /// Whether the request's verdict is positive.
+    pub fn reachable(&self) -> bool {
+        self.outcome.reachable
+    }
+
+    /// A point decay verdict: reachable iff a weight cleared the
+    /// threshold, with the single `(weight, arrival)` witness carried in
+    /// the ranking so callers can read the weight back.
+    pub fn decay(dest: ObjectId, hit: Option<(f64, crate::time::Time)>, stats: QueryStats) -> Self {
+        Self::ranked(
+            hit.map(|(weight, arrival)| Ranked {
+                object: dest,
+                weight,
+                arrival,
+            })
+            .into_iter()
+            .collect(),
+            stats,
+        )
+    }
+
+    /// A ranked answer: outcome derived from the list head.
+    pub fn ranked(ranking: Vec<Ranked>, stats: QueryStats) -> Self {
+        let outcome = match ranking.first() {
+            Some(best) => crate::query::QueryOutcome::reachable_at(best.arrival),
+            None => crate::query::QueryOutcome::UNREACHABLE,
+        };
+        Self {
+            outcome,
+            stats,
+            ranking,
+        }
+    }
+}
+
+impl From<QueryResult> for Answer {
+    fn from(r: QueryResult) -> Self {
+        Self {
+            outcome: r.outcome,
+            stats: r.stats,
+            ranking: Vec::new(),
+        }
+    }
+}
 
 impl ReachRequest {
     /// A plain reachability request.
@@ -79,6 +160,57 @@ impl ReachRequest {
         Self {
             query: Query::new(source, dest, window),
             kind: QueryKind::Reach,
+        }
+    }
+
+    /// A decay-weighted reachability request: is `dest` reachable from
+    /// `source` inside `window` with best path weight ≥ `theta`?
+    pub fn decay(
+        source: ObjectId,
+        window: TimeInterval,
+        dest: ObjectId,
+        theta: f64,
+        model: DecayModel,
+    ) -> Self {
+        Self {
+            query: Query::new(source, dest, window),
+            kind: QueryKind::Decay { theta, model },
+        }
+    }
+
+    /// A forward top-k request: the `k` objects most reachable *from*
+    /// `anchor` inside `window`, ranked by best path weight.
+    pub fn top_k_reachable(
+        anchor: ObjectId,
+        window: TimeInterval,
+        k: usize,
+        model: DecayModel,
+    ) -> Self {
+        Self {
+            query: Query::new(anchor, anchor, window),
+            kind: QueryKind::TopK {
+                k,
+                model,
+                direction: RankDirection::Reachable,
+            },
+        }
+    }
+
+    /// A reverse top-k request: the `k` objects most strongly *reaching*
+    /// `anchor` inside `window`, ranked by best path weight.
+    pub fn top_k_reaching(
+        anchor: ObjectId,
+        window: TimeInterval,
+        k: usize,
+        model: DecayModel,
+    ) -> Self {
+        Self {
+            query: Query::new(anchor, anchor, window),
+            kind: QueryKind::TopK {
+                k,
+                model,
+                direction: RankDirection::Reaching,
+            },
         }
     }
 
@@ -144,6 +276,27 @@ pub trait ReachIndex: Send + Sync {
         dests
             .iter()
             .map(|&dest| self.query(source, window, dest))
+            .collect()
+    }
+
+    /// Evaluates many requests sharing `template`'s source, window, and
+    /// kind, one per destination. This is the kind-aware sibling of
+    /// [`ReachIndex::query_batch`] the serving path uses to coalesce
+    /// decay cohorts; the default loops over per-destination `answer`
+    /// calls, and indexes that can expand one weighted frontier and read
+    /// many verdicts out of it override it.
+    fn answer_batch(
+        &self,
+        template: &ReachRequest,
+        dests: &[ObjectId],
+    ) -> Result<Vec<Answer>, IndexError> {
+        dests
+            .iter()
+            .map(|&dest| {
+                let mut req = *template;
+                req.query.dest = dest;
+                self.answer(&req)
+            })
             .collect()
     }
 }

@@ -1,0 +1,354 @@
+//! Decay-weighted and top-k reachability (Strzheletska & Tsotras,
+//! PAPERS.md), with a brute-force validation oracle.
+//!
+//! The production engines live in [`reach_graph::decay`] and run over any
+//! [`HnSource`](reach_graph::HnSource); this module contributes the
+//! *specification*: a
+//! [`DecayOracle`] that enumerates every in-window deviation-network path
+//! explicitly — no best-first ordering, no dominance reasoning, no
+//! pruning — and scores objects straight from the definition
+//! `w = per_transfer^h · per_tick^(e − t1)`. Because both the oracle and
+//! the engines evaluate weights through [`DecayModel::weight`]
+//! (canonical `powi`), agreement is exact, not approximate: tests compare
+//! `f64`s with `==`.
+//!
+//! The full query-semantics contract (what counts as a transfer, how
+//! ties break, which index answers which kind) is documented in the
+//! repository's `QUERIES.md`.
+
+use reach_contact::DnGraph;
+use reach_core::{ObjectId, Time, TimeInterval};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+pub use reach_core::decay::{DecayModel, RankDirection, Ranked};
+pub use reach_graph::decay::{
+    decay_reachable, decay_states_seeded, top_k_reachable, top_k_reaching,
+};
+
+/// Exhaustive path-enumeration oracle over an in-memory deviation
+/// network.
+///
+/// Enumerates every `(node, transfers)` state reachable from the query
+/// source inside the window — each DN₁ edge advances time by at least one
+/// tick, so the state space is finite — and derives per-object best
+/// weights by taking the maximum over all enumerated deliveries. This is
+/// the semantics the best-first engines must reproduce; keep it dumb.
+///
+/// ```
+/// use reach_contact::DnGraph;
+/// use reach_core::{ObjectId, TimeInterval};
+/// use reach_ext::decay::{DecayModel, DecayOracle};
+///
+/// // Objects 0-1 meet at tick 0, objects 1-2 at tick 2.
+/// let ticks: Vec<Vec<(u32, u32)>> = vec![vec![(0, 1)], vec![], vec![(1, 2)]];
+/// let dn = DnGraph::build_from_ticks(3, 3, |t| ticks[t as usize].as_slice());
+/// let oracle = DecayOracle::new(&dn);
+/// let model = DecayModel::per_transfer(0.5);
+/// let best = oracle.best_weights(ObjectId(0), TimeInterval::new(0, 2), &model);
+/// // Reaching object 2 takes two transfers: weight 0.25.
+/// assert_eq!(oracle.lookup(&best, ObjectId(2)), Some((0.25, 2)));
+/// ```
+pub struct DecayOracle<'a> {
+    dn: &'a DnGraph,
+}
+
+impl<'a> DecayOracle<'a> {
+    /// Wraps a built deviation network.
+    pub fn new(dn: &'a DnGraph) -> Self {
+        Self { dn }
+    }
+
+    /// Best weight and earliest maximum-weight arrival for *every* object
+    /// reachable from `source` inside `interval` (the source scores
+    /// itself with weight `per_tick^0 · per_transfer^0 = 1`).
+    pub fn best_weights(
+        &self,
+        source: ObjectId,
+        interval: TimeInterval,
+        model: &DecayModel,
+    ) -> Vec<(ObjectId, f64, Time)> {
+        let horizon = self.dn.horizon();
+        if source.index() >= self.dn.num_objects() || interval.start >= horizon {
+            return Vec::new();
+        }
+        let (t1, t2) = (interval.start, interval.end.min(horizon - 1));
+        let seed = self.dn.node_of(source, t1).0;
+
+        // Every (node, transfers) state, breadth-first. Entry tick is a
+        // function of the state: t1 for the seed, node.start otherwise
+        // (a DN₁ edge u→v always enters v at v.interval.start, and the
+        // seed node can never be edge-entered inside the window because
+        // its interval already covers t1).
+        let mut seen: HashSet<(u32, u32)> = HashSet::new();
+        let mut queue: VecDeque<(u32, u32)> = VecDeque::new();
+        seen.insert((seed, 0));
+        queue.push_back((seed, 0));
+        let mut best: HashMap<ObjectId, (f64, Time)> = HashMap::new();
+        while let Some((v, h)) = queue.pop_front() {
+            let node = self.dn.node(v);
+            let entry = if h == 0 { t1 } else { node.interval.start };
+            let weight = model.weight(h, entry - t1);
+            for &m in &node.members {
+                let better = match best.get(&m) {
+                    Some(&(w, e)) => weight > w || (weight == w && entry < e),
+                    None => true,
+                };
+                if better {
+                    best.insert(m, (weight, entry));
+                }
+            }
+            if node.interval.end < t2 {
+                for &w in self.dn.fwd(v) {
+                    if seen.insert((w, h + 1)) {
+                        queue.push_back((w, h + 1));
+                    }
+                }
+            }
+        }
+        let mut out: Vec<(ObjectId, f64, Time)> =
+            best.into_iter().map(|(o, (w, e))| (o, w, e)).collect();
+        out.sort_by_key(|&(o, _, _)| o);
+        out
+    }
+
+    /// Finds an object inside a [`Self::best_weights`] result.
+    pub fn lookup(&self, best: &[(ObjectId, f64, Time)], dest: ObjectId) -> Option<(f64, Time)> {
+        best.iter()
+            .find(|&&(o, _, _)| o == dest)
+            .map(|&(_, w, e)| (w, e))
+    }
+
+    /// Point decay verdict: `dest`'s best weight and arrival if that
+    /// weight clears `theta`.
+    pub fn decay_reachable(
+        &self,
+        source: ObjectId,
+        dest: ObjectId,
+        interval: TimeInterval,
+        model: &DecayModel,
+        theta: f64,
+    ) -> Option<(f64, Time)> {
+        self.lookup(&self.best_weights(source, interval, model), dest)
+            .filter(|&(w, _)| w >= theta)
+    }
+
+    /// Ranks `best_weights` output into top-k order — weight descending,
+    /// arrival ascending, object id ascending — excluding the anchor.
+    pub fn rank(best: &[(ObjectId, f64, Time)], anchor: ObjectId, k: usize) -> Vec<Ranked> {
+        let mut out: Vec<Ranked> = best
+            .iter()
+            .filter(|&&(o, _, _)| o != anchor)
+            .map(|&(object, weight, arrival)| Ranked {
+                object,
+                weight,
+                arrival,
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.weight
+                .partial_cmp(&a.weight)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.arrival.cmp(&b.arrival))
+                .then_with(|| a.object.cmp(&b.object))
+        });
+        out.truncate(k);
+        out
+    }
+
+    /// Top-k objects reachable *from* `anchor`, straight from the
+    /// definition.
+    pub fn top_k_reachable(
+        &self,
+        anchor: ObjectId,
+        interval: TimeInterval,
+        k: usize,
+        model: &DecayModel,
+    ) -> Vec<Ranked> {
+        Self::rank(&self.best_weights(anchor, interval, model), anchor, k)
+    }
+
+    /// Top-k objects *reaching* `anchor`: one forward enumeration per
+    /// candidate source, ranked by the weight each delivers to the
+    /// anchor. Quadratic and proud of it — it is the specification.
+    pub fn top_k_reaching(
+        &self,
+        anchor: ObjectId,
+        interval: TimeInterval,
+        k: usize,
+        model: &DecayModel,
+    ) -> Vec<Ranked> {
+        let mut best: Vec<(ObjectId, f64, Time)> = Vec::new();
+        for o in 0..self.dn.num_objects() as u32 {
+            let source = ObjectId(o);
+            if source == anchor {
+                continue;
+            }
+            if let Some((w, e)) = self.lookup(&self.best_weights(source, interval, model), anchor) {
+                best.push((source, w, e));
+            }
+        }
+        Self::rank(&best, anchor, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use reach_contact::{DnGraph, MultiRes, DEFAULT_LEVELS};
+    use reach_graph::MemoryHn;
+
+    fn random_dn(seed: u64, n: usize, horizon: Time, density: f64) -> DnGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let script: Vec<Vec<(u32, u32)>> = (0..horizon)
+            .map(|_| {
+                let mut pairs = Vec::new();
+                for a in 0..n as u32 {
+                    for b in (a + 1)..n as u32 {
+                        if rng.gen_bool(density) {
+                            pairs.push((a, b));
+                        }
+                    }
+                }
+                pairs
+            })
+            .collect();
+        let dn = DnGraph::build_from_ticks(n, horizon, |t| script[t as usize].as_slice());
+        dn.validate().unwrap();
+        dn
+    }
+
+    fn models() -> Vec<DecayModel> {
+        vec![
+            DecayModel::per_transfer(0.5),
+            DecayModel::per_tick(0.9),
+            DecayModel::new(0.7, 0.95).unwrap(),
+            DecayModel::new(1.0, 1.0).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn engine_matches_oracle_point_queries() {
+        for seed in 0..6u64 {
+            let n = 7;
+            let horizon = 60;
+            let dn = random_dn(seed, n, horizon, 0.03);
+            let mr = MultiRes::build(&dn, &DEFAULT_LEVELS);
+            let mut hn = MemoryHn::new(&dn, &mr);
+            let oracle = DecayOracle::new(&dn);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xD15C);
+            for model in models() {
+                for _ in 0..25 {
+                    let s = ObjectId(rng.gen_range(0..n as u32));
+                    let d = ObjectId(rng.gen_range(0..n as u32));
+                    let a = rng.gen_range(0..horizon);
+                    let b = rng.gen_range(a..horizon);
+                    let iv = TimeInterval::new(a, b);
+                    let theta = [0.0, 0.05, 0.3, 0.8][rng.gen_range(0..4usize)];
+                    let (got, _) = decay_reachable(&mut hn, s, d, iv, &model, theta).unwrap();
+                    let want = oracle.decay_reachable(s, d, iv, &model, theta);
+                    assert_eq!(got, want, "seed {seed} {s:?}->{d:?} {iv} θ={theta}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_matches_oracle_top_k_both_directions() {
+        for seed in 0..4u64 {
+            let n = 6;
+            let horizon = 50;
+            let dn = random_dn(seed.wrapping_mul(7).wrapping_add(1), n, horizon, 0.04);
+            let mr = MultiRes::build(&dn, &DEFAULT_LEVELS);
+            let mut hn = MemoryHn::new(&dn, &mr);
+            let oracle = DecayOracle::new(&dn);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x70CC);
+            for model in models() {
+                for _ in 0..12 {
+                    let anchor = ObjectId(rng.gen_range(0..n as u32));
+                    let a = rng.gen_range(0..horizon);
+                    let b = rng.gen_range(a..horizon);
+                    let iv = TimeInterval::new(a, b);
+                    let k = rng.gen_range(1..=n);
+                    let (fwd, _) = top_k_reachable(&mut hn, anchor, iv, k, &model).unwrap();
+                    assert_eq!(
+                        fwd,
+                        oracle.top_k_reachable(anchor, iv, k, &model),
+                        "forward seed {seed} {anchor:?} {iv} k={k}"
+                    );
+                    let (rev, _) = top_k_reaching(&mut hn, anchor, iv, k, &model).unwrap();
+                    assert_eq!(
+                        rev,
+                        oracle.top_k_reaching(anchor, iv, k, &model),
+                        "reverse seed {seed} {anchor:?} {iv} k={k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_pruning_never_changes_verdicts() {
+        // A high theta must filter exactly to the >= theta subset of the
+        // theta=0 answer, never invent or lose weights.
+        let dn = random_dn(11, 6, 40, 0.05);
+        let mr = MultiRes::build(&dn, &DEFAULT_LEVELS);
+        let mut hn = MemoryHn::new(&dn, &mr);
+        let model = DecayModel::new(0.6, 0.97).unwrap();
+        let iv = TimeInterval::new(0, 39);
+        for s in 0..6u32 {
+            for d in 0..6u32 {
+                let (open, _) =
+                    decay_reachable(&mut hn, ObjectId(s), ObjectId(d), iv, &model, 0.0).unwrap();
+                for theta in [0.1, 0.4, 0.9] {
+                    let (gated, _) =
+                        decay_reachable(&mut hn, ObjectId(s), ObjectId(d), iv, &model, theta)
+                            .unwrap();
+                    assert_eq!(gated, open.filter(|&(w, _)| w >= theta));
+                }
+            }
+        }
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_world() -> impl Strategy<Value = (u64, f64, f64)> {
+            (0u64..200, 0.3f64..1.0, 0.85f64..1.0)
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            #[test]
+            fn point_and_topk_agree_with_oracle((seed, ptr, ptk) in arb_world()) {
+                let n = 5;
+                let horizon = 30;
+                let dn = random_dn(seed, n, horizon, 0.06);
+                let mr = MultiRes::build(&dn, &DEFAULT_LEVELS);
+                let mut hn = MemoryHn::new(&dn, &mr);
+                let oracle = DecayOracle::new(&dn);
+                let model = DecayModel::new(ptr, ptk).unwrap();
+                let iv = TimeInterval::new(0, horizon - 1);
+                for s in 0..n as u32 {
+                    let anchor = ObjectId(s);
+                    let (fwd, _) = top_k_reachable(&mut hn, anchor, iv, 3, &model).unwrap();
+                    prop_assert_eq!(fwd, oracle.top_k_reachable(anchor, iv, 3, &model));
+                    let (rev, _) = top_k_reaching(&mut hn, anchor, iv, 3, &model).unwrap();
+                    prop_assert_eq!(rev, oracle.top_k_reaching(anchor, iv, 3, &model));
+                    for d in 0..n as u32 {
+                        let (got, _) = decay_reachable(
+                            &mut hn, anchor, ObjectId(d), iv, &model, 0.25,
+                        ).unwrap();
+                        prop_assert_eq!(
+                            got,
+                            oracle.decay_reachable(anchor, ObjectId(d), iv, &model, 0.25)
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,19 +1,27 @@
 //! # reach-ext
 //!
-//! The paper's §7 extensions, implemented in full:
+//! The paper's §7 extensions plus the decay-weighted workloads from the
+//! follow-up literature, one module per query family:
 //!
-//! * [`uncertain`] — uncertain contact networks and **U-ReachGraph**:
-//!   probabilistic contacts, max-probability (shortest-path style) query
-//!   processing against a threshold `p_T`;
-//! * [`nonimmediate`] — non-immediate contacts with item lifetime `T_t`,
-//!   built on the replicated-trajectory join.
+//! | module | query kinds | engine | oracle |
+//! |---|---|---|---|
+//! | [`uncertain`] | `Uncertain` (probability ≥ `p_T`) | U-ReachGraph max-probability search | [`uncertain::UncertainOracle`] |
+//! | [`nonimmediate`] | `NonImmediate` (item lifetime `T_t`) | replicated-trajectory join | exhaustive hold-set sweep |
+//! | [`decay`] | `Decay` (weight ≥ θ), `TopK` | [`reach_graph::decay`] best-first expansion | [`decay::DecayOracle`] path enumeration |
+//!
+//! Each module pairs a production engine with a brute-force oracle so the
+//! extension semantics are pinned down by executable specification, not
+//! prose; the prose contract for every query kind lives in the
+//! repository's `QUERIES.md`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod decay;
 pub mod nonimmediate;
 pub mod uncertain;
 
+pub use decay::DecayOracle;
 pub use nonimmediate::{replicated_join, DirectedEvent, NonImmediateIndex};
 pub use uncertain::{
     events_from_store, randomize_probabilities, UReachGraph, UncertainEvent, UncertainOracle,

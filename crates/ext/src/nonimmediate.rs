@@ -206,7 +206,9 @@ impl reach_core::ReachabilityIndex for NonImmediateIndex {
 
     fn answer(&mut self, request: &ReachRequest) -> Result<Answer, IndexError> {
         match request.kind {
-            QueryKind::Reach | QueryKind::NonImmediate => self.evaluate(&request.query),
+            QueryKind::Reach | QueryKind::NonImmediate => {
+                self.evaluate(&request.query).map(Answer::from)
+            }
             _ => Err(request.unsupported(self.name())),
         }
     }

@@ -325,7 +325,7 @@ impl reach_core::ReachabilityIndex for UReachGraph {
         let started = std::time::Instant::now();
         let q = &request.query;
         let p = self.best_probability(q.source, q.dest, q.interval, threshold);
-        Ok(Answer {
+        Ok(Answer::from(QueryResult {
             outcome: if p >= threshold && p > 0.0 {
                 QueryOutcome::reachable()
             } else {
@@ -335,7 +335,7 @@ impl reach_core::ReachabilityIndex for UReachGraph {
                 cpu: started.elapsed(),
                 ..QueryStats::default()
             },
-        })
+        }))
     }
 }
 

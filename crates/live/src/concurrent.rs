@@ -50,7 +50,7 @@
 
 use crate::delta::DeltaDn;
 use crate::index::{
-    build_sealed_base, evaluate_at, outcome_of, AppendOutcome, Base, CompactionStats,
+    answer_at, build_sealed_base, evaluate_at, outcome_of, AppendOutcome, Base, CompactionStats,
     DeviceFactory, LiveConfig, LiveError, LiveStats,
 };
 use crate::log::{AppendLog, LogRecovery};
@@ -736,7 +736,7 @@ impl ConcurrentLive {
                             ..QueryStats::default()
                         }
                     };
-                    Answer { outcome, stats }
+                    Answer::from(QueryResult { outcome, stats })
                 })
                 .collect();
             return Ok(answers);
@@ -752,7 +752,30 @@ impl ReachIndex for ConcurrentLive {
 
     fn answer(&self, request: &ReachRequest) -> Result<Answer, IndexError> {
         match request.kind {
-            QueryKind::Reach => self.evaluate_query(&request.query),
+            QueryKind::Reach => self.evaluate_query(&request.query).map(Answer::from),
+            QueryKind::Decay { .. } | QueryKind::TopK { .. } => {
+                // Decay queries pin the read lock for their whole
+                // evaluation (commits wait; other readers proceed) and
+                // compose exactly like the single-threaded path — the
+                // weighted frontier's multi-leg handoff has no cheap
+                // mid-flight validation point, so correctness over
+                // concurrency for this (rarer) workload.
+                let answer = {
+                    let st = self.shared.read();
+                    let mut base = st.epoch.reader();
+                    answer_at(
+                        &mut base,
+                        &st.delta,
+                        self.shared.num_objects,
+                        request,
+                        self.name(),
+                    )?
+                };
+                let mut stats = self.shared.stats();
+                stats.queries += 1;
+                stats.query = stats.query.merged(&answer.stats);
+                Ok(answer)
+            }
             _ => Err(request.unsupported(self.name())),
         }
     }

@@ -18,6 +18,7 @@
 //! resident bytes are measured deterministically so a
 //! [`BuildBudget`](reach_storage::BuildBudget) can bound them.
 
+use reach_contact::{DnGraph, MultiRes};
 use reach_core::{Contact, ObjectId, Time, TimeInterval, UnionFind};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Mutex};
@@ -45,6 +46,11 @@ pub struct DeltaDn {
     /// insert. Interior-mutable (and `Arc`-shared with in-flight sweeps)
     /// so concurrent readers can propagate under a shared borrow.
     sweep_cache: Mutex<Option<Arc<Vec<Contact>>>>,
+    /// The delta's contacts materialized as a deviation network — what
+    /// decay-weighted queries traverse (transfer counting needs DN₁-edge
+    /// structure, which the boolean tick sweep never builds). Cached like
+    /// `sweep_cache`: invalidated by every mutation, shared by readers.
+    decay_cache: Mutex<Option<Arc<(DnGraph, MultiRes)>>>,
 }
 
 impl Clone for DeltaDn {
@@ -57,6 +63,7 @@ impl Clone for DeltaDn {
             records: self.records,
             resident_bytes: self.resident_bytes,
             sweep_cache: Mutex::new(None),
+            decay_cache: Mutex::new(None),
         }
     }
 }
@@ -78,6 +85,7 @@ impl DeltaDn {
             records: 0,
             resident_bytes: 0,
             sweep_cache: Mutex::new(None),
+            decay_cache: Mutex::new(None),
         }
     }
 
@@ -142,6 +150,10 @@ impl DeltaDn {
             .sweep_cache
             .get_mut()
             .expect("sweep cache lock poisoned") = None;
+        *self
+            .decay_cache
+            .get_mut()
+            .expect("decay cache lock poisoned") = None;
         self.records += 1;
         self.now = self.now.max(c.interval.end + 1);
         let runs = self.runs.entry((c.a.0, c.b.0)).or_insert_with(|| {
@@ -234,6 +246,10 @@ impl DeltaDn {
             .sweep_cache
             .get_mut()
             .expect("sweep cache lock poisoned") = None;
+        *self
+            .decay_cache
+            .get_mut()
+            .expect("decay cache lock poisoned") = None;
     }
 
     /// The delta's contacts in canonical maximal-run form, sorted by
@@ -247,6 +263,47 @@ impl DeltaDn {
             }
         }
         out
+    }
+
+    /// The delta's contacts as a deviation network (plus an empty
+    /// multi-resolution layer, so the generic `HN` traversals apply) —
+    /// the structure decay-weighted queries walk, since transfer counting
+    /// is defined on DN₁ edges and the boolean tick sweep never builds
+    /// them. `None` when the delta holds no contacts (a decay leg over an
+    /// empty delta is a no-op).
+    ///
+    /// The graph's horizon is one past the last stored contact tick, not
+    /// [`DeltaDn::now`]: silence after the final contact cannot change any
+    /// weight, and an [`DeltaDn::advance`]d clock must not inflate the
+    /// build. Built lazily, cached until the next mutation, and shared by
+    /// concurrent readers through the `Arc`.
+    pub fn decay_graph(&self, num_objects: usize) -> Option<Arc<(DnGraph, MultiRes)>> {
+        if self.runs.is_empty() {
+            return None;
+        }
+        let mut cache = self.decay_cache.lock().expect("decay cache lock poisoned");
+        if cache.is_none() {
+            let horizon = self
+                .runs
+                .values()
+                .flatten()
+                .map(|iv| iv.end + 1)
+                .max()
+                .expect("non-empty runs");
+            let mut ticks: Vec<Vec<(u32, u32)>> = vec![Vec::new(); horizon as usize];
+            for (&(a, b), runs) in &self.runs {
+                for iv in runs {
+                    for t in iv.start..=iv.end {
+                        ticks[t as usize].push((a, b));
+                    }
+                }
+            }
+            let dn =
+                DnGraph::build_from_ticks(num_objects, horizon, |t| ticks[t as usize].as_slice());
+            let mr = MultiRes::build(&dn, &[]);
+            *cache = Some(Arc::new((dn, mr)));
+        }
+        Some(Arc::clone(cache.as_ref().expect("cache just filled")))
     }
 
     /// Exact earliest-arrival propagation through the delta: seeds `(o, t)`

@@ -44,11 +44,12 @@ use crate::delta::DeltaDn;
 use crate::log::{AppendLog, LogRecovery};
 use reach_baselines::GrailDisk;
 use reach_contact::{ChainSweep, ContactSource, ErrorMode, IngestError, MultiRes, StreamedDn};
+use reach_core::frontier::{CarryGroup, WeightedFrontier, WeightedSeed};
 use reach_core::{
-    Contact, IndexError, ObjectId, Query, QueryOutcome, QueryResult, QueryStats, ReachabilityIndex,
-    Time, TimeInterval,
+    Answer, Contact, DecayModel, IndexError, ObjectId, Query, QueryKind, QueryOutcome, QueryResult,
+    QueryStats, RankDirection, Ranked, ReachabilityIndex, Time, TimeInterval,
 };
-use reach_graph::{GraphParams, ReachGraph};
+use reach_graph::{DecayLeg, GraphParams, MemoryHn, ReachGraph};
 use reach_storage::{BlockDevice, BuildBudget, IoSampler, IoStats, SpillStats};
 use std::time::{Duration, Instant};
 
@@ -379,6 +380,28 @@ impl Base {
         }
     }
 
+    /// Decay-weighted sibling of [`Base::reachable_set_from`]: expands a
+    /// weighted seed frontier (plus the previous leg's carry groups) over
+    /// the sealed window and returns the leg's answer rows and
+    /// continuation carry (see
+    /// [`reach_core::frontier::WeightedFrontier`]). Panics on
+    /// [`Base::None`].
+    pub(crate) fn decay_states_from(
+        &mut self,
+        seeds: &[WeightedSeed],
+        carry: &[CarryGroup],
+        window: TimeInterval,
+        origin: Time,
+        model: &DecayModel,
+        floor: f64,
+    ) -> Result<(DecayLeg, QueryStats), IndexError> {
+        match self {
+            Base::None => unreachable!("a sealed window implies a base"),
+            Base::Graph(g) => g.decay_states_from(seeds, carry, window, origin, model, floor),
+            Base::Grail(g) => g.decay_states_from(seeds, carry, window, origin, model, floor),
+        }
+    }
+
     /// Syncs the base's device (the sharded seal's phase-1 durability
     /// point). A no-op for [`Base::None`].
     pub(crate) fn device_sync(&mut self) -> Result<(), IndexError> {
@@ -549,6 +572,229 @@ pub(crate) fn evaluate_at(
     };
     result.stats.cpu = started.elapsed();
     Ok(result)
+}
+
+/// Composes the decay-weighted frontier of `source` across the sealed
+/// base and the delta — the weighted sibling of [`evaluate_at`]'s
+/// three-leg split. The leg covering `t1` seeds the source at face
+/// value; every later leg continues from the previous leg's
+/// [`CarryGroup`]s, which preserve the transfers accumulated walking
+/// run chains up to the cut and charge the boundary hop exactly when
+/// the membership genuinely changed there. The composed answer rows
+/// therefore equal a monolithic weighted walk over the full accepted
+/// trace bit for bit (tier-1 `tests/decay_reach.rs` asserts this).
+/// `floor` carries a point query's θ through every leg; ranked queries
+/// pass `0.0`.
+pub(crate) fn decay_frontier_at(
+    base: &mut Base,
+    delta: &DeltaDn,
+    num_objects: usize,
+    source: ObjectId,
+    interval: TimeInterval,
+    model: &DecayModel,
+    floor: f64,
+) -> Result<(WeightedFrontier, QueryStats), IndexError> {
+    let horizon = delta.now();
+    if source.index() >= num_objects {
+        return Err(IndexError::UnknownObject(source));
+    }
+    if interval.start >= horizon {
+        return Err(IndexError::IntervalOutOfRange {
+            requested: interval,
+            horizon,
+        });
+    }
+    let t1 = interval.start;
+    let t2 = interval.end.min(horizon - 1);
+    let w = delta.watermark();
+    let mut frontier = WeightedFrontier::seeded(source, t1);
+    let mut stats = QueryStats::default();
+    let mut pending = vec![(source, 0u32, t1)];
+    if t1 < w {
+        let span = TimeInterval::new(t1, t2.min(w - 1));
+        let (leg, s) =
+            base.decay_states_from(&pending, frontier.carry(), span, t1, model, floor)?;
+        pending.clear();
+        stats = stats.merged(&s);
+        frontier.absorb(&leg.rows, span.end);
+        frontier.set_carry(leg.carry);
+    }
+    if t2 >= w {
+        decay_delta_leg(
+            delta,
+            num_objects,
+            &pending,
+            &mut frontier,
+            t2,
+            model,
+            floor,
+            &mut stats,
+        )?;
+    }
+    Ok((frontier, stats))
+}
+
+/// Expands a weighted frontier through the delta's DN view over
+/// `[watermark, t2]` — the final leg of every composed decay walk, shared
+/// by the single-index and the sharded paths. `seeds` holds the original
+/// source seed when the query starts inside the delta (and is empty
+/// otherwise — continuation then comes from the frontier's carry). A
+/// no-op when the delta is empty or the leg starts past its last contact
+/// (silence after the final contact cannot deliver to anyone new, and
+/// re-scored continuation echoes are dominated by the absorbed
+/// originals; see [`DeltaDn::decay_graph`]).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn decay_delta_leg(
+    delta: &DeltaDn,
+    num_objects: usize,
+    seeds: &[WeightedSeed],
+    frontier: &mut WeightedFrontier,
+    t2: Time,
+    model: &DecayModel,
+    floor: f64,
+    stats: &mut QueryStats,
+) -> Result<(), IndexError> {
+    let Some(bundle) = delta.decay_graph(num_objects) else {
+        return Ok(());
+    };
+    let (dn, mr) = (&bundle.0, &bundle.1);
+    let start = frontier.origin.max(delta.watermark());
+    if start >= dn.horizon() || start > t2 {
+        return Ok(());
+    }
+    let span = TimeInterval::new(start, t2.min(dn.horizon() - 1));
+    let mut hn = MemoryHn::new(dn, mr);
+    let (leg, ts) = reach_graph::decay_states_seeded(
+        &mut hn,
+        seeds,
+        frontier.carry(),
+        span,
+        frontier.origin,
+        model,
+        floor,
+    )?;
+    stats.visited += ts.visited;
+    stats.examined += ts.examined;
+    frontier.absorb(&leg.rows, span.end);
+    frontier.set_carry(leg.carry);
+    Ok(())
+}
+
+/// Point decay query against a base/delta pair: `dest`'s best composed
+/// weight and earliest maximum-weight delivery, if it clears `theta`.
+pub(crate) fn decay_point_at(
+    base: &mut Base,
+    delta: &DeltaDn,
+    num_objects: usize,
+    q: &Query,
+    theta: f64,
+    model: &DecayModel,
+) -> Result<Answer, IndexError> {
+    let started = Instant::now();
+    if q.dest.index() >= num_objects {
+        return Err(IndexError::UnknownObject(q.dest));
+    }
+    let (frontier, mut stats) =
+        decay_frontier_at(base, delta, num_objects, q.source, q.interval, model, theta)?;
+    let hit = frontier
+        .best_of(q.dest, model)
+        .filter(|&(weight, _)| weight >= theta);
+    stats.cpu = started.elapsed();
+    Ok(Answer::decay(q.dest, hit, stats))
+}
+
+/// Top-k ranked decay query against a base/delta pair. The forward
+/// direction ranks one composed frontier; the reverse direction composes
+/// one forward frontier per candidate source (exact, and priced
+/// accordingly — the sealed engines answer reverse rankings natively,
+/// composite indexes trade IO for the cross-boundary exactness).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn top_k_at(
+    base: &mut Base,
+    delta: &DeltaDn,
+    num_objects: usize,
+    anchor: ObjectId,
+    interval: TimeInterval,
+    k: usize,
+    model: &DecayModel,
+    direction: RankDirection,
+) -> Result<Answer, IndexError> {
+    let started = Instant::now();
+    match direction {
+        RankDirection::Reachable => {
+            let (frontier, mut stats) =
+                decay_frontier_at(base, delta, num_objects, anchor, interval, model, 0.0)?;
+            stats.cpu = started.elapsed();
+            Ok(Answer::ranked(frontier.rank(model, k, anchor), stats))
+        }
+        RankDirection::Reaching => {
+            if anchor.index() >= num_objects {
+                return Err(IndexError::UnknownObject(anchor));
+            }
+            let mut stats = QueryStats::default();
+            let mut best: Vec<Ranked> = Vec::new();
+            for o in 0..num_objects as u32 {
+                let source = ObjectId(o);
+                if source == anchor {
+                    continue;
+                }
+                let (frontier, s) =
+                    decay_frontier_at(base, delta, num_objects, source, interval, model, 0.0)?;
+                stats = stats.merged(&s);
+                if let Some((weight, arrival)) = frontier.best_of(anchor, model) {
+                    best.push(Ranked {
+                        object: source,
+                        weight,
+                        arrival,
+                    });
+                }
+            }
+            best.sort_by(|a, b| {
+                b.weight
+                    .partial_cmp(&a.weight)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.arrival.cmp(&b.arrival))
+                    .then_with(|| a.object.cmp(&b.object))
+            });
+            best.truncate(k);
+            stats.cpu = started.elapsed();
+            Ok(Answer::ranked(best, stats))
+        }
+    }
+}
+
+/// Routes one typed request against a base/delta pair — shared by the
+/// single-threaded index, the pinned-lock concurrent fallback, and batch
+/// serving.
+pub(crate) fn answer_at(
+    base: &mut Base,
+    delta: &DeltaDn,
+    num_objects: usize,
+    request: &reach_core::ReachRequest,
+    name: &'static str,
+) -> Result<Answer, IndexError> {
+    let q = &request.query;
+    match request.kind {
+        QueryKind::Reach => evaluate_at(base, delta, num_objects, q).map(Answer::from),
+        QueryKind::Decay { theta, model } => {
+            decay_point_at(base, delta, num_objects, q, theta, &model)
+        }
+        QueryKind::TopK {
+            k,
+            model,
+            direction,
+        } => top_k_at(
+            base,
+            delta,
+            num_objects,
+            q.source,
+            q.interval,
+            k,
+            &model,
+            direction,
+        ),
+        _ => Err(request.unsupported(name)),
+    }
 }
 
 /// A continuously ingesting reachability index (see the module docs).
@@ -970,6 +1216,19 @@ impl ReachabilityIndex for LiveIndex {
 
     fn evaluate(&mut self, query: &Query) -> Result<QueryResult, IndexError> {
         self.evaluate_query(query)
+    }
+
+    fn answer(&mut self, request: &reach_core::ReachRequest) -> Result<Answer, IndexError> {
+        let answer = answer_at(
+            &mut self.base,
+            &self.delta,
+            self.num_objects,
+            request,
+            "LiveIndex",
+        )?;
+        self.stats.queries += 1;
+        self.stats.query = self.stats.query.merged(&answer.stats);
+        Ok(answer)
     }
 }
 

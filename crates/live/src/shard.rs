@@ -53,14 +53,16 @@
 
 use crate::delta::DeltaDn;
 use crate::index::{
-    build_sealed_base, outcome_of, AppendOutcome, Base, BaseKind, CompactionStats, LiveConfig,
-    LiveError, LiveStats,
+    build_sealed_base, decay_delta_leg, outcome_of, AppendOutcome, Base, BaseKind, CompactionStats,
+    LiveConfig, LiveError, LiveStats,
 };
 use crate::log::{AppendLog, LogRecovery};
 use reach_contact::{ChainSweep, ErrorMode, MultiRes, StreamedDn};
+use reach_core::frontier::WeightedFrontier;
 use reach_core::{
-    Answer, Contact, FrontierHandoff, IndexError, ObjectId, Query, QueryKind, QueryOutcome,
-    QueryResult, QueryStats, ReachIndex, ReachRequest, Time, TimeInterval,
+    Answer, Contact, DecayModel, FrontierHandoff, IndexError, ObjectId, Query, QueryKind,
+    QueryOutcome, QueryResult, QueryStats, RankDirection, Ranked, ReachIndex, ReachRequest, Time,
+    TimeInterval,
 };
 use reach_graph::ReachGraph;
 use reach_storage::{BlockDevice, DeviceDirectory, IoStats, SharedDevice};
@@ -776,6 +778,71 @@ impl ShardedLive {
         Ok(result)
     }
 
+    /// Composes the decay-weighted frontier of `source` across the shard
+    /// sequence and the delta — the weighted sibling of the boolean relay
+    /// in [`ShardedLive::evaluate_query`]. The epoch covering `t1` seeds
+    /// the source at face value; every later leg continues from the
+    /// previous leg's carry groups, which preserve run-chain transfers up
+    /// to the epoch cut and charge the boundary hop exactly when the
+    /// membership genuinely changed there — so the composed weights equal
+    /// a monolithic weighted walk bit for bit (tier-1
+    /// `tests/decay_reach.rs`). `floor` carries a point query's θ across
+    /// every leg; ranked queries pass `0.0`.
+    fn decay_frontier(
+        &self,
+        source: ObjectId,
+        interval: TimeInterval,
+        model: &DecayModel,
+        floor: f64,
+    ) -> Result<(WeightedFrontier, QueryStats), IndexError> {
+        let st = self.read();
+        let now = st.delta.now();
+        if source.index() >= self.num_objects {
+            return Err(IndexError::UnknownObject(source));
+        }
+        if interval.start >= now {
+            return Err(IndexError::IntervalOutOfRange {
+                requested: interval,
+                horizon: now,
+            });
+        }
+        let t1 = interval.start;
+        let t2 = interval.end.min(now - 1);
+        let w = st.delta.watermark();
+        let mut frontier = WeightedFrontier::seeded(source, t1);
+        let mut stats = QueryStats::default();
+        let mut pending = vec![(source, 0u32, t1)];
+        for shard in st.shards.iter() {
+            if shard.hi <= t1 {
+                continue;
+            }
+            if shard.lo > t2 {
+                break;
+            }
+            let span = TimeInterval::new(t1.max(shard.lo), t2.min(shard.hi - 1));
+            let mut base = shard.reader();
+            let (leg, s) =
+                base.decay_states_from(&pending, frontier.carry(), span, t1, model, floor)?;
+            pending.clear();
+            stats = stats.merged(&s);
+            frontier.absorb(&leg.rows, span.end);
+            frontier.set_carry(leg.carry);
+        }
+        if t2 >= w {
+            decay_delta_leg(
+                &st.delta,
+                self.num_objects,
+                &pending,
+                &mut frontier,
+                t2,
+                model,
+                floor,
+                &mut stats,
+            )?;
+        }
+        Ok((frontier, stats))
+    }
+
     /// Evaluates many same-source queries through **one** cross-shard walk
     /// and at most one delta propagation — the serving path's batching
     /// optimization, with the walk's IO attributed to the first answer.
@@ -847,7 +914,7 @@ impl ShardedLive {
                 } else {
                     QueryStats::default()
                 };
-                Answer { outcome, stats }
+                Answer::from(QueryResult { outcome, stats })
             })
             .collect();
         let mut s = self.stats_mut();
@@ -865,10 +932,78 @@ impl ReachIndex for ShardedLive {
     }
 
     fn answer(&self, request: &ReachRequest) -> Result<Answer, IndexError> {
-        match request.kind {
-            QueryKind::Reach => self.evaluate_query(&request.query),
-            _ => Err(request.unsupported(self.name())),
-        }
+        let started = Instant::now();
+        let q = &request.query;
+        let answer = match request.kind {
+            QueryKind::Reach => return self.evaluate_query(q).map(Answer::from),
+            QueryKind::Decay { theta, model } => {
+                if q.dest.index() >= self.num_objects {
+                    return Err(IndexError::UnknownObject(q.dest));
+                }
+                let (frontier, mut stats) =
+                    self.decay_frontier(q.source, q.interval, &model, theta)?;
+                let hit = frontier
+                    .best_of(q.dest, &model)
+                    .filter(|&(weight, _)| weight >= theta);
+                stats.cpu = started.elapsed();
+                Answer::decay(q.dest, hit, stats)
+            }
+            QueryKind::TopK {
+                k,
+                model,
+                direction: RankDirection::Reachable,
+            } => {
+                let (frontier, mut stats) =
+                    self.decay_frontier(q.source, q.interval, &model, 0.0)?;
+                stats.cpu = started.elapsed();
+                Answer::ranked(frontier.rank(&model, k, q.source), stats)
+            }
+            QueryKind::TopK {
+                k,
+                model,
+                direction: RankDirection::Reaching,
+            } => {
+                // Reverse rankings compose one forward frontier per
+                // candidate source — exact across every epoch boundary,
+                // priced accordingly (see `QUERIES.md`).
+                let anchor = q.source;
+                if anchor.index() >= self.num_objects {
+                    return Err(IndexError::UnknownObject(anchor));
+                }
+                let mut stats = QueryStats::default();
+                let mut best: Vec<Ranked> = Vec::new();
+                for o in 0..self.num_objects as u32 {
+                    let source = ObjectId(o);
+                    if source == anchor {
+                        continue;
+                    }
+                    let (frontier, s) = self.decay_frontier(source, q.interval, &model, 0.0)?;
+                    stats = stats.merged(&s);
+                    if let Some((weight, arrival)) = frontier.best_of(anchor, &model) {
+                        best.push(Ranked {
+                            object: source,
+                            weight,
+                            arrival,
+                        });
+                    }
+                }
+                best.sort_by(|a, b| {
+                    b.weight
+                        .partial_cmp(&a.weight)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then_with(|| a.arrival.cmp(&b.arrival))
+                        .then_with(|| a.object.cmp(&b.object))
+                });
+                best.truncate(k);
+                stats.cpu = started.elapsed();
+                Answer::ranked(best, stats)
+            }
+            _ => return Err(request.unsupported(self.name())),
+        };
+        let mut s = self.stats_mut();
+        s.queries += 1;
+        s.query = s.query.merged(&answer.stats);
+        Ok(answer)
     }
 
     fn query_batch(

@@ -350,6 +350,85 @@ impl ReachGraph {
         ))
     }
 
+    /// Runs one traversal under the standard cold-cache IO accounting
+    /// (reset, sequence break, counter delta), converting its
+    /// [`crate::traverse::TraversalStats`] into [`QueryStats`].
+    fn accounted<T>(
+        &mut self,
+        run: impl FnOnce(&mut Self) -> Result<(T, crate::traverse::TraversalStats), IndexError>,
+    ) -> Result<(T, QueryStats), IndexError> {
+        let started = Instant::now();
+        self.reset_io();
+        self.pager.break_sequence();
+        let before = self.pager.stats();
+        let (value, tstats) = run(self)?;
+        let io = self.pager.stats().since(&before);
+        Ok((
+            value,
+            QueryStats {
+                random_ios: io.random_reads,
+                seq_ios: io.seq_reads,
+                visited: tstats.visited,
+                examined: tstats.examined,
+                cpu: started.elapsed(),
+            },
+        ))
+    }
+
+    /// One decay-weighted frontier leg (the weighted sibling of
+    /// [`ReachGraph::reachable_set_from`]): expands `seeds` plus the
+    /// previous leg's `carry` groups over `interval` under `model`,
+    /// measuring elapsed-time decay from `origin` and pruning below
+    /// `floor`. Returns the leg's answer rows and continuation carry
+    /// (see [`crate::decay::DecayLeg`]).
+    pub fn decay_states_from(
+        &mut self,
+        seeds: &[reach_core::frontier::WeightedSeed],
+        carry: &[reach_core::frontier::CarryGroup],
+        interval: reach_core::TimeInterval,
+        origin: Time,
+        model: &reach_core::DecayModel,
+        floor: f64,
+    ) -> Result<(crate::decay::DecayLeg, QueryStats), IndexError> {
+        self.accounted(|g| {
+            crate::decay::decay_states_seeded(g, seeds, carry, interval, origin, model, floor)
+        })
+    }
+
+    /// Point decay query: best weight and earliest maximum-weight arrival
+    /// of `dest` from `source`, if it clears `theta` (see
+    /// [`crate::decay::decay_reachable`]).
+    pub fn decay_reachable(
+        &mut self,
+        source: ObjectId,
+        dest: ObjectId,
+        interval: reach_core::TimeInterval,
+        model: &reach_core::DecayModel,
+        theta: f64,
+    ) -> Result<(Option<(f64, Time)>, QueryStats), IndexError> {
+        self.accounted(|g| crate::decay::decay_reachable(g, source, dest, interval, model, theta))
+    }
+
+    /// Top-k ranked decay query in either direction (see
+    /// [`crate::decay::top_k_reachable`] / [`crate::decay::top_k_reaching`]).
+    pub fn top_k(
+        &mut self,
+        anchor: ObjectId,
+        interval: reach_core::TimeInterval,
+        k: usize,
+        model: &reach_core::DecayModel,
+        direction: reach_core::RankDirection,
+    ) -> Result<(Vec<reach_core::Ranked>, QueryStats), IndexError> {
+        self.accounted(|g| match direction {
+            reach_core::RankDirection::Reachable => {
+                crate::decay::top_k_reachable(g, anchor, interval, k, model)
+            }
+            reach_core::RankDirection::Reaching => {
+                crate::decay::top_k_reaching(g, anchor, interval, k, model)
+            }
+        })
+    }
+
     /// Evaluates with an explicit traversal strategy.
     pub fn evaluate_with(
         &mut self,
@@ -607,6 +686,31 @@ impl ReachabilityIndex for ReachGraph {
 
     fn evaluate(&mut self, query: &Query) -> Result<QueryResult, IndexError> {
         self.evaluate_with(query, TraversalKind::BmBfs)
+    }
+
+    fn answer(
+        &mut self,
+        request: &reach_core::ReachRequest,
+    ) -> Result<reach_core::Answer, IndexError> {
+        use reach_core::{Answer, QueryKind};
+        let q = &request.query;
+        match request.kind {
+            QueryKind::Reach => self.evaluate(q).map(Answer::from),
+            QueryKind::Decay { theta, model } => {
+                let (hit, stats) =
+                    self.decay_reachable(q.source, q.dest, q.interval, &model, theta)?;
+                Ok(Answer::decay(q.dest, hit, stats))
+            }
+            QueryKind::TopK {
+                k,
+                model,
+                direction,
+            } => {
+                let (ranking, stats) = self.top_k(q.source, q.interval, k, &model, direction)?;
+                Ok(Answer::ranked(ranking, stats))
+            }
+            _ => Err(request.unsupported(self.name())),
+        }
     }
 }
 

@@ -9,11 +9,14 @@
 //! * [`placement`] — depth-`d_p` topological partitioning (§5.1.3);
 //! * [`ReachGraph`] — the disk-resident index;
 //! * [`MemoryHn`] — the memory-resident variant (§6.4);
-//! * [`traverse`] — E-DFS / E-BFS / B-BFS / BM-BFS over either backing.
+//! * [`traverse`] — E-DFS / E-BFS / B-BFS / BM-BFS over either backing;
+//! * [`decay`] — decay-weighted and top-k ranked traversal
+//!   (Strzheletska & Tsotras, PAPERS.md; contract in `QUERIES.md`).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod decay;
 pub mod diskgraph;
 pub mod memory;
 pub mod params;
@@ -21,6 +24,7 @@ pub mod placement;
 pub mod traverse;
 pub mod vertex;
 
+pub use decay::{decay_reachable, decay_states_seeded, top_k_reachable, top_k_reaching, DecayLeg};
 pub use diskgraph::ReachGraph;
 pub use memory::MemoryHn;
 pub use params::{GraphParams, TraversalKind};

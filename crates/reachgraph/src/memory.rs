@@ -107,6 +107,57 @@ impl ReachabilityIndex for MemoryHn<'_> {
     fn evaluate(&mut self, query: &Query) -> Result<QueryResult, IndexError> {
         self.evaluate_with(query, TraversalKind::BmBfs)
     }
+
+    fn answer(
+        &mut self,
+        request: &reach_core::ReachRequest,
+    ) -> Result<reach_core::Answer, IndexError> {
+        use reach_core::{Answer, QueryKind, RankDirection};
+        let started = Instant::now();
+        let q = &request.query;
+        match request.kind {
+            QueryKind::Reach => self.evaluate(q).map(Answer::from),
+            QueryKind::Decay { theta, model } => {
+                let (hit, tstats) = crate::decay::decay_reachable(
+                    self, q.source, q.dest, q.interval, &model, theta,
+                )?;
+                Ok(Answer::decay(
+                    q.dest,
+                    hit,
+                    QueryStats {
+                        visited: tstats.visited,
+                        examined: tstats.examined,
+                        cpu: started.elapsed(),
+                        ..Default::default()
+                    },
+                ))
+            }
+            QueryKind::TopK {
+                k,
+                model,
+                direction,
+            } => {
+                let (ranking, tstats) = match direction {
+                    RankDirection::Reachable => {
+                        crate::decay::top_k_reachable(self, q.source, q.interval, k, &model)?
+                    }
+                    RankDirection::Reaching => {
+                        crate::decay::top_k_reaching(self, q.source, q.interval, k, &model)?
+                    }
+                };
+                Ok(Answer::ranked(
+                    ranking,
+                    QueryStats {
+                        visited: tstats.visited,
+                        examined: tstats.examined,
+                        cpu: started.elapsed(),
+                        ..Default::default()
+                    },
+                ))
+            }
+            _ => Err(request.unsupported(self.name())),
+        }
+    }
 }
 
 #[cfg(test)]

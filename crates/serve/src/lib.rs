@@ -15,11 +15,16 @@
 //!   unified query trait serves unmodified: the concurrent live index
 //!   natively, the build-once indexes through `Serial`.
 //! * **Same-source batching** — when a worker dequeues a plain
-//!   reachability job it also drains every queued job with the same
-//!   source, window, and kind and answers them through one
-//!   [`ReachIndex::query_batch`] call: one frontier expansion serves the
-//!   whole cohort. The expansion's IO lands on the first answer; the rest
-//!   ride free (mirroring the contract of the underlying batch path).
+//!   reachability or decay-weighted job it also drains every queued job
+//!   with the same source, window, and kind and answers them through one
+//!   batch call ([`ReachIndex::query_batch`] for `Reach` cohorts,
+//!   [`ReachIndex::answer_batch`] for `Decay` cohorts): one frontier
+//!   expansion serves the whole cohort. The expansion's IO lands on the
+//!   first answer; the rest ride free (mirroring the contract of the
+//!   underlying batch path). Top-k jobs never coalesce — each ranks the
+//!   whole frontier already, so there is nothing to share per-destination.
+//!   The semantics of every query kind are specified in the repository's
+//!   `QUERIES.md`.
 //! * **Metrics** — [`Server::metrics`] snapshots queue depth, in-flight
 //!   and completed counts, rejections, batched answers, and p50/p99
 //!   normalized IO per query (the paper's `random + seq/20` metric).
@@ -336,18 +341,24 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-/// Removes every queued plain-reachability job sharing `job`'s source and
-/// window (up to `max_batch` total), preserving queue order for the rest.
+/// Whether `kind` is a per-destination verdict a batch call can coalesce.
+/// Top-k ranks the whole frontier per job, so cohorting it shares nothing.
+fn batchable(kind: &QueryKind) -> bool {
+    matches!(kind, QueryKind::Reach | QueryKind::Decay { .. })
+}
+
+/// Removes every queued batchable job sharing `job`'s source, window, and
+/// kind (up to `max_batch` total), preserving queue order for the rest.
 fn drain_cohort(q: &mut QueueState, job: &Job, max_batch: usize) -> Vec<Job> {
     let mut cohort = Vec::new();
-    if job.request.kind != QueryKind::Reach {
+    if !batchable(&job.request.kind) {
         return cohort;
     }
     let (source, window) = (job.request.query.source, job.request.query.interval);
     let mut i = 0;
     while i < q.jobs.len() && 1 + cohort.len() < max_batch {
         let r = &q.jobs[i].request;
-        if r.kind == QueryKind::Reach && r.query.source == source && r.query.interval == window {
+        if r.kind == job.request.kind && r.query.source == source && r.query.interval == window {
             cohort.push(q.jobs.remove(i).expect("index checked above"));
         } else {
             i += 1;
@@ -356,13 +367,21 @@ fn drain_cohort(q: &mut QueueState, job: &Job, max_batch: usize) -> Vec<Job> {
     cohort
 }
 
-/// Answers a same-source cohort through one batch call.
+/// Answers a same-source cohort through one batch call: `query_batch` for
+/// plain reachability, the kind-aware `answer_batch` for decay cohorts.
 fn serve_batch(shared: &Shared, job: Job, cohort: Vec<Job>) {
-    let source = job.request.query.source;
-    let window = job.request.query.interval;
+    let template = job.request;
     let jobs: Vec<Job> = std::iter::once(job).chain(cohort).collect();
     let dests: Vec<ObjectId> = jobs.iter().map(|j| j.request.query.dest).collect();
-    match shared.index.query_batch(source, window, &dests) {
+    let batch = match template.kind {
+        QueryKind::Reach => {
+            shared
+                .index
+                .query_batch(template.query.source, template.query.interval, &dests)
+        }
+        _ => shared.index.answer_batch(&template, &dests),
+    };
+    match batch {
         Ok(answers) => {
             debug_assert_eq!(answers.len(), jobs.len());
             shared
@@ -405,7 +424,7 @@ mod tests {
 
     impl Probe {
         fn verdict(q: &Query) -> Answer {
-            QueryResult {
+            Answer::from(QueryResult {
                 outcome: if q.source.0 < q.dest.0 {
                     QueryOutcome::reachable_at(q.interval.start)
                 } else {
@@ -415,7 +434,7 @@ mod tests {
                     random_ios: u64::from(q.dest.0),
                     ..QueryStats::default()
                 },
-            }
+            })
         }
 
         fn hold(&self) {
@@ -431,13 +450,33 @@ mod tests {
         }
 
         fn answer(&self, request: &ReachRequest) -> Result<Answer, IndexError> {
-            if request.kind != QueryKind::Reach {
+            if !batchable(&request.kind) {
                 return Err(request.unsupported(self.name()));
             }
             self.entered.fetch_add(1, Ordering::Release);
             self.hold();
             self.point_calls.fetch_add(1, Ordering::Relaxed);
             Ok(Self::verdict(&request.query))
+        }
+
+        fn answer_batch(
+            &self,
+            template: &ReachRequest,
+            dests: &[ObjectId],
+        ) -> Result<Vec<Answer>, IndexError> {
+            self.entered.fetch_add(1, Ordering::Release);
+            self.hold();
+            self.batch_calls.fetch_add(1, Ordering::Relaxed);
+            Ok(dests
+                .iter()
+                .map(|&d| {
+                    Self::verdict(&Query::new(
+                        template.query.source,
+                        d,
+                        template.query.interval,
+                    ))
+                })
+                .collect())
         }
 
         fn query_batch(
@@ -563,6 +602,50 @@ mod tests {
         assert_eq!(m.batched, 4, "batched = {}", m.batched);
         assert_eq!(probe.batch_calls.load(Ordering::Relaxed), 1);
         assert_eq!(m.completed, 6);
+    }
+
+    #[test]
+    fn decay_jobs_coalesce_through_answer_batch() {
+        let probe = Arc::new(Probe::default());
+        probe.gate.store(true, Ordering::Release);
+        let srv = server(
+            &probe,
+            ServeConfig {
+                workers: 1,
+                queue_capacity: 64,
+                max_batch: 64,
+            },
+        );
+        let w = TimeInterval::new(0, 9);
+        let model = reach_core::DecayModel::per_transfer(0.5);
+        // Plug the single worker so the decay cohort queues behind the gate.
+        let foreign = srv
+            .submit(ReachRequest::reach(ObjectId(7), w, ObjectId(1)))
+            .expect("admitted");
+        while probe.entered.load(Ordering::Acquire) == 0 {
+            std::thread::yield_now();
+        }
+        let tickets: Vec<Ticket> = (1..6u32)
+            .map(|d| {
+                srv.submit(ReachRequest::decay(
+                    ObjectId(0),
+                    w,
+                    ObjectId(d),
+                    0.25,
+                    model,
+                ))
+                .expect("admitted")
+            })
+            .collect();
+        probe.gate.store(false, Ordering::Release);
+        for (i, t) in tickets.into_iter().enumerate() {
+            let a = t.wait().expect("cohort answered");
+            assert!(a.reachable(), "0 -> {} in decay cohort", i + 1);
+        }
+        assert!(!foreign.wait().expect("foreign answered").reachable());
+        let m = srv.metrics();
+        assert_eq!(m.batched, 4, "batched = {}", m.batched);
+        assert_eq!(probe.batch_calls.load(Ordering::Relaxed), 1);
     }
 
     #[test]

@@ -19,7 +19,8 @@
 //! | [`graph`] | ReachGraph index + E-DFS/E-BFS/B-BFS/BM-BFS |
 //! | [`baselines`] | GRAIL (memory and disk) |
 //! | [`live`] | continuous ingestion: append log, delta DN, watermark compaction, epoch-sharded timeline |
-//! | [`ext`] | uncertain contacts (U-ReachGraph), non-immediate contacts |
+//! | [`ext`] | §7 extensions + decay workloads: uncertain contacts (U-ReachGraph), non-immediate contacts, decay-weighted / top-k reachability with its brute-force oracle |
+//! | [`serve`] | query serving over any [`ReachIndex`](core::ReachIndex): bounded admission, worker pool, same-source batching, metrics |
 //!
 //! ## Storage backends
 //!
@@ -68,6 +69,58 @@
 //! let a = grid.evaluate(&q).expect("grid query evaluates");
 //! let b = graph.evaluate(&q).expect("graph query evaluates");
 //! assert_eq!(a.reachable(), b.reachable());
+//! ```
+//!
+//! ## Query kinds
+//!
+//! Every index answers typed [`ReachRequest`](core::ReachRequest)s through
+//! one `answer` entry point: plain reachability, uncertain contacts,
+//! non-immediate contacts, decay-weighted reachability, and top-k ranked
+//! reachability. The full semantics contract — what counts as a transfer,
+//! how ties break, which index covers which kind — is `QUERIES.md` at the
+//! repository root. The decay kinds (Strzheletska & Tsotras, PAPERS.md)
+//! weight each path by `per_transfer^h · per_tick^(e − t1)` and either
+//! gate on a threshold or rank the best-weighted objects:
+//!
+//! ```
+//! use streach::prelude::*;
+//!
+//! // The paper's Figure 1 network again: 0-1 meet at tick 0, then
+//! // {1,2,3} form one contact component at tick 1.
+//! let text = "\
+//! #! streach-trace v1 kind=events ids=numeric num_objects=4 horizon=4 origin=0
+//! 0 1 0
+//! 1 3 1
+//! 2 3 1
+//! 0 1 2 2
+//! 2 3 2
+//! ";
+//! let trace = ContactTrace::parse(text, &IngestOptions::default()).expect("well-formed");
+//! let dn = trace.build_dn();
+//! let mr = MultiRes::build(&dn, &DEFAULT_LEVELS);
+//! let mut graph = ReachGraph::build(&dn, &mr, GraphParams::default())
+//!     .expect("graph construction succeeds");
+//!
+//! // One transfer delivers to object 3 at tick 1: weight 0.5 under pure
+//! // per-transfer decay — clears θ = 0.3, and the witness rides along.
+//! let model = DecayModel::per_transfer(0.5);
+//! let a = graph
+//!     .answer(&ReachRequest::decay(
+//!         ObjectId(0), TimeInterval::new(0, 1), ObjectId(3), 0.3, model,
+//!     ))
+//!     .expect("decay request evaluates");
+//! assert!(a.reachable());
+//! assert_eq!((a.ranking[0].weight, a.ranking[0].arrival), (0.5, 1));
+//!
+//! // Top-3 reachable from object 0: itself excluded, object 1 leads
+//! // (zero transfers), objects 2 and 3 tie and break by id.
+//! let a = graph
+//!     .answer(&ReachRequest::top_k_reachable(
+//!         ObjectId(0), TimeInterval::new(0, 1), 3, model,
+//!     ))
+//!     .expect("top-k request evaluates");
+//! let ids: Vec<u32> = a.ranking.iter().map(|r| r.object.0).collect();
+//! assert_eq!(ids, vec![1, 2, 3]);
 //! ```
 //!
 //! ## Ingesting a real contact trace
@@ -295,11 +348,11 @@ pub mod prelude {
         TraceKind, DEFAULT_LEVELS,
     };
     pub use reach_core::{
-        Answer, Contact, ContactEvent, Environment, IndexError, Mbr, ObjectId, Point, Query,
-        QueryKind, QueryOutcome, QueryResult, ReachIndex, ReachRequest, ReachabilityIndex, Serial,
-        Time, TimeInterval,
+        Answer, Contact, ContactEvent, DecayModel, Environment, IndexError, Mbr, ObjectId, Point,
+        Query, QueryKind, QueryOutcome, QueryResult, RankDirection, Ranked, ReachIndex,
+        ReachRequest, ReachabilityIndex, Serial, Time, TimeInterval,
     };
-    pub use reach_ext::{NonImmediateIndex, UReachGraph, UncertainOracle};
+    pub use reach_ext::{DecayOracle, NonImmediateIndex, UReachGraph, UncertainOracle};
     pub use reach_graph::{GraphParams, MemoryHn, ReachGraph, TraversalKind};
     pub use reach_grid::{GridParams, ReachGrid, Spj};
     pub use reach_live::{
