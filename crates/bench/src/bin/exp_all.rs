@@ -1,11 +1,12 @@
 //! Runs the full experiment suite in paper order; pass `--full` for the
 //! recorded scales.
+//!
+//! `--json` switches the output from markdown tables to one JSON array
+//! of `{id, caption, headers, rows}` objects.
 
 fn main() {
     let tier = reach_bench::Tier::from_args();
     let started = std::time::Instant::now();
-    for table in reach_bench::experiments::all(tier) {
-        table.print();
-    }
+    reach_bench::report::emit_all(&reach_bench::experiments::all(tier));
     eprintln!("total suite time: {:?}", started.elapsed());
 }

@@ -1,8 +1,9 @@
 //! Runs the fig8 experiment(s); pass `--full` for the recorded scales.
+//!
+//! `--json` switches the output from markdown tables to one JSON array
+//! of `{id, caption, headers, rows}` objects.
 
 fn main() {
     let tier = reach_bench::Tier::from_args();
-    for table in reach_bench::experiments::exp_fig8(tier) {
-        table.print();
-    }
+    reach_bench::report::emit_all(&reach_bench::experiments::exp_fig8(tier));
 }

@@ -7,10 +7,11 @@
 //! `--backend=sim|file|mmap` selects the storage backend for every device
 //! (log, bases, scratch); `--full` the recorded scales, as for every other
 //! experiment binary.
+//!
+//! `--json` switches the output from markdown tables to one JSON array
+//! of `{id, caption, headers, rows}` objects.
 
 fn main() {
     let tier = reach_bench::Tier::from_args();
-    for table in reach_bench::experiments::exp_live(tier) {
-        table.print();
-    }
+    reach_bench::report::emit_all(&reach_bench::experiments::exp_live(tier));
 }

@@ -1,0 +1,16 @@
+//! Runs the observability experiment: the same workload on an
+//! epoch-sharded live timeline with tracing off and on — counted IO
+//! asserted byte-identical both ways, per-trace span IO asserted equal to
+//! each query's own counters, and the wall-time overhead plus flight
+//! recorder retention reported.
+//!
+//! `--backend=sim|file|mmap` selects the storage backend and `--full` the
+//! recorded scales, as for every other experiment binary.
+//!
+//! `--json` switches the output from markdown tables to one JSON array
+//! of `{id, caption, headers, rows}` objects.
+
+fn main() {
+    let tier = reach_bench::Tier::from_args();
+    reach_bench::report::emit_all(&reach_bench::experiments::exp_obs(tier));
+}

@@ -9,10 +9,11 @@
 //! (log, shard bases, epoch directory, scratch); `--full` the recorded
 //! scales; `--epoch-records=N` overrides the per-epoch record target in
 //! the other live experiments.
+//!
+//! `--json` switches the output from markdown tables to one JSON array
+//! of `{id, caption, headers, rows}` objects.
 
 fn main() {
     let tier = reach_bench::Tier::from_args();
-    for table in reach_bench::experiments::exp_shard(tier) {
-        table.print();
-    }
+    reach_bench::report::emit_all(&reach_bench::experiments::exp_shard(tier));
 }

@@ -4,10 +4,11 @@
 //! synthetic trace is written and re-ingested through the full text
 //! pipeline. `--backend=sim|file|mmap` selects the storage backend and
 //! `--full` the recorded scales, as for every other experiment binary.
+//!
+//! `--json` switches the output from markdown tables to one JSON array
+//! of `{id, caption, headers, rows}` objects.
 
 fn main() {
     let tier = reach_bench::Tier::from_args();
-    for table in reach_bench::experiments::exp_trace(tier) {
-        table.print();
-    }
+    reach_bench::report::emit_all(&reach_bench::experiments::exp_trace(tier));
 }

@@ -1733,6 +1733,216 @@ pub fn exp_decay(tier: Tier) -> Vec<Table> {
 }
 
 // ---------------------------------------------------------------------------
+// Observability — tracing overhead and span/IO accounting identity
+// ---------------------------------------------------------------------------
+
+/// The observability experiment: the same query workload evaluated on an
+/// epoch-sharded live timeline with tracing off and on.
+///
+/// Three tables: *identity* (counted IO is byte-identical either way —
+/// asserted, not just reported), *composition* (how many spans each query
+/// kind emits, and that per-trace span IO sums to the query's own
+/// counters), and *overhead* (wall time with tracing off vs on, plus the
+/// recorder's retention).
+pub fn exp_obs(tier: Tier) -> Vec<Table> {
+    use reach_core::{DecayModel, ObjectId, ReachIndex as _, ReachRequest, TimeInterval};
+    use reach_live::LiveConfig;
+    use reach_obs::{Obs, ObsConfig};
+    use reach_storage::{BuildBudget, StorageBackend};
+
+    let backend = Backend::from_args();
+    let spec = match tier {
+        Tier::Quick => DatasetSpec::rwp("obs-rwp", 400, 1200, 61),
+        Tier::Full => DatasetSpec::rwp("obs-rwp", 1000, 4000, 61),
+    };
+    let store = spec.generate();
+    let mut contacts =
+        reach_contact::extract_contacts(&store, store.horizon_interval(), spec.threshold);
+    contacts.sort_by_key(|c| (c.interval.start, c.a, c.b));
+    let params = graph_params_for(tier);
+    let build_budget = crate::datasets::build_budget_from_args()
+        .map(BuildBudget::bytes)
+        .unwrap_or_else(BuildBudget::unbounded);
+
+    // An epoch-sharded timeline (~4 epochs), so traces carry real
+    // cross-shard leg spans, on the run's configured backend.
+    let storage = backend.storage_config(params.page_size);
+    let scratch_dir = match &storage.backend {
+        StorageBackend::File(p) | StorageBackend::Mmap(p) => Some(p.clone()),
+        StorageBackend::Sim => None,
+    };
+    let epoch_records = (contacts.len() / 4).max(1);
+    let index = LiveConfig::graph(params.clone(), build_budget)
+        .with_delta_budget(epoch_records * reach_live::DeltaDn::MAX_RECORD_RESIDENT_BYTES)
+        .with_lateness(16)
+        .builder()
+        .backend(storage)
+        .build_sharded(store.num_objects())
+        .expect("sharded index creates");
+    for &c in &contacts {
+        index.append(c).expect("lossy appends never error");
+    }
+    index.seal_now().expect("flush seal succeeds");
+
+    // The workload: reach queries over windows that straddle shard cuts,
+    // plus decay queries (whose legs carry a weighted frontier).
+    let model = DecayModel::per_transfer(0.8);
+    let now = index.now();
+    let n = store.num_objects() as u32;
+    let mut requests = Vec::new();
+    for (i, q) in workload(&spec, tier, 0x0B5).into_iter().enumerate() {
+        requests.push(ReachRequest::from(q));
+        if i % 4 == 0 {
+            let window = TimeInterval::new(now / 4, now.saturating_sub(1).max(1));
+            requests.push(ReachRequest::decay(
+                ObjectId(i as u32 % n),
+                window,
+                ObjectId((i as u32 * 7 + 3) % n),
+                0.1,
+                model,
+            ));
+        }
+    }
+
+    // Pass 1 — tracing off: the perf-gate configuration.
+    let obs_off = Obs::untraced();
+    let (off_totals, off_dur) = timed(|| {
+        let mut totals = std::collections::BTreeMap::new();
+        for r in &requests {
+            let a = index
+                .answer(&r.clone().with_trace(obs_off.tracer()))
+                .expect("untraced answer");
+            let e = totals.entry(kind_name(r)).or_insert((0u64, 0u64, 0u64));
+            e.0 += 1;
+            e.1 += a.stats.random_ios;
+            e.2 += a.stats.seq_ios;
+        }
+        totals
+    });
+
+    // Pass 2 — tracing on, asserting per-trace span IO == query counters.
+    let obs_on = Obs::new(ObsConfig::default());
+    let mut span_counts: std::collections::BTreeMap<&str, (u64, u64)> =
+        std::collections::BTreeMap::new();
+    let (on_totals, on_dur) = timed(|| {
+        let mut totals = std::collections::BTreeMap::new();
+        for r in &requests {
+            let tracer = obs_on.tracer();
+            let a = index
+                .answer(&r.clone().with_trace(tracer.clone()))
+                .expect("traced answer");
+            let events = tracer.take_events();
+            let (mut rand, mut seq) = (0u64, 0u64);
+            for ev in &events {
+                rand += ev.io.random_reads;
+                seq += ev.io.seq_reads;
+            }
+            assert_eq!(
+                (rand, seq),
+                (a.stats.random_ios, a.stats.seq_ios),
+                "span IO must sum to the query's own counters ({})",
+                r.trace_label()
+            );
+            let e = totals.entry(kind_name(r)).or_insert((0u64, 0u64, 0u64));
+            e.0 += 1;
+            e.1 += a.stats.random_ios;
+            e.2 += a.stats.seq_ios;
+            let s = span_counts.entry(kind_name(r)).or_insert((0, 0));
+            s.0 += events.len() as u64;
+            s.1 += events
+                .iter()
+                .filter(|ev| ev.name.starts_with("shard/"))
+                .count() as u64;
+        }
+        totals
+    });
+    assert_eq!(
+        off_totals, on_totals,
+        "tracing must not change counted IO by a single page"
+    );
+
+    let mut identity = Table::new(
+        "exp_obs (identity)",
+        "counted IO with tracing off vs on — identical by construction, asserted per query kind",
+        &[
+            "kind",
+            "queries",
+            "random IO",
+            "seq IO",
+            "traced random",
+            "traced seq",
+        ],
+    );
+    for (kind, (count, rand, seq)) in &off_totals {
+        let on = on_totals[kind];
+        identity.row(vec![
+            kind.to_string(),
+            count.to_string(),
+            rand.to_string(),
+            seq.to_string(),
+            on.1.to_string(),
+            on.2.to_string(),
+        ]);
+    }
+
+    let mut composition = Table::new(
+        "exp_obs (composition)",
+        "spans per query by kind (shard/* legs are the cross-shard frontier handoffs)",
+        &["kind", "queries", "spans/query", "shard legs/query"],
+    );
+    for (kind, (spans, legs)) in &span_counts {
+        let count = on_totals[kind].0;
+        composition.row(vec![
+            kind.to_string(),
+            count.to_string(),
+            fnum(*spans as f64 / count as f64),
+            fnum(*legs as f64 / count as f64),
+        ]);
+    }
+
+    let recorder = obs_on.recorder().expect("default config records");
+    let mut overhead = Table::new(
+        "exp_obs (overhead)",
+        "wall time for the whole workload with tracing off vs on, and what the recorder kept",
+        &[
+            "queries",
+            "untraced",
+            "traced",
+            "events recorded",
+            "events retained",
+            "recorder bytes",
+        ],
+    );
+    overhead.row(vec![
+        requests.len().to_string(),
+        fdur(off_dur),
+        fdur(on_dur),
+        recorder.recorded().to_string(),
+        recorder.dump().len().to_string(),
+        fbytes(recorder.bytes_recorded()),
+    ]);
+
+    drop(index);
+    if let Some(dir) = scratch_dir {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    vec![identity, composition, overhead]
+}
+
+/// Stable per-kind label for the exp_obs aggregation.
+fn kind_name(r: &reach_core::ReachRequest) -> &'static str {
+    use reach_core::QueryKind;
+    match r.kind {
+        QueryKind::Reach => "reach",
+        QueryKind::Uncertain { .. } => "uncertain",
+        QueryKind::NonImmediate => "non-immediate",
+        QueryKind::Decay { .. } => "decay",
+        QueryKind::TopK { .. } => "top-k",
+        _ => "other",
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Ablations — design choices the paper motivates but does not sweep
 // ---------------------------------------------------------------------------
 
@@ -1802,6 +2012,7 @@ pub fn all(tier: Tier) -> Vec<Table> {
     out.extend(exp_serve(tier));
     out.extend(exp_shard(tier));
     out.extend(exp_decay(tier));
+    out.extend(exp_obs(tier));
     out.extend(exp_ablation(tier));
     out
 }

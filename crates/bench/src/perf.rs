@@ -24,7 +24,7 @@ use crate::datasets::DatasetSpec;
 use crate::runner::{assert_same_pages, timed};
 use reach_baselines::GrailDisk;
 use reach_contact::{MultiRes, StreamedDn, DEFAULT_LEVELS};
-use reach_core::{IndexError, Query, ReachabilityIndex};
+use reach_core::{IndexError, Query, ReachIndex as _, ReachabilityIndex};
 use reach_graph::{GraphParams, ReachGraph};
 use reach_grid::{GridParams, ReachGrid};
 use reach_mobility::WorkloadConfig;
@@ -867,8 +867,9 @@ pub fn quick_suite() -> (PerfReport, f64) {
         }
         // …then the same queries through the serve layer's worker pool:
         // concurrency must not change one counted read.
+        let shard = std::sync::Arc::new(shard);
         let pool = reach_serve::Server::start(
-            std::sync::Arc::new(shard),
+            std::sync::Arc::clone(&shard) as std::sync::Arc<dyn reach_core::ReachIndex>,
             reach_serve::ServeConfig {
                 workers: 4,
                 queue_capacity: queries.len().max(1),
@@ -897,6 +898,62 @@ pub fn quick_suite() -> (PerfReport, f64) {
         );
         counters.insert("rwp/shard/serve/random_reads".into(), prandom);
         counters.insert("rwp/shard/serve/seq_reads".into(), pseq);
+
+        // Observability: the same merged-layout workload traced end to
+        // end. Tracing must not change one counted read (asserted here,
+        // in the gate itself), per-trace span IO must sum to the query's
+        // own counters, and the byproducts — span count, recorder bytes,
+        // slow-query hits under a read-count threshold — are themselves
+        // deterministic, so they gate too. (Wall-clock slow-query
+        // thresholds stay disabled; they would make the gate flaky.)
+        let obs = reach_obs::Obs::new(reach_obs::ObsConfig {
+            slow: reach_obs::SlowQueryPolicy {
+                min_reads: 64,
+                ..reach_obs::SlowQueryPolicy::default()
+            },
+            ..reach_obs::ObsConfig::default()
+        });
+        let (mut trandom, mut tseq, mut spans) = (0u64, 0u64, 0u64);
+        for q in &queries {
+            let tracer = obs.tracer();
+            let req = reach_core::ReachRequest::from(*q).with_trace(tracer.clone());
+            let a = shard
+                .answer(&req)
+                .unwrap_or_else(|e| panic!("perf traced query {q} failed: {e}"));
+            let events = tracer.take_events();
+            let (mut erandom, mut eseq) = (0u64, 0u64);
+            for ev in &events {
+                erandom += ev.io.random_reads;
+                eseq += ev.io.seq_reads;
+            }
+            assert_eq!(
+                (erandom, eseq),
+                (a.stats.random_ios, a.stats.seq_ios),
+                "span IO must sum to the query's own counters for {q}"
+            );
+            spans += events.len() as u64;
+            trandom += a.stats.random_ios;
+            tseq += a.stats.seq_ios;
+            obs.observe_query(
+                tracer.trace_id(),
+                &req.trace_label(),
+                a.stats.random_ios + a.stats.seq_ios,
+                0,
+            );
+        }
+        assert_eq!(
+            (trandom, tseq),
+            (mrandom, mseq),
+            "tracing must not change counted IO by a single page"
+        );
+        counters.insert("rwp/obs/spans".into(), spans);
+        counters.insert(
+            "rwp/obs/recorder_bytes".into(),
+            obs.recorder()
+                .expect("default config records")
+                .bytes_recorded(),
+        );
+        counters.insert("rwp/obs/slow_queries".into(), obs.slow_log().hits());
 
         PerfReport {
             schema: SCHEMA,

@@ -37,7 +37,7 @@ pub use frontier::{FrontierHandoff, WeightedFrontier};
 pub use geom::{Coord, Environment, Mbr, Point};
 pub use ids::{NodeId, ObjectId};
 pub use query::{Query, QueryOutcome, QueryResult, QueryStats};
-pub use request::{Answer, QueryKind, ReachIndex, ReachRequest, Serial};
+pub use request::{attribute_stats, Answer, QueryKind, ReachIndex, ReachRequest, Serial};
 pub use time::{Time, TimeInterval};
 pub use unionfind::UnionFind;
 

@@ -29,6 +29,7 @@ use crate::ids::ObjectId;
 use crate::query::{Query, QueryResult, QueryStats};
 use crate::time::TimeInterval;
 use crate::ReachabilityIndex;
+use reach_obs::{IoDelta, Tracer};
 use std::sync::Mutex;
 
 /// What a [`ReachRequest`] asks of the index, beyond the source /
@@ -85,12 +86,26 @@ impl QueryKind {
 
 /// A typed reachability request: the classic query triple plus the
 /// [`QueryKind`] describing which semantics to evaluate it under.
-#[derive(Clone, Copy, PartialEq, Debug)]
+///
+/// The envelope also carries the query's [`Tracer`] — disabled (and free)
+/// by default, attached via [`ReachRequest::with_trace`]. Equality ignores
+/// the tracer: two requests asking the same question are equal whether or
+/// not one of them is being observed.
+#[derive(Clone, Debug)]
 pub struct ReachRequest {
     /// Source, destination, and window.
     pub query: Query,
     /// Evaluation semantics.
     pub kind: QueryKind,
+    /// Per-query trace recorder; [`Tracer::off`] unless explicitly
+    /// attached. Indexes open spans on it around each evaluation phase.
+    pub trace: Tracer,
+}
+
+impl PartialEq for ReachRequest {
+    fn eq(&self, other: &Self) -> bool {
+        self.query == other.query && self.kind == other.kind
+    }
 }
 
 /// What a request evaluates to: the boolean outcome-plus-cost shape every
@@ -160,6 +175,7 @@ impl ReachRequest {
         Self {
             query: Query::new(source, dest, window),
             kind: QueryKind::Reach,
+            trace: Tracer::off(),
         }
     }
 
@@ -175,6 +191,7 @@ impl ReachRequest {
         Self {
             query: Query::new(source, dest, window),
             kind: QueryKind::Decay { theta, model },
+            trace: Tracer::off(),
         }
     }
 
@@ -193,6 +210,7 @@ impl ReachRequest {
                 model,
                 direction: RankDirection::Reachable,
             },
+            trace: Tracer::off(),
         }
     }
 
@@ -211,6 +229,7 @@ impl ReachRequest {
                 model,
                 direction: RankDirection::Reaching,
             },
+            trace: Tracer::off(),
         }
     }
 
@@ -218,6 +237,25 @@ impl ReachRequest {
     pub fn with_kind(mut self, kind: QueryKind) -> Self {
         self.kind = kind;
         self
+    }
+
+    /// The same request, observed: spans opened during evaluation record
+    /// into `trace`. Attaching a tracer never changes counted IO — it only
+    /// observes the counters evaluation computes anyway.
+    pub fn with_trace(mut self, trace: Tracer) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// This request's dispatch-span label (`kind source->dest`), built
+    /// only when the trace is enabled.
+    pub fn trace_label(&self) -> String {
+        format!(
+            "{} {}->{}",
+            self.kind.name(),
+            self.query.source.0,
+            self.query.dest.0
+        )
     }
 
     /// The error every index returns for a kind it does not implement.
@@ -234,7 +272,20 @@ impl From<Query> for ReachRequest {
         Self {
             query,
             kind: QueryKind::Reach,
+            trace: Tracer::off(),
         }
+    }
+}
+
+/// The span-recording helper every index dispatch shares: converts a
+/// [`QueryStats`] cost into the span's [`IoDelta`] + visited attribution.
+/// Defined here (next to the trait) so each index records the *same*
+/// counters its answer reports — which is what makes per-span IO sums
+/// equal per-query totals by construction.
+pub fn attribute_stats(span: &mut reach_obs::Span, stats: &QueryStats) {
+    if span.is_enabled() {
+        span.add_io(IoDelta::reads(stats.random_ios, stats.seq_ios));
+        span.add_visited(stats.visited);
     }
 }
 
@@ -293,7 +344,7 @@ pub trait ReachIndex: Send + Sync {
         dests
             .iter()
             .map(|&dest| {
-                let mut req = *template;
+                let mut req = template.clone();
                 req.query.dest = dest;
                 self.answer(&req)
             })
@@ -339,7 +390,13 @@ impl<T: ReachabilityIndex + Send> ReachIndex for Serial<T> {
     }
 
     fn answer(&self, request: &ReachRequest) -> Result<Answer, IndexError> {
-        self.lock().answer(request)
+        let mut span = request.trace.span("index/dispatch");
+        let answer = self.lock().answer(request)?;
+        if span.is_enabled() {
+            span.label_with(|| format!("{} {}", self.name(), request.trace_label()));
+            attribute_stats(&mut span, &answer.stats);
+        }
+        Ok(answer)
     }
 }
 

@@ -751,7 +751,13 @@ impl ReachIndex for ConcurrentLive {
     }
 
     fn answer(&self, request: &ReachRequest) -> Result<Answer, IndexError> {
-        match request.kind {
+        // One dispatch span attributing the answer's own stats: the
+        // concurrent index evaluates in a single leg (epoch base + delta
+        // under one optimistic read), so there are no child legs to split
+        // the attribution across.
+        let mut dispatch = request.trace.span("index/dispatch");
+        dispatch.label_with(|| format!("{} {}", self.name(), request.trace_label()));
+        let answer = match request.kind {
             QueryKind::Reach => self.evaluate_query(&request.query).map(Answer::from),
             QueryKind::Decay { .. } | QueryKind::TopK { .. } => {
                 // Decay queries pin the read lock for their whole
@@ -777,7 +783,11 @@ impl ReachIndex for ConcurrentLive {
                 Ok(answer)
             }
             _ => Err(request.unsupported(self.name())),
+        };
+        if let Ok(a) = &answer {
+            reach_core::attribute_stats(&mut dispatch, &a.stats);
         }
+        answer
     }
 
     fn query_batch(

@@ -58,6 +58,7 @@ use crate::index::{
 };
 use crate::log::{AppendLog, LogRecovery};
 use reach_contact::{ChainSweep, ErrorMode, MultiRes, StreamedDn};
+use reach_core::attribute_stats;
 use reach_core::frontier::WeightedFrontier;
 use reach_core::{
     Answer, Contact, DecayModel, FrontierHandoff, IndexError, ObjectId, Query, QueryKind,
@@ -65,6 +66,7 @@ use reach_core::{
     TimeInterval,
 };
 use reach_graph::ReachGraph;
+use reach_obs::Tracer;
 use reach_storage::{BlockDevice, DeviceDirectory, IoStats, SharedDevice};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Instant;
@@ -354,6 +356,32 @@ impl ShardedLive {
     /// Directory generation (bumped by every committed seal/merge).
     pub fn generation(&self) -> u64 {
         self.read().generation
+    }
+
+    /// Summed counters of every sealed shard's page cache, or `None` when
+    /// the config leaves the cache off (or nothing is sealed yet). Each
+    /// epoch shard caches its own device; the sum is what the serving
+    /// stack's metrics exposition reports as `cache_*`.
+    pub fn cache_stats(&self) -> Option<reach_storage::CacheStats> {
+        let st = self.read();
+        let mut any = false;
+        let mut total = reach_storage::CacheStats::default();
+        for shard in st.shards.iter() {
+            let device = match &shard.base {
+                SealedShardBase::Graph { device, .. } => device,
+                SealedShardBase::Grail { device, .. } => device,
+            };
+            if let Some(cache) = device.cache() {
+                let s = cache.stats();
+                any = true;
+                total.hits += s.hits;
+                total.misses += s.misses;
+                total.prefetched += s.prefetched;
+                total.prefetch_hits += s.prefetch_hits;
+                total.evictions += s.evictions;
+            }
+        }
+        any.then_some(total)
     }
 
     /// Lifetime accounting (same shape as the single-base index's).
@@ -707,6 +735,20 @@ impl ShardedLive {
     /// Evaluates one reachability query across the shard sequence and the
     /// delta via frontier handoff (see the module docs).
     pub fn evaluate_query(&self, q: &Query) -> Result<QueryResult, IndexError> {
+        self.evaluate_query_traced(q, &Tracer::off())
+    }
+
+    /// [`ShardedLive::evaluate_query`] with per-leg trace spans: every
+    /// sealed-epoch leg records a `shard/leg` span carrying its handoff
+    /// seed count and the leg's counted IO, and the delta tail records a
+    /// `shard/delta` span. Leg spans partition the query's `QueryStats`
+    /// exactly (each span observes the same per-leg stats the walk merges),
+    /// so summing span IO reproduces the answer's totals.
+    pub fn evaluate_query_traced(
+        &self,
+        q: &Query,
+        trace: &Tracer,
+    ) -> Result<QueryResult, IndexError> {
         let started = Instant::now();
         let st = self.read();
         let now = st.delta.now();
@@ -731,8 +773,13 @@ impl ShardedLive {
         } else if let Some(shard) = st.shards.iter().find(|s| s.lo <= t1 && t2 < s.hi) {
             // Wholly inside one sealed epoch: the shard's own point query
             // (BM-BFS on a graph base) answers alone.
+            let mut leg_span = trace.span("shard/leg");
+            leg_span.label_with(|| format!("epoch [{}, {})", shard.lo, shard.hi));
+            leg_span.set_seeds(1);
             let mut base = shard.reader();
-            base.evaluate(q)?
+            let result = base.evaluate(q)?;
+            attribute_stats(&mut leg_span, &result.stats);
+            result
         } else {
             let w = st.delta.watermark();
             let mut stats = QueryStats::default();
@@ -746,8 +793,13 @@ impl ShardedLive {
                     break;
                 }
                 let span = TimeInterval::new(t1.max(shard.lo), t2.min(shard.hi - 1));
+                let mut leg_span = trace.span("shard/leg");
+                leg_span.label_with(|| format!("epoch [{}, {})", shard.lo, shard.hi));
+                leg_span.set_seeds(frontier.seeds().len() as u64);
                 let mut base = shard.reader();
                 let (leg, s) = base.reachable_set_from(frontier.seeds(), span)?;
+                attribute_stats(&mut leg_span, &s);
+                leg_span.finish();
                 stats = stats.merged(&s);
                 frontier.absorb(&leg, span.end);
                 if let Some(ea) = frontier.arrival_of(q.dest) {
@@ -761,6 +813,11 @@ impl ShardedLive {
             let outcome = match sealed_hit {
                 Some(ea) => QueryOutcome::reachable_at(ea),
                 None if t2 >= w => {
+                    // The in-memory delta counts no device IO: its span
+                    // carries the handoff seed count and timing only.
+                    let mut delta_span = trace.span("shard/delta");
+                    delta_span.label_with(|| format!("delta [{w}, {t2}]"));
+                    delta_span.set_seeds(frontier.seeds().len() as u64);
                     let when =
                         st.delta
                             .propagate(self.num_objects, frontier.seeds(), t2, Some(q.dest));
@@ -794,6 +851,7 @@ impl ShardedLive {
         interval: TimeInterval,
         model: &DecayModel,
         floor: f64,
+        trace: &Tracer,
     ) -> Result<(WeightedFrontier, QueryStats), IndexError> {
         let st = self.read();
         let now = st.delta.now();
@@ -820,15 +878,24 @@ impl ShardedLive {
                 break;
             }
             let span = TimeInterval::new(t1.max(shard.lo), t2.min(shard.hi - 1));
+            let mut leg_span = trace.span("shard/decay-leg");
+            leg_span.label_with(|| format!("epoch [{}, {})", shard.lo, shard.hi));
+            leg_span.set_seeds((pending.len() + frontier.carry().len()) as u64);
             let mut base = shard.reader();
             let (leg, s) =
                 base.decay_states_from(&pending, frontier.carry(), span, t1, model, floor)?;
+            attribute_stats(&mut leg_span, &s);
+            leg_span.finish();
             pending.clear();
             stats = stats.merged(&s);
             frontier.absorb(&leg.rows, span.end);
             frontier.set_carry(leg.carry);
         }
         if t2 >= w {
+            let mut delta_span = trace.span("shard/delta");
+            delta_span.label_with(|| format!("delta [{w}, {t2}]"));
+            delta_span.set_seeds(pending.len() as u64);
+            let before = stats;
             decay_delta_leg(
                 &st.delta,
                 self.num_objects,
@@ -839,6 +906,17 @@ impl ShardedLive {
                 floor,
                 &mut stats,
             )?;
+            if delta_span.is_enabled() {
+                attribute_stats(
+                    &mut delta_span,
+                    &QueryStats {
+                        random_ios: stats.random_ios - before.random_ios,
+                        seq_ios: stats.seq_ios - before.seq_ios,
+                        visited: stats.visited - before.visited,
+                        ..QueryStats::default()
+                    },
+                );
+            }
         }
         Ok((frontier, stats))
     }
@@ -934,14 +1012,23 @@ impl ReachIndex for ShardedLive {
     fn answer(&self, request: &ReachRequest) -> Result<Answer, IndexError> {
         let started = Instant::now();
         let q = &request.query;
+        // The dispatch span is a pure container: its children (the per-leg
+        // spans) carry the counted IO, so summing span IO over the whole
+        // trace still equals the answer's totals exactly.
+        let mut dispatch = request.trace.span("index/dispatch");
+        dispatch.label_with(|| format!("{} {}", self.name(), request.trace_label()));
         let answer = match request.kind {
-            QueryKind::Reach => return self.evaluate_query(q).map(Answer::from),
+            QueryKind::Reach => {
+                return self
+                    .evaluate_query_traced(q, &request.trace)
+                    .map(Answer::from)
+            }
             QueryKind::Decay { theta, model } => {
                 if q.dest.index() >= self.num_objects {
                     return Err(IndexError::UnknownObject(q.dest));
                 }
                 let (frontier, mut stats) =
-                    self.decay_frontier(q.source, q.interval, &model, theta)?;
+                    self.decay_frontier(q.source, q.interval, &model, theta, &request.trace)?;
                 let hit = frontier
                     .best_of(q.dest, &model)
                     .filter(|&(weight, _)| weight >= theta);
@@ -954,7 +1041,7 @@ impl ReachIndex for ShardedLive {
                 direction: RankDirection::Reachable,
             } => {
                 let (frontier, mut stats) =
-                    self.decay_frontier(q.source, q.interval, &model, 0.0)?;
+                    self.decay_frontier(q.source, q.interval, &model, 0.0, &request.trace)?;
                 stats.cpu = started.elapsed();
                 Answer::ranked(frontier.rank(&model, k, q.source), stats)
             }
@@ -977,7 +1064,8 @@ impl ReachIndex for ShardedLive {
                     if source == anchor {
                         continue;
                     }
-                    let (frontier, s) = self.decay_frontier(source, q.interval, &model, 0.0)?;
+                    let (frontier, s) =
+                        self.decay_frontier(source, q.interval, &model, 0.0, &request.trace)?;
                     stats = stats.merged(&s);
                     if let Some((weight, arrival)) = frontier.best_of(anchor, &model) {
                         best.push(Ranked {

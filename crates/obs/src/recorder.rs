@@ -1,0 +1,331 @@
+//! The flight recorder: a fixed-size lock-striped ring buffer of recent
+//! span events, plus a slow-query log with configurable IO / latency
+//! thresholds.
+//!
+//! Finished spans from traced queries mirror into the recorder (when one is
+//! attached to the [`crate::Tracer`]), overwriting the oldest events once
+//! the ring is full. Striping keeps the hot path to one short per-stripe
+//! lock: events round-robin across 8 independent rings by a global atomic
+//! sequence number, so concurrent serve workers rarely contend on the same
+//! stripe. [`FlightRecorder::dump`] reassembles the surviving events in
+//! recording order by that same sequence number.
+//!
+//! The slow-query log is the recorder's sibling for tail analysis: it keeps
+//! the worst recent queries whose **counted reads** or **elapsed ticks**
+//! crossed a threshold. Read counts are deterministic under the paper's IO
+//! model, so the perf gate can count slow-query hits; tick thresholds are
+//! for wall-clock use and default to disabled (`u64::MAX`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::span::SpanEvent;
+
+/// Number of independent ring stripes (power of two).
+const STRIPES: usize = 8;
+
+/// One stripe: a bounded ring of events.
+#[derive(Debug, Default)]
+struct Stripe {
+    ring: Vec<(u64, SpanEvent)>,
+    next: usize,
+}
+
+/// A fixed-capacity, lock-striped ring buffer of recent [`SpanEvent`]s
+/// (see the module docs).
+#[derive(Debug)]
+pub struct FlightRecorder {
+    stripes: [Mutex<Stripe>; STRIPES],
+    per_stripe: usize,
+    seq: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder holding at most `capacity` events (rounded up to a
+    /// multiple of the stripe count; minimum one event per stripe).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let per_stripe = capacity.div_ceil(STRIPES).max(1);
+        Self {
+            stripes: std::array::from_fn(|_| Mutex::new(Stripe::default())),
+            per_stripe,
+            seq: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Total event capacity across all stripes.
+    pub fn capacity(&self) -> usize {
+        self.per_stripe * STRIPES
+    }
+
+    /// Records one finished span event, evicting the oldest event in its
+    /// stripe once that stripe is full.
+    pub fn record(&self, event: SpanEvent) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.bytes
+            .fetch_add(event.approx_bytes(), Ordering::Relaxed);
+        let mut stripe = self.stripes[(seq as usize) % STRIPES]
+            .lock()
+            .expect("recorder stripe poisoned");
+        if stripe.ring.len() < self.per_stripe {
+            stripe.ring.push((seq, event));
+        } else {
+            let slot = stripe.next;
+            stripe.ring[slot] = (seq, event);
+        }
+        stripe.next = (stripe.next + 1) % self.per_stripe;
+    }
+
+    /// Events recorded over the recorder's lifetime (including evicted
+    /// ones).
+    pub fn recorded(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Approximate bytes recorded over the recorder's lifetime, from
+    /// [`SpanEvent::approx_bytes`] — deterministic for a deterministic
+    /// workload, which is what the `rwp/obs/*` perf counters gate on.
+    pub fn bytes_recorded(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// The surviving events, oldest first by global sequence number. When
+    /// the ring has wrapped, these are exactly the newest
+    /// [`FlightRecorder::capacity`] events.
+    pub fn dump(&self) -> Vec<SpanEvent> {
+        let mut all: Vec<(u64, SpanEvent)> = Vec::new();
+        for stripe in &self.stripes {
+            let s = stripe.lock().expect("recorder stripe poisoned");
+            all.extend(s.ring.iter().cloned());
+        }
+        all.sort_by_key(|(seq, _)| *seq);
+        all.into_iter().map(|(_, e)| e).collect()
+    }
+
+    /// One line per surviving event, oldest first — the on-panic /
+    /// on-demand dump format.
+    pub fn dump_text(&self) -> String {
+        let events = self.dump();
+        let mut out = String::with_capacity(events.len() * 96);
+        out.push_str(&format!(
+            "# flight recorder: {} of {} lifetime events retained\n",
+            events.len(),
+            self.recorded()
+        ));
+        for e in events {
+            out.push_str(&e.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Thresholds for [`SlowQueryLog`] admission. A query is slow when its
+/// counted reads **or** elapsed ticks reach the respective threshold.
+#[derive(Clone, Copy, Debug)]
+pub struct SlowQueryPolicy {
+    /// Minimum counted reads (random + sequential) to qualify.
+    /// Deterministic under the paper's IO model.
+    pub min_reads: u64,
+    /// Minimum elapsed monotonic ticks (nanoseconds) to qualify.
+    /// `u64::MAX` (the default) disables the latency criterion, which keeps
+    /// slow-query hit counts deterministic for the perf gate.
+    pub min_ticks: u64,
+    /// Maximum entries retained (oldest evicted first).
+    pub keep: usize,
+}
+
+impl Default for SlowQueryPolicy {
+    fn default() -> Self {
+        Self {
+            min_reads: 1_000,
+            min_ticks: u64::MAX,
+            keep: 64,
+        }
+    }
+}
+
+/// One retained slow query.
+#[derive(Clone, Debug)]
+pub struct SlowQuery {
+    /// Trace id of the offending query (0 when untraced).
+    pub trace: u64,
+    /// Short description — typically the root span's name and label.
+    pub what: String,
+    /// Counted reads (random + sequential).
+    pub reads: u64,
+    /// Elapsed monotonic ticks.
+    pub ticks: u64,
+}
+
+/// A bounded log of the most recent queries that crossed the
+/// [`SlowQueryPolicy`] thresholds.
+#[derive(Debug)]
+pub struct SlowQueryLog {
+    policy: SlowQueryPolicy,
+    hits: AtomicU64,
+    entries: Mutex<Vec<SlowQuery>>,
+}
+
+impl SlowQueryLog {
+    /// An empty log with the given policy.
+    pub fn new(policy: SlowQueryPolicy) -> Self {
+        Self {
+            policy,
+            hits: AtomicU64::new(0),
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The admission policy.
+    pub fn policy(&self) -> SlowQueryPolicy {
+        self.policy
+    }
+
+    /// Offers one completed query; returns whether it qualified as slow
+    /// (and was logged).
+    pub fn observe(&self, trace: u64, what: &str, reads: u64, ticks: u64) -> bool {
+        if reads < self.policy.min_reads && ticks < self.policy.min_ticks {
+            return false;
+        }
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        let mut entries = self.entries.lock().expect("slow-query log poisoned");
+        if entries.len() == self.policy.keep {
+            entries.remove(0);
+        }
+        entries.push(SlowQuery {
+            trace,
+            what: what.to_string(),
+            reads,
+            ticks,
+        });
+        true
+    }
+
+    /// Lifetime count of qualifying queries (including evicted entries) —
+    /// deterministic when only the read criterion is active.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// The retained entries, oldest first.
+    pub fn dump(&self) -> Vec<SlowQuery> {
+        self.entries
+            .lock()
+            .expect("slow-query log poisoned")
+            .clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::IoDelta;
+
+    fn event(label: &str) -> SpanEvent {
+        SpanEvent {
+            trace: 7,
+            span: 1,
+            parent: 0,
+            name: "test",
+            label: label.to_string(),
+            start: 0,
+            end: 1,
+            io: IoDelta::default(),
+            visited: 0,
+            seeds: 0,
+        }
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_full_stripes() {
+        assert_eq!(FlightRecorder::with_capacity(1).capacity(), 8);
+        assert_eq!(FlightRecorder::with_capacity(8).capacity(), 8);
+        assert_eq!(FlightRecorder::with_capacity(9).capacity(), 16);
+        assert_eq!(FlightRecorder::with_capacity(64).capacity(), 64);
+    }
+
+    #[test]
+    fn dump_is_in_recording_order() {
+        let rec = FlightRecorder::with_capacity(32);
+        for i in 0..20 {
+            rec.record(event(&format!("e{i}")));
+        }
+        let labels: Vec<String> = rec.dump().into_iter().map(|e| e.label).collect();
+        let expect: Vec<String> = (0..20).map(|i| format!("e{i}")).collect();
+        assert_eq!(labels, expect);
+        assert_eq!(rec.recorded(), 20);
+    }
+
+    #[test]
+    fn wraparound_keeps_exactly_the_newest_events() {
+        let rec = FlightRecorder::with_capacity(16);
+        for i in 0..50 {
+            rec.record(event(&format!("e{i}")));
+        }
+        let labels: Vec<String> = rec.dump().into_iter().map(|e| e.label).collect();
+        let expect: Vec<String> = (34..50).map(|i| format!("e{i}")).collect();
+        assert_eq!(labels, expect, "ring must retain the newest 16 events");
+        assert_eq!(rec.recorded(), 50);
+        assert!(rec.bytes_recorded() > 0);
+    }
+
+    #[test]
+    fn dump_text_mentions_retention() {
+        let rec = FlightRecorder::with_capacity(8);
+        for i in 0..12 {
+            rec.record(event(&format!("e{i}")));
+        }
+        let text = rec.dump_text();
+        assert!(text.starts_with("# flight recorder: 8 of 12"), "{text}");
+    }
+
+    #[test]
+    fn slow_query_log_applies_the_read_threshold() {
+        let log = SlowQueryLog::new(SlowQueryPolicy {
+            min_reads: 100,
+            min_ticks: u64::MAX,
+            keep: 2,
+        });
+        assert!(!log.observe(1, "fast", 99, u64::MAX - 1));
+        assert!(log.observe(2, "slow-a", 100, 0));
+        assert!(log.observe(3, "slow-b", 500, 0));
+        assert!(log.observe(4, "slow-c", 101, 0));
+        assert_eq!(log.hits(), 3);
+        let kept: Vec<String> = log.dump().into_iter().map(|e| e.what).collect();
+        assert_eq!(kept, vec!["slow-b".to_string(), "slow-c".to_string()]);
+    }
+
+    #[test]
+    fn tick_threshold_can_catch_latency_outliers() {
+        let log = SlowQueryLog::new(SlowQueryPolicy {
+            min_reads: u64::MAX,
+            min_ticks: 1_000,
+            keep: 4,
+        });
+        assert!(!log.observe(1, "quick", 0, 999));
+        assert!(log.observe(2, "laggy", 0, 1_000));
+        assert_eq!(log.hits(), 1);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing_before_wrap() {
+        let rec = std::sync::Arc::new(FlightRecorder::with_capacity(4096));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let rec = std::sync::Arc::clone(&rec);
+                std::thread::spawn(move || {
+                    for i in 0..256 {
+                        rec.record(event(&format!("t{t}-{i}")));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(rec.recorded(), 1024);
+        assert_eq!(rec.dump().len(), 1024);
+    }
+}

@@ -4,6 +4,8 @@
 //! streach_serve [--backend=sim|file=DIR|mmap=DIR] [--workers=N]
 //!               [--clients=N] [--queries=N] [--objects=N]
 //!               [--contacts=N] [--queue=N] [--sharded=EPOCHS]
+//!               [--cache=PAGES] [--metrics-out=PATH] [--metrics-json=PATH]
+//!               [--trace=0|1] [--slow-reads=N]
 //! ```
 //!
 //! The binary builds a `ConcurrentLive` index on the chosen backend,
@@ -17,12 +19,22 @@
 //! ingested timeline is sealed into ~EPOCHS epoch shards (one device
 //! each), queries hand their frontier across shard boundaries, and the
 //! exit report shows the shard layout.
+//!
+//! `--metrics-out=PATH` (and/or `--metrics-json=PATH`) runs the server
+//! *observed*: per-query trace spans feed a flight recorder and slow-query
+//! log (`--trace=0` keeps metrics but disables span tracing;
+//! `--slow-reads=N` sets the slow-query read threshold), and at exit the
+//! unified registry — serve counters and histograms, live-index gauges,
+//! page-cache counters, shard layout gauges, and the observability
+//! self-metrics — is written as a Prometheus-style text exposition
+//! (`--metrics-out`) and/or a JSON snapshot (`--metrics-json`).
 
 use reach_core::{ObjectId, ReachIndex, ReachRequest, Time, TimeInterval};
 use reach_graph::GraphParams;
 use reach_live::{ConcurrentLive, LiveConfig, ShardedLive};
+use reach_obs::{Obs, ObsConfig, SlowQueryPolicy};
 use reach_serve::{ServeConfig, Server, SubmitError};
-use reach_storage::{BuildBudget, StorageConfig};
+use reach_storage::{BuildBudget, CacheStats, StorageConfig};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -38,6 +50,11 @@ struct Args {
     contacts: usize,
     queue: usize,
     sharded: usize,
+    cache_pages: usize,
+    metrics_out: Option<String>,
+    metrics_json: Option<String>,
+    trace: bool,
+    slow_reads: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -51,6 +68,11 @@ fn parse_args() -> Result<Args, String> {
         contacts: 4000,
         queue: 256,
         sharded: 0,
+        cache_pages: 256,
+        metrics_out: None,
+        metrics_json: None,
+        trace: true,
+        slow_reads: 1_000,
     };
     for arg in std::env::args().skip(1) {
         let (key, value) = arg
@@ -83,6 +105,11 @@ fn parse_args() -> Result<Args, String> {
             "--contacts" => args.contacts = number()? as usize,
             "--queue" => args.queue = number()?.max(1) as usize,
             "--sharded" => args.sharded = number()?.max(1) as usize,
+            "--cache" => args.cache_pages = number()? as usize,
+            "--metrics-out" => args.metrics_out = Some(value.into()),
+            "--metrics-json" => args.metrics_json = Some(value.into()),
+            "--trace" => args.trace = number()? != 0,
+            "--slow-reads" => args.slow_reads = number()?,
             _ => return Err(format!("unknown flag `{key}`")),
         }
     }
@@ -142,9 +169,75 @@ fn build_index(args: &Args) -> Result<ConcurrentLive, reach_core::IndexError> {
     )
     .with_delta_budget(64 << 10)
     .with_lateness(8)
+    .with_shared_cache(args.cache_pages)
     .builder()
     .backend(args.backend.clone())
     .serve(args.objects)
+}
+
+/// Builds the observability bundle when `--metrics-out`/`--metrics-json`
+/// asked for one: tracing per `--trace`, slow-query threshold per
+/// `--slow-reads` (wall-clock threshold stays disabled so the run is
+/// deterministic modulo scheduling).
+fn build_obs(args: &Args) -> Option<Arc<Obs>> {
+    if args.metrics_out.is_none() && args.metrics_json.is_none() {
+        return None;
+    }
+    Some(Arc::new(Obs::new(ObsConfig {
+        trace: args.trace,
+        slow: SlowQueryPolicy {
+            min_reads: args.slow_reads,
+            ..SlowQueryPolicy::default()
+        },
+        ..ObsConfig::default()
+    })))
+}
+
+fn start_server(
+    index: Arc<dyn ReachIndex>,
+    args: &Args,
+    obs: Option<&Arc<Obs>>,
+) -> Result<Server, reach_core::IndexError> {
+    let config = ServeConfig {
+        workers: args.workers,
+        queue_capacity: args.queue,
+        max_batch: 64,
+    };
+    match obs {
+        Some(obs) => Server::start_observed(index, config, Arc::clone(obs)),
+        None => Server::start(index, config),
+    }
+}
+
+/// Publishes the page-cache counters (if the index has a shared cache)
+/// plus the recorder/slow-log self-metrics, then writes the exposition
+/// and/or JSON snapshot files.
+fn write_metrics(args: &Args, obs: &Obs, cache: Option<CacheStats>) {
+    let registry = obs.registry();
+    if let Some(c) = cache {
+        registry.set_gauge("cache_hits", c.hits);
+        registry.set_gauge("cache_misses", c.misses);
+        registry.set_gauge("cache_prefetched", c.prefetched);
+        registry.set_gauge("cache_prefetch_hits", c.prefetch_hits);
+        registry.set_gauge("cache_evictions", c.evictions);
+    }
+    if let Some(recorder) = obs.recorder() {
+        registry.set_gauge("obs_spans_recorded", recorder.recorded());
+        registry.set_gauge("obs_recorder_bytes", recorder.bytes_recorded());
+    }
+    registry.set_gauge("obs_slow_queries", obs.slow_log().hits());
+    if let Some(path) = &args.metrics_out {
+        match std::fs::write(path, registry.expose_text()) {
+            Ok(()) => println!("  metrics        exposition written to {path}"),
+            Err(e) => eprintln!("streach_serve: writing {path} failed: {e}"),
+        }
+    }
+    if let Some(path) = &args.metrics_json {
+        match std::fs::write(path, registry.snapshot_json()) {
+            Ok(()) => println!("  metrics        JSON snapshot written to {path}"),
+            Err(e) => eprintln!("streach_serve: writing {path} failed: {e}"),
+        }
+    }
 }
 
 /// Runs the client submitter threads against the server while `ingest`
@@ -212,6 +305,7 @@ fn run_sharded(args: &Args, horizon: Time) {
         BuildBudget::bytes(1 << 20),
     )
     .with_lateness(8)
+    .with_shared_cache(args.cache_pages)
     .builder()
     .manual_compaction()
     .backend(args.backend.clone())
@@ -239,13 +333,11 @@ fn run_sharded(args: &Args, horizon: Time) {
         index.append(*c).expect("warmup append");
         seal_boundary(i, &index);
     }
-    let server = Server::start(
+    let obs = build_obs(args);
+    let server = start_server(
         Arc::clone(&index) as Arc<dyn ReachIndex>,
-        ServeConfig {
-            workers: args.workers,
-            queue_capacity: args.queue,
-            max_batch: 64,
-        },
+        args,
+        obs.as_ref(),
     )
     .expect("server starts");
     let safe_horizon = index.now().saturating_sub(1).max(1);
@@ -259,6 +351,15 @@ fn run_sharded(args: &Args, horizon: Time) {
     index.sync().expect("log sync");
     let stats = index.stats();
     let serve = server.metrics();
+    if let Some(obs) = &obs {
+        let registry = obs.registry();
+        server.publish_metrics(registry);
+        registry.set_gauge("live_compactions", stats.compactions);
+        registry.set_gauge("live_watermark", u64::from(index.watermark()));
+        registry.set_gauge("live_now", u64::from(index.now()));
+        registry.set_gauge("shard_count", index.shard_spans().len() as u64);
+        registry.set_gauge("shard_generation", index.generation());
+    }
     drop(server);
 
     println!(
@@ -297,6 +398,9 @@ fn run_sharded(args: &Args, horizon: Time) {
         serve.p99_normalized_io,
         reach_core::SEQ_PER_RANDOM
     );
+    if let Some(obs) = &obs {
+        write_metrics(args, obs, index.cache_stats());
+    }
 }
 
 fn main() {
@@ -329,13 +433,11 @@ fn main() {
     }
     index.compact_now().expect("warmup compaction");
 
-    let server = Server::start(
+    let obs = build_obs(&args);
+    let server = start_server(
         Arc::clone(&index) as Arc<dyn ReachIndex>,
-        ServeConfig {
-            workers: args.workers,
-            queue_capacity: args.queue,
-            max_batch: 64,
-        },
+        &args,
+        obs.as_ref(),
     )
     .expect("server starts");
 
@@ -348,12 +450,25 @@ fn main() {
         }
     });
 
+    // Each epoch carries a fresh cache, so read the counters before the
+    // final compaction swaps in an empty one.
+    let cache = index.cache_stats();
     if let Err(e) = index.compact_now() {
         eprintln!("streach_serve: final compaction failed: {e}");
     }
     index.sync().expect("log sync");
     let live = index.metrics();
     let serve = server.metrics();
+    if let Some(obs) = &obs {
+        let registry = obs.registry();
+        server.publish_metrics(registry);
+        registry.set_gauge("live_compactions", live.compactions);
+        registry.set_gauge("live_epoch", live.epoch);
+        registry.set_gauge("live_overlapped_queries", live.overlapped_queries);
+        registry.set_gauge("live_delta_bytes", live.delta_bytes as u64);
+        registry.set_gauge("live_watermark", u64::from(live.watermark));
+        registry.set_gauge("live_now", u64::from(live.now));
+    }
     drop(server);
 
     println!(
@@ -382,4 +497,7 @@ fn main() {
         serve.p99_normalized_io,
         reach_core::SEQ_PER_RANDOM
     );
+    if let Some(obs) = &obs {
+        write_metrics(&args, obs, cache);
+    }
 }

@@ -39,7 +39,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use reach_core::{Answer, IndexError, ObjectId, QueryKind, ReachIndex, ReachRequest, TimeInterval};
+use reach_core::{
+    Answer, IndexError, ObjectId, QueryKind, ReachIndex, ReachRequest, TimeInterval, SEQ_PER_RANDOM,
+};
+use reach_obs::{now_ticks, Histogram, Obs, Registry};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
@@ -117,6 +120,12 @@ impl Ticket {
 struct Job {
     request: ReachRequest,
     reply: mpsc::Sender<Result<Answer, IndexError>>,
+    /// Admission tick ([`now_ticks`]), source of the queue-wait histogram.
+    submitted: u64,
+    /// Open `serve/queue` span covering admission-to-claim; dropped (and
+    /// thereby recorded) the moment a worker claims the job. `None` on an
+    /// untraced request.
+    queue_span: Option<reach_obs::Span>,
 }
 
 /// Queue state behind the admission lock.
@@ -135,9 +144,20 @@ struct Shared {
     failed: AtomicU64,
     rejected: AtomicU64,
     batched: AtomicU64,
-    /// Normalized IO (`random + seq/20`) of every completed answer;
-    /// source for the percentile gauges.
-    samples: Mutex<Vec<f64>>,
+    /// Normalized IO of every completed answer, recorded fixed-point as
+    /// `random * 20 + seq` (exact, no floats on the hot path); source for
+    /// the percentile gauges.
+    io_hist: Arc<Histogram>,
+    /// Microseconds each job waited in the queue before a worker claimed
+    /// it (wall clock — excluded from the deterministic perf gate).
+    queue_wait: Arc<Histogram>,
+    /// Microseconds each job spent being evaluated (wall clock — excluded
+    /// from the deterministic perf gate).
+    service_time: Arc<Histogram>,
+    /// Observability bundle, when started through
+    /// [`Server::start_observed`]: mints per-query tracers and receives
+    /// slow-query reports.
+    obs: Option<Arc<Obs>>,
 }
 
 impl Shared {
@@ -149,14 +169,33 @@ impl Shared {
         match result {
             Ok(a) => {
                 self.completed.fetch_add(1, Ordering::Relaxed);
-                self.samples
-                    .lock()
-                    .expect("serve samples poisoned")
-                    .push(a.stats.normalized_io());
+                self.io_hist
+                    .record(a.stats.random_ios * SEQ_PER_RANDOM + a.stats.seq_ios);
             }
             Err(_) => {
                 self.failed.fetch_add(1, Ordering::Relaxed);
             }
+        }
+    }
+
+    /// Feeds one served job into the wall-clock histograms and (when
+    /// observed) the slow-query log.
+    fn note_served(
+        &self,
+        job_request: &ReachRequest,
+        result: &Result<Answer, IndexError>,
+        waited_ns: u64,
+        served_ns: u64,
+    ) {
+        self.queue_wait.record(waited_ns / 1_000);
+        self.service_time.record(served_ns / 1_000);
+        if let (Some(obs), Ok(a)) = (&self.obs, result) {
+            obs.observe_query(
+                job_request.trace.trace_id(),
+                &job_request.trace_label(),
+                a.stats.random_ios + a.stats.seq_ios,
+                served_ns,
+            );
         }
     }
 }
@@ -176,10 +215,22 @@ pub struct ServeMetrics {
     pub rejected: u64,
     /// Answers served off another query's frontier expansion.
     pub batched: u64,
-    /// Median normalized IO per completed query.
+    /// Median normalized IO per completed query. Computed by nearest rank
+    /// over the shared log-bucketed histogram: the reported value is the
+    /// matching bucket's inclusive upper bound, an overestimate of the
+    /// true rank value by at most 12.5 % (exact below 0.4 normalized IO).
     pub p50_normalized_io: f64,
-    /// 99th-percentile normalized IO per completed query.
+    /// 99th-percentile normalized IO per completed query (same nearest-
+    /// rank bound as [`ServeMetrics::p50_normalized_io`]).
     pub p99_normalized_io: f64,
+    /// Median queue wait in microseconds (wall clock, admission to claim).
+    pub p50_queue_wait_us: u64,
+    /// 99th-percentile queue wait in microseconds.
+    pub p99_queue_wait_us: u64,
+    /// Median service time in microseconds (wall clock, claim to reply).
+    pub p50_service_time_us: u64,
+    /// 99th-percentile service time in microseconds.
+    pub p99_service_time_us: u64,
 }
 
 /// A query service over any [`ReachIndex`] (see the module docs).
@@ -204,6 +255,40 @@ impl std::fmt::Debug for Server {
 impl Server {
     /// Starts `config.workers` threads serving `index`.
     pub fn start(index: Arc<dyn ReachIndex>, config: ServeConfig) -> Result<Self, IndexError> {
+        Self::launch(index, config, None)
+    }
+
+    /// Starts an *observed* server: per-query tracers are minted from
+    /// `obs` at admission (when its config traces), the shared histograms
+    /// register under `serve_*` in its registry, completed jobs feed its
+    /// slow-query log, and a worker panic dumps its flight recorder to
+    /// stderr before the panic propagates.
+    pub fn start_observed(
+        index: Arc<dyn ReachIndex>,
+        config: ServeConfig,
+        obs: Arc<Obs>,
+    ) -> Result<Self, IndexError> {
+        Self::launch(index, config, Some(obs))
+    }
+
+    fn launch(
+        index: Arc<dyn ReachIndex>,
+        config: ServeConfig,
+        obs: Option<Arc<Obs>>,
+    ) -> Result<Self, IndexError> {
+        // When observed, the histograms live in the registry (so the
+        // exposition sees them); otherwise they are private to the server.
+        let (io_hist, queue_wait, service_time) = match &obs {
+            Some(obs) => {
+                let r = obs.registry();
+                (
+                    r.histogram("serve_normalized_io_x20"),
+                    r.histogram("serve_queue_wait_us"),
+                    r.histogram("serve_service_time_us"),
+                )
+            }
+            None => Default::default(),
+        };
         let shared = Arc::new(Shared {
             index,
             config,
@@ -217,7 +302,10 @@ impl Server {
             failed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             batched: AtomicU64::new(0),
-            samples: Mutex::new(Vec::new()),
+            io_hist,
+            queue_wait,
+            service_time,
+            obs,
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -238,7 +326,14 @@ impl Server {
 
     /// Admits one request, or rejects it if the queue is full. The
     /// returned [`Ticket`] blocks until a worker answers.
-    pub fn submit(&self, request: ReachRequest) -> Result<Ticket, SubmitError> {
+    pub fn submit(&self, mut request: ReachRequest) -> Result<Ticket, SubmitError> {
+        // An observed server traces every admitted query that did not
+        // arrive with a tracer of its own.
+        if let Some(obs) = &self.shared.obs {
+            if !request.trace.is_enabled() {
+                request.trace = obs.tracer();
+            }
+        }
         let mut q = self.shared.queue();
         if q.shutdown {
             return Err(SubmitError::ShuttingDown);
@@ -251,7 +346,17 @@ impl Server {
             });
         }
         let (tx, rx) = mpsc::channel();
-        q.jobs.push_back(Job { request, reply: tx });
+        let queue_span = request.trace.is_enabled().then(|| {
+            let mut s = request.trace.span("serve/queue");
+            s.label_with(|| request.trace_label());
+            s
+        });
+        q.jobs.push_back(Job {
+            request,
+            reply: tx,
+            submitted: now_ticks(),
+            queue_span,
+        });
         drop(q);
         self.shared.work_ready.notify_one();
         Ok(Ticket { rx })
@@ -269,24 +374,12 @@ impl Server {
             .wait()
     }
 
-    /// Snapshots the service gauges. Percentiles are over every completed
-    /// answer so far; zero until something completes.
+    /// Snapshots the service gauges. Percentiles are nearest-rank reads of
+    /// the shared log-bucketed histograms (see the [`ServeMetrics`] field
+    /// docs for the error bound); zero until something completes.
     pub fn metrics(&self) -> ServeMetrics {
         let queue_depth = self.shared.queue().jobs.len();
-        let mut samples = self
-            .shared
-            .samples
-            .lock()
-            .expect("serve samples poisoned")
-            .clone();
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("normalized IO is never NaN"));
-        let pct = |p: f64| -> f64 {
-            if samples.is_empty() {
-                return 0.0;
-            }
-            let idx = ((samples.len() - 1) as f64 * p).round() as usize;
-            samples[idx]
-        };
+        let io = &self.shared.io_hist;
         ServeMetrics {
             queue_depth,
             in_flight: self.shared.in_flight.load(Ordering::Relaxed),
@@ -294,9 +387,27 @@ impl Server {
             failed: self.shared.failed.load(Ordering::Relaxed),
             rejected: self.shared.rejected.load(Ordering::Relaxed),
             batched: self.shared.batched.load(Ordering::Relaxed),
-            p50_normalized_io: pct(0.50),
-            p99_normalized_io: pct(0.99),
+            p50_normalized_io: io.quantile(0.50) as f64 / SEQ_PER_RANDOM as f64,
+            p99_normalized_io: io.quantile(0.99) as f64 / SEQ_PER_RANDOM as f64,
+            p50_queue_wait_us: self.shared.queue_wait.quantile(0.50),
+            p99_queue_wait_us: self.shared.queue_wait.quantile(0.99),
+            p50_service_time_us: self.shared.service_time.quantile(0.50),
+            p99_service_time_us: self.shared.service_time.quantile(0.99),
         }
+    }
+
+    /// Publishes the current service gauges into `registry` under
+    /// `serve_*` names (the histograms are already registered there when
+    /// the server was started observed — this adds the scalar gauges the
+    /// exposition and JSON snapshot read).
+    pub fn publish_metrics(&self, registry: &Registry) {
+        let m = self.metrics();
+        registry.set_gauge("serve_queue_depth", m.queue_depth as u64);
+        registry.set_gauge("serve_in_flight", m.in_flight);
+        registry.set_gauge("serve_completed", m.completed);
+        registry.set_gauge("serve_failed", m.failed);
+        registry.set_gauge("serve_rejected", m.rejected);
+        registry.set_gauge("serve_batched", m.batched);
     }
 }
 
@@ -313,8 +424,24 @@ impl Drop for Server {
 /// Claims jobs until shutdown *and* an empty queue (accepted jobs are
 /// always served). Each claim may pull a same-source cohort along.
 fn worker_loop(shared: &Shared) {
+    // If this worker panics, dump the flight recorder before unwinding:
+    // the recent span events are exactly the context the panic destroys.
+    struct PanicDump<'a>(&'a Shared);
+    impl Drop for PanicDump<'_> {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                if let Some(rec) = self.0.obs.as_ref().and_then(|o| o.recorder()) {
+                    eprintln!(
+                        "streach serve worker panicked; flight recorder follows\n{}",
+                        rec.dump_text()
+                    );
+                }
+            }
+        }
+    }
+    let _dump = PanicDump(shared);
     loop {
-        let (job, cohort) = {
+        let (mut job, mut cohort) = {
             let mut q = shared.queue();
             let job = loop {
                 if let Some(job) = q.jobs.pop_front() {
@@ -328,14 +455,32 @@ fn worker_loop(shared: &Shared) {
             let cohort = drain_cohort(&mut q, &job, shared.config.max_batch);
             (job, cohort)
         };
+        // Claiming ends every queue-wait span: admission-to-claim is what
+        // the queue-wait histogram measures.
+        let claim = now_ticks();
+        drop(job.queue_span.take());
+        for j in cohort.iter_mut() {
+            drop(j.queue_span.take());
+        }
         let claimed = 1 + cohort.len() as u64;
         shared.in_flight.fetch_add(claimed, Ordering::Relaxed);
         if cohort.is_empty() {
-            let result = shared.index.answer(&job.request);
+            let result = {
+                let mut serve_span = job.request.trace.span("serve/serve");
+                serve_span.label_with(|| job.request.trace_label());
+                shared.index.answer(&job.request)
+            };
+            let done = now_ticks();
             shared.record(&result);
+            shared.note_served(
+                &job.request,
+                &result,
+                claim.saturating_sub(job.submitted),
+                done.saturating_sub(claim),
+            );
             let _ = job.reply.send(result);
         } else {
-            serve_batch(shared, job, cohort);
+            serve_batch(shared, job, cohort, claim);
         }
         shared.in_flight.fetch_sub(claimed, Ordering::Relaxed);
     }
@@ -369,8 +514,17 @@ fn drain_cohort(q: &mut QueueState, job: &Job, max_batch: usize) -> Vec<Job> {
 
 /// Answers a same-source cohort through one batch call: `query_batch` for
 /// plain reachability, the kind-aware `answer_batch` for decay cohorts.
-fn serve_batch(shared: &Shared, job: Job, cohort: Vec<Job>) {
-    let template = job.request;
+///
+/// The leader's trace records a `serve/cohort` span carrying the cohort
+/// size as its seed count; decay cohorts additionally nest per-destination
+/// dispatch spans under it (the kind-aware batch path evaluates through
+/// `answer`), while `Reach` cohorts share one untraced frontier expansion
+/// whose IO lands on the first answer.
+fn serve_batch(shared: &Shared, job: Job, cohort: Vec<Job>, claim: u64) {
+    let template = job.request.clone();
+    let mut cohort_span = template.trace.span("serve/cohort");
+    cohort_span.set_seeds(1 + cohort.len() as u64);
+    cohort_span.label_with(|| format!("{} x{}", template.trace_label(), 1 + cohort.len()));
     let jobs: Vec<Job> = std::iter::once(job).chain(cohort).collect();
     let dests: Vec<ObjectId> = jobs.iter().map(|j| j.request.query.dest).collect();
     let batch = match template.kind {
@@ -381,6 +535,8 @@ fn serve_batch(shared: &Shared, job: Job, cohort: Vec<Job>) {
         }
         _ => shared.index.answer_batch(&template, &dests),
     };
+    cohort_span.finish();
+    let done = now_ticks();
     match batch {
         Ok(answers) => {
             debug_assert_eq!(answers.len(), jobs.len());
@@ -390,6 +546,12 @@ fn serve_batch(shared: &Shared, job: Job, cohort: Vec<Job>) {
             for (j, a) in jobs.into_iter().zip(answers) {
                 let result = Ok(a);
                 shared.record(&result);
+                shared.note_served(
+                    &j.request,
+                    &result,
+                    claim.saturating_sub(j.submitted),
+                    done.saturating_sub(claim),
+                );
                 let _ = j.reply.send(result);
             }
         }
@@ -399,6 +561,12 @@ fn serve_batch(shared: &Shared, job: Job, cohort: Vec<Job>) {
             for j in jobs {
                 let result = Err(e.clone());
                 shared.record(&result);
+                shared.note_served(
+                    &j.request,
+                    &result,
+                    claim.saturating_sub(j.submitted),
+                    done.saturating_sub(claim),
+                );
                 let _ = j.reply.send(result);
             }
         }
@@ -712,6 +880,71 @@ mod tests {
         for t in tickets {
             t.wait().expect("accepted ticket answered across shutdown");
         }
+    }
+
+    #[test]
+    fn observed_server_mints_tracers_and_feeds_the_registry() {
+        let probe = Arc::new(Probe::default());
+        let obs = Arc::new(reach_obs::Obs::default());
+        let srv = Server::start_observed(
+            Arc::clone(&probe) as Arc<dyn ReachIndex>,
+            ServeConfig::default(),
+            Arc::clone(&obs),
+        )
+        .expect("observed server starts");
+        for d in 1..=20u32 {
+            srv.query(ObjectId(0), TimeInterval::new(0, 9), ObjectId(d))
+                .expect("answered");
+        }
+        // Minted tracers mirror finished spans into the flight recorder.
+        let rec = obs.recorder().expect("default bundle has a recorder");
+        assert!(rec.recorded() > 0, "serve spans reached the recorder");
+        // The shared histograms live in the registry and saw every answer.
+        let io = obs.registry().histogram("serve_normalized_io_x20");
+        assert_eq!(io.count(), 20);
+        assert_eq!(
+            obs.registry().histogram("serve_service_time_us").count(),
+            20
+        );
+        assert_eq!(obs.registry().histogram("serve_queue_wait_us").count(), 20);
+        // Publishing makes the scalar gauges visible in the exposition.
+        srv.publish_metrics(obs.registry());
+        let text = obs.registry().expose_text();
+        assert!(text.contains("serve_completed 20"), "{text}");
+        assert!(text.contains("serve_normalized_io_x20_count 20"), "{text}");
+    }
+
+    #[test]
+    fn caller_supplied_tracer_sees_the_serve_span_tree() {
+        let probe = Arc::new(Probe::default());
+        let srv = server(&probe, ServeConfig::default());
+        let t = reach_obs::Tracer::enabled(99);
+        let req = ReachRequest::reach(ObjectId(0), TimeInterval::new(0, 9), ObjectId(5))
+            .with_trace(t.clone());
+        srv.submit(req).expect("admitted").wait().expect("answered");
+        let names: Vec<&str> = t.events().iter().map(|e| e.name).collect();
+        assert!(names.contains(&"serve/queue"), "{names:?}");
+        assert!(names.contains(&"serve/serve"), "{names:?}");
+        let events = t.events();
+        let queue = events.iter().find(|e| e.name == "serve/queue").unwrap();
+        let serve = events.iter().find(|e| e.name == "serve/serve").unwrap();
+        assert_eq!(queue.parent, 0, "queue span is a root");
+        assert_eq!(serve.parent, 0, "serve span is a sibling, not a child");
+        assert!(queue.label.contains("reach 0->5"), "{}", queue.label);
+    }
+
+    #[test]
+    fn wall_clock_percentiles_populate_after_service() {
+        let probe = Arc::new(Probe::default());
+        let srv = server(&probe, ServeConfig::default());
+        for d in 1..=10u32 {
+            srv.query(ObjectId(0), TimeInterval::new(0, 9), ObjectId(d))
+                .expect("answered");
+        }
+        let m = srv.metrics();
+        // Wall-clock values are nondeterministic; only shape is asserted.
+        assert!(m.p99_queue_wait_us >= m.p50_queue_wait_us);
+        assert!(m.p99_service_time_us >= m.p50_service_time_us);
     }
 
     #[test]

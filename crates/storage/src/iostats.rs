@@ -126,6 +126,22 @@ impl IoStats {
     }
 }
 
+impl From<IoStats> for reach_obs::IoDelta {
+    /// The span-local slice of these counters: trace spans attribute the
+    /// classified device reads/writes and cache hits (prefetch bookkeeping
+    /// stays an `IoStats`-level detail — a prefetched page is already
+    /// counted as a classified read).
+    fn from(s: IoStats) -> Self {
+        reach_obs::IoDelta {
+            random_reads: s.random_reads,
+            seq_reads: s.seq_reads,
+            random_writes: s.random_writes,
+            seq_writes: s.seq_writes,
+            cache_hits: s.cache_hits,
+        }
+    }
+}
+
 impl Add for IoStats {
     type Output = IoStats;
     fn add(self, rhs: IoStats) -> IoStats {
@@ -423,6 +439,27 @@ mod tests {
         assert_eq!(stats.prefetch_hits, 1);
         let s = stats.summary();
         assert!(s.contains("1 prefetched / 1 prefetch hits"), "{s}");
+    }
+
+    #[test]
+    fn io_delta_conversion_carries_the_classified_counters() {
+        let s = IoStats {
+            random_reads: 1,
+            seq_reads: 2,
+            random_writes: 3,
+            seq_writes: 4,
+            cache_hits: 5,
+            prefetched: 6,
+            prefetch_hits: 7,
+        };
+        let d = reach_obs::IoDelta::from(s);
+        assert_eq!(d.random_reads, 1);
+        assert_eq!(d.seq_reads, 2);
+        assert_eq!(d.random_writes, 3);
+        assert_eq!(d.seq_writes, 4);
+        assert_eq!(d.cache_hits, 5);
+        assert_eq!(d.total_reads(), s.total_reads());
+        assert_eq!(d.total_writes(), s.total_writes());
     }
 
     #[test]

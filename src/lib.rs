@@ -335,6 +335,7 @@ pub use reach_graph as graph;
 pub use reach_grid as grid;
 pub use reach_live as live;
 pub use reach_mobility as mobility;
+pub use reach_obs as obs;
 pub use reach_serve as serve;
 pub use reach_storage as storage;
 pub use reach_traj as traj;
@@ -361,6 +362,9 @@ pub mod prelude {
         ShardRecovery, ShardedLive,
     };
     pub use reach_mobility::{RoadNetwork, RwpConfig, VehicleConfig, WorkloadConfig};
+    pub use reach_obs::{
+        FlightRecorder, Obs, ObsConfig, Registry, SlowQueryPolicy, SpanEvent, Tracer,
+    };
     pub use reach_serve::{ServeConfig, ServeMetrics, Server, SubmitError, Ticket};
     pub use reach_storage::{
         BlockDevice, BuildBudget, CacheStats, DeviceDirectory, FileDevice, IoSampler, IoStats,

@@ -212,7 +212,7 @@ fn batch_and_served_dispatch_match_single_answers() {
     let singles: Vec<_> = dests
         .iter()
         .map(|&d| {
-            let mut req = template;
+            let mut req = template.clone();
             req.query.dest = d;
             essence(&shared.answer(&req).expect("decay answer evaluates"))
         })
@@ -239,7 +239,7 @@ fn batch_and_served_dispatch_match_single_answers() {
     let tickets: Vec<_> = dests
         .iter()
         .map(|&d| {
-            let mut req = template;
+            let mut req = template.clone();
             req.query.dest = d;
             server.submit(req).expect("admitted")
         })
